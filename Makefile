@@ -1,0 +1,20 @@
+# Convenience targets for the reproduction repository.
+
+.PHONY: install test bench tables api all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+tables:
+	python -m repro.experiments.run_all
+
+api:
+	python scripts/gen_api_reference.py
+
+all: test bench

@@ -1,0 +1,102 @@
+"""E9 — distributed min-cut: the application motivating Section 1.
+
+Compare the two coordinator strategies as the target accuracy tightens:
+
+* ``forall_only`` ships eps-accurate sparsifiers — shipped bits grow
+  like ``1/eps^2`` (and Theorem 1.2 says no for-all scheme can avoid
+  it);
+* ``hybrid`` ships constant-accuracy sparsifiers and refines candidate
+  cuts with per-cut queries costing ``O(log 1/eps)`` bits — total
+  communication is essentially flat in eps.
+
+Accuracy is reported against the true min cut of the union graph.
+"""
+
+from repro.distributed.coordinator import distributed_min_cut
+from repro.distributed.server import partition_edges
+from repro.experiments.harness import Table
+from repro.graphs.mincut import stoer_wagner
+from repro.graphs.ugraph import UGraph
+
+
+def _workload():
+    g = UGraph(nodes=range(36))
+    for u in range(36):
+        for v in range(u + 1, 36):
+            g.add_edge(u, v, 1.0)
+    servers = partition_edges(g, 2, rng=1)
+    true_value, _ = stoer_wagner(g)
+    return g, servers, true_value
+
+
+def test_communication_vs_eps(benchmark, emit_table):
+    g, servers, true_value = _workload()
+    table = Table(
+        title="E9 - distributed min-cut communication vs eps "
+        "(K36, 2 servers, true k=%d)" % int(true_value),
+        columns=[
+            "eps", "strategy", "total_bits", "sketch_bits", "query_bits",
+            "estimate", "rel_err",
+        ],
+    )
+    for eps in (0.4, 0.3, 0.2):
+        for strategy in ("forall_only", "hybrid"):
+            result = distributed_min_cut(
+                servers, epsilon=eps, strategy=strategy, rng=7,
+                sampling_constant=0.3,
+            )
+            table.add_row(
+                eps=eps,
+                strategy=strategy,
+                total_bits=result.total_bits,
+                sketch_bits=result.sketch_bits,
+                query_bits=result.query_bits,
+                estimate=result.value,
+                rel_err=abs(result.value - true_value) / true_value,
+            )
+    table.add_note(
+        "forall_only bits grow ~1/eps^2 (the Theorem 1.2 floor); hybrid "
+        "bits are ~flat: candidate-cut queries pay only log(1/eps)"
+    )
+    emit_table(table)
+    benchmark.pedantic(
+        lambda: distributed_min_cut(
+            servers, epsilon=0.3, strategy="hybrid", rng=8,
+            sampling_constant=0.3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_hybrid_accuracy_holds_at_tiny_eps(benchmark, emit_table):
+    g, servers, true_value = _workload()
+    table = Table(
+        title="E9 - hybrid strategy accuracy at small eps",
+        columns=["eps", "estimate", "true", "rel_err", "candidates"],
+    )
+    for eps in (0.1, 0.05, 0.02):
+        result = distributed_min_cut(
+            servers, epsilon=eps, strategy="hybrid", rng=9,
+            sampling_constant=0.3,
+        )
+        table.add_row(
+            eps=eps,
+            estimate=result.value,
+            true=true_value,
+            rel_err=abs(result.value - true_value) / true_value,
+            candidates=result.candidates_scored,
+        )
+    table.add_note(
+        "accuracy tightens with eps at near-constant shipped bits: the "
+        "for-each refinement carries the entire eps dependence"
+    )
+    emit_table(table)
+    benchmark.pedantic(
+        lambda: distributed_min_cut(
+            servers, epsilon=0.05, strategy="hybrid", rng=10,
+            sampling_constant=0.3,
+        ),
+        rounds=1,
+        iterations=1,
+    )

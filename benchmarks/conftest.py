@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints a fixed-width experiment table (the artifact the
+paper comparison in EXPERIMENTS.md quotes) and registers one timed
+kernel with pytest-benchmark.  ``-s`` is not required: tables are
+printed via the ``emit_table`` fixture, which writes to the terminal
+reporter so output survives capture.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def emit_table(request):
+    """Return a function that prints a harness Table past pytest capture."""
+    def _emit(table):
+        capman = request.config.pluginmanager.getplugin("capturemanager")
+        text = "\n" + table.render() + "\n"
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                print(text)
+        else:
+            print(text)
+    return _emit

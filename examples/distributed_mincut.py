@@ -1,0 +1,56 @@
+"""Distributed min-cut across edge-sharded servers (the §1 application).
+
+Run with:  python examples/distributed_mincut.py
+
+A graph's edges live on several servers.  The coordinator compares the
+two strategies the paper's introduction contrasts: shipping eps-accurate
+for-all sketches (communication ~ 1/eps^2), versus shipping cheap
+constant-accuracy sketches and refining a poly(n) list of near-minimum
+candidate cuts with high-precision per-cut queries.
+"""
+
+from repro.distributed import distributed_min_cut, partition_edges
+from repro.graphs import UGraph, stoer_wagner
+
+
+def complete_graph(n: int) -> UGraph:
+    g = UGraph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v, 1.0)
+    return g
+
+
+def main() -> None:
+    graph = complete_graph(32)
+    servers = partition_edges(graph, num_servers=3, rng=1)
+    true_value, _ = stoer_wagner(graph)
+    print(
+        f"workload: K32 (m={graph.num_edges}) sharded over "
+        f"{len(servers)} servers; true min cut = {true_value:.0f}"
+    )
+    for server in servers:
+        print(f"  {server.name}: {server.num_edges} edges")
+
+    header = f"{'eps':>6} {'strategy':>12} {'estimate':>9} {'ship kb':>8} {'query kb':>9}"
+    print("\n" + header)
+    for eps in (0.4, 0.2, 0.1):
+        for strategy in ("forall_only", "hybrid"):
+            result = distributed_min_cut(
+                servers, epsilon=eps, strategy=strategy, rng=5,
+                sampling_constant=0.3,
+            )
+            print(
+                f"{eps:>6} {strategy:>12} {result.value:>9.1f} "
+                f"{result.sketch_bits / 1000:>8.1f} "
+                f"{result.query_bits / 1000:>9.2f}"
+            )
+    print(
+        "\nforall_only must ship 1/eps^2 bits (Theorem 1.2's floor); the "
+        "hybrid scheme isolates the eps dependence in cheap per-candidate "
+        "queries — the reason for-each sketches matter."
+    )
+
+
+if __name__ == "__main__":
+    main()

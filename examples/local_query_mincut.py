@@ -1,0 +1,53 @@
+"""Estimating a hidden graph's min cut through a query oracle (§5).
+
+Run with:  python examples/local_query_mincut.py
+
+The graph is hidden behind degree/neighbor/pair queries.  We estimate
+its global minimum cut with the (modified) VERIFY-GUESS binary search of
+Theorem 5.7 and report the query bill against the
+``min{m, m/(eps^2 k)}`` price that Theorem 1.3 proves unavoidable.
+"""
+
+from repro.graphs import planted_min_cut_ugraph
+from repro.localquery import GraphOracle, estimate_min_cut
+
+
+def main() -> None:
+    graph, k = planted_min_cut_ugraph(cluster_size=40, cut_size=20, rng=3)
+    m = graph.num_edges
+    print(f"hidden graph: n={graph.num_nodes}, m={m}, true min cut k={k}")
+
+    print("\neps sweep (modified variant, Theorem 5.7):")
+    print(f"{'eps':>6} {'estimate':>9} {'queries':>8} {'bound':>9} {'q/bound':>8}")
+    for eps in (0.6, 0.45, 0.3, 0.15):
+        oracle = GraphOracle(graph)
+        result = estimate_min_cut(
+            oracle, eps=eps, rng=11, constant=0.5,
+            search_accuracy=0.5, acceptance_gap=2.0,
+        )
+        bound = min(2 * m, m / (eps * eps * k))
+        print(
+            f"{eps:>6} {result.value:>9.1f} {result.total_queries:>8} "
+            f"{bound:>9.0f} {result.total_queries / bound:>8.2f}"
+        )
+
+    print("\nsearch-phase anatomy at eps=0.3 (naive vs modified, §5.4):")
+    for variant in ("naive", "modified"):
+        oracle = GraphOracle(graph)
+        result = estimate_min_cut(
+            oracle, eps=0.3, rng=11, variant=variant,
+            constant=0.5, search_accuracy=0.5,
+        )
+        print(
+            f"  {variant:>9}: search={result.search_queries:5d} queries, "
+            f"refine={result.refined_queries:5d}, steps={result.search_steps}, "
+            f"estimate={result.value:.1f}"
+        )
+    print(
+        "\nthe naive search pays eps into every guess; the modified search "
+        "pays a constant and leaves eps to the single refined call."
+    )
+
+
+if __name__ == "__main__":
+    main()

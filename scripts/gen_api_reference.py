@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Regenerate docs/API.md from the package's public ``__all__`` exports.
+
+Usage: ``python scripts/gen_api_reference.py`` from the repository root.
+Kept as a checked-in script so the reference never drifts from the code:
+CI (or a pre-release checklist) can re-run it and diff.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import os
+
+PACKAGES = [
+    "repro.graphs",
+    "repro.linalg",
+    "repro.comm",
+    "repro.sketch",
+    "repro.streaming",
+    "repro.foreach_lb",
+    "repro.forall_lb",
+    "repro.localquery",
+    "repro.distributed",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+def describe(obj) -> tuple:
+    """(kind, one-line summary) for a public object."""
+    if inspect.isclass(obj):
+        kind = "class"
+    elif inspect.isfunction(obj):
+        kind = "function"
+    elif callable(obj):
+        kind = "callable"
+    else:
+        kind = "constant"
+    if kind == "constant":
+        summary = repr(obj)
+        if len(summary) > 60:
+            summary = summary[:57] + "..."
+    else:
+        doc = (inspect.getdoc(obj) or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+    return kind, summary.replace("|", "\\|")
+
+
+def main() -> None:
+    lines = [
+        "# API reference",
+        "",
+        "One line per public name, generated from package `__all__` exports",
+        "(`python scripts/gen_api_reference.py` regenerates this file).",
+        "",
+    ]
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        lines.append(f"## `{package_name}`")
+        lines.append("")
+        doc = (package.__doc__ or "").strip().splitlines()
+        if doc:
+            lines.append(doc[0])
+            lines.append("")
+        lines.append("| name | kind | summary |")
+        lines.append("|---|---|---|")
+        for name in sorted(getattr(package, "__all__", [])):
+            kind, summary = describe(getattr(package, name))
+            lines.append(f"| `{name}` | {kind} | {summary} |")
+        lines.append("")
+    os.makedirs("docs", exist_ok=True)
+    with open("docs/API.md", "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    print(f"wrote docs/API.md ({len(lines)} lines)")
+
+
+if __name__ == "__main__":
+    main()

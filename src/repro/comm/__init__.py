@@ -1,0 +1,57 @@
+"""Communication-complexity substrate: protocols and problem samplers."""
+
+from repro.comm.protocol import (
+    BitLedger,
+    Message,
+    OneWayProtocol,
+    ProtocolRun,
+    run_protocol,
+)
+from repro.comm.index_problem import (
+    IndexInstance,
+    SendEverythingIndexProtocol,
+    TruncatingIndexProtocol,
+    sample_index_instance,
+)
+from repro.comm.gap_hamming import (
+    GAP_CONSTANT,
+    GapCase,
+    GapHammingInstance,
+    distance_to_case,
+    gap_threshold,
+    intersection_case,
+    sample_gap_hamming_instance,
+)
+from repro.comm.twosum import (
+    MIN_INTERSECTING_FRACTION,
+    TwoSumInstance,
+    concatenate_pairs,
+    lift_instance,
+    sample_twosum_instance,
+    sample_unit_pair,
+)
+
+__all__ = [
+    "GAP_CONSTANT",
+    "BitLedger",
+    "GapCase",
+    "GapHammingInstance",
+    "IndexInstance",
+    "MIN_INTERSECTING_FRACTION",
+    "Message",
+    "OneWayProtocol",
+    "ProtocolRun",
+    "SendEverythingIndexProtocol",
+    "TruncatingIndexProtocol",
+    "TwoSumInstance",
+    "concatenate_pairs",
+    "distance_to_case",
+    "gap_threshold",
+    "intersection_case",
+    "lift_instance",
+    "run_protocol",
+    "sample_gap_hamming_instance",
+    "sample_index_instance",
+    "sample_twosum_instance",
+    "sample_unit_pair",
+]

@@ -1,0 +1,115 @@
+"""One-way communication protocols with bit accounting.
+
+All three lower bounds in the paper are proved by reduction to a one-way
+communication problem: Alice holds an input, sends one message, and Bob
+must answer.  This module gives the executable shape of that game:
+
+* :class:`Message` — an immutable byte payload whose *bit* length is the
+  quantity the lower bounds measure;
+* :class:`OneWayProtocol` — the Alice/Bob interface;
+* :func:`run_protocol` — drives one round and returns the answer plus the
+  exact message size.
+
+For the local-query reduction (Lemma 5.6) the conversation is not one-way
+— Alice and Bob exchange 2 bits per simulated oracle query — so
+:class:`BitLedger` tracks a running total that both directions append to.
+"""
+
+from __future__ import annotations
+
+import pickle
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Generic, Tuple, TypeVar
+
+from repro.errors import ProtocolError
+
+AliceInput = TypeVar("AliceInput")
+BobInput = TypeVar("BobInput")
+Answer = TypeVar("Answer")
+
+
+@dataclass(frozen=True)
+class Message:
+    """A one-shot message from Alice to Bob."""
+
+    payload: bytes
+
+    @property
+    def bits(self) -> int:
+        """Size of the message in bits — the lower bounds' currency."""
+        return 8 * len(self.payload)
+
+    @staticmethod
+    def from_object(obj: Any) -> "Message":
+        """Serialize an arbitrary object.
+
+        Pickle is a loose upper bound on the information content; the
+        sketch layer provides tighter, purpose-built serializers where
+        the byte count matters to an experiment.
+        """
+        return Message(payload=pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def to_object(self) -> Any:
+        """Inverse of :meth:`from_object`."""
+        return pickle.loads(self.payload)
+
+
+class OneWayProtocol(ABC, Generic[AliceInput, BobInput, Answer]):
+    """Alice computes one message; Bob answers from it and his input."""
+
+    @abstractmethod
+    def alice(self, alice_input: AliceInput) -> Message:
+        """Alice's side: compress her input into a single message."""
+
+    @abstractmethod
+    def bob(self, message: Message, bob_input: BobInput) -> Answer:
+        """Bob's side: answer his query given only Alice's message."""
+
+
+@dataclass
+class ProtocolRun(Generic[Answer]):
+    """Outcome of one protocol execution."""
+
+    answer: Answer
+    message_bits: int
+
+
+def run_protocol(
+    protocol: OneWayProtocol[AliceInput, BobInput, Answer],
+    alice_input: AliceInput,
+    bob_input: BobInput,
+) -> ProtocolRun[Answer]:
+    """Run one round of a one-way protocol, accounting message size."""
+    message = protocol.alice(alice_input)
+    if not isinstance(message, Message):
+        raise ProtocolError("alice() must return a Message")
+    answer = protocol.bob(message, bob_input)
+    return ProtocolRun(answer=answer, message_bits=message.bits)
+
+
+@dataclass
+class BitLedger:
+    """Running bit count for interactive (two-way) simulations.
+
+    Lemma 5.6 simulates each local query with at most 2 bits of
+    communication; the ledger records each charge so the reduction can
+    report total communication alongside total queries.
+    """
+
+    total_bits: int = 0
+    charges: int = 0
+
+    def charge(self, bits: int) -> None:
+        """Record a transfer of ``bits`` bits (either direction)."""
+        if bits < 0:
+            raise ProtocolError("cannot charge negative bits")
+        self.total_bits += bits
+        self.charges += 1
+
+    def merged_with(self, other: "BitLedger") -> "BitLedger":
+        """A new ledger combining two accounts."""
+        return BitLedger(
+            total_bits=self.total_bits + other.total_bits,
+            charges=self.charges + other.charges,
+        )

@@ -1,0 +1,180 @@
+"""The 2-SUM communication problem (Definitions 5.1/5.2, [WZ14]).
+
+Alice holds ``t`` strings ``X^1..X^t``, Bob holds ``Y^1..Y^t``, each of
+length ``L``, with the promise that every pair has ``INT(X^i, Y^i)``
+equal to 0 or exactly ``alpha``, and at least a 1/1000 fraction of pairs
+intersect.  They must approximate ``sum_i DISJ(X^i, Y^i)`` to additive
+error ``sqrt(t)``.  Theorem 5.4: this costs ``Omega(t L / alpha)`` bits,
+proved by lifting 2-SUM(t, L/alpha, 1) via ``alpha``-fold concatenation —
+:func:`lift_instance` implements exactly that lifting.
+
+The min-cut query lower bound (Theorem 1.3) consumes these instances
+through the graph construction of Section 5.2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.bitstrings import BitString, intersection_size, is_disjoint
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Definition 5.2's promised minimum fraction of intersecting pairs.
+MIN_INTERSECTING_FRACTION = 1.0 / 1000.0
+
+
+@dataclass(frozen=True)
+class TwoSumInstance:
+    """One instance of 2-SUM(t, L, alpha)."""
+
+    alice_strings: List[BitString]
+    bob_strings: List[BitString]
+    alpha: int
+
+    @property
+    def num_pairs(self) -> int:
+        """The parameter ``t``."""
+        return len(self.alice_strings)
+
+    @property
+    def length(self) -> int:
+        """The per-string length ``L``."""
+        return int(self.alice_strings[0].shape[0])
+
+    def disjointness_sum(self) -> int:
+        """``sum_i DISJ(X^i, Y^i)`` — the quantity to approximate."""
+        return sum(
+            1
+            for x, y in zip(self.alice_strings, self.bob_strings)
+            if is_disjoint(x, y)
+        )
+
+    def intersection_counts(self) -> List[int]:
+        """``INT(X^i, Y^i)`` per pair; each must be 0 or ``alpha``."""
+        return [
+            intersection_size(x, y)
+            for x, y in zip(self.alice_strings, self.bob_strings)
+        ]
+
+    def additive_error_budget(self) -> float:
+        """The allowed additive error ``sqrt(t)``."""
+        return math.sqrt(self.num_pairs)
+
+    def validate_promise(self) -> None:
+        """Raise unless the Definition 5.2 promise holds."""
+        counts = self.intersection_counts()
+        bad = [c for c in counts if c not in (0, self.alpha)]
+        if bad:
+            raise ParameterError(
+                f"pair intersections must be 0 or alpha={self.alpha}; "
+                f"found {sorted(set(bad))}"
+            )
+        intersecting = sum(1 for c in counts if c == self.alpha)
+        if intersecting < MIN_INTERSECTING_FRACTION * self.num_pairs:
+            raise ParameterError(
+                f"only {intersecting}/{self.num_pairs} pairs intersect; "
+                f"promise requires >= 1/1000"
+            )
+
+
+def _sample_non_intersecting_position(gen) -> Tuple[int, int]:
+    """One coordinate pair uniform over {(0,0), (0,1), (1,0)}."""
+    choice = int(gen.integers(0, 3))
+    return ((0, 0), (0, 1), (1, 0))[choice]
+
+
+def sample_unit_pair(length: int, intersect: bool, rng: RngLike = None) -> Tuple[BitString, BitString]:
+    """Sample ``(x, y)`` of length ``length`` with INT equal to 1 or 0.
+
+    For an intersecting pair a uniform position carries ``(1, 1)``; every
+    other position is non-intersecting.
+    """
+    if length < 1:
+        raise ParameterError("length must be positive")
+    gen = ensure_rng(rng)
+    x = np.zeros(length, dtype=np.int8)
+    y = np.zeros(length, dtype=np.int8)
+    planted = int(gen.integers(0, length)) if intersect else -1
+    for pos in range(length):
+        if pos == planted:
+            x[pos], y[pos] = 1, 1
+        else:
+            x[pos], y[pos] = _sample_non_intersecting_position(gen)
+    return x, y
+
+
+def sample_twosum_instance(
+    num_pairs: int,
+    length: int,
+    alpha: int = 1,
+    intersecting_fraction: float = 0.5,
+    rng: RngLike = None,
+) -> TwoSumInstance:
+    """Sample a promise-respecting 2-SUM(t, L, alpha) instance.
+
+    ``length`` must be divisible by ``alpha`` (the instance is an
+    ``alpha``-fold concatenation of a base 2-SUM(t, L/alpha, 1) instance,
+    mirroring Theorem 5.4's lifting).  ``intersecting_fraction`` controls
+    how many pairs intersect; it is floored at the promised 1/1000 and at
+    one pair.
+    """
+    if num_pairs < 1:
+        raise ParameterError("num_pairs must be positive")
+    if alpha < 1:
+        raise ParameterError("alpha must be positive")
+    if length < alpha or length % alpha != 0:
+        raise ParameterError("length must be a positive multiple of alpha")
+    if not 0.0 <= intersecting_fraction <= 1.0:
+        raise ParameterError("intersecting_fraction must be in [0, 1]")
+    gen = ensure_rng(rng)
+    base_length = length // alpha
+    want = max(
+        1,
+        int(math.ceil(MIN_INTERSECTING_FRACTION * num_pairs)),
+        int(round(intersecting_fraction * num_pairs)),
+    )
+    want = min(want, num_pairs)
+    which = set(int(i) for i in gen.choice(num_pairs, size=want, replace=False))
+    base_alice: List[BitString] = []
+    base_bob: List[BitString] = []
+    for i in range(num_pairs):
+        x, y = sample_unit_pair(base_length, intersect=(i in which), rng=gen)
+        base_alice.append(x)
+        base_bob.append(y)
+    base = TwoSumInstance(alice_strings=base_alice, bob_strings=base_bob, alpha=1)
+    instance = lift_instance(base, alpha) if alpha > 1 else base
+    instance.validate_promise()
+    return instance
+
+
+def lift_instance(instance: TwoSumInstance, alpha: int) -> TwoSumInstance:
+    """Theorem 5.4's lifting: concatenate ``alpha`` copies of each string.
+
+    Maps 2-SUM(t, L, 1) to 2-SUM(t, alpha * L, alpha) with the same
+    DISJ sum, which is how the paper amplifies the min-cut value.
+    """
+    if alpha < 1:
+        raise ParameterError("alpha must be positive")
+    if instance.alpha != 1:
+        raise ParameterError("can only lift a unit-intersection instance")
+    lifted_alice = [np.tile(x, alpha) for x in instance.alice_strings]
+    lifted_bob = [np.tile(y, alpha) for y in instance.bob_strings]
+    return TwoSumInstance(
+        alice_strings=lifted_alice, bob_strings=lifted_bob, alpha=alpha
+    )
+
+
+def concatenate_pairs(instance: TwoSumInstance) -> Tuple[BitString, BitString]:
+    """Lemma 5.6 step 1: concatenate all pairs into single strings (x, y).
+
+    ``INT(x, y) = r * alpha`` where ``r`` is the number of intersecting
+    pairs, because concatenation is intersection-additive.
+    """
+    x = np.concatenate(instance.alice_strings)
+    y = np.concatenate(instance.bob_strings)
+    return x, y

@@ -1,0 +1,19 @@
+"""Distributed min-cut via cut sketches — the paper's motivating application."""
+
+from repro.distributed.server import Server, partition_edges, quantize_relative
+from repro.distributed.coordinator import (
+    CANDIDATE_FACTOR,
+    HYBRID_SKETCH_ACCURACY,
+    DistributedMinCutResult,
+    distributed_min_cut,
+)
+
+__all__ = [
+    "CANDIDATE_FACTOR",
+    "DistributedMinCutResult",
+    "HYBRID_SKETCH_ACCURACY",
+    "Server",
+    "distributed_min_cut",
+    "partition_edges",
+    "quantize_relative",
+]

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch one base class.  Sub-classes separate the broad failure domains:
+invalid graph manipulation, invalid construction parameters, protocol
+violations in the communication games, and sketch/oracle misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph operation (unknown node, bad edge, empty cut, ...)."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A construction was asked for with parameters outside its domain.
+
+    For example the for-each encoder requires ``1/epsilon`` to be a power
+    of two (the Hadamard matrix of Lemma 3.2 only exists for powers of
+    two), and the for-all encoder requires ``1/epsilon**2`` to be an
+    integer.
+    """
+
+
+class ProtocolError(ReproError):
+    """A communication protocol was driven out of order or out of spec."""
+
+
+class SketchError(ReproError):
+    """A cut sketch was queried in a way its model does not support."""
+
+
+class OracleError(ReproError):
+    """A local-query oracle received an invalid query."""
+
+
+class BudgetExceededError(OracleError):
+    """A query-limited oracle ran past its allowed budget."""

@@ -1,0 +1,5 @@
+"""Experiment harness shared by the benchmark suite."""
+
+from repro.experiments.harness import Table, geometric_ratio, sweep
+
+__all__ = ["Table", "geometric_ratio", "sweep"]

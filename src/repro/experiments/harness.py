@@ -1,0 +1,93 @@
+"""Shared experiment harness: parameter sweeps and aligned table output.
+
+Every benchmark regenerates one paper artifact by sweeping parameters,
+collecting one :class:`Row` per configuration, and printing a
+fixed-width table (captured into ``bench_output.txt`` by the final run).
+Keeping the rendering here means every experiment reports in the same
+format, which EXPERIMENTS.md quotes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+
+@dataclass
+class Table:
+    """A fixed-width experiment table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one result row; unknown columns are rejected."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ValueError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        """Attach a footnote printed under the table."""
+        self.notes.append(note)
+
+    def _format_cell(self, value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.01:
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def render(self) -> str:
+        """The table as fixed-width text."""
+        header = list(self.columns)
+        body = [
+            [self._format_cell(row.get(col, "")) for col in header]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def emit(self) -> None:
+        """Print the rendered table (benchmarks call this once per run)."""
+        print()
+        print(self.render())
+
+
+def geometric_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Mean ratio ``y/x`` — a quick scaling-exponent summary for tables."""
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0]
+    if not pairs:
+        raise ValueError("no positive reference values")
+    total = 1.0
+    for x, y in pairs:
+        total *= y / x
+    return total ** (1.0 / len(pairs))
+
+
+def sweep(
+    configurations: Iterable[Mapping[str, Any]],
+    runner: Callable[..., Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Run ``runner(**config)`` per configuration, merging config + result."""
+    results: List[Dict[str, Any]] = []
+    for config in configurations:
+        outcome = runner(**config)
+        merged = dict(config)
+        merged.update(outcome)
+        results.append(merged)
+    return results

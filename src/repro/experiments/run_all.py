@@ -1,0 +1,301 @@
+"""Standalone experiment runner: regenerate paper tables without pytest.
+
+Usage::
+
+    python -m repro.experiments.run_all            # every experiment
+    python -m repro.experiments.run_all e1 e6      # a subset
+    python -m repro.experiments.run_all --list     # show the registry
+
+Each experiment prints the same harness tables as its benchmark twin in
+``benchmarks/``; this entry point exists so a user can regenerate one
+artifact quickly (and pipe it into a report) without the benchmarking
+machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments.harness import Table
+
+
+def _e1_foreach() -> List[Table]:
+    import math
+
+    from repro.foreach_lb.game import run_index_game
+    from repro.foreach_lb.params import ForEachParams
+    from repro.sketch.noisy import NoisyForEachSketch
+
+    params = ForEachParams(inv_eps=4, sqrt_beta=1, num_groups=2)
+    tolerance = params.epsilon / math.log(params.inv_eps)
+    table = Table(
+        title="E1 / Theorem 1.1 - Index game success vs sketch error",
+        columns=["sketch_error", "success_rate", "fano_bits"],
+    )
+    for factor in (0.02, 1.0, 16.0):
+        sketch_eps = min(0.95, factor * tolerance * 0.25)
+        result = run_index_game(
+            params,
+            lambda g, r, e=sketch_eps: NoisyForEachSketch(g, epsilon=e, rng=r),
+            rounds=25,
+            rng=int(factor * 100),
+        )
+        table.add_row(
+            sketch_error=sketch_eps,
+            success_rate=result.success_rate,
+            fano_bits=result.fano_bits(),
+        )
+    return [table]
+
+
+def _e2_forall() -> List[Table]:
+    from repro.forall_lb.game import run_gap_hamming_game
+    from repro.forall_lb.params import ForAllParams
+    from repro.sketch.exact import ExactCutSketch
+
+    params = ForAllParams(inv_eps_sq=8, beta=1, num_groups=2)
+    result = run_gap_hamming_game(
+        params, lambda g, r: ExactCutSketch(g), rounds=20, rng=1
+    )
+    table = Table(
+        title="E2 / Theorem 1.2 - Gap-Hamming game (exact sketch)",
+        columns=["n", "total_bits", "success_rate", "fano_bits"],
+    )
+    table.add_row(
+        n=params.num_nodes,
+        total_bits=params.total_bits,
+        success_rate=result.success_rate,
+        fano_bits=result.fano_bits(),
+    )
+    return [table]
+
+
+def _e3_localquery() -> List[Table]:
+    from repro.graphs.generators import planted_min_cut_ugraph
+    from repro.localquery.oracle import GraphOracle
+    from repro.localquery.verify_guess import fetch_degrees, verify_guess
+
+    graph, k = planted_min_cut_ugraph(40, 20, rng=20)
+    m = graph.num_edges
+    table = Table(
+        title="E3 / Theorem 1.3 - VERIFY-GUESS queries vs min{2m, m/(eps^2 k)}",
+        columns=["eps", "queries", "bound"],
+    )
+    for eps in (0.6, 0.45, 0.3, 0.2):
+        oracle = GraphOracle(graph)
+        degrees = fetch_degrees(oracle)
+        result = verify_guess(
+            oracle, degrees, t=float(k), eps=eps, rng=0, constant=0.5
+        )
+        table.add_row(
+            eps=eps,
+            queries=result.neighbor_queries,
+            bound=min(2 * m, m / (eps * eps * k)),
+        )
+    return [table]
+
+
+def _e4_upperbound() -> List[Table]:
+    from repro.graphs.generators import planted_min_cut_ugraph
+    from repro.localquery.mincut_query import estimate_min_cut
+    from repro.localquery.oracle import GraphOracle
+
+    graph, k = planted_min_cut_ugraph(40, 20, rng=0)
+    table = Table(
+        title="E4 / Theorem 5.7 - naive vs modified search queries",
+        columns=["eps", "naive_search", "modified_search"],
+    )
+    for eps in (0.6, 0.45, 0.3):
+        row = {}
+        for variant in ("naive", "modified"):
+            oracle = GraphOracle(graph)
+            estimate = estimate_min_cut(
+                oracle, eps=eps, rng=1, variant=variant,
+                constant=0.5, search_accuracy=0.5,
+            )
+            row[variant] = estimate.search_queries
+        table.add_row(
+            eps=eps, naive_search=row["naive"], modified_search=row["modified"]
+        )
+    return [table]
+
+
+def _e5_figure1() -> List[Table]:
+    from repro.foreach_lb.decoder import ForEachDecoder
+    from repro.foreach_lb.encoder import ForEachEncoder
+    from repro.foreach_lb.params import ForEachParams
+    from repro.utils.bitstrings import random_signstring
+
+    table = Table(
+        title="E5 / Figure 1 - decoder cut decomposition",
+        columns=["inv_eps", "sqrt_beta", "forward_w", "backward_w"],
+    )
+    for inv_eps, sqrt_beta in ((4, 1), (8, 1), (8, 2)):
+        params = ForEachParams(inv_eps=inv_eps, sqrt_beta=sqrt_beta)
+        encoder = ForEachEncoder(params)
+        s = random_signstring(params.string_length, rng=3)
+        encoded = encoder.encode(s)
+        plan = ForEachDecoder(params).query_plans(0)[0]
+        total = encoded.graph.cut_weight(plan.side)
+        table.add_row(
+            inv_eps=inv_eps,
+            sqrt_beta=sqrt_beta,
+            forward_w=total - plan.fixed_backward,
+            backward_w=plan.fixed_backward,
+        )
+    return [table]
+
+
+def _e6_figure2() -> List[Table]:
+    import numpy as np
+
+    from repro.graphs.mincut import stoer_wagner
+    from repro.localquery.gxy import build_gxy
+    from repro.utils.rng import ensure_rng
+
+    table = Table(
+        title="E6 / Figure 2 + Lemma 5.5 - MINCUT = 2*INT",
+        columns=["sqrt_N", "INT", "mincut", "witness"],
+    )
+    for side, gamma, seed in ((6, 1, 0), (9, 2, 1), (12, 4, 2)):
+        gen = ensure_rng(seed)
+        x = gen.integers(0, 2, size=side * side).astype(np.int8)
+        y = np.zeros(side * side, dtype=np.int8)
+        planted = gen.choice(side * side, size=gamma, replace=False)
+        x[planted] = 1
+        y[planted] = 1
+        gxy = build_gxy(x, y)
+        table.add_row(
+            sqrt_N=side,
+            INT=gxy.intersection(),
+            mincut=stoer_wagner(gxy.graph)[0],
+            witness=gxy.part_cut_value(),
+        )
+    return [table]
+
+
+def _e7_figures36() -> List[Table]:
+    import numpy as np
+
+    from repro.graphs.connectivity import edge_disjoint_path_count
+    from repro.localquery.gxy import build_gxy, representative_figure_pairs
+    from repro.utils.rng import ensure_rng
+
+    gen = ensure_rng(4)
+    side, gamma = 9, 3
+    x = gen.integers(0, 2, size=side * side).astype(np.int8)
+    y = np.zeros(side * side, dtype=np.int8)
+    planted = gen.choice(side * side, size=gamma, replace=False)
+    x[planted] = 1
+    y[planted] = 1
+    gxy = build_gxy(x, y)
+    table = Table(
+        title="E7 / Figures 3-6 - edge-disjoint paths per representative pair",
+        columns=["figure", "paths", "2gamma"],
+    )
+    for u, v, figure in representative_figure_pairs(gxy):
+        table.add_row(
+            figure=figure,
+            paths=edge_disjoint_path_count(gxy.graph, u, v),
+            **{"2gamma": 2 * gxy.intersection()},
+        )
+    return [table]
+
+
+def _e8_sparsifier() -> List[Table]:
+    from repro.graphs.ugraph import UGraph
+    from repro.sketch.sparsifier import SparsifierSketch
+
+    g = UGraph(nodes=range(16))
+    for u in range(16):
+        for v in range(u + 1, 16):
+            g.add_edge(u, v, 1.0)
+    table = Table(
+        title="E8 - sparsifier kept edges vs eps (K16)",
+        columns=["eps", "kept_edges"],
+    )
+    for eps in (0.9, 0.6, 0.4, 0.25):
+        sketch = SparsifierSketch.from_undirected(
+            g, epsilon=eps, rng=17, constant=0.4
+        )
+        table.add_row(eps=eps, kept_edges=sketch.sparse_graph.num_edges // 2)
+    return [table]
+
+
+def _e9_distributed() -> List[Table]:
+    from repro.distributed.coordinator import distributed_min_cut
+    from repro.distributed.server import partition_edges
+    from repro.graphs.ugraph import UGraph
+
+    g = UGraph(nodes=range(36))
+    for u in range(36):
+        for v in range(u + 1, 36):
+            g.add_edge(u, v, 1.0)
+    servers = partition_edges(g, 2, rng=1)
+    table = Table(
+        title="E9 - distributed min-cut communication vs eps",
+        columns=["eps", "strategy", "total_bits", "estimate"],
+    )
+    for eps in (0.4, 0.2):
+        for strategy in ("forall_only", "hybrid"):
+            result = distributed_min_cut(
+                servers, epsilon=eps, strategy=strategy, rng=7,
+                sampling_constant=0.3,
+            )
+            table.add_row(
+                eps=eps,
+                strategy=strategy,
+                total_bits=result.total_bits,
+                estimate=result.value,
+            )
+    return [table]
+
+
+REGISTRY: Dict[str, Callable[[], List[Table]]] = {
+    "e1": _e1_foreach,
+    "e2": _e2_forall,
+    "e3": _e3_localquery,
+    "e4": _e4_upperbound,
+    "e5": _e5_figure1,
+    "e6": _e6_figure2,
+    "e7": _e7_figures36,
+    "e8": _e8_sparsifier,
+    "e9": _e9_distributed,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.run_all",
+        description="Regenerate the paper-reproduction experiment tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e1..e9); default: all",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key in sorted(REGISTRY):
+            print(key)
+        return 0
+
+    chosen = args.experiments or sorted(REGISTRY)
+    unknown = [key for key in chosen if key not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; use --list")
+    for key in chosen:
+        for table in REGISTRY[key]():
+            table.emit()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

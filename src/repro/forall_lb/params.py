@@ -1,0 +1,115 @@
+"""Parameters of the for-all lower-bound construction (Section 4).
+
+Indexed by:
+
+* ``inv_eps_sq = 1/eps^2`` — an even integer (the Gap-Hamming strings
+  have Hamming weight ``1/(2 eps^2)``);
+* ``beta`` — the balance parameter (any integer >= 1);
+* ``num_groups`` — the chain length ``ell = n/k`` of Theorem 1.2.
+
+Each group has ``k = beta/eps^2`` nodes.  Inside a pair
+``(V_p, V_{p+1})`` every left node ``l_i`` and right cluster ``R_j``
+(of ``1/eps^2`` nodes) encodes one Gap-Hamming string, so a pair holds
+``k * beta = beta^2/eps^2`` strings and the whole chain holds
+``h = (ell-1) * beta^2/eps^2 = Omega(n beta)`` strings of ``1/eps^2``
+bits each — the Omega(n beta/eps^2) count of Theorem 1.2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ParameterError
+
+#: Node labels: ("L"-side role is positional) (group, index) for left
+#: usage; every node is simply (group, index) with index < group_size.
+NodeLabel = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ForAllParams:
+    """Sizing of the Theorem 1.2 construction."""
+
+    inv_eps_sq: int
+    beta: int
+    num_groups: int = 2
+
+    def __post_init__(self) -> None:
+        if self.inv_eps_sq < 2 or self.inv_eps_sq % 2 != 0:
+            raise ParameterError(
+                f"inv_eps_sq must be an even integer >= 2, got {self.inv_eps_sq}"
+            )
+        if self.beta < 1:
+            raise ParameterError("beta must be a positive integer")
+        if self.num_groups < 2:
+            raise ParameterError("num_groups must be at least 2")
+
+    @property
+    def epsilon(self) -> float:
+        """The accuracy parameter ``eps = 1/sqrt(inv_eps_sq)``."""
+        return 1.0 / math.sqrt(self.inv_eps_sq)
+
+    @property
+    def group_size(self) -> int:
+        """``k = beta / eps^2`` nodes per group."""
+        return self.beta * self.inv_eps_sq
+
+    @property
+    def num_nodes(self) -> int:
+        """``n = ell * k``."""
+        return self.num_groups * self.group_size
+
+    @property
+    def string_length(self) -> int:
+        """Each Gap-Hamming string has ``1/eps^2`` bits."""
+        return self.inv_eps_sq
+
+    @property
+    def strings_per_pair(self) -> int:
+        """``k * beta = beta^2 / eps^2`` strings per group pair."""
+        return self.group_size * self.beta
+
+    @property
+    def num_strings(self) -> int:
+        """Alice's ``h = (ell - 1) * beta^2/eps^2``."""
+        return (self.num_groups - 1) * self.strings_per_pair
+
+    @property
+    def total_bits(self) -> int:
+        """``h / eps^2`` — the Omega(n beta / eps^2) bit count."""
+        return self.num_strings * self.string_length
+
+    @property
+    def backward_weight(self) -> float:
+        """Every backward edge has weight ``1/beta``."""
+        return 1.0 / self.beta
+
+    def group_nodes(self, group: int) -> List[NodeLabel]:
+        """All node labels of group ``V_group``."""
+        if not 0 <= group < self.num_groups:
+            raise ParameterError(f"group {group} out of range")
+        return [(group, index) for index in range(self.group_size)]
+
+    def cluster_nodes(self, group: int, cluster: int) -> List[NodeLabel]:
+        """The nodes of right cluster ``R_cluster`` inside ``V_group``."""
+        if not 0 <= cluster < self.beta:
+            raise ParameterError(f"cluster {cluster} out of range")
+        start = cluster * self.inv_eps_sq
+        return [(group, start + offset) for offset in range(self.inv_eps_sq)]
+
+    def locate_string(self, q: int) -> Tuple[int, int, int]:
+        """Map a global string index to ``(pair, left_index, cluster)``.
+
+        ``pair`` indexes the group pair ``(V_p, V_{p+1})``, ``left_index``
+        the node ``l_i`` of ``V_p``, and ``cluster`` the set ``R_j`` of
+        ``V_{p+1}``.
+        """
+        if not 0 <= q < self.num_strings:
+            raise ParameterError(
+                f"string index {q} out of range [0, {self.num_strings})"
+            )
+        pair, rem = divmod(q, self.strings_per_pair)
+        left_index, cluster = divmod(rem, self.beta)
+        return pair, left_index, cluster

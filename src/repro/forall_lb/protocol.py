@@ -1,0 +1,111 @@
+"""Theorem 1.2 packaged as a literal one-way protocol.
+
+Mirrors :mod:`repro.foreach_lb.protocol` for the for-all side: Alice's
+message is a byte-exact serialization of the Gap-Hamming-encoded graph
+(or of a sparsified version of it), and Bob runs the subset-argmax
+decoder on the deserialized object.  Together with
+:func:`repro.comm.protocol.run_protocol` this measures real wire bits
+for the object Theorem 1.2 prices at Omega(n beta / eps^2).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.comm.gap_hamming import GapCase
+from repro.comm.protocol import Message, OneWayProtocol
+from repro.errors import ParameterError, ProtocolError
+from repro.forall_lb.decoder import ForAllDecoder
+from repro.forall_lb.encoder import ForAllEncoder
+from repro.forall_lb.params import ForAllParams
+from repro.graphs.digraph import DiGraph
+from repro.sketch.directed import BalancedDigraphSparsifier
+from repro.sketch.exact import ExactCutSketch
+from repro.utils.bitstrings import BitString
+from repro.utils.rng import RngLike, ensure_rng
+
+_RECORD = "<HIHId"
+
+
+def serialize_forall_graph(graph: DiGraph, params: ForAllParams) -> bytes:
+    """Binary edge list for the (group, index)-labelled construction."""
+    chunks: List[bytes] = [struct.pack("<I", graph.num_edges)]
+    for u, v, w in graph.edges():
+        chunks.append(struct.pack(_RECORD, u[0], u[1], v[0], v[1], w))
+    return b"".join(chunks)
+
+
+def deserialize_forall_graph(payload: bytes, params: ForAllParams) -> DiGraph:
+    """Inverse of :func:`serialize_forall_graph`."""
+    if len(payload) < 4:
+        raise ProtocolError("truncated graph message")
+    (count,) = struct.unpack_from("<I", payload, 0)
+    record = struct.calcsize(_RECORD)
+    expected = 4 + count * record
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"graph message has {len(payload)} bytes, expected {expected}"
+        )
+    graph = DiGraph(
+        nodes=[node for g in range(params.num_groups)
+               for node in params.group_nodes(g)]
+    )
+    offset = 4
+    for _ in range(count):
+        g1, i1, g2, i2, w = struct.unpack_from(_RECORD, payload, offset)
+        offset += record
+        graph.add_edge((g1, i1), (g2, i2), w)
+    return graph
+
+
+@dataclass(frozen=True)
+class GapHammingQuery:
+    """Bob's input: the planted string's index and his query string."""
+
+    string_index: int
+    query: BitString
+
+
+class SketchedGraphGapHammingProtocol(
+    OneWayProtocol[Sequence[BitString], GapHammingQuery, GapCase]
+):
+    """Alice: encode + (optionally sparsify) + serialize.  Bob: decode."""
+
+    def __init__(
+        self,
+        params: ForAllParams,
+        mode: str = "exact",
+        sketch_epsilon: float = 0.05,
+        rng: RngLike = None,
+    ):
+        if mode not in ("exact", "sparsified"):
+            raise ParameterError(f"unknown mode {mode!r}")
+        self.params = params
+        self.mode = mode
+        self.sketch_epsilon = sketch_epsilon
+        self._rng = ensure_rng(rng)
+        self._encoder = ForAllEncoder(params)
+
+    def alice(self, alice_input: Sequence[BitString]) -> Message:
+        encoded = self._encoder.encode(list(alice_input))
+        if self.mode == "exact":
+            graph = encoded.graph
+        else:
+            sketch = BalancedDigraphSparsifier(
+                encoded.graph,
+                epsilon=self.sketch_epsilon,
+                beta=2.0 * self.params.beta,
+                rng=self._rng,
+            )
+            graph = sketch.sparse_graph
+        return Message(payload=serialize_forall_graph(graph, self.params))
+
+    def bob(self, message: Message, bob_input: GapHammingQuery) -> GapCase:
+        graph = deserialize_forall_graph(message.payload, self.params)
+        decoder = ForAllDecoder(self.params, rng=self._rng)
+        decision = decoder.decide(
+            ExactCutSketch(graph), bob_input.string_index, bob_input.query
+        )
+        return decision.case

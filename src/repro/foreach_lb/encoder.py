@@ -1,0 +1,174 @@
+"""Alice's side of the for-each lower bound (Lemma 3.3 / Theorem 1.1).
+
+Given a sign string ``s``, build the balanced digraph ``G`` that encodes
+it.  The nodes are partitioned into ``ell`` groups of ``k = sqrt(beta)/eps``;
+consecutive groups carry a complete bipartite gadget.  Within the pair
+``(V_p, V_{p+1})``, the left side is divided into ``sqrt(beta)`` clusters
+``L_1..L_{sqrt(beta)}`` and the right side into ``R_1..R_{sqrt(beta)}``,
+each of ``1/eps`` nodes.  The substring assigned to ``(L_i, R_j)`` is
+superposed over the ``1/eps^2`` forward edges via Lemma 3.2:
+
+    ``x = sum_t z_t M_t``,   ``w = eps * x + 2 c1 ln(1/eps) * 1``
+
+when ``||x||_inf <= c1 ln(1/eps)/eps`` (a 99% event, by Chernoff);
+otherwise the block writes the constant vector, marking the encoding
+failed (Bob then answers at chance for those bits — the 1% slack the
+proof budgets for).  Every backward edge has weight ``1/beta``, making
+the graph ``O(beta log(1/eps))``-balanced by the edgewise criterion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.foreach_lb.params import ForEachParams
+from repro.graphs.digraph import DiGraph
+from repro.linalg.hadamard import Lemma32Matrix
+from repro.utils.bitstrings import SignString
+from repro.utils.rng import RngLike
+
+#: The paper's ``c1``: the Chernoff cap on ``||x||_inf`` is
+#: ``c1 * ln(1/eps) / eps``.  Chosen so the cap holds with probability
+#: >= 0.99 at every block size we run (see tests/foreach_lb).
+DEFAULT_C1 = 4.0
+
+
+@dataclass
+class EncodedGraph:
+    """Alice's output: the graph plus encoding metadata.
+
+    ``failed_blocks`` lists the ``(pair, cluster_i, cluster_j)`` blocks
+    whose superposition exceeded the weight cap and fell back to the
+    constant vector (bits in those blocks are unrecoverable by design).
+    """
+
+    graph: DiGraph
+    params: ForEachParams
+    c1: float
+    failed_blocks: Set[Tuple[int, int, int]] = field(default_factory=set)
+
+    @property
+    def weight_floor(self) -> float:
+        """Minimum possible forward-edge weight, ``c1 ln(1/eps)``."""
+        return self.c1 * math.log(self.params.inv_eps)
+
+    @property
+    def weight_ceiling(self) -> float:
+        """Maximum possible forward-edge weight, ``3 c1 ln(1/eps)``."""
+        return 3.0 * self.c1 * math.log(self.params.inv_eps)
+
+
+class ForEachEncoder:
+    """Encode sign strings into balanced digraphs per Theorem 1.1."""
+
+    def __init__(self, params: ForEachParams, c1: float = DEFAULT_C1):
+        if c1 <= 0:
+            raise ParameterError("c1 must be positive")
+        self.params = params
+        self.c1 = c1
+        self._matrix = Lemma32Matrix(params.inv_eps)
+        if self._matrix.num_rows != params.bits_per_block:
+            raise ParameterError(
+                "internal inconsistency: Lemma 3.2 matrix has "
+                f"{self._matrix.num_rows} rows, expected {params.bits_per_block}"
+            )
+
+    @property
+    def matrix(self) -> Lemma32Matrix:
+        """The shared Lemma 3.2 matrix (also used by the decoder)."""
+        return self._matrix
+
+    def infinity_cap(self) -> float:
+        """The encoding-failure threshold ``c1 ln(1/eps) / eps``."""
+        return self.c1 * math.log(self.params.inv_eps) * self.params.inv_eps
+
+    def base_weight(self) -> float:
+        """The constant offset ``2 c1 ln(1/eps)`` added to every block."""
+        return 2.0 * self.c1 * math.log(self.params.inv_eps)
+
+    def skeleton(self) -> DiGraph:
+        """The string-independent part of the graph: backward edges only.
+
+        Bob reconstructs this himself (it depends only on the public
+        parameters) and subtracts its contribution from his cut queries.
+        """
+        params = self.params
+        graph = DiGraph()
+        for pair in range(params.num_groups - 1):
+            left = params.group_nodes(pair)
+            right = params.group_nodes(pair + 1)
+            for u in left:
+                graph.add_node(u)
+            for v in right:
+                for u in left:
+                    graph.add_edge(v, u, params.backward_weight)
+        return graph
+
+    def encode(self, s: SignString) -> EncodedGraph:
+        """Build the graph encoding ``s``.
+
+        ``s`` must be a sign string of length ``params.string_length``.
+        Deterministic: the only randomness in the game is in ``s`` itself
+        and in the sketching algorithm.
+        """
+        params = self.params
+        s = np.asarray(s, dtype=np.int64)
+        if s.shape != (params.string_length,):
+            raise ParameterError(
+                f"string must have length {params.string_length}, "
+                f"got {s.shape}"
+            )
+        if not np.all(np.abs(s) == 1):
+            raise ParameterError("string entries must be +-1")
+
+        graph = self.skeleton()
+        failed: Set[Tuple[int, int, int]] = set()
+        cap = self.infinity_cap()
+        base = self.base_weight()
+        eps = params.epsilon
+
+        cursor = 0
+        for pair in range(params.num_groups - 1):
+            for cluster_i in range(params.sqrt_beta):
+                for cluster_j in range(params.sqrt_beta):
+                    z = s[cursor : cursor + params.bits_per_block]
+                    cursor += params.bits_per_block
+                    signs = z.astype(np.int8)
+                    x = self._matrix.combine(signs)
+                    if np.max(np.abs(x)) <= cap:
+                        weights = eps * x.astype(np.float64) + base
+                    else:
+                        weights = np.full(self._matrix.row_length, base)
+                        failed.add((pair, cluster_i, cluster_j))
+                    self._write_block(
+                        graph, pair, cluster_i, cluster_j, weights
+                    )
+        return EncodedGraph(
+            graph=graph, params=params, c1=self.c1, failed_blocks=failed
+        )
+
+    def _write_block(
+        self,
+        graph: DiGraph,
+        pair: int,
+        cluster_i: int,
+        cluster_j: int,
+        weights: np.ndarray,
+    ) -> None:
+        """Write the forward edges of one ``(L_i, R_j)`` block.
+
+        Edge order matches the paper's indexing: first by the left node
+        ``u``, then by the right node ``v`` — position ``u * (1/eps) + v``
+        of the weight vector.
+        """
+        params = self.params
+        left = params.cluster_nodes(pair, cluster_i)
+        right = params.cluster_nodes(pair + 1, cluster_j)
+        for ui, u in enumerate(left):
+            for vi, v in enumerate(right):
+                graph.add_edge(u, v, float(weights[ui * params.inv_eps + vi]))

@@ -1,0 +1,101 @@
+"""The end-to-end Index game of Theorem 1.1.
+
+One round: sample a random sign string ``s`` and a random index ``q``
+(Lemma 3.1's distribution); Alice encodes ``s`` into the balanced graph
+and sketches it; Bob decodes ``s_q`` from the sketch.  The theorem says
+that whenever the sketch is a valid ``(1 +- c2 eps / ln(1/eps))``
+for-each sketch, Bob succeeds with probability >= 2/3, and therefore the
+sketch carries ``Omega(|s|)`` bits.
+
+:func:`run_index_game` plays many rounds against an arbitrary sketch
+factory and reports the empirical success rate together with the sketch
+size, letting benchmarks trace the success/size trade-off as the sketch
+accuracy degrades (the operational content of the lower bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.foreach_lb.decoder import ForEachDecoder
+from repro.foreach_lb.encoder import EncodedGraph, ForEachEncoder
+from repro.foreach_lb.params import ForEachParams
+from repro.graphs.digraph import DiGraph
+from repro.sketch.base import CutSketch
+from repro.utils.bitstrings import random_signstring
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.utils.stats import TrialSummary
+
+#: A sketch factory receives the encoded graph and an RNG and returns the
+#: sketch Bob will query.
+SketchFactory = Callable[[DiGraph, np.random.Generator], CutSketch]
+
+
+@dataclass
+class IndexGameResult:
+    """Aggregate outcome of repeated Index-game rounds."""
+
+    params: ForEachParams
+    summary: TrialSummary
+    mean_sketch_bits: float
+    #: Fraction of rounds whose target bit sat in a failed encoding block
+    #: (those rounds count as coin flips, mirroring the proof's budget).
+    encoding_failure_rate: float
+
+    @property
+    def success_rate(self) -> float:
+        """Empirical probability that Bob recovered the right bit."""
+        return self.summary.rate
+
+    def fano_bits(self) -> float:
+        """Information-theoretic bits the sketch must carry (Fano).
+
+        If Bob recovers a uniform bit with probability ``p > 1/2``, the
+        message carries at least ``|s| * (1 - H(p))`` bits, where ``H``
+        is the binary entropy.  This is the bridge from success rate to
+        the Omega(n sqrt(beta)/eps) statement.
+        """
+        p = min(max(self.success_rate, 1e-9), 1 - 1e-9)
+        entropy = -(p * np.log2(p) + (1 - p) * np.log2(1 - p))
+        return self.params.string_length * max(0.0, 1.0 - entropy)
+
+
+def run_index_game(
+    params: ForEachParams,
+    sketch_factory: SketchFactory,
+    rounds: int,
+    rng: RngLike = None,
+    boost: int = 1,
+) -> IndexGameResult:
+    """Play ``rounds`` independent rounds of the Index game."""
+    if rounds < 1:
+        raise ParameterError("rounds must be positive")
+    gen = ensure_rng(rng)
+    encoder = ForEachEncoder(params)
+    decoder = ForEachDecoder(params)
+
+    successes = 0
+    failed_rounds = 0
+    total_bits = 0.0
+    for round_rng in spawn_rngs(gen, rounds):
+        s = random_signstring(params.string_length, rng=round_rng)
+        q = int(round_rng.integers(0, params.string_length))
+        encoded = encoder.encode(s)
+        block = params.locate_bit(q)[:3]
+        if block in encoded.failed_blocks:
+            failed_rounds += 1
+        sketch = sketch_factory(encoded.graph, round_rng)
+        total_bits += sketch.size_bits()
+        guess = decoder.decode_bit(sketch, q, boost=boost)
+        if guess == int(s[q]):
+            successes += 1
+    return IndexGameResult(
+        params=params,
+        summary=TrialSummary(successes=successes, trials=rounds),
+        mean_sketch_bits=total_bits / rounds,
+        encoding_failure_rate=failed_rounds / rounds,
+    )

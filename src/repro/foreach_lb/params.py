@@ -1,0 +1,129 @@
+"""Parameters of the for-each lower-bound construction (Section 3).
+
+The construction is indexed by three integers:
+
+* ``inv_eps = 1/epsilon`` — a power of two >= 2 (Lemma 3.2 needs a
+  Hadamard matrix of order ``1/epsilon``);
+* ``sqrt_beta`` — the integer ``sqrt(beta)``; each side of a group is
+  divided into ``sqrt_beta`` clusters of ``inv_eps`` nodes;
+* ``num_groups`` — the paper's ``ell = n / k``; consecutive groups
+  ``(V_p, V_{p+1})`` carry independent encodings.
+
+Derived quantities: the group size ``k = sqrt(beta)/eps``, the number of
+nodes ``n = ell * k``, and Alice's string length
+``(ell - 1) * beta * (1/eps - 1)^2`` — the Omega(n sqrt(beta)/eps) bit
+count of Theorem 1.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ParameterError
+from repro.linalg.hadamard import is_power_of_two
+
+#: Node labels are tuples (group, cluster, index); see :func:`node_label`.
+NodeLabel = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class ForEachParams:
+    """Sizing of the Theorem 1.1 construction."""
+
+    inv_eps: int
+    sqrt_beta: int
+    num_groups: int = 2
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.inv_eps) or self.inv_eps < 2:
+            raise ParameterError(
+                f"inv_eps must be a power of two >= 2, got {self.inv_eps}"
+            )
+        if self.sqrt_beta < 1:
+            raise ParameterError("sqrt_beta must be a positive integer")
+        if self.num_groups < 2:
+            raise ParameterError("num_groups must be at least 2")
+
+    @property
+    def epsilon(self) -> float:
+        """The accuracy parameter ``eps``."""
+        return 1.0 / self.inv_eps
+
+    @property
+    def beta(self) -> int:
+        """The balance parameter ``beta = sqrt_beta^2``."""
+        return self.sqrt_beta * self.sqrt_beta
+
+    @property
+    def group_size(self) -> int:
+        """``k = sqrt(beta) / eps`` nodes per group ``V_p``."""
+        return self.sqrt_beta * self.inv_eps
+
+    @property
+    def num_nodes(self) -> int:
+        """``n = ell * k``."""
+        return self.num_groups * self.group_size
+
+    @property
+    def bits_per_block(self) -> int:
+        """``(1/eps - 1)^2`` — the string length one cluster pair encodes."""
+        return (self.inv_eps - 1) ** 2
+
+    @property
+    def bits_per_pair(self) -> int:
+        """``beta * (1/eps - 1)^2`` — bits per consecutive group pair."""
+        return self.beta * self.bits_per_block
+
+    @property
+    def string_length(self) -> int:
+        """Alice's total string length, ``Omega(n sqrt(beta) / eps)``."""
+        return (self.num_groups - 1) * self.bits_per_pair
+
+    @property
+    def backward_weight(self) -> float:
+        """Every backward edge has weight ``1/beta``."""
+        return 1.0 / self.beta
+
+    def node_label(self, group: int, cluster: int, index: int) -> NodeLabel:
+        """The label of node ``index`` of ``cluster`` inside ``group``."""
+        if not 0 <= group < self.num_groups:
+            raise ParameterError(f"group {group} out of range")
+        if not 0 <= cluster < self.sqrt_beta:
+            raise ParameterError(f"cluster {cluster} out of range")
+        if not 0 <= index < self.inv_eps:
+            raise ParameterError(f"index {index} out of range")
+        return (group, cluster, index)
+
+    def group_nodes(self, group: int) -> list:
+        """All node labels of group ``V_group``."""
+        if not 0 <= group < self.num_groups:
+            raise ParameterError(f"group {group} out of range")
+        return [
+            (group, cluster, index)
+            for cluster in range(self.sqrt_beta)
+            for index in range(self.inv_eps)
+        ]
+
+    def cluster_nodes(self, group: int, cluster: int) -> list:
+        """All node labels of one cluster (the paper's ``L_i`` / ``R_j``)."""
+        if not 0 <= cluster < self.sqrt_beta:
+            raise ParameterError(f"cluster {cluster} out of range")
+        return [(group, cluster, index) for index in range(self.inv_eps)]
+
+    def locate_bit(self, q: int) -> Tuple[int, int, int, int]:
+        """Map a global bit index to ``(pair, cluster_i, cluster_j, t)``.
+
+        ``pair`` is the index ``p`` of the group pair ``(V_p, V_{p+1})``,
+        ``cluster_i`` indexes the left cluster ``L_i`` inside ``V_p``,
+        ``cluster_j`` the right cluster ``R_j`` inside ``V_{p+1}``, and
+        ``t`` the row of Lemma 3.2's matrix inside that block.
+        """
+        if not 0 <= q < self.string_length:
+            raise ParameterError(
+                f"bit index {q} out of range [0, {self.string_length})"
+            )
+        pair, rem = divmod(q, self.bits_per_pair)
+        block, t = divmod(rem, self.bits_per_block)
+        cluster_i, cluster_j = divmod(block, self.sqrt_beta)
+        return pair, cluster_i, cluster_j, t

@@ -1,0 +1,114 @@
+"""Graph substrate: data structures, flows, cuts, balance, generators."""
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.ugraph import UGraph, symmetrize
+from repro.graphs.cuts import (
+    all_directed_cut_values,
+    all_undirected_cut_values,
+    brute_force_directed_min_cut,
+    brute_force_min_cut,
+    enumerate_cut_sides,
+    max_cut_error,
+    max_directed_cut_error,
+)
+from repro.graphs.maxflow import FlowResult, max_flow, max_flow_undirected, min_st_cut
+from repro.graphs.mincut import (
+    directed_global_min_cut,
+    karger_min_cut,
+    sample_near_min_cuts,
+    stoer_wagner,
+)
+from repro.graphs.connectivity import (
+    certify_pairwise_connectivity,
+    edge_connectivity,
+    edge_disjoint_path_count,
+    is_gamma_connected,
+    is_strongly_connected,
+)
+from repro.graphs.balance import (
+    edgewise_balance_bound,
+    exact_balance,
+    is_beta_balanced,
+    most_unbalanced_cut,
+)
+from repro.graphs.gomory_hu import GomoryHuTree, gomory_hu_tree
+from repro.graphs.karger_stein import karger_stein_min_cut
+from repro.graphs.cut_counting import (
+    CutProfile,
+    cut_profile,
+    near_minimum_counts,
+)
+from repro.graphs.strong_components import (
+    condensation,
+    strongly_connected_components,
+    unbalanced_witness,
+)
+from repro.graphs.io import (
+    dump_edges,
+    load_digraph,
+    load_ugraph,
+    read_digraph,
+    read_ugraph,
+    write_graph,
+)
+from repro.graphs.generators import (
+    complete_bipartite_digraph,
+    cycle_digraph,
+    planted_min_cut_ugraph,
+    random_balanced_digraph,
+    random_connected_ugraph,
+    random_eulerian_digraph,
+    random_regularish_ugraph,
+)
+
+__all__ = [
+    "DiGraph",
+    "FlowResult",
+    "GomoryHuTree",
+    "UGraph",
+    "all_directed_cut_values",
+    "all_undirected_cut_values",
+    "brute_force_directed_min_cut",
+    "brute_force_min_cut",
+    "certify_pairwise_connectivity",
+    "complete_bipartite_digraph",
+    "condensation",
+    "CutProfile",
+    "cut_profile",
+    "cycle_digraph",
+    "directed_global_min_cut",
+    "dump_edges",
+    "edge_connectivity",
+    "edge_disjoint_path_count",
+    "edgewise_balance_bound",
+    "enumerate_cut_sides",
+    "exact_balance",
+    "gomory_hu_tree",
+    "is_beta_balanced",
+    "is_gamma_connected",
+    "is_strongly_connected",
+    "karger_min_cut",
+    "karger_stein_min_cut",
+    "load_digraph",
+    "load_ugraph",
+    "max_cut_error",
+    "max_directed_cut_error",
+    "max_flow",
+    "max_flow_undirected",
+    "min_st_cut",
+    "most_unbalanced_cut",
+    "near_minimum_counts",
+    "planted_min_cut_ugraph",
+    "random_balanced_digraph",
+    "random_connected_ugraph",
+    "random_eulerian_digraph",
+    "random_regularish_ugraph",
+    "read_digraph",
+    "read_ugraph",
+    "sample_near_min_cuts",
+    "stoer_wagner",
+    "strongly_connected_components",
+    "symmetrize",
+    "unbalanced_witness",
+    "write_graph",
+]

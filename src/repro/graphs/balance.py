@@ -1,0 +1,110 @@
+"""beta-balance of directed graphs (Definition 2.1).
+
+A strongly connected digraph is ``beta``-balanced if every directed cut
+satisfies ``w(S, V\\S) <= beta * w(V\\S, S)``.  The tight ``beta`` is the
+maximum over cuts of the ratio of the two directions.
+
+Two evaluators are provided:
+
+* :func:`exact_balance` — exponential enumeration, the ground truth for
+  small graphs;
+* :func:`edgewise_balance_bound` — the cheap sufficient bound used by the
+  paper's own verifications ("every edge has a reverse edge whose weight
+  is at most ``c`` times ..."): if for every edge ``(u, v)``,
+  ``w(u, v) <= c * w(v, u)``, then the graph is ``c``-balanced, because
+  both directions of any cut decompose edge by edge.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.cuts import enumerate_cut_sides
+from repro.graphs.digraph import DiGraph
+from repro.graphs.connectivity import is_strongly_connected
+
+
+def exact_balance(graph: DiGraph) -> float:
+    """The tight balance parameter ``max_S w(S, V\\S) / w(V\\S, S)``.
+
+    Requires strong connectivity (otherwise some direction of some cut
+    has weight 0 and the ratio is infinite).  Exponential in ``n``; the
+    cut enumerator enforces its own size limit.
+    """
+    if not is_strongly_connected(graph):
+        raise GraphError("balance is only defined for strongly connected graphs")
+    worst = 1.0
+    nodes = graph.nodes()
+    for side in enumerate_cut_sides(nodes, pinned=nodes[0]):
+        forward = graph.cut_weight(side)
+        backward = graph.cut_weight(set(nodes) - set(side))
+        worst = max(worst, _ratio(forward, backward), _ratio(backward, forward))
+    return worst
+
+
+def _ratio(a: float, b: float) -> float:
+    if a == 0:
+        return 1.0
+    if b == 0:
+        return math.inf
+    return a / b
+
+
+def edgewise_balance_bound(graph: DiGraph) -> float:
+    """Smallest ``c`` such that every edge is reversed within factor ``c``.
+
+    Returns ``inf`` when some edge has no reverse edge.  Always an upper
+    bound on :func:`exact_balance`: summing the edgewise inequality
+    ``w(u, v) <= c * w(v, u)`` over ``E(S, V\\S)`` gives
+    ``w(S, V\\S) <= c * w(V\\S, S)`` for every cut ``S``.
+    """
+    worst = 1.0
+    for u, v, w in graph.edges():
+        if w == 0:
+            continue
+        reverse = graph.weight(v, u)
+        if reverse == 0:
+            return math.inf
+        worst = max(worst, w / reverse)
+    return worst
+
+
+def is_beta_balanced(graph: DiGraph, beta: float, exact: bool = False) -> bool:
+    """Whether the graph is ``beta``-balanced.
+
+    With ``exact=False`` (default) this uses the edgewise sufficient
+    condition, which is what the paper itself verifies about its
+    constructions; it may report ``False`` for graphs whose tight balance
+    is nevertheless within ``beta``.  With ``exact=True`` it enumerates
+    cuts.
+    """
+    if beta < 1:
+        raise GraphError("beta must be >= 1")
+    if exact:
+        return exact_balance(graph) <= beta + 1e-9
+    if not is_strongly_connected(graph):
+        return False
+    return edgewise_balance_bound(graph) <= beta + 1e-9
+
+
+def most_unbalanced_cut(graph: DiGraph) -> Tuple[float, frozenset]:
+    """The cut achieving :func:`exact_balance` and its ratio."""
+    if not is_strongly_connected(graph):
+        raise GraphError("balance is only defined for strongly connected graphs")
+    nodes = graph.nodes()
+    worst = 1.0
+    worst_side: Optional[frozenset] = None
+    for side in enumerate_cut_sides(nodes, pinned=nodes[0]):
+        forward = graph.cut_weight(side)
+        backward = graph.cut_weight(set(nodes) - set(side))
+        for ratio, which in ((_ratio(forward, backward), side),
+                             (_ratio(backward, forward),
+                              frozenset(set(nodes) - set(side)))):
+            if ratio > worst:
+                worst = ratio
+                worst_side = which
+    if worst_side is None:
+        worst_side = frozenset([nodes[0]])
+    return worst, worst_side

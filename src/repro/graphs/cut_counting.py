@@ -1,0 +1,81 @@
+"""Counting near-minimum cuts (Karger's bound, used by §1's application).
+
+The distributed-min-cut recipe rests on: *"there are at most n^{O(C)}
+cuts with value within a factor C of the minimum cut"* — so the
+coordinator can afford to re-score every O(1)-near-minimum candidate
+with precise for-each queries.  Karger's theorem makes this
+quantitative: at most ``n^{2 alpha}`` cuts have value at most ``alpha``
+times the minimum.
+
+This module counts those cuts *exactly* (by enumeration, for small
+graphs) so the bound can be checked instance by instance, and exposes
+the profile the E9 benchmark and the coordinator's candidate budget are
+calibrated against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.cuts import all_undirected_cut_values
+from repro.graphs.ugraph import Node, UGraph
+
+
+@dataclass
+class CutProfile:
+    """All cut values of a graph, sorted, with near-minimum counts."""
+
+    min_value: float
+    #: (value, side) per distinct unordered cut, ascending by value.
+    cuts: List[Tuple[float, FrozenSet[Node]]]
+    num_nodes: int
+
+    def count_within_factor(self, alpha: float) -> int:
+        """Number of cuts with value <= ``alpha * min_value``."""
+        if alpha < 1.0:
+            raise GraphError("alpha must be >= 1")
+        threshold = alpha * self.min_value
+        return sum(1 for value, _ in self.cuts if value <= threshold + 1e-9)
+
+    def karger_bound(self, alpha: float) -> float:
+        """Karger's ``n^{2 alpha}`` ceiling for the same count."""
+        if alpha < 1.0:
+            raise GraphError("alpha must be >= 1")
+        return float(self.num_nodes) ** (2.0 * alpha)
+
+    def respects_karger_bound(self, alpha: float) -> bool:
+        """Whether the exact count sits below ``n^{2 alpha}``."""
+        return self.count_within_factor(alpha) <= self.karger_bound(alpha)
+
+
+def cut_profile(graph: UGraph) -> CutProfile:
+    """Enumerate every cut of a (small) connected graph.
+
+    Raises for disconnected graphs: the minimum is 0 there and "within a
+    factor alpha of minimum" degenerates.
+    """
+    if graph.num_nodes < 2:
+        raise GraphError("need at least two nodes")
+    if not graph.is_connected():
+        raise GraphError("cut profile requires a connected graph")
+    cuts = sorted(
+        ((value, side) for side, value in all_undirected_cut_values(graph)),
+        key=lambda item: item[0],
+    )
+    return CutProfile(
+        min_value=cuts[0][0], cuts=cuts, num_nodes=graph.num_nodes
+    )
+
+
+def near_minimum_counts(
+    graph: UGraph, alphas: List[float]
+) -> Dict[float, Tuple[int, float]]:
+    """``alpha -> (exact count, n^{2 alpha})`` for each requested factor."""
+    profile = cut_profile(graph)
+    return {
+        alpha: (profile.count_within_factor(alpha), profile.karger_bound(alpha))
+        for alpha in alphas
+    }

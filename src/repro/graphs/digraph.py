@@ -1,0 +1,270 @@
+"""Weighted directed graph with fast cut queries.
+
+:class:`DiGraph` is the central data structure of the library.  All of the
+paper's constructions (the Hadamard-encoded bipartite blocks of Section 3,
+the Gap-Hamming blocks of Section 4, and the four-part graph
+``G_{x,y}`` of Section 5) are materialized as ``DiGraph`` instances, and
+every sketch and lower-bound game queries cut values through it.
+
+Design notes
+------------
+* Nodes are arbitrary hashable labels.  The constructions use structured
+  tuples like ``("L", block, index)`` so tests can address parts by name.
+* Edges are stored twice (out- and in-adjacency) so that directed cut
+  values ``w(S, T)`` can be computed by scanning the smaller side.
+* Weights are floats; zero-weight edges are allowed (they still count as
+  edges, which matters for the unweighted local-query model, where the
+  oracle answers per *edge*, not per unit of weight).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.errors import GraphError
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+WeightedEdge = Tuple[Node, Node, float]
+
+
+class DiGraph:
+    """A weighted directed graph (no parallel edges, no self loops)."""
+
+    def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[WeightedEdge] = ()):
+        self._succ: Dict[Node, Dict[Node, float]] = {}
+        self._pred: Dict[Node, Dict[Node, float]] = {}
+        self._num_edges = 0
+        for node in nodes:
+            self.add_node(node)
+        for u, v, w in edges:
+            self.add_edge(u, v, w)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` if not present; idempotent."""
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Add each node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: Node, v: Node, weight: float, combine: str = "error") -> None:
+        """Add directed edge ``u -> v`` with ``weight``.
+
+        ``combine`` controls behaviour when the edge already exists:
+        ``"error"`` raises, ``"add"`` sums the weights, ``"set"``
+        overwrites.  Endpoints are added implicitly.
+        """
+        if u == v:
+            raise GraphError(f"self loop at {u!r} not allowed")
+        if weight < 0:
+            raise GraphError(f"negative weight {weight} on ({u!r}, {v!r})")
+        self.add_node(u)
+        self.add_node(v)
+        if v in self._succ[u]:
+            if combine == "error":
+                raise GraphError(f"edge ({u!r}, {v!r}) already exists")
+            if combine == "add":
+                weight = self._succ[u][v] + weight
+            elif combine != "set":
+                raise GraphError(f"unknown combine mode {combine!r}")
+        else:
+            self._num_edges += 1
+        self._succ[u][v] = weight
+        self._pred[v][u] = weight
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Delete edge ``u -> v``; raises if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+        del self._succ[u][v]
+        del self._pred[v][u]
+        self._num_edges -= 1
+
+    def remove_node(self, node: Node) -> None:
+        """Delete ``node`` and all incident edges."""
+        if node not in self._succ:
+            raise GraphError(f"node {node!r} does not exist")
+        for v in list(self._succ[node]):
+            self.remove_edge(node, v)
+        for u in list(self._pred[node]):
+            self.remove_edge(u, node)
+        del self._succ[node]
+        del self._pred[node]
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return self._num_edges
+
+    def nodes(self) -> List[Node]:
+        """All nodes, in insertion order."""
+        return list(self._succ)
+
+    def has_node(self, node: Node) -> bool:
+        """Whether ``node`` is present."""
+        return node in self._succ
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether directed edge ``u -> v`` is present."""
+        return u in self._succ and v in self._succ[u]
+
+    def weight(self, u: Node, v: Node) -> float:
+        """Weight of ``u -> v`` (0.0 if the edge is absent)."""
+        if u not in self._succ:
+            raise GraphError(f"node {u!r} does not exist")
+        return self._succ[u].get(v, 0.0)
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        """Iterate over ``(u, v, weight)`` triples."""
+        for u, nbrs in self._succ.items():
+            for v, w in nbrs.items():
+                yield (u, v, w)
+
+    def successors(self, node: Node) -> Dict[Node, float]:
+        """Out-neighbors of ``node`` mapped to edge weights (a copy)."""
+        if node not in self._succ:
+            raise GraphError(f"node {node!r} does not exist")
+        return dict(self._succ[node])
+
+    def predecessors(self, node: Node) -> Dict[Node, float]:
+        """In-neighbors of ``node`` mapped to edge weights (a copy)."""
+        if node not in self._pred:
+            raise GraphError(f"node {node!r} does not exist")
+        return dict(self._pred[node])
+
+    def out_degree(self, node: Node) -> int:
+        """Number of out-edges of ``node``."""
+        if node not in self._succ:
+            raise GraphError(f"node {node!r} does not exist")
+        return len(self._succ[node])
+
+    def in_degree(self, node: Node) -> int:
+        """Number of in-edges of ``node``."""
+        if node not in self._pred:
+            raise GraphError(f"node {node!r} does not exist")
+        return len(self._pred[node])
+
+    def out_weight(self, node: Node) -> float:
+        """Total weight of out-edges of ``node``."""
+        if node not in self._succ:
+            raise GraphError(f"node {node!r} does not exist")
+        return sum(self._succ[node].values())
+
+    def in_weight(self, node: Node) -> float:
+        """Total weight of in-edges of ``node``."""
+        if node not in self._pred:
+            raise GraphError(f"node {node!r} does not exist")
+        return sum(self._pred[node].values())
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(w for _, _, w in self.edges())
+
+    # ------------------------------------------------------------------
+    # cuts
+    # ------------------------------------------------------------------
+    def _check_cut_side(self, side: AbstractSet[Node]) -> Set[Node]:
+        s = set(side)
+        unknown = [node for node in s if node not in self._succ]
+        if unknown:
+            raise GraphError(f"cut side contains unknown nodes: {unknown[:3]!r}")
+        return s
+
+    def cut_weight(self, side: AbstractSet[Node]) -> float:
+        """Directed cut value ``w(S, V \\ S)`` for ``S = side``.
+
+        Raises for the trivial cuts ``S = {}`` and ``S = V`` — the paper's
+        definitions (2.2/2.3) quantify over non-trivial cuts only.
+        """
+        s = self._check_cut_side(side)
+        if not s or len(s) == self.num_nodes:
+            raise GraphError("cut side must be a proper nonempty subset")
+        total = 0.0
+        for u in s:
+            for v, w in self._succ[u].items():
+                if v not in s:
+                    total += w
+        return total
+
+    def directed_weight_between(self, src: AbstractSet[Node], dst: AbstractSet[Node]) -> float:
+        """Total weight ``w(S, T)`` of edges from ``src`` into ``dst``.
+
+        ``src`` and ``dst`` need not partition ``V`` and may overlap;
+        edges inside the overlap are never counted (no self loops).
+        """
+        s = self._check_cut_side(src)
+        t = self._check_cut_side(dst)
+        total = 0.0
+        for u in s:
+            for v, w in self._succ[u].items():
+                if v in t:
+                    total += w
+        return total
+
+    def edges_between(self, src: AbstractSet[Node], dst: AbstractSet[Node]) -> List[WeightedEdge]:
+        """The edge set ``E(S, T)`` as a list of weighted edges."""
+        s = self._check_cut_side(src)
+        t = self._check_cut_side(dst)
+        found = []
+        for u in s:
+            for v, w in self._succ[u].items():
+                if v in t:
+                    found.append((u, v, w))
+        return found
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "DiGraph":
+        """Deep copy (nodes and edges)."""
+        return DiGraph(self.nodes(), self.edges())
+
+    def reverse(self) -> "DiGraph":
+        """The graph with every edge direction flipped."""
+        return DiGraph(self.nodes(), ((v, u, w) for u, v, w in self.edges()))
+
+    def subgraph(self, keep: AbstractSet[Node]) -> "DiGraph":
+        """Induced subgraph on ``keep``."""
+        k = self._check_cut_side(keep)
+        sub = DiGraph(nodes=k)
+        for u, v, w in self.edges():
+            if u in k and v in k:
+                sub.add_edge(u, v, w)
+        return sub
+
+    def scale_weights(self, factor: float) -> "DiGraph":
+        """A copy with all weights multiplied by ``factor`` (>= 0)."""
+        if factor < 0:
+            raise GraphError("scale factor must be non-negative")
+        return DiGraph(self.nodes(), ((u, v, w * factor) for u, v, w in self.edges()))
+
+    def __contains__(self, node: Node) -> bool:
+        return self.has_node(node)
+
+    def __repr__(self) -> str:
+        return f"DiGraph(n={self.num_nodes}, m={self.num_edges})"

@@ -1,0 +1,183 @@
+"""Random graph generators used by examples, tests, and benchmarks.
+
+Families provided:
+
+* :func:`random_balanced_digraph` — random digraphs that are certifiably
+  ``beta``-balanced (every edge carries a reverse edge within a factor
+  ``beta``), the input family of Theorems 1.1/1.2's upper-bound side;
+* :func:`random_eulerian_digraph` — ``beta = 1`` graphs built as unions
+  of directed cycles (every cut is perfectly balanced);
+* :func:`random_connected_ugraph` / :func:`random_regularish_ugraph` —
+  undirected workloads for sparsifiers and min-cut estimators;
+* :func:`planted_min_cut_ugraph` — two dense clusters joined by exactly
+  ``k`` edges, giving a known min cut for the local-query experiments;
+* :func:`complete_bipartite_digraph` — the skeleton of the paper's
+  lower-bound blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.ugraph import UGraph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def random_connected_ugraph(
+    n: int, extra_edge_prob: float = 0.2, rng: RngLike = None,
+    weight_range: Tuple[float, float] = (1.0, 1.0),
+) -> UGraph:
+    """Random connected undirected graph: spanning tree + ER extras."""
+    if n < 1:
+        raise ParameterError("n must be positive")
+    if not 0.0 <= extra_edge_prob <= 1.0:
+        raise ParameterError("extra_edge_prob must be in [0, 1]")
+    gen = ensure_rng(rng)
+    graph = UGraph(nodes=range(n))
+    lo, hi = weight_range
+    for v in range(1, n):
+        u = int(gen.integers(0, v))
+        graph.add_edge(u, v, float(gen.uniform(lo, hi)))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not graph.has_edge(u, v) and gen.random() < extra_edge_prob:
+                graph.add_edge(u, v, float(gen.uniform(lo, hi)))
+    return graph
+
+
+def random_regularish_ugraph(n: int, degree: int, rng: RngLike = None) -> UGraph:
+    """Connected graph where every node has degree close to ``degree``.
+
+    Built as ``degree // 2`` superimposed random Hamiltonian cycles
+    (duplicate edges skipped), a standard expander-ish workload whose min
+    cut is typically Theta(degree).
+    """
+    if n < 3:
+        raise ParameterError("n must be at least 3")
+    if degree < 2:
+        raise ParameterError("degree must be at least 2")
+    gen = ensure_rng(rng)
+    graph = UGraph(nodes=range(n))
+    rounds = max(1, degree // 2)
+    for _ in range(rounds):
+        perm = list(gen.permutation(n))
+        for i in range(n):
+            u, v = perm[i], perm[(i + 1) % n]
+            if u != v and not graph.has_edge(u, v):
+                graph.add_edge(u, v, 1.0)
+    return graph
+
+
+def planted_min_cut_ugraph(
+    cluster_size: int, cut_size: int, rng: RngLike = None,
+) -> Tuple[UGraph, int]:
+    """Two complete clusters joined by exactly ``cut_size`` bridge edges.
+
+    Returns ``(graph, k)`` with ``k = cut_size`` guaranteed to be the
+    true minimum cut: any cut splitting a cluster severs at least
+    ``cluster_size - 1 >= cut_size + 1`` intra-cluster edges, so the
+    bridge cut is the unique minimum.  The known ``k`` is what the
+    local-query benchmarks estimate; ``m = cluster_size^2 - cluster_size
+    + cut_size`` is predictable, which the query-count sweeps rely on.
+    """
+    if cluster_size < 3:
+        raise ParameterError("cluster_size must be at least 3")
+    if cut_size < 1:
+        raise ParameterError("cut_size must be at least 1")
+    if cut_size > cluster_size - 2:
+        raise ParameterError("cut_size must be at most cluster_size - 2")
+    gen = ensure_rng(rng)
+    graph = UGraph(nodes=range(2 * cluster_size))
+    for base in (0, cluster_size):
+        for u in range(base, base + cluster_size):
+            for v in range(u + 1, base + cluster_size):
+                graph.add_edge(u, v, 1.0)
+    left = list(gen.choice(cluster_size, size=cut_size, replace=False))
+    right = list(gen.choice(cluster_size, size=cut_size, replace=False))
+    for a, b in zip(left, right):
+        graph.add_edge(int(a), cluster_size + int(b), 1.0)
+    return graph, cut_size
+
+
+def complete_bipartite_digraph(
+    left: Sequence, right: Sequence,
+    forward_weight: float, backward_weight: float,
+) -> DiGraph:
+    """Complete bipartite digraph with uniform forward/backward weights.
+
+    The skeleton shared by both lower-bound constructions before their
+    string-dependent weights are written in.
+    """
+    if set(left) & set(right):
+        raise ParameterError("left and right parts must be disjoint")
+    graph = DiGraph(nodes=list(left) + list(right))
+    for u in left:
+        for v in right:
+            graph.add_edge(u, v, forward_weight)
+            graph.add_edge(v, u, backward_weight)
+    return graph
+
+
+def random_balanced_digraph(
+    n: int, beta: float, density: float = 0.3, rng: RngLike = None,
+) -> DiGraph:
+    """Random strongly connected digraph, certifiably ``beta``-balanced.
+
+    Construction: sample a random connected undirected topology, then for
+    each undirected edge emit both directions with weights whose ratio is
+    uniform in ``[1, beta]`` (random orientation of which side is heavy).
+    The edgewise criterion of :mod:`repro.graphs.balance` then certifies
+    ``beta``-balance, and strong connectivity is inherited from the
+    undirected connectivity.
+    """
+    if beta < 1:
+        raise ParameterError("beta must be >= 1")
+    gen = ensure_rng(rng)
+    topology = random_connected_ugraph(n, extra_edge_prob=density, rng=gen)
+    graph = DiGraph(nodes=topology.nodes())
+    for u, v, _ in topology.edges():
+        heavy = float(gen.uniform(1.0, 2.0))
+        ratio = float(gen.uniform(1.0, beta))
+        light = heavy / ratio
+        if gen.random() < 0.5:
+            graph.add_edge(u, v, heavy)
+            graph.add_edge(v, u, light)
+        else:
+            graph.add_edge(u, v, light)
+            graph.add_edge(v, u, heavy)
+    return graph
+
+
+def random_eulerian_digraph(n: int, cycles: int = 3, rng: RngLike = None) -> DiGraph:
+    """Union of random directed Hamiltonian cycles: a 1-balanced graph.
+
+    In an Eulerian digraph every node has equal in- and out-weight, hence
+    every directed cut has equal weight in both directions (``beta = 1``),
+    the special case highlighted in the paper's related-work discussion.
+    """
+    if n < 3:
+        raise ParameterError("n must be at least 3")
+    if cycles < 1:
+        raise ParameterError("cycles must be at least 1")
+    gen = ensure_rng(rng)
+    graph = DiGraph(nodes=range(n))
+    for _ in range(cycles):
+        perm = list(gen.permutation(n))
+        weight = float(gen.uniform(0.5, 2.0))
+        for i in range(n):
+            u, v = int(perm[i]), int(perm[(i + 1) % n])
+            graph.add_edge(u, v, weight, combine="add")
+    return graph
+
+
+def cycle_digraph(n: int, weight: float = 1.0) -> DiGraph:
+    """A single directed cycle on ``n`` nodes; the minimal Eulerian graph."""
+    if n < 2:
+        raise ParameterError("n must be at least 2")
+    graph = DiGraph(nodes=range(n))
+    for i in range(n):
+        graph.add_edge(i, (i + 1) % n, weight)
+    return graph

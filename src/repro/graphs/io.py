@@ -1,0 +1,115 @@
+"""Graph serialization: weighted edge lists, text round-trips.
+
+A small, dependency-free interchange format so experiments can persist
+workloads and constructions:
+
+* one edge per line: ``u v weight`` (``repr``-escaped labels are not
+  supported — labels are written with ``str`` and parsed back as
+  strings or ints);
+* comment lines start with ``#``;
+* an optional header ``# nodes: a b c`` pins isolated nodes.
+
+``DiGraph`` lines are directed; ``UGraph`` lines are undirected and
+deduplicated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, TextIO, Tuple, Union
+
+from repro.errors import GraphError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.ugraph import UGraph
+
+
+def _format_label(label) -> str:
+    text = str(label)
+    if any(ch.isspace() for ch in text):
+        raise GraphError(f"label {label!r} contains whitespace")
+    return text
+
+
+def _parse_label(token: str) -> Union[int, str]:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def dump_edges(graph: Union[DiGraph, UGraph]) -> str:
+    """Serialize a graph to the edge-list text format."""
+    lines: List[str] = []
+    kind = "digraph" if isinstance(graph, DiGraph) else "ugraph"
+    lines.append(f"# format: {kind}")
+    nodes = " ".join(_format_label(v) for v in graph.nodes())
+    lines.append(f"# nodes: {nodes}")
+    for u, v, w in graph.edges():
+        lines.append(f"{_format_label(u)} {_format_label(v)} {w!r}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_lines(text: str) -> Tuple[str, List, List[Tuple]]:
+    kind = ""
+    nodes: List = []
+    edges: List[Tuple] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("format:"):
+                kind = body.split(":", 1)[1].strip()
+            elif body.startswith("nodes:"):
+                nodes = [
+                    _parse_label(tok)
+                    for tok in body.split(":", 1)[1].split()
+                ]
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise GraphError(f"line {line_no}: expected 'u v weight'")
+        u, v, w_text = parts
+        try:
+            weight = float(w_text)
+        except ValueError as exc:
+            raise GraphError(f"line {line_no}: bad weight {w_text!r}") from exc
+        edges.append((_parse_label(u), _parse_label(v), weight))
+    return kind, nodes, edges
+
+
+def load_digraph(text: str) -> DiGraph:
+    """Parse the edge-list format into a :class:`DiGraph`."""
+    kind, nodes, edges = _parse_lines(text)
+    if kind and kind != "digraph":
+        raise GraphError(f"expected a digraph dump, found {kind!r}")
+    graph = DiGraph(nodes=nodes)
+    for u, v, w in edges:
+        graph.add_edge(u, v, w)
+    return graph
+
+
+def load_ugraph(text: str) -> UGraph:
+    """Parse the edge-list format into a :class:`UGraph`."""
+    kind, nodes, edges = _parse_lines(text)
+    if kind and kind != "ugraph":
+        raise GraphError(f"expected a ugraph dump, found {kind!r}")
+    graph = UGraph(nodes=nodes)
+    for u, v, w in edges:
+        graph.add_edge(u, v, w)
+    return graph
+
+
+def write_graph(graph: Union[DiGraph, UGraph], stream: TextIO) -> None:
+    """Write the edge-list dump to an open text stream."""
+    stream.write(dump_edges(graph))
+
+
+def read_digraph(stream: TextIO) -> DiGraph:
+    """Read a digraph dump from an open text stream."""
+    return load_digraph(stream.read())
+
+
+def read_ugraph(stream: TextIO) -> UGraph:
+    """Read an undirected dump from an open text stream."""
+    return load_ugraph(stream.read())

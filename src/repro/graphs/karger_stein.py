@@ -1,0 +1,143 @@
+"""Karger–Stein recursive contraction for global min cut.
+
+Plain Karger contraction needs ``Theta(n^2 log n)`` runs for high
+confidence; Karger–Stein contracts only down to ``n/sqrt(2) + 1``
+before *branching into two independent recursions*, pushing the success
+probability of one tree to ``Omega(1/log n)`` and the total work to
+``O(n^2 log^3 n)``.  Included as the third independent min-cut engine
+(the suite cross-checks it against Stoer–Wagner and enumeration) and as
+the candidate-cut sampler the distributed coordinator can use at larger
+scales than repeated plain contraction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.ugraph import Node, UGraph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class _ContractState:
+    """Adjacency + merged-group bookkeeping for contraction runs."""
+
+    def __init__(self, graph: UGraph):
+        self.adj: Dict[Node, Dict[Node, float]] = {
+            u: dict(graph.neighbors(u)) for u in graph.nodes()
+        }
+        self.groups: Dict[Node, Set[Node]] = {u: {u} for u in graph.nodes()}
+
+    def clone(self) -> "_ContractState":
+        out = _ContractState.__new__(_ContractState)
+        out.adj = {u: dict(nbrs) for u, nbrs in self.adj.items()}
+        out.groups = {u: set(g) for u, g in self.groups.items()}
+        return out
+
+    @property
+    def size(self) -> int:
+        return len(self.adj)
+
+    def edges(self) -> List[Tuple[Node, Node, float]]:
+        out: List[Tuple[Node, Node, float]] = []
+        seen: Set[FrozenSet[Node]] = set()
+        for u, nbrs in self.adj.items():
+            for v, w in nbrs.items():
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    out.append((u, v, w))
+        return out
+
+    def contract_random_edge(self, gen) -> None:
+        edges = self.edges()
+        if not edges:
+            raise GraphError("cannot contract a graph with no edges")
+        total = sum(w for _, _, w in edges)
+        pick = gen.uniform(0.0, total)
+        acc = 0.0
+        chosen = edges[-1]
+        for edge in edges:
+            acc += edge[2]
+            if pick <= acc:
+                chosen = edge
+                break
+        u, v, _ = chosen
+        self.groups[u] |= self.groups[v]
+        for nbr, w in self.adj[v].items():
+            if nbr == u:
+                continue
+            self.adj[u][nbr] = self.adj[u].get(nbr, 0.0) + w
+            self.adj[nbr][u] = self.adj[u][nbr]
+            del self.adj[nbr][v]
+        if v in self.adj[u]:
+            del self.adj[u][v]
+        del self.adj[v]
+
+    def contract_to(self, target: int, gen) -> bool:
+        """Contract until ``target`` super-nodes remain; False if stuck."""
+        while self.size > target:
+            if not any(self.adj[u] for u in self.adj):
+                return False
+            self.contract_random_edge(gen)
+        return True
+
+    def cut_of_two(self) -> Tuple[float, FrozenSet[Node]]:
+        if self.size != 2:
+            raise GraphError("state must have exactly two super-nodes")
+        (a, nbrs_a) = next(iter(self.adj.items()))
+        return sum(nbrs_a.values()), frozenset(self.groups[a])
+
+
+def _recurse(state: _ContractState, gen) -> Tuple[float, FrozenSet[Node]]:
+    n = state.size
+    if n <= 6:
+        # Base case: finish with repeated plain contraction.
+        best: Optional[Tuple[float, FrozenSet[Node]]] = None
+        for _ in range(n * n):
+            trial = state.clone()
+            if not trial.contract_to(2, gen):
+                continue
+            candidate = trial.cut_of_two()
+            if best is None or candidate[0] < best[0]:
+                best = candidate
+        if best is None:
+            raise GraphError("graph is disconnected")
+        return best
+    target = max(2, int(math.ceil(n / math.sqrt(2.0))) + 1)
+    results = []
+    for _ in range(2):
+        branch = state.clone()
+        if branch.contract_to(target, gen):
+            results.append(_recurse(branch, gen))
+    if not results:
+        raise GraphError("graph is disconnected")
+    return min(results, key=lambda item: item[0])
+
+
+def karger_stein_min_cut(
+    graph: UGraph, repetitions: Optional[int] = None, rng: RngLike = None
+) -> Tuple[float, FrozenSet[Node]]:
+    """Global min cut by Karger–Stein recursive contraction.
+
+    ``repetitions`` independent recursion trees are run (default
+    ``ceil(log^2 n) + 2``), each succeeding with probability
+    ``Omega(1/log n)``; the best cut over all trees is returned.
+    """
+    n = graph.num_nodes
+    if n < 2:
+        raise GraphError("min cut needs at least two nodes")
+    if not graph.is_connected():
+        return 0.0, frozenset(graph.connected_components()[0])
+    if repetitions is None:
+        log_n = max(1.0, math.log(n))
+        repetitions = int(math.ceil(log_n * log_n)) + 2
+    gen = ensure_rng(rng)
+    best: Optional[Tuple[float, FrozenSet[Node]]] = None
+    for _ in range(repetitions):
+        candidate = _recurse(_ContractState(graph), gen)
+        if best is None or candidate[0] < best[0]:
+            best = candidate
+    assert best is not None
+    return best

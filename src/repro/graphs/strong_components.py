@@ -1,0 +1,114 @@
+"""Strongly connected components and condensation of digraphs.
+
+Definition 2.1 requires balanced graphs to be strongly connected, and
+any graph that is *not* has a cut with zero weight in one direction
+(balance = infinity).  The SCC decomposition makes that diagnosis
+constructive: :func:`unbalanced_witness` returns a concrete cut whose
+backward weight is zero whenever one exists.
+
+Tarjan's algorithm, iterative (no recursion-depth surprises on long
+chains).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.digraph import DiGraph, Node
+
+
+def strongly_connected_components(graph: DiGraph) -> List[Set[Node]]:
+    """All SCCs, in reverse topological order of the condensation.
+
+    (Tarjan emits a component only after all components reachable from
+    it; so successors in the condensation appear before predecessors.)
+    """
+    index_counter = 0
+    stack: List[Node] = []
+    on_stack: Set[Node] = set()
+    index: Dict[Node, int] = {}
+    lowlink: Dict[Node, int] = {}
+    components: List[Set[Node]] = []
+
+    for root in graph.nodes():
+        if root in index:
+            continue
+        work: List[Tuple[Node, List[Node]]] = [
+            (root, list(graph.successors(root)))
+        ]
+        index[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            while successors:
+                nxt = successors.pop()
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = index_counter
+                    index_counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, list(graph.successors(nxt))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: Set[Node] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def condensation(graph: DiGraph) -> DiGraph:
+    """The DAG of SCCs; node labels are frozensets of original nodes.
+
+    Edge weights aggregate the total weight between the two components.
+    """
+    components = strongly_connected_components(graph)
+    home: Dict[Node, FrozenSet[Node]] = {}
+    for component in components:
+        label = frozenset(component)
+        for node in component:
+            home[node] = label
+    dag = DiGraph(nodes=[frozenset(c) for c in components])
+    for u, v, w in graph.edges():
+        cu, cv = home[u], home[v]
+        if cu != cv:
+            dag.add_edge(cu, cv, w, combine="add")
+    return dag
+
+
+def unbalanced_witness(graph: DiGraph) -> Optional[FrozenSet[Node]]:
+    """A cut ``S`` with ``w(V\\S, S) = 0`` and ``w(S, V\\S) >= 0``.
+
+    Returns ``None`` iff the graph is strongly connected (then no such
+    witness exists and Definition 2.1's balance is finite).  Otherwise
+    any *source* component set of the condensation works: nothing enters
+    it, so the backward direction of the cut is empty.
+    """
+    if graph.num_nodes < 2:
+        return None
+    components = strongly_connected_components(graph)
+    if len(components) == 1:
+        return None
+    dag = condensation(graph)
+    for label in dag.nodes():
+        if dag.in_degree(label) == 0:
+            if 0 < len(label) < graph.num_nodes:
+                return label
+    raise GraphError("condensation of a multi-component graph has no source")

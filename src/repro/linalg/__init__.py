@@ -1,0 +1,29 @@
+"""Linear-algebra substrate: Hadamard matrices and Lemma 3.2 rows."""
+
+from repro.linalg.hadamard import (
+    Lemma32Matrix,
+    TensorRow,
+    is_power_of_two,
+    sylvester_hadamard,
+)
+from repro.linalg.laplacian import (
+    effective_resistances,
+    indicator_vector,
+    laplacian_matrix,
+    node_order,
+    quadratic_form,
+    spectral_distortion,
+)
+
+__all__ = [
+    "Lemma32Matrix",
+    "TensorRow",
+    "effective_resistances",
+    "indicator_vector",
+    "is_power_of_two",
+    "laplacian_matrix",
+    "node_order",
+    "quadratic_form",
+    "spectral_distortion",
+    "sylvester_hadamard",
+]

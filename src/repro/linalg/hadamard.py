@@ -1,0 +1,155 @@
+"""Hadamard matrices and the tensor-row matrix of Lemma 3.2.
+
+Lemma 3.2 asserts, for any ``k >= 1``, a matrix
+``M in {-1, 1}^{(2^k - 1)^2 x 2^{2k}}`` with
+
+1. ``<M_t, 1> = 0`` for every row ``t``;
+2. pairwise-orthogonal rows;
+3. every row a tensor product ``u (x) v`` of two balanced sign vectors.
+
+The construction takes the Sylvester Hadamard matrix ``H`` of order
+``2^k`` (whose first row is all ones and whose remaining rows are
+balanced and mutually orthogonal) and uses all tensor products
+``H_i (x) H_j`` for ``i, j >= 2``.
+
+These rows are the query masks of the for-each lower bound: row
+``u (x) v`` corresponds to Bob's four cut queries with
+``A = {nodes where u = +1}`` and ``B = {nodes where v = +1}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+def is_power_of_two(value: int) -> bool:
+    """Whether ``value`` is a positive power of two (1 counts)."""
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+def sylvester_hadamard(order: int) -> np.ndarray:
+    """The Sylvester Hadamard matrix of the given power-of-two ``order``.
+
+    ``H_1 = [1]``; ``H_{2n} = [[H, H], [H, -H]]``.  Rows are mutually
+    orthogonal; row 0 is all ones; rows >= 1 are balanced (sum to 0).
+    """
+    if not is_power_of_two(order):
+        raise ParameterError(f"Hadamard order must be a power of two, got {order}")
+    h = np.array([[1]], dtype=np.int8)
+    while h.shape[0] < order:
+        h = np.block([[h, h], [h, -h]]).astype(np.int8)
+    return h
+
+
+@dataclass(frozen=True)
+class TensorRow:
+    """One row of Lemma 3.2's matrix, kept in factored form.
+
+    ``row = u (x) v`` with ``u, v`` balanced sign vectors of length
+    ``2^k``.  Keeping the factors (rather than the dense length-``2^{2k}``
+    row) is what lets the decoder translate a row directly into the two
+    node subsets ``A`` and ``B`` of its cut queries.
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+
+    def dense(self) -> np.ndarray:
+        """The dense row ``u (x) v`` (length ``len(u) * len(v)``)."""
+        return np.kron(self.u, self.v)
+
+    @property
+    def side_a(self) -> np.ndarray:
+        """Indices where ``u = +1`` (the set ``A`` of the decoder)."""
+        return np.flatnonzero(self.u == 1)
+
+    @property
+    def side_b(self) -> np.ndarray:
+        """Indices where ``v = +1`` (the set ``B`` of the decoder)."""
+        return np.flatnonzero(self.v == 1)
+
+
+class Lemma32Matrix:
+    """The matrix ``M`` of Lemma 3.2 for block size ``2^k``.
+
+    Parameters
+    ----------
+    side:
+        The factor length ``2^k`` (the paper's ``1/epsilon``).  Must be a
+        power of two and at least 2 (``k >= 1``).
+    """
+
+    def __init__(self, side: int):
+        if not is_power_of_two(side) or side < 2:
+            raise ParameterError(
+                f"side must be a power of two >= 2, got {side}"
+            )
+        self.side = side
+        self._hadamard = sylvester_hadamard(side)
+        self._rows: List[TensorRow] = [
+            TensorRow(u=self._hadamard[i].copy(), v=self._hadamard[j].copy())
+            for i in range(1, side)
+            for j in range(1, side)
+        ]
+
+    @property
+    def num_rows(self) -> int:
+        """``(2^k - 1)^2`` rows, the string length each block encodes."""
+        return len(self._rows)
+
+    @property
+    def row_length(self) -> int:
+        """``2^{2k}`` — one coordinate per forward edge of a block."""
+        return self.side * self.side
+
+    def row(self, t: int) -> TensorRow:
+        """The ``t``-th row in factored form (0-indexed)."""
+        if not 0 <= t < self.num_rows:
+            raise ParameterError(f"row index {t} out of range [0, {self.num_rows})")
+        return self._rows[t]
+
+    def rows(self) -> Iterator[TensorRow]:
+        """All rows in order."""
+        return iter(self._rows)
+
+    def dense(self) -> np.ndarray:
+        """The dense ``(2^k - 1)^2 x 2^{2k}`` matrix (for tests/benches)."""
+        return np.vstack([row.dense() for row in self._rows])
+
+    def combine(self, signs: np.ndarray) -> np.ndarray:
+        """``x = sum_t signs[t] * M_t`` — the encoder's superposition.
+
+        ``signs`` must have one ``+-1`` entry per row.  Computed in the
+        factored basis: ``sum_{i,j} z_{ij} H_i (x) H_j =
+        (H^T Z H) reshaped``, which is O(side^3) instead of O(side^4).
+        """
+        signs = np.asarray(signs)
+        if signs.shape != (self.num_rows,):
+            raise ParameterError(
+                f"expected {self.num_rows} signs, got shape {signs.shape}"
+            )
+        if not np.all(np.abs(signs) == 1):
+            raise ParameterError("signs must be +-1")
+        z = signs.reshape(self.side - 1, self.side - 1).astype(np.int64)
+        # Row t = (i, j) uses H_{i+1} (x) H_{j+1}; assemble coefficient
+        # matrix C with C[i+1, j+1] = z[i, j] and compute H^T C H.
+        coeff = np.zeros((self.side, self.side), dtype=np.int64)
+        coeff[1:, 1:] = z
+        h = self._hadamard.astype(np.int64)
+        dense = h.T @ coeff @ h
+        return dense.reshape(-1)
+
+    def decode_coefficient(self, x: np.ndarray, t: int) -> float:
+        """``<x, M_t> / ||M_t||^2`` — recovers ``signs[t]`` from combine."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.row_length,):
+            raise ParameterError(
+                f"expected vector of length {self.row_length}, got {x.shape}"
+            )
+        row = self.row(t).dense().astype(np.float64)
+        return float(np.dot(x, row) / self.row_length)

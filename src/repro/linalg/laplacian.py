@@ -1,0 +1,124 @@
+"""Graph Laplacians and effective resistances.
+
+The paper's related-work section tracks the spectral strengthening of
+cut sparsifiers ([ST11], [SS11], [JS18]): a spectral sparsifier
+preserves *every* quadratic form ``x^T L x``, of which cut values are
+the special case ``x = 1_S`` (up to the directed/undirected caveat).
+This module supplies the dense-linear-algebra substrate:
+
+* :func:`laplacian_matrix` — the weighted Laplacian ``L = D - A``;
+* :func:`quadratic_form` — ``x^T L x``; for an indicator vector this
+  equals the (undirected) cut value, asserted in tests;
+* :func:`effective_resistances` — via the Moore–Penrose pseudo-inverse;
+  ``R_e = (1_u - 1_v)^T L^+ (1_u - 1_v)``, the sampling weights of
+  Spielman–Srivastava;
+* :func:`spectral_distortion` — the relative quadratic-form error
+  between two graphs over a probe set, the for-all-style quality metric
+  for spectral sketches.
+
+Dense numpy is fine at simulator scale (n <= a few hundred).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.ugraph import Node, UGraph
+
+
+def node_order(graph: UGraph) -> List[Node]:
+    """The node ordering all matrix helpers share (insertion order)."""
+    return graph.nodes()
+
+
+def laplacian_matrix(graph: UGraph, order: Optional[List[Node]] = None) -> np.ndarray:
+    """The weighted Laplacian ``L = D - A`` as a dense array."""
+    if order is None:
+        order = node_order(graph)
+    index = {v: i for i, v in enumerate(order)}
+    if len(index) != graph.num_nodes:
+        raise GraphError("order must enumerate every node exactly once")
+    n = len(order)
+    lap = np.zeros((n, n), dtype=np.float64)
+    for u, v, w in graph.edges():
+        iu, iv = index[u], index[v]
+        lap[iu, iu] += w
+        lap[iv, iv] += w
+        lap[iu, iv] -= w
+        lap[iv, iu] -= w
+    return lap
+
+
+def indicator_vector(order: Sequence[Node], side) -> np.ndarray:
+    """The 0/1 indicator of ``side`` under ``order``."""
+    side = set(side)
+    unknown = side - set(order)
+    if unknown:
+        raise GraphError(f"unknown nodes in side: {sorted(map(repr, unknown))[:3]}")
+    return np.array([1.0 if v in side else 0.0 for v in order])
+
+
+def quadratic_form(lap: np.ndarray, x: np.ndarray) -> float:
+    """``x^T L x`` — equals the cut value when ``x`` is an indicator."""
+    x = np.asarray(x, dtype=np.float64)
+    if lap.shape[0] != x.shape[0]:
+        raise GraphError("dimension mismatch")
+    return float(x @ lap @ x)
+
+
+def effective_resistances(
+    graph: UGraph, order: Optional[List[Node]] = None
+) -> Dict[Tuple[Node, Node], float]:
+    """Effective resistance of every edge via the pseudo-inverse.
+
+    Requires a connected graph (otherwise cross-component resistances
+    are infinite and the pseudo-inverse hides that silently).
+    The classical identity ``sum_e w_e R_e = n - 1`` is asserted in the
+    tests as a cross-check.
+    """
+    if graph.num_nodes < 2:
+        raise GraphError("need at least two nodes")
+    if not graph.is_connected():
+        raise GraphError("effective resistances need a connected graph")
+    if order is None:
+        order = node_order(graph)
+    index = {v: i for i, v in enumerate(order)}
+    lap = laplacian_matrix(graph, order)
+    pinv = np.linalg.pinv(lap)
+    out: Dict[Tuple[Node, Node], float] = {}
+    for u, v, _ in graph.edges():
+        iu, iv = index[u], index[v]
+        out[(u, v)] = float(
+            pinv[iu, iu] + pinv[iv, iv] - pinv[iu, iv] - pinv[iv, iu]
+        )
+    return out
+
+
+def spectral_distortion(
+    original: UGraph,
+    sketch: UGraph,
+    probes: Sequence[np.ndarray],
+) -> float:
+    """Max relative error of ``x^T L~ x`` vs ``x^T L x`` over ``probes``.
+
+    Probes with (near-)zero original energy must have (near-)zero sketch
+    energy or the distortion is reported as inf.
+    """
+    order = node_order(original)
+    if set(order) != set(sketch.nodes()):
+        raise GraphError("graphs must share a node set")
+    lap = laplacian_matrix(original, order)
+    lap_sketch = laplacian_matrix(sketch, order)
+    worst = 0.0
+    for x in probes:
+        denom = quadratic_form(lap, x)
+        numer = quadratic_form(lap_sketch, x)
+        if abs(denom) < 1e-12:
+            if abs(numer) > 1e-9:
+                return float("inf")
+            continue
+        worst = max(worst, abs(numer - denom) / abs(denom))
+    return worst

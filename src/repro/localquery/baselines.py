@@ -1,0 +1,113 @@
+"""Baseline algorithms in the local query model.
+
+Reference points the benchmarks compare VERIFY-GUESS against:
+
+* :func:`exact_reconstruction_estimate` — query *everything* (n degree
+  queries + one neighbor query per edge slot), rebuild the graph, and
+  return the exact min cut.  Cost Theta(m): the ``min{m, .}`` arm of
+  Theorem 1.3, and the only correct option once ``eps^2 k <= 1``.
+* :func:`minimum_degree_upper_bound` — n degree queries; the min degree
+  upper-bounds the min cut (a singleton is a cut).  The cheapest
+  possible estimator and the classic example of why degree information
+  alone cannot approximate min cut.
+* :func:`uniform_edge_sample_estimate` — sample a fixed number of edge
+  slots, return the rescaled min cut of the sample: VERIFY-GUESS's
+  inner loop without the guess-validation logic.  Used in tests to show
+  that *without* the accept/reject semantics the estimate is unreliable
+  at small budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ParameterError
+from repro.graphs.mincut import stoer_wagner
+from repro.graphs.ugraph import UGraph
+from repro.localquery.oracle import LocalQueryOracle
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class BaselineResult:
+    """Estimate plus the query bill."""
+
+    value: float
+    queries: int
+
+
+def reconstruct_graph(oracle: LocalQueryOracle) -> UGraph:
+    """Rebuild the hidden graph with one neighbor query per edge slot."""
+    graph = UGraph(nodes=oracle.vertices)
+    for v in oracle.vertices:
+        degree = oracle.degree(v)
+        for index in range(degree):
+            u = oracle.neighbor(v, index)
+            if u is not None and not graph.has_edge(v, u):
+                graph.add_edge(v, u, 1.0)
+    return graph
+
+
+def exact_reconstruction_estimate(oracle: LocalQueryOracle) -> BaselineResult:
+    """The Theta(m) exact baseline."""
+    before = oracle.counter.total
+    graph = reconstruct_graph(oracle)
+    if graph.num_nodes < 2:
+        raise ParameterError("need at least two vertices")
+    if not graph.is_connected():
+        value = 0.0
+    else:
+        value, _ = stoer_wagner(graph)
+    return BaselineResult(value=value, queries=oracle.counter.total - before)
+
+
+def minimum_degree_upper_bound(oracle: LocalQueryOracle) -> BaselineResult:
+    """n degree queries; min degree >= min cut never holds — the
+    *reverse* inequality does: ``mincut <= min degree``."""
+    before = oracle.counter.total
+    degrees = [oracle.degree(v) for v in oracle.vertices]
+    if not degrees:
+        raise ParameterError("graph has no vertices")
+    return BaselineResult(
+        value=float(min(degrees)), queries=oracle.counter.total - before
+    )
+
+
+def uniform_edge_sample_estimate(
+    oracle: LocalQueryOracle,
+    budget: int,
+    rng: RngLike = None,
+) -> BaselineResult:
+    """Sample ``budget`` random edge slots, rescale the sample's min cut.
+
+    Unlike VERIFY-GUESS there is no guess to validate against, so the
+    caller has no signal about whether the budget was sufficient — the
+    failure mode Lemma 5.8's accept/reject semantics exist to prevent.
+    """
+    if budget < 1:
+        raise ParameterError("budget must be positive")
+    gen = ensure_rng(rng)
+    before = oracle.counter.total
+    degrees = {v: oracle.degree(v) for v in oracle.vertices}
+    slots = [(v, i) for v, d in degrees.items() for i in range(d)]
+    if not slots:
+        return BaselineResult(value=0.0, queries=oracle.counter.total - before)
+    total_slots = len(slots)
+    take = min(budget, total_slots)
+    picks = gen.choice(total_slots, size=take, replace=False)
+    sample = UGraph(nodes=oracle.vertices)
+    for pick in picks:
+        v, index = slots[int(pick)]
+        u = oracle.neighbor(v, index)
+        if u is not None and not sample.has_edge(v, u):
+            sample.add_edge(v, u, 1.0)
+    # Each edge has two slots; slot-sampling probability q covers an
+    # edge with probability ~2q - q^2.
+    q = take / total_slots
+    edge_prob = min(1.0, 2 * q - q * q)
+    if sample.num_edges == 0 or not sample.is_connected():
+        value = 0.0
+    else:
+        value = stoer_wagner(sample)[0] / edge_prob
+    return BaselineResult(value=value, queries=oracle.counter.total - before)

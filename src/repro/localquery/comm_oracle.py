@@ -1,0 +1,145 @@
+"""Communication-backed oracle for ``G_{x,y}`` (Lemma 5.6's simulation).
+
+Alice holds ``x``, Bob holds ``y``; the algorithm queries the oracle and
+each answer is produced by exchanging the relevant bits:
+
+* degree queries are free — every vertex of ``G_{x,y}`` has degree
+  ``sqrt(N)``, independent of the strings;
+* a neighbor query for ``a_i``'s ``j``-th neighbor needs ``x_{i,j}`` and
+  ``y_{i,j}``: 2 bits;
+* a pair query likewise needs the one relevant index pair: 2 bits
+  (pairs that are never adjacent in any ``G_{x,y}`` — e.g. two vertices
+  of ``A`` — cost 0 bits).
+
+Once an index pair has been exchanged both parties remember it, so
+repeated queries about the same pair are free; this only lowers the
+communication, i.e. it never weakens the measured lower bound.
+
+This is exactly the object that converts a ``T``-query min-cut algorithm
+into an ``O(T)``-bit 2-SUM protocol in the proof of Theorem 1.3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.comm.protocol import BitLedger
+from repro.errors import OracleError, ParameterError
+from repro.localquery.gxy import (
+    PART_A,
+    PART_A_PRIME,
+    PART_B,
+    PART_B_PRIME,
+    PARTS,
+    GxyNode,
+)
+from repro.localquery.oracle import LocalQueryOracle
+from repro.utils.bitstrings import BitString
+
+#: (part of u, part of v) pairs that can carry an edge in some G_{x,y},
+#: mapped to whether the edge exists on intersection (True) or on
+#: non-intersection (False).
+_EDGE_RULES = {
+    (PART_A, PART_A_PRIME): False,
+    (PART_B, PART_B_PRIME): False,
+    (PART_A, PART_B_PRIME): True,
+    (PART_B, PART_A_PRIME): True,
+}
+
+
+class CommOracle(LocalQueryOracle):
+    """Answers local queries on ``G_{x,y}`` by Alice/Bob bit exchange."""
+
+    def __init__(self, x: BitString, y: BitString, budget: Optional[int] = None):
+        super().__init__(budget=budget)
+        x = np.asarray(x, dtype=np.int8)
+        y = np.asarray(y, dtype=np.int8)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ParameterError("x and y must be 1-D strings of equal length")
+        side = int(math.isqrt(x.shape[0]))
+        if side * side != x.shape[0] or side < 1:
+            raise ParameterError("string length must be a positive perfect square")
+        self._x = x
+        self._y = y
+        self._side = side
+        self.ledger = BitLedger()
+        self._known: Set[Tuple[int, int]] = set()
+
+    @property
+    def side(self) -> int:
+        """``ell = sqrt(N)``: part size and uniform degree."""
+        return self._side
+
+    @property
+    def vertices(self) -> List[GxyNode]:
+        return [(part, index) for part in PARTS for index in range(self._side)]
+
+    def _check_node(self, v: GxyNode) -> None:
+        if (
+            not isinstance(v, tuple)
+            or len(v) != 2
+            or v[0] not in PARTS
+            or not 0 <= v[1] < self._side
+        ):
+            raise OracleError(f"unknown vertex {v!r}")
+
+    def _reveal(self, i: int, j: int) -> bool:
+        """Exchange (and remember) ``x_{i,j}, y_{i,j}``; return intersection."""
+        key = (i, j)
+        if key not in self._known:
+            self.ledger.charge(2)
+            self._known.add(key)
+        pos = i * self._side + j
+        return bool(self._x[pos] and self._y[pos])
+
+    def degree(self, v: GxyNode) -> int:
+        """Always ``sqrt(N)`` — zero communication."""
+        self._charge("degree")
+        self._check_node(v)
+        return self._side
+
+    def neighbor(self, v: GxyNode, index: int) -> Optional[GxyNode]:
+        """The ``index``-th neighbor under the paper's slot ordering.
+
+        ``a_i``'s ``j``-th neighbor is ``a'_j`` or ``b'_j``; primed
+        vertices enumerate their neighbors by left index ``i``.
+        """
+        self._charge("neighbor")
+        self._check_node(v)
+        if index < 0:
+            raise OracleError("neighbor index must be non-negative")
+        if index >= self._side:
+            return None
+        part, pos = v
+        if part == PART_A:
+            meets = self._reveal(pos, index)
+            return (PART_B_PRIME if meets else PART_A_PRIME, index)
+        if part == PART_B:
+            meets = self._reveal(pos, index)
+            return (PART_A_PRIME if meets else PART_B_PRIME, index)
+        if part == PART_A_PRIME:
+            meets = self._reveal(index, pos)
+            return (PART_B if meets else PART_A, index)
+        meets = self._reveal(index, pos)  # part == PART_B_PRIME
+        return (PART_A if meets else PART_B, index)
+
+    def adjacent(self, u: GxyNode, v: GxyNode) -> bool:
+        """Pair query; costs 2 bits only when the answer is string-dependent."""
+        self._charge("pair")
+        self._check_node(u)
+        self._check_node(v)
+        for a, b in ((u, v), (v, u)):
+            rule = _EDGE_RULES.get((a[0], b[0]))
+            if rule is not None:
+                unprimed, primed = a, b
+                meets = self._reveal(unprimed[1], primed[1])
+                return meets == rule
+        return False
+
+    @property
+    def bits_exchanged(self) -> int:
+        """Total communication so far (the Theorem 1.3 currency)."""
+        return self.ledger.total_bits

@@ -1,0 +1,130 @@
+"""The graph construction ``G_{x,y}`` of Section 5.2 (Figure 2).
+
+Given ``x, y in {0,1}^N`` with ``N = ell^2``, the vertex set splits into
+four parts ``A, A', B, B'`` of size ``ell`` each, and for every index
+pair ``(i, j)``:
+
+* if ``x_{i,j} = y_{i,j} = 1`` (an *intersection*): edges
+  ``(a_i, b'_j)`` and ``(b_i, a'_j)`` — Figure 2's red edges;
+* otherwise: edges ``(a_i, a'_j)`` and ``(b_i, b'_j)`` — green edges.
+
+Every vertex has degree exactly ``ell`` and the graph has ``2 N`` edge
+slots, i.e. ``m = 2 N`` ... precisely: ``2`` edges per index pair, so
+``m = 2 N``.  Lemma 5.5: if ``sqrt(N) >= 3 INT(x, y)`` then
+``MINCUT(G_{x,y}) = 2 INT(x, y)``, witnessed by the part cut
+``(A u A', B u B')``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, List, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.ugraph import UGraph
+from repro.utils.bitstrings import BitString, intersection_size
+
+#: Node labels: (part, index) with part in {"A", "A'", "B", "B'"}.
+GxyNode = Tuple[str, int]
+
+PART_A = "A"
+PART_A_PRIME = "A'"
+PART_B = "B"
+PART_B_PRIME = "B'"
+PARTS = (PART_A, PART_A_PRIME, PART_B, PART_B_PRIME)
+
+
+@dataclass
+class GxyGraph:
+    """``G_{x,y}`` plus its part structure and source strings."""
+
+    graph: UGraph
+    side: int
+    x: BitString
+    y: BitString
+
+    @property
+    def num_vertices(self) -> int:
+        """``4 * ell``."""
+        return 4 * self.side
+
+    @property
+    def num_edges(self) -> int:
+        """``2 N = 2 ell^2`` (two edges per index pair)."""
+        return self.graph.num_edges
+
+    def part(self, name: str) -> List[GxyNode]:
+        """All nodes of one part."""
+        if name not in PARTS:
+            raise ParameterError(f"unknown part {name!r}")
+        return [(name, index) for index in range(self.side)]
+
+    def intersection(self) -> int:
+        """``INT(x, y)`` — the quantity min cut reveals."""
+        return intersection_size(self.x, self.y)
+
+    def part_cut_side(self) -> Set[GxyNode]:
+        """``A u A'`` — one side of the witness cut of Lemma 5.5."""
+        return set(self.part(PART_A)) | set(self.part(PART_A_PRIME))
+
+    def part_cut_value(self) -> float:
+        """``CUT(A u A', B u B')`` — equals ``2 INT(x, y)`` by construction."""
+        return self.graph.cut_weight(self.part_cut_side())
+
+    def lemma_55_applicable(self) -> bool:
+        """Whether the hypothesis ``sqrt(N) >= 3 INT(x, y)`` holds."""
+        return self.side >= 3 * self.intersection()
+
+
+def build_gxy(x: BitString, y: BitString) -> GxyGraph:
+    """Construct ``G_{x,y}`` from two equal-length strings.
+
+    The common length ``N`` must be a perfect square; index pair
+    ``(i, j)`` is position ``i * sqrt(N) + j``, matching the paper's
+    ``x_{i,j}`` convention.
+    """
+    x = np.asarray(x, dtype=np.int8)
+    y = np.asarray(y, dtype=np.int8)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ParameterError("x and y must be 1-D strings of equal length")
+    n = x.shape[0]
+    side = int(math.isqrt(n))
+    if side * side != n:
+        raise ParameterError(f"string length {n} is not a perfect square")
+    if side < 1:
+        raise ParameterError("strings must be nonempty")
+    if not np.all((x == 0) | (x == 1)) or not np.all((y == 0) | (y == 1)):
+        raise ParameterError("strings must be binary")
+
+    graph = UGraph(
+        nodes=[(part, index) for part in PARTS for index in range(side)]
+    )
+    for i in range(side):
+        for j in range(side):
+            if x[i * side + j] == 1 and y[i * side + j] == 1:
+                graph.add_edge((PART_A, i), (PART_B_PRIME, j))
+                graph.add_edge((PART_B, i), (PART_A_PRIME, j))
+            else:
+                graph.add_edge((PART_A, i), (PART_A_PRIME, j))
+                graph.add_edge((PART_B, i), (PART_B_PRIME, j))
+    return GxyGraph(graph=graph, side=side, x=x, y=y)
+
+
+def representative_figure_pairs(gxy: GxyGraph) -> List[Tuple[GxyNode, GxyNode, str]]:
+    """One ``(u, v)`` pair per case of the Lemma 5.5 proof.
+
+    Returns ``(u, v, figure)`` triples covering Figures 3–6:
+    same-part (Fig 3), ``A``–``A'`` (Fig 4), and the two cross cases
+    ``A``–``B'`` / ``A``–``B`` whose path systems are Figures 5 and 6.
+    """
+    if gxy.side < 2:
+        raise ParameterError("need at least two nodes per part")
+    return [
+        ((PART_A, 0), (PART_A, 1), "figure3_same_part"),
+        ((PART_A, 0), (PART_A_PRIME, 0), "figure4_adjacent_part"),
+        ((PART_A, 0), (PART_B_PRIME, 0), "figure5_6_cross_prime"),
+        ((PART_A, 0), (PART_B, 0), "case4_cross"),
+    ]

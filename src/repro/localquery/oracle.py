@@ -1,0 +1,131 @@
+"""The local query model (Section 1/5): degree, neighbor, pair queries.
+
+The vertex set is public; the edge set is hidden behind an oracle that
+answers exactly three query types:
+
+1. degree(v)        -> deg(v)
+2. neighbor(v, i)   -> the i-th neighbor of v, or None past the degree
+3. adjacent(u, v)   -> whether {u, v} is an edge
+
+:class:`GraphOracle` serves these from a concrete :class:`UGraph` with a
+deterministic neighbor ordering and counts every query — the count is
+the complexity measure of Theorem 1.3.  An optional budget turns
+overruns into :class:`BudgetExceededError`, which the lower-bound
+experiments use for failure injection.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from repro.errors import BudgetExceededError, OracleError
+from repro.graphs.ugraph import Node, UGraph
+
+
+@dataclass
+class QueryCounter:
+    """Per-type and total query tallies."""
+
+    degree_queries: int = 0
+    neighbor_queries: int = 0
+    pair_queries: int = 0
+
+    @property
+    def total(self) -> int:
+        """All queries of all three types."""
+        return self.degree_queries + self.neighbor_queries + self.pair_queries
+
+    def reset(self) -> None:
+        """Zero every tally."""
+        self.degree_queries = 0
+        self.neighbor_queries = 0
+        self.pair_queries = 0
+
+
+class LocalQueryOracle(ABC):
+    """Abstract interface of the Section 5 query model."""
+
+    def __init__(self, budget: Optional[int] = None):
+        self.counter = QueryCounter()
+        self.budget = budget
+
+    def _charge(self, kind: str) -> None:
+        if kind == "degree":
+            self.counter.degree_queries += 1
+        elif kind == "neighbor":
+            self.counter.neighbor_queries += 1
+        elif kind == "pair":
+            self.counter.pair_queries += 1
+        else:
+            raise OracleError(f"unknown query kind {kind!r}")
+        if self.budget is not None and self.counter.total > self.budget:
+            raise BudgetExceededError(
+                f"query budget of {self.budget} exceeded"
+            )
+
+    @property
+    @abstractmethod
+    def vertices(self) -> List[Node]:
+        """The public vertex set."""
+
+    @abstractmethod
+    def degree(self, v: Node) -> int:
+        """Degree query."""
+
+    @abstractmethod
+    def neighbor(self, v: Node, index: int) -> Optional[Node]:
+        """Edge (neighbor) query: the ``index``-th neighbor, 0-based.
+
+        Returns ``None`` (the paper's bottom) when ``index >= deg(v)``.
+        """
+
+    @abstractmethod
+    def adjacent(self, u: Node, v: Node) -> bool:
+        """Adjacency (pair) query."""
+
+
+class GraphOracle(LocalQueryOracle):
+    """A counting oracle over a concrete unweighted graph.
+
+    Neighbor order is the sorted order of the neighbor labels, fixed at
+    construction, so repeated queries are consistent (and algorithms
+    cannot extract extra information from ordering drift).
+    """
+
+    def __init__(self, graph: UGraph, budget: Optional[int] = None):
+        super().__init__(budget=budget)
+        self._graph = graph.copy()
+        self._order: Dict[Node, List[Node]] = {
+            v: sorted(graph.neighbors(v), key=repr)
+            for v in graph.nodes()
+        }
+
+    @property
+    def vertices(self) -> List[Node]:
+        return self._graph.nodes()
+
+    @property
+    def num_edges(self) -> int:
+        """Ground-truth edge count (not a query; used by harnesses)."""
+        return self._graph.num_edges
+
+    def degree(self, v: Node) -> int:
+        self._charge("degree")
+        return self._graph.degree(v)
+
+    def neighbor(self, v: Node, index: int) -> Optional[Node]:
+        self._charge("neighbor")
+        if index < 0:
+            raise OracleError("neighbor index must be non-negative")
+        order = self._order.get(v)
+        if order is None:
+            raise OracleError(f"unknown vertex {v!r}")
+        if index >= len(order):
+            return None
+        return order[index]
+
+    def adjacent(self, u: Node, v: Node) -> bool:
+        self._charge("pair")
+        return self._graph.has_edge(u, v)

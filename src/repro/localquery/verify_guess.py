@@ -1,0 +1,117 @@
+"""VERIFY-GUESS (Lemma 5.8, after [BGMP21]).
+
+``verify_guess(oracle, degrees, t, eps)`` tests a guess ``t`` for the
+minimum cut ``k`` using ``O~(eps^-2 m / t)`` queries:
+
+1. sample every edge independently with probability
+   ``p = min(1, c ln(n) / (eps^2 t))`` — realized through *slot*
+   sampling: each (vertex, index) slot is selected with probability
+   ``q = 1 - sqrt(1 - p)`` so that an edge (two slots) survives with
+   probability exactly ``p``; each selected slot costs one neighbor
+   query;
+2. compute the minimum cut ``c_hat`` of the sampled graph and rescale to
+   ``k_hat = c_hat / p`` (Karger sampling: unbiased, concentrated when
+   ``p k >> log n``);
+3. accept iff ``k_hat >= t/2``.
+
+Semantics matching the lemma: if ``t <= k`` the sampling preserves all
+cuts to ``1 +- eps`` w.h.p., so the call accepts and ``k_hat`` is a
+``(1 +- eps)``-approximation of ``k``; if ``t >= kappa k`` with
+``kappa = Theta(log n / eps^2)`` the sample's min cut collapses and the
+call rejects.  Between the two thresholds either outcome may occur.
+
+Degrees are passed in (the lemma's ``D``): the caller fetches them once
+with ``n`` degree queries and shares them across all guesses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ParameterError
+from repro.graphs.mincut import stoer_wagner
+from repro.graphs.ugraph import Node, UGraph
+from repro.localquery.oracle import LocalQueryOracle
+from repro.utils.rng import RngLike, ensure_rng
+
+#: The oversampling constant ``c`` in ``p``.  Larger is safer (more
+#: queries); 2.0 keeps the accept/reject semantics reliable on every
+#: workload in the test suite.
+DEFAULT_SAMPLING_CONSTANT = 2.0
+
+
+@dataclass
+class VerifyGuessResult:
+    """Outcome of one VERIFY-GUESS call."""
+
+    guess: float
+    accepted: bool
+    estimate: Optional[float]
+    keep_prob: float
+    sampled_edges: int
+    neighbor_queries: int
+
+
+def fetch_degrees(oracle: LocalQueryOracle) -> Dict[Node, int]:
+    """The degree map ``D`` — ``n`` degree queries, made once."""
+    return {v: oracle.degree(v) for v in oracle.vertices}
+
+
+def verify_guess(
+    oracle: LocalQueryOracle,
+    degrees: Dict[Node, int],
+    t: float,
+    eps: float,
+    rng: RngLike = None,
+    constant: float = DEFAULT_SAMPLING_CONSTANT,
+) -> VerifyGuessResult:
+    """One VERIFY-GUESS(D, t, eps) call; see module docstring."""
+    if t <= 0:
+        raise ParameterError("guess t must be positive")
+    if not 0.0 < eps < 1.0:
+        raise ParameterError("eps must be in (0, 1)")
+    if constant <= 0:
+        raise ParameterError("constant must be positive")
+    gen = ensure_rng(rng)
+    n = len(degrees)
+    if n < 2:
+        raise ParameterError("need at least two vertices")
+
+    p = min(1.0, constant * math.log(max(n, 2)) / (eps * eps * t))
+    q = 1.0 - math.sqrt(max(0.0, 1.0 - p))
+
+    before = oracle.counter.neighbor_queries
+    edges = set()
+    for v, deg in degrees.items():
+        if deg == 0:
+            continue
+        selected = int(gen.binomial(deg, q))
+        if selected == 0:
+            continue
+        for index in gen.choice(deg, size=selected, replace=False):
+            u = oracle.neighbor(v, int(index))
+            if u is not None:
+                edges.add(frozenset((v, u)))
+    neighbor_queries = oracle.counter.neighbor_queries - before
+
+    sample = UGraph(nodes=degrees.keys())
+    for edge in edges:
+        u, v = tuple(edge)
+        sample.add_edge(u, v, 1.0)
+
+    if sample.num_edges == 0 or not sample.is_connected():
+        k_hat = 0.0
+    else:
+        k_hat = stoer_wagner(sample)[0] / p
+
+    accepted = k_hat >= t / 2.0
+    return VerifyGuessResult(
+        guess=t,
+        accepted=accepted,
+        estimate=k_hat if accepted else None,
+        keep_prob=p,
+        sampled_edges=len(edges),
+        neighbor_queries=neighbor_queries,
+    )

@@ -1,0 +1,254 @@
+"""AGM graph sketches ([AGM12], the PODS result the paper builds on).
+
+The introduction's anchor citation: Ahn, Guha, McGregor showed that
+``O~(n)`` linear measurements of a graph suffice to compute a spanning
+forest — and ``O~(n/eps^2)`` to approximate all cuts.  The key trick is
+to sketch each node's *signed incidence vector*: edge ``{i, j}``
+(``i < j``) occupies universe index ``i*n + j`` and contributes ``+1``
+to node ``i``'s vector and ``-1`` to node ``j``'s.  Summing the vectors
+of a node set ``S`` cancels every internal edge and leaves exactly the
+boundary ``∂S`` — so an L0 sample of the sum is a uniform-ish random
+*cut edge* of ``S``, obtained without ever looking at the graph again.
+
+Provided here:
+
+* :class:`AGMSketch` — per-node L0 sketches (several independent copies
+  per Boruvka round), supporting edge insertion/deletion (linearity);
+* :meth:`AGMSketch.sample_cut_edge` — a cut-edge sample for any node set;
+* :func:`sketch_spanning_forest` — Boruvka over the sketches;
+* :func:`sketch_connected` / :func:`sketch_connected_components`;
+* :func:`certify_k_connectivity` — the forest-peeling k-edge-connectivity
+  certificate: peel ``k`` edge-disjoint spanning forests out of the
+  sketch (deleting each forest re-uses linearity); the union preserves
+  every cut up to ``k`` (Nagamochi–Ibaraki / AGM), so "forest ``r`` is
+  still spanning" certifies min cut >= r on connected inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import SketchError
+from repro.graphs.ugraph import Node, UGraph
+from repro.sketch.l0sampler import L0Sampler
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class AGMSketch:
+    """Linear sketches of every node's signed incidence vector."""
+
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        copies: Optional[int] = None,
+        seed: int = 0,
+    ):
+        self._nodes: List[Node] = list(nodes)
+        if len(self._nodes) < 1:
+            raise SketchError("need at least one node")
+        if len(set(self._nodes)) != len(self._nodes):
+            raise SketchError("duplicate nodes")
+        self._index: Dict[Node, int] = {v: i for i, v in enumerate(self._nodes)}
+        n = len(self._nodes)
+        self._universe = n * n
+        if copies is None:
+            # One copy per Boruvka round plus generous slack for failed
+            # decodes: a component that misses on one copy retries with
+            # the next round's fresh copy, so total copies bounds the
+            # failure probability at ~miss_rate^copies per component.
+            copies = max(8, 3 * max(1, n.bit_length()))
+        self.copies = copies
+        gen = ensure_rng(seed)
+        self._seeds = [int(s) for s in gen.integers(1, 2**62, size=copies)]
+        self._sketches: Dict[Node, List[L0Sampler]] = {
+            v: [L0Sampler(self._universe, s) for s in self._seeds]
+            for v in self._nodes
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[Node]:
+        """The node set (fixed at construction; edges stream in)."""
+        return list(self._nodes)
+
+    def _edge_id(self, u: Node, v: Node) -> Tuple[int, int, int]:
+        """(universe index, low node idx, high node idx) of edge {u, v}."""
+        if u not in self._index or v not in self._index:
+            raise SketchError("unknown endpoint")
+        iu, iv = self._index[u], self._index[v]
+        if iu == iv:
+            raise SketchError("self loop")
+        lo, hi = min(iu, iv), max(iu, iv)
+        return lo * len(self._nodes) + hi, lo, hi
+
+    def decode_edge_id(self, edge_id: int) -> Tuple[Node, Node]:
+        """Inverse of the universe indexing."""
+        n = len(self._nodes)
+        lo, hi = divmod(edge_id, n)
+        if not (0 <= lo < hi < n):
+            raise SketchError(f"invalid edge id {edge_id}")
+        return self._nodes[lo], self._nodes[hi]
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Stream in edge {u, v} (+1 at the low endpoint, -1 at the high)."""
+        self._update_edge(u, v, +1)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Stream a deletion — linearity makes this a negated insertion."""
+        self._update_edge(u, v, -1)
+
+    def _update_edge(self, u: Node, v: Node, sign: int) -> None:
+        edge_id, lo, hi = self._edge_id(u, v)
+        for copy in range(self.copies):
+            self._sketches[self._nodes[lo]][copy].update(edge_id, sign)
+            self._sketches[self._nodes[hi]][copy].update(edge_id, -sign)
+
+    @classmethod
+    def of_graph(
+        cls, graph: UGraph, copies: Optional[int] = None, seed: int = 0
+    ) -> "AGMSketch":
+        """Sketch an existing graph (weights ignored: AGM is unweighted)."""
+        sketch = cls(graph.nodes(), copies=copies, seed=seed)
+        for u, v, _ in graph.edges():
+            sketch.add_edge(u, v)
+        return sketch
+
+    # ------------------------------------------------------------------
+    def _component_sampler(self, component: Iterable[Node], copy: int) -> L0Sampler:
+        total: Optional[L0Sampler] = None
+        for v in component:
+            if v not in self._sketches:
+                raise SketchError(f"unknown node {v!r}")
+            sampler = self._sketches[v][copy]
+            total = sampler.copy() if total is None else total.add(sampler)
+        if total is None:
+            raise SketchError("empty component")
+        return total
+
+    def sample_cut_edge(
+        self, side: Iterable[Node], copy: Optional[int] = None
+    ) -> Optional[Tuple[Node, Node]]:
+        """Sample one edge crossing ``(side, V \\ side)``.
+
+        With an explicit ``copy``, uses that sketch copy only (what the
+        Boruvka rounds do — reuse would bias).  With ``copy=None`` all
+        copies are tried in turn, which drives the miss probability to
+        ~2^-copies.  Returns ``None`` when nothing decodes (no cut
+        edges, or every copy missed).
+        """
+        side = list(side)
+        if copy is not None:
+            if not 0 <= copy < self.copies:
+                raise SketchError(f"copy {copy} out of range")
+            candidates = [copy]
+        else:
+            candidates = list(range(self.copies))
+        for c in candidates:
+            decoded = self._component_sampler(side, c).sample()
+            if decoded is not None:
+                return self.decode_edge_id(decoded[0])
+        return None
+
+    def size_words(self) -> int:
+        """Total machine words stored — O~(n) as AGM promises."""
+        return sum(
+            sampler.size_words()
+            for samplers in self._sketches.values()
+            for sampler in samplers
+        )
+
+
+def sketch_spanning_forest(sketch: AGMSketch) -> UGraph:
+    """Boruvka over the sketches: a spanning forest from O~(n) words.
+
+    Each round merges every current component along one sampled cut
+    edge, using a fresh sketch copy per round (re-using a copy after
+    conditioning on its samples would bias decoding).
+    """
+    parent: Dict[Node, Node] = {v: v for v in sketch.nodes}
+
+    def find(v: Node) -> Node:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    forest = UGraph(nodes=sketch.nodes)
+    for copy in range(sketch.copies):
+        components: Dict[Node, Set[Node]] = {}
+        for v in sketch.nodes:
+            components.setdefault(find(v), set()).add(v)
+        if len(components) == 1:
+            break
+        merged_any = False
+        for root, members in components.items():
+            edge = sketch.sample_cut_edge(members, copy=copy)
+            if edge is None:
+                continue
+            u, v = edge
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                parent[ru] = rv
+                forest.add_edge(u, v, 1.0, combine="set")
+                merged_any = True
+        if not merged_any:
+            # No component decoded an outgoing edge in this round: either
+            # the graph is disconnected at this granularity or decoding
+            # failed; later copies retry.
+            continue
+    return forest
+
+
+def sketch_connected_components(sketch: AGMSketch) -> List[Set[Node]]:
+    """Connected components as recovered from the sketch alone."""
+    return sketch_spanning_forest(sketch).connected_components()
+
+
+def sketch_connected(sketch: AGMSketch) -> bool:
+    """Whether the sketched graph is (whp) connected."""
+    return len(sketch_connected_components(sketch)) == 1
+
+
+def certify_k_connectivity(
+    graph: UGraph, k: int, copies: Optional[int] = None, seed: int = 0
+) -> int:
+    """Estimate ``min(k, edge connectivity)`` by sketch forest peeling.
+
+    The AGM recipe: allocate ``k`` *independent* sketch groups up front
+    (all built in one streaming pass over the edges).  Round ``r``
+    deletes every previously-peeled edge from group ``r`` — deletions
+    are plain negated updates, by linearity — and extracts a *maximal*
+    forest of what remains.  The classical sparsification fact
+    (Nagamochi–Ibaraki): the union of ``k`` successively-peeled maximal
+    forests contains ``min(k, |cut|)`` edges of every cut, so the min
+    cut of the union equals ``min(k, mincut(G))``.  Sketch decode misses
+    can only lose edges, i.e. only *under*-report — the certificate is
+    safe.
+    """
+    if k < 1:
+        raise SketchError("k must be positive")
+    n = graph.num_nodes
+    if n < 2:
+        raise SketchError("need at least two nodes")
+    peeled: List[Tuple[Node, Node]] = []
+    union = UGraph(nodes=graph.nodes())
+    for round_no in range(k):
+        sketch = AGMSketch.of_graph(
+            graph, copies=copies, seed=seed + 7919 * round_no
+        )
+        for u, v in peeled:
+            sketch.remove_edge(u, v)
+        forest = sketch_spanning_forest(sketch)
+        if forest.num_edges == 0:
+            break
+        for u, v, _ in forest.edges():
+            peeled.append((u, v))
+            union.add_edge(u, v, 1.0, combine="set")
+    if not union.is_connected():
+        return 0
+    from repro.graphs.mincut import stoer_wagner
+
+    value, _ = stoer_wagner(union)
+    return min(k, int(round(value)))

@@ -1,0 +1,65 @@
+"""Cut sketch interface (Definitions 2.2 and 2.3).
+
+A *cut sketch* is any data structure from which (approximate) cut values
+can be recovered.  The paper distinguishes:
+
+* **for-all** (Definition 2.2): with probability 2/3 the sketch answers
+  *every* cut within ``1 +- eps`` simultaneously;
+* **for-each** (Definition 2.3): *each fixed* cut is answered within
+  ``1 +- eps`` with probability 2/3 (fresh randomness per query).
+
+The lower-bound games in :mod:`repro.foreach_lb` and
+:mod:`repro.forall_lb` are written against this interface so the same
+decoder can be run against an exact sketch (sanity), a noise-injected
+oracle (the adversarial error model of the proofs), or a genuine
+sparsifier (the matching upper bound).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+from typing import AbstractSet
+
+from repro.graphs.digraph import Node
+
+
+class SketchModel(Enum):
+    """Which quantifier order the sketch guarantees."""
+
+    EXACT = "exact"
+    FOR_EACH = "for-each"
+    FOR_ALL = "for-all"
+
+
+class CutSketch(ABC):
+    """Abstract cut sketch: query directed cut values, account bits."""
+
+    @property
+    @abstractmethod
+    def model(self) -> SketchModel:
+        """The guarantee model this sketch provides."""
+
+    @property
+    @abstractmethod
+    def epsilon(self) -> float:
+        """The accuracy parameter (0.0 for exact sketches)."""
+
+    @abstractmethod
+    def query(self, side: AbstractSet[Node]) -> float:
+        """Approximate ``w(S, V \\ S)`` for ``S = side``."""
+
+    @abstractmethod
+    def size_bits(self) -> int:
+        """Size of the sketch in bits — what the lower bounds measure."""
+
+    def query_between(
+        self, side: AbstractSet[Node], complement_hint: AbstractSet[Node]
+    ) -> float:
+        """Convenience wrapper used by decoders that think in (A, B) pairs.
+
+        Sketches only answer full cuts ``(S, V \\ S)``; the hint argument
+        exists for readability at call sites and is validated nowhere —
+        decoders are responsible for building the right ``S``.
+        """
+        return self.query(side)

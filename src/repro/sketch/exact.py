@@ -1,0 +1,38 @@
+"""The exact cut sketch: store the whole graph.
+
+Trivially both a for-each and a for-all sketch (with ``eps = 0``).  Used
+as the ground-truth reference in every game and as the upper end of the
+size-versus-accuracy trade-off in the sparsifier benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet
+
+from repro.graphs.digraph import DiGraph, Node
+from repro.sketch.base import CutSketch, SketchModel
+from repro.sketch.serialization import DEFAULT_WEIGHT_BITS, graph_size_bits
+
+
+class ExactCutSketch(CutSketch):
+    """Stores a private copy of the graph and answers cuts exactly."""
+
+    def __init__(self, graph: DiGraph, weight_bits: int = DEFAULT_WEIGHT_BITS):
+        self._graph = graph.copy()
+        self._weight_bits = weight_bits
+
+    @property
+    def model(self) -> SketchModel:
+        return SketchModel.EXACT
+
+    @property
+    def epsilon(self) -> float:
+        return 0.0
+
+    def query(self, side: AbstractSet[Node]) -> float:
+        """Exact ``w(S, V \\ S)``."""
+        return self._graph.cut_weight(side)
+
+    def size_bits(self) -> int:
+        """Edge-list encoding of the stored graph."""
+        return graph_size_bits(self._graph, self._weight_bits)

@@ -1,0 +1,178 @@
+"""Linear L0 samplers — the primitive behind AGM graph sketches.
+
+An L0 sampler is a small linear summary of a vector ``x`` from which one
+can recover (with constant probability) the index of a uniformly-ish
+random nonzero coordinate.  Linearity is the whole point: the sketch of
+``x + y`` is the coordinate-wise sum of the sketches, so summing node
+sketches cancels intra-set edges and leaves exactly the cut edges —
+the observation of [AGM12] quoted in the paper's introduction.
+
+Implementation: the standard level scheme.  Level ``l`` subsamples the
+universe with probability ``2^-l`` via a seeded hash; each level keeps
+the one-sparse recovery triple
+
+* ``count = sum x_i``
+* ``index_sum = sum x_i * i``
+* ``fingerprint = sum x_i * r(i)  (mod p)``
+
+where ``r`` is a hash-derived random weight and ``p = 2^61 - 1``.  If a
+level's surviving sub-vector is exactly one-sparse, the triple recovers
+it and the fingerprint test certifies it (false positives with
+probability ~1/p).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import SketchError
+
+#: Mersenne prime modulus for fingerprints.
+_P = (1 << 61) - 1
+
+
+def _hash64(seed: int, tag: int, index: int) -> int:
+    """A stable 64-bit hash of (seed, tag, index)."""
+    digest = hashlib.blake2b(
+        b"%d|%d|%d" % (seed, tag, index), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class L0Sampler:
+    """A linear L0 sampler over the universe ``[0, universe_size)``.
+
+    ``seed`` fixes both the level hash and the fingerprint weights, so
+    two samplers with equal seed and universe are *compatible*: they can
+    be added or subtracted and still decode correctly.
+    """
+
+    def __init__(self, universe_size: int, seed: int, levels: Optional[int] = None):
+        if universe_size < 1:
+            raise SketchError("universe_size must be positive")
+        self.universe_size = universe_size
+        self.seed = seed
+        if levels is None:
+            levels = max(1, universe_size.bit_length() + 2)
+        self.levels = levels
+        self._count = [0] * levels
+        self._index_sum = [0] * levels
+        self._fingerprint = [0] * levels
+
+    # ------------------------------------------------------------------
+    def _level_of(self, index: int) -> int:
+        """The deepest level ``index`` survives to (geometric via hash)."""
+        h = _hash64(self.seed, 0, index)
+        # Number of leading zero bits, capped at levels - 1.
+        level = 0
+        for bit in range(64):
+            if h >> (63 - bit) & 1:
+                break
+            level += 1
+        return min(level, self.levels - 1)
+
+    def _weight_of(self, index: int) -> int:
+        return _hash64(self.seed, 1, index) % _P
+
+    def update(self, index: int, delta: int) -> None:
+        """Apply ``x[index] += delta`` to the sketch."""
+        if not 0 <= index < self.universe_size:
+            raise SketchError(f"index {index} outside universe")
+        if delta == 0:
+            return
+        # index survives to levels 0..level_of(index).
+        top = self._level_of(index)
+        weight = self._weight_of(index)
+        for level in range(top + 1):
+            self._count[level] += delta
+            self._index_sum[level] += delta * index
+            self._fingerprint[level] = (
+                self._fingerprint[level] + delta * weight
+            ) % _P
+
+    # ------------------------------------------------------------------
+    def _compatible(self, other: "L0Sampler") -> None:
+        if (
+            self.universe_size != other.universe_size
+            or self.seed != other.seed
+            or self.levels != other.levels
+        ):
+            raise SketchError("samplers are not compatible (seed/universe)")
+
+    def add(self, other: "L0Sampler") -> "L0Sampler":
+        """The sketch of ``x + y`` (linearity)."""
+        self._compatible(other)
+        out = L0Sampler(self.universe_size, self.seed, self.levels)
+        for level in range(self.levels):
+            out._count[level] = self._count[level] + other._count[level]
+            out._index_sum[level] = self._index_sum[level] + other._index_sum[level]
+            out._fingerprint[level] = (
+                self._fingerprint[level] + other._fingerprint[level]
+            ) % _P
+        return out
+
+    def subtract(self, other: "L0Sampler") -> "L0Sampler":
+        """The sketch of ``x - y``."""
+        self._compatible(other)
+        out = L0Sampler(self.universe_size, self.seed, self.levels)
+        for level in range(self.levels):
+            out._count[level] = self._count[level] - other._count[level]
+            out._index_sum[level] = self._index_sum[level] - other._index_sum[level]
+            out._fingerprint[level] = (
+                self._fingerprint[level] - other._fingerprint[level]
+            ) % _P
+        return out
+
+    def copy(self) -> "L0Sampler":
+        """An independent copy."""
+        out = L0Sampler(self.universe_size, self.seed, self.levels)
+        out._count = list(self._count)
+        out._index_sum = list(self._index_sum)
+        out._fingerprint = list(self._fingerprint)
+        return out
+
+    # ------------------------------------------------------------------
+    def _decode_level(self, level: int) -> Optional[Tuple[int, int]]:
+        """One-sparse recovery at ``level``; returns (index, value)."""
+        count = self._count[level]
+        if count == 0:
+            return None
+        index_sum = self._index_sum[level]
+        if index_sum % count != 0:
+            return None
+        index = index_sum // count
+        if not 0 <= index < self.universe_size:
+            return None
+        expected = (count * self._weight_of(index)) % _P
+        if expected != self._fingerprint[level]:
+            return None
+        # The index must genuinely live at this level.
+        if self._level_of(index) < level:
+            return None
+        return index, count
+
+    def sample(self) -> Optional[Tuple[int, int]]:
+        """Recover some nonzero coordinate ``(index, value)``.
+
+        Scans from the sparsest level down; returns ``None`` when no
+        level is one-sparse (either ``x = 0`` or an unlucky hash —
+        callers hold several independent copies).
+        """
+        for level in range(self.levels - 1, -1, -1):
+            decoded = self._decode_level(level)
+            if decoded is not None:
+                return decoded
+        return None
+
+    def is_zero(self) -> bool:
+        """Whether the sketched vector is (very probably) zero."""
+        return all(
+            c == 0 and s == 0 and f == 0
+            for c, s, f in zip(self._count, self._index_sum, self._fingerprint)
+        )
+
+    def size_words(self) -> int:
+        """Stored machine words (3 per level) — the sketch's footprint."""
+        return 3 * self.levels

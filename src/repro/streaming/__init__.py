@@ -1,0 +1,10 @@
+"""Streaming graph sketches: merge-and-reduce cut sparsification.
+
+Turnstile (insert + delete) streaming is served by the AGM linear
+sketches in :mod:`repro.sketch.agm`; this package covers the
+insertion-only regime with classical merge-and-reduce.
+"""
+
+from repro.streaming.sparsify_stream import StreamingCutSparsifier
+
+__all__ = ["StreamingCutSparsifier"]

@@ -1,0 +1,150 @@
+"""Streaming cut sparsification by merge-and-reduce.
+
+The paper's database framing: "as large graph databases are often
+distributed or stored on external memory, sketching algorithms are
+useful for reducing communication and memory usage in distributed and
+streaming models."  This module provides the classical insertion-only
+recipe:
+
+* edges arrive one at a time;
+* a buffer of at most ``block_size`` raw edges is maintained;
+* when the buffer fills, it is merged into the running sparsifier and
+  the union is *re-sparsified* (the "reduce" step), keeping the resident
+  edge count at ``O(sparsifier size + block size)`` at all times;
+* each reduce multiplies the accumulated error, so a stream that
+  triggers ``r`` reduces at per-step error ``delta`` yields roughly
+  ``(1 + delta)^r - 1`` total error — the driver splits its ``epsilon``
+  budget across the expected number of reduces.
+
+The turnstile (insert+delete) regime is covered separately by the AGM
+sketches in :mod:`repro.sketch.agm`, which this module complements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Iterable, Optional, Tuple
+
+from repro.errors import ParameterError, SketchError
+from repro.graphs.ugraph import Node, UGraph
+from repro.sketch.base import CutSketch, SketchModel
+from repro.sketch.serialization import edge_bits
+from repro.sketch.sparsifier import importance_sparsify
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class StreamingCutSparsifier(CutSketch):
+    """Insertion-only streaming (1 +- eps) cut sparsifier."""
+
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        epsilon: float,
+        block_size: int = 256,
+        expected_reduces: int = 8,
+        rng: RngLike = None,
+        connectivity: str = "mincut",
+        step_epsilon: Optional[float] = None,
+        sampling_constant: Optional[float] = None,
+    ):
+        if not 0.0 < epsilon < 1.0:
+            raise SketchError("epsilon must be in (0, 1)")
+        if block_size < 1:
+            raise ParameterError("block_size must be positive")
+        if expected_reduces < 1:
+            raise ParameterError("expected_reduces must be positive")
+        self._nodes = list(nodes)
+        if len(self._nodes) < 2:
+            raise SketchError("need at least two nodes")
+        self._epsilon = epsilon
+        if step_epsilon is None:
+            # Split the error budget: (1 + step)^r <= 1 + eps for r reduces.
+            step_epsilon = (1.0 + epsilon) ** (1.0 / expected_reduces) - 1.0
+        self._step_epsilon = min(0.99, max(1e-6, step_epsilon))
+        self._sampling_constant = sampling_constant
+        self.block_size = block_size
+        self._connectivity = connectivity
+        self._rng = ensure_rng(rng)
+        self._resident = UGraph(nodes=self._nodes)
+        self._buffer = UGraph(nodes=self._nodes)
+        self.edges_seen = 0
+        self.reduce_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> SketchModel:
+        return SketchModel.FOR_ALL
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    @property
+    def resident_edges(self) -> int:
+        """Edges currently held in memory (sparsifier + buffer)."""
+        return self._resident.num_edges + self._buffer.num_edges
+
+    def insert(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Stream one edge in."""
+        self._buffer.add_edge(u, v, weight, combine="add")
+        self.edges_seen += 1
+        if self._buffer.num_edges >= self.block_size:
+            self._reduce()
+
+    def extend(self, edges: Iterable[Tuple[Node, Node, float]]) -> None:
+        """Stream many edges."""
+        for u, v, w in edges:
+            self.insert(u, v, w)
+
+    def _reduce(self) -> None:
+        merged = UGraph(nodes=self._nodes)
+        for source in (self._resident, self._buffer):
+            for u, v, w in source.edges():
+                merged.add_edge(u, v, w, combine="add")
+        self._buffer = UGraph(nodes=self._nodes)
+        # importance_sparsify needs a connected graph; early in the
+        # stream the union may be disconnected — sparsify per component.
+        reduced = UGraph(nodes=self._nodes)
+        for component in merged.connected_components():
+            piece = merged.subgraph(component)
+            if piece.num_edges == 0:
+                continue
+            if piece.num_nodes < 3 or piece.num_edges < 8:
+                for u, v, w in piece.edges():
+                    reduced.add_edge(u, v, w)
+                continue
+            kwargs = {}
+            if self._sampling_constant is not None:
+                kwargs["constant"] = self._sampling_constant
+            sparse = importance_sparsify(
+                piece,
+                epsilon=self._step_epsilon,
+                rng=self._rng,
+                connectivity=self._connectivity,
+                **kwargs,
+            )
+            for u, v, w in sparse.edges():
+                reduced.add_edge(u, v, w)
+        self._resident = reduced
+        self.reduce_count += 1
+
+    def finish(self) -> UGraph:
+        """Flush the buffer and return the final sparsifier (a copy)."""
+        if self._buffer.num_edges:
+            self._reduce()
+        return self._resident.copy()
+
+    # ------------------------------------------------------------------
+    def query(self, side: AbstractSet[Node]) -> float:
+        """Current cut estimate (buffer edges counted exactly)."""
+        side = set(side)
+        if not side or side >= set(self._nodes):
+            raise SketchError("cut side must be a proper nonempty subset")
+        total = 0.0
+        for source in (self._resident, self._buffer):
+            if 0 < len(side) < source.num_nodes:
+                total += source.cut_weight(side)
+        return total
+
+    def size_bits(self) -> int:
+        return self.resident_edges * edge_bits(len(self._nodes))

@@ -1,0 +1,44 @@
+"""Shared utilities: seeded randomness, bit strings, and statistics."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.bitstrings import (
+    BitString,
+    SignString,
+    hamming_distance,
+    hamming_weight,
+    intersection_size,
+    is_disjoint,
+    pack_bits,
+    random_bitstring,
+    random_fixed_weight_bitstring,
+    random_signstring,
+    unpack_bits,
+)
+from repro.utils.stats import (
+    RunningStat,
+    TrialSummary,
+    binomial_confidence_interval,
+    estimate_success_probability,
+    median_of_trials,
+)
+
+__all__ = [
+    "BitString",
+    "SignString",
+    "RunningStat",
+    "TrialSummary",
+    "binomial_confidence_interval",
+    "ensure_rng",
+    "estimate_success_probability",
+    "hamming_distance",
+    "hamming_weight",
+    "intersection_size",
+    "is_disjoint",
+    "median_of_trials",
+    "pack_bits",
+    "random_bitstring",
+    "random_fixed_weight_bitstring",
+    "random_signstring",
+    "spawn_rngs",
+    "unpack_bits",
+]

@@ -1,0 +1,125 @@
+"""Binary and sign strings used by the communication problems.
+
+The paper's three reductions consume three kinds of random strings:
+
+* the Index problem (Lemma 3.1) uses uniform *sign* strings in
+  ``{-1, +1}^n``;
+* the distributional Gap-Hamming problem (Lemma 4.1) uses *fixed-weight*
+  binary strings in ``{0, 1}^(1/eps^2)`` of Hamming weight ``1/(2 eps^2)``;
+* the 2-SUM problem (Definition 5.2) uses binary strings with a promised
+  intersection pattern, built from DISJ/INT primitives.
+
+This module provides the samplers and the small amount of arithmetic
+(Hamming weight/distance, intersections, bit packing) those problems need.
+Strings are represented as 1-D numpy arrays of dtype ``int8`` so they can
+be tensored and summed without conversion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+# Type aliases used throughout the library.  A BitString has entries in
+# {0, 1}; a SignString has entries in {-1, +1}.
+BitString = np.ndarray
+SignString = np.ndarray
+
+
+def random_bitstring(length: int, rng: RngLike = None) -> BitString:
+    """Sample a uniform string in ``{0, 1}^length``."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    gen = ensure_rng(rng)
+    return gen.integers(0, 2, size=length, dtype=np.int8)
+
+
+def random_signstring(length: int, rng: RngLike = None) -> SignString:
+    """Sample a uniform string in ``{-1, +1}^length``."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    gen = ensure_rng(rng)
+    return (2 * gen.integers(0, 2, size=length, dtype=np.int8) - 1).astype(np.int8)
+
+
+def random_fixed_weight_bitstring(
+    length: int, weight: int, rng: RngLike = None
+) -> BitString:
+    """Sample a uniform string in ``{0,1}^length`` with exactly ``weight`` ones.
+
+    Lemma 4.1's distribution requires Alice's strings and Bob's string to
+    have Hamming weight exactly ``length / 2``.
+    """
+    if not 0 <= weight <= length:
+        raise ValueError(f"weight {weight} out of range [0, {length}]")
+    gen = ensure_rng(rng)
+    out = np.zeros(length, dtype=np.int8)
+    ones = gen.choice(length, size=weight, replace=False)
+    out[ones] = 1
+    return out
+
+
+def hamming_weight(x: BitString) -> int:
+    """Number of ones in ``x``."""
+    return int(np.count_nonzero(x))
+
+
+def hamming_distance(x: BitString, y: BitString) -> int:
+    """Number of positions where ``x`` and ``y`` differ."""
+    if x.shape != y.shape:
+        raise ValueError("strings must have equal length")
+    return int(np.count_nonzero(x != y))
+
+
+def intersection_size(x: BitString, y: BitString) -> int:
+    """INT(x, y) of Definition 5.1: count of indices where both are 1."""
+    if x.shape != y.shape:
+        raise ValueError("strings must have equal length")
+    return int(np.count_nonzero(np.logical_and(x, y)))
+
+
+def is_disjoint(x: BitString, y: BitString) -> bool:
+    """DISJ(x, y) of Definition 5.1: ``True`` iff INT(x, y) == 0."""
+    return intersection_size(x, y) == 0
+
+
+def pack_bits(x: BitString) -> bytes:
+    """Pack a {0,1} string into bytes (8 bits per byte, zero padded).
+
+    Used by the protocol transcripts to charge Alice exactly
+    ``ceil(len(x) / 8)`` bytes for sending ``x`` verbatim.
+    """
+    arr = np.asarray(x, dtype=np.uint8)
+    if arr.ndim != 1:
+        raise ValueError("pack_bits expects a 1-D string")
+    if not np.all((arr == 0) | (arr == 1)):
+        raise ValueError("pack_bits expects entries in {0, 1}")
+    return np.packbits(arr).tobytes()
+
+
+def unpack_bits(data: bytes, length: int) -> BitString:
+    """Inverse of :func:`pack_bits`; returns the first ``length`` bits."""
+    arr = np.frombuffer(data, dtype=np.uint8)
+    bits = np.unpackbits(arr)
+    if length > bits.size:
+        raise ValueError("not enough bytes for the requested length")
+    return bits[:length].astype(np.int8)
+
+
+def signs_to_bits(s: SignString) -> BitString:
+    """Map {-1,+1} to {0,1} via (s + 1) / 2."""
+    arr = np.asarray(s, dtype=np.int8)
+    if not np.all((arr == 1) | (arr == -1)):
+        raise ValueError("expected entries in {-1, +1}")
+    return ((arr + 1) // 2).astype(np.int8)
+
+
+def bits_to_signs(b: BitString) -> SignString:
+    """Map {0,1} to {-1,+1} via 2b - 1."""
+    arr = np.asarray(b, dtype=np.int8)
+    if not np.all((arr == 0) | (arr == 1)):
+        raise ValueError("expected entries in {0, 1}")
+    return (2 * arr - 1).astype(np.int8)

@@ -1,0 +1,168 @@
+"""Statistics helpers for repeated randomized trials.
+
+The paper's games succeed "with probability at least 2/3"; empirically we
+estimate that probability by repetition and report Wilson confidence
+intervals.  The success-probability boosting trick from the paper's
+footnotes (run O(1) independent sketches and take the median) is
+implemented by :func:`median_of_trials`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+
+@dataclass
+class RunningStat:
+    """Online mean/variance accumulator (Welford's algorithm)."""
+
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean of the observations seen so far."""
+        if self.count == 0:
+            raise ValueError("no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 for a single observation)."""
+        if self.count == 0:
+            raise ValueError("no observations")
+        if self.count == 1:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+
+@dataclass
+class TrialSummary:
+    """Outcome of a batch of Bernoulli trials."""
+
+    successes: int
+    trials: int
+    confidence: float = 0.95
+    interval: Tuple[float, float] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.interval = binomial_confidence_interval(
+            self.successes, self.trials, self.confidence
+        )
+
+    @property
+    def rate(self) -> float:
+        """Empirical success rate."""
+        if self.trials == 0:
+            raise ValueError("no trials")
+        return self.successes / self.trials
+
+    def exceeds(self, threshold: float) -> bool:
+        """``True`` if the lower confidence limit clears ``threshold``."""
+        return self.interval[0] > threshold
+
+
+def binomial_confidence_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Chosen over the normal approximation because many of our experiments
+    run at small trial counts where the Wald interval is badly behaved.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes out of range")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    # Two-sided z for the requested confidence, via the probit of
+    # (1 + confidence) / 2.  We avoid scipy here to keep utils dependency
+    # free; Acklam's rational approximation is accurate to ~1e-9.
+    z = _probit((1.0 + confidence) / 2.0)
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def _probit(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's approximation)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p <= 1 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+    )
+
+
+def estimate_success_probability(
+    trial: Callable[[RngLike], bool],
+    trials: int,
+    rng: RngLike = None,
+    confidence: float = 0.95,
+) -> TrialSummary:
+    """Run ``trial`` with independent child RNGs and summarize successes."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    rngs = spawn_rngs(rng, trials)
+    successes = sum(1 for child in rngs if trial(child))
+    return TrialSummary(successes=successes, trials=trials, confidence=confidence)
+
+
+def median_of_trials(values: Sequence[float]) -> float:
+    """Median, the paper's footnote-2/3 boosting combiner.
+
+    Running a sketch-and-recover pipeline O(1) times independently and
+    taking the median boosts a 2/3 success probability to 99/100 at a
+    constant-factor size cost; both lower-bound proofs rely on this.
+    """
+    data: List[float] = sorted(values)
+    if not data:
+        raise ValueError("no values")
+    mid = len(data) // 2
+    if len(data) % 2 == 1:
+        return float(data[mid])
+    return float((data[mid - 1] + data[mid]) / 2.0)

@@ -1,0 +1,103 @@
+"""Tests for repro.comm.gap_hamming (Lemma 4.1's distribution)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.gap_hamming import (
+    GapCase,
+    distance_to_case,
+    gap_threshold,
+    intersection_case,
+    sample_gap_hamming_instance,
+)
+from repro.errors import ParameterError
+from repro.utils.bitstrings import hamming_weight, intersection_size
+
+
+class TestGapThreshold:
+    def test_scales_with_sqrt_length(self):
+        assert gap_threshold(4) <= gap_threshold(64) <= gap_threshold(1024)
+
+    def test_at_least_one(self):
+        assert gap_threshold(4) >= 1
+
+    def test_too_short_raises(self):
+        with pytest.raises(ParameterError):
+            gap_threshold(1)
+
+
+class TestSampler:
+    @given(
+        st.integers(1, 6),
+        st.sampled_from([4, 8, 16]),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_promise_respected(self, h, length, seed):
+        inst = sample_gap_hamming_instance(h, length, rng=seed)
+        half = length // 2
+        # Every string has the advertised fixed weight.
+        for s in inst.strings:
+            assert hamming_weight(s) == half
+        assert hamming_weight(inst.query) == half
+        # The planted distance lies on the declared side of the promise.
+        dist = inst.planted_distance()
+        if inst.case is GapCase.HIGH:
+            assert dist >= half + inst.gap
+        else:
+            assert dist <= half - inst.gap
+
+    def test_case_roughly_balanced(self):
+        rng = np.random.default_rng(1)
+        cases = [
+            sample_gap_hamming_instance(1, 8, rng=rng).case for _ in range(200)
+        ]
+        highs = sum(1 for c in cases if c is GapCase.HIGH)
+        assert 50 < highs < 150
+
+    def test_bad_params(self):
+        with pytest.raises(ParameterError):
+            sample_gap_hamming_instance(0, 8)
+        with pytest.raises(ParameterError):
+            sample_gap_hamming_instance(1, 7)  # odd length
+        with pytest.raises(ParameterError):
+            sample_gap_hamming_instance(1, 0)
+
+    def test_index_in_range(self):
+        inst = sample_gap_hamming_instance(5, 8, rng=2)
+        assert 0 <= inst.index < 5
+        assert inst.num_strings == 5
+        assert inst.length == 8
+
+
+class TestCaseClassifiers:
+    def test_distance_to_case(self):
+        assert distance_to_case(8, length=8, gap=2) is GapCase.HIGH
+        assert distance_to_case(0, length=8, gap=2) is GapCase.LOW
+        with pytest.raises(ParameterError):
+            distance_to_case(4, length=8, gap=2)
+
+    def test_intersection_case_matches_distance_identity(self):
+        """Delta = L/2 + L/2 - 2*INT for two weight-L/2 strings, so the
+        two classifiers must agree through that identity."""
+        length, gap = 16, 2
+        for inter in range(0, length // 2 + 1):
+            dist = length - 2 * inter
+            try:
+                by_dist = distance_to_case(dist, length, gap)
+            except ParameterError:
+                with pytest.raises(ParameterError):
+                    intersection_case(inter, length, gap)
+                continue
+            assert intersection_case(inter, length, gap) is by_dist
+
+    def test_sampler_agrees_with_classifier(self):
+        inst = sample_gap_hamming_instance(3, 16, rng=5)
+        assert distance_to_case(inst.planted_distance(), 16, inst.gap) is inst.case
+
+    def test_planted_intersection_classifies_too(self):
+        inst = sample_gap_hamming_instance(2, 16, rng=6)
+        inter = intersection_size(inst.strings[inst.index], inst.query)
+        assert intersection_case(inter, 16, inst.gap) is inst.case

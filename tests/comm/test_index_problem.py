@@ -1,0 +1,92 @@
+"""Tests for repro.comm.index_problem (Lemma 3.1's distribution)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.index_problem import (
+    SendEverythingIndexProtocol,
+    TruncatingIndexProtocol,
+    sample_index_instance,
+)
+from repro.comm.protocol import run_protocol
+from repro.errors import ParameterError
+from repro.utils.stats import estimate_success_probability
+
+
+class TestSampling:
+    def test_shapes(self):
+        inst = sample_index_instance(100, rng=0)
+        assert inst.length == 100
+        assert 0 <= inst.index < 100
+        assert set(np.unique(inst.string)) <= {-1, 1}
+
+    def test_answer_field(self):
+        inst = sample_index_instance(10, rng=1)
+        assert inst.answer == int(inst.string[inst.index])
+
+    def test_bad_length(self):
+        with pytest.raises(ParameterError):
+            sample_index_instance(0)
+
+    def test_index_roughly_uniform(self):
+        rng = np.random.default_rng(2)
+        hits = [sample_index_instance(4, rng=rng).index for _ in range(400)]
+        counts = np.bincount(hits, minlength=4)
+        assert counts.min() > 50  # crude uniformity check
+
+
+class TestSendEverything:
+    @given(st.integers(1, 256), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_always_correct(self, length, seed):
+        inst = sample_index_instance(length, rng=seed)
+        run = run_protocol(SendEverythingIndexProtocol(), inst.string, inst.index)
+        assert run.answer == inst.answer
+
+    def test_message_is_n_bits_up_to_padding(self):
+        inst = sample_index_instance(64, rng=3)
+        run = run_protocol(SendEverythingIndexProtocol(), inst.string, inst.index)
+        assert run.message_bits == 64
+
+
+class TestTruncating:
+    def test_correct_inside_prefix(self):
+        inst = sample_index_instance(32, rng=4)
+        protocol = TruncatingIndexProtocol(keep=32)
+        run = run_protocol(protocol, inst.string, inst.index)
+        assert run.answer == inst.answer
+
+    def test_message_shrinks(self):
+        inst = sample_index_instance(64, rng=5)
+        full = run_protocol(TruncatingIndexProtocol(keep=64), inst.string, 0)
+        half = run_protocol(TruncatingIndexProtocol(keep=32), inst.string, 0)
+        assert half.message_bits < full.message_bits
+
+    def test_zero_prefix_sends_nothing(self):
+        inst = sample_index_instance(8, rng=6)
+        run = run_protocol(TruncatingIndexProtocol(keep=0), inst.string, inst.index)
+        assert run.message_bits == 0
+
+    def test_sublinear_messages_fall_below_two_thirds(self):
+        """The operational content of Lemma 3.1 at finite size.
+
+        With only a 1/8 prefix, the overall success probability is about
+        1/8 + (7/8) * 1/2 ~ 0.56 < 2/3.
+        """
+        length = 128
+
+        def trial(rng) -> bool:
+            inst = sample_index_instance(length, rng=rng)
+            run = run_protocol(
+                TruncatingIndexProtocol(keep=length // 8), inst.string, inst.index
+            )
+            return run.answer == inst.answer
+
+        summary = estimate_success_probability(trial, trials=300, rng=7)
+        assert summary.rate < 2.0 / 3.0
+
+    def test_negative_keep_rejected(self):
+        with pytest.raises(ParameterError):
+            TruncatingIndexProtocol(keep=-1)

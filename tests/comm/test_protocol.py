@@ -1,0 +1,78 @@
+"""Tests for repro.comm.protocol."""
+
+import pytest
+
+from repro.comm.protocol import (
+    BitLedger,
+    Message,
+    OneWayProtocol,
+    run_protocol,
+)
+from repro.errors import ProtocolError
+
+
+class EchoProtocol(OneWayProtocol):
+    """Alice pickles her input; Bob returns element [bob_input]."""
+
+    def alice(self, alice_input):
+        return Message.from_object(alice_input)
+
+    def bob(self, message, bob_input):
+        return message.to_object()[bob_input]
+
+
+class BrokenProtocol(OneWayProtocol):
+    def alice(self, alice_input):
+        return b"raw bytes, not a Message"
+
+    def bob(self, message, bob_input):
+        return None
+
+
+class TestMessage:
+    def test_bits_counts_payload(self):
+        assert Message(payload=b"ab").bits == 16
+        assert Message(payload=b"").bits == 0
+
+    def test_object_roundtrip(self):
+        msg = Message.from_object({"a": [1, 2, 3]})
+        assert msg.to_object() == {"a": [1, 2, 3]}
+
+    def test_immutable(self):
+        msg = Message(payload=b"x")
+        with pytest.raises(AttributeError):
+            msg.payload = b"y"
+
+
+class TestRunProtocol:
+    def test_answer_and_bits(self):
+        run = run_protocol(EchoProtocol(), ["p", "q", "r"], 1)
+        assert run.answer == "q"
+        assert run.message_bits > 0
+
+    def test_non_message_rejected(self):
+        with pytest.raises(ProtocolError):
+            run_protocol(BrokenProtocol(), None, None)
+
+
+class TestBitLedger:
+    def test_accumulates(self):
+        ledger = BitLedger()
+        ledger.charge(2)
+        ledger.charge(2)
+        ledger.charge(0)
+        assert ledger.total_bits == 4
+        assert ledger.charges == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProtocolError):
+            BitLedger().charge(-1)
+
+    def test_merge(self):
+        a = BitLedger(total_bits=4, charges=2)
+        b = BitLedger(total_bits=6, charges=1)
+        merged = a.merged_with(b)
+        assert merged.total_bits == 10
+        assert merged.charges == 3
+        # Originals untouched.
+        assert a.total_bits == 4

@@ -1,0 +1,126 @@
+"""Tests for repro.comm.twosum (Definitions 5.1/5.2, Theorem 5.4 lifting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.twosum import (
+    MIN_INTERSECTING_FRACTION,
+    TwoSumInstance,
+    concatenate_pairs,
+    lift_instance,
+    sample_twosum_instance,
+    sample_unit_pair,
+)
+from repro.errors import ParameterError
+from repro.utils.bitstrings import intersection_size
+
+
+class TestUnitPair:
+    @given(st.integers(1, 64), st.booleans(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_intersection_exactly_as_requested(self, length, intersect, seed):
+        x, y = sample_unit_pair(length, intersect, rng=seed)
+        assert intersection_size(x, y) == (1 if intersect else 0)
+
+    def test_bad_length(self):
+        with pytest.raises(ParameterError):
+            sample_unit_pair(0, True)
+
+
+class TestSampler:
+    @given(
+        st.integers(1, 12),
+        st.sampled_from([4, 8, 12]),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_promise_holds(self, pairs, length, seed):
+        inst = sample_twosum_instance(pairs, length, alpha=1, rng=seed)
+        inst.validate_promise()  # raises on violation
+        counts = inst.intersection_counts()
+        assert all(c in (0, 1) for c in counts)
+
+    @given(st.sampled_from([1, 2, 4]), st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_alpha_lifting(self, alpha, seed):
+        inst = sample_twosum_instance(6, 4 * alpha, alpha=alpha, rng=seed)
+        counts = inst.intersection_counts()
+        assert all(c in (0, alpha) for c in counts)
+        assert inst.length == 4 * alpha
+
+    def test_intersecting_fraction_controls_count(self):
+        inst = sample_twosum_instance(
+            20, 8, intersecting_fraction=0.5, rng=1
+        )
+        intersecting = sum(1 for c in inst.intersection_counts() if c > 0)
+        assert intersecting == 10
+
+    def test_minimum_one_intersection(self):
+        inst = sample_twosum_instance(10, 8, intersecting_fraction=0.0, rng=2)
+        assert sum(1 for c in inst.intersection_counts() if c > 0) >= 1
+
+    def test_bad_params(self):
+        with pytest.raises(ParameterError):
+            sample_twosum_instance(0, 4)
+        with pytest.raises(ParameterError):
+            sample_twosum_instance(4, 5, alpha=2)  # not a multiple
+        with pytest.raises(ParameterError):
+            sample_twosum_instance(4, 4, alpha=0)
+        with pytest.raises(ParameterError):
+            sample_twosum_instance(4, 4, intersecting_fraction=2.0)
+
+
+class TestInstanceArithmetic:
+    def test_disjointness_sum(self):
+        inst = sample_twosum_instance(10, 8, intersecting_fraction=0.3, rng=3)
+        expected = sum(1 for c in inst.intersection_counts() if c == 0)
+        assert inst.disjointness_sum() == expected
+
+    def test_error_budget(self):
+        inst = sample_twosum_instance(16, 4, rng=4)
+        assert inst.additive_error_budget() == pytest.approx(4.0)
+
+    def test_validate_rejects_bad_alpha(self):
+        x = np.array([1, 1, 0, 0], dtype=np.int8)
+        y = np.array([1, 1, 0, 0], dtype=np.int8)  # INT = 2, alpha claims 1
+        inst = TwoSumInstance(alice_strings=[x], bob_strings=[y], alpha=1)
+        with pytest.raises(ParameterError):
+            inst.validate_promise()
+
+    def test_validate_rejects_no_intersections(self):
+        x = np.array([1, 0], dtype=np.int8)
+        y = np.array([0, 1], dtype=np.int8)
+        inst = TwoSumInstance(alice_strings=[x] * 4, bob_strings=[y] * 4, alpha=1)
+        with pytest.raises(ParameterError):
+            inst.validate_promise()
+
+
+class TestLiftAndConcatenate:
+    def test_lift_multiplies_intersections(self):
+        base = sample_twosum_instance(5, 4, alpha=1, rng=5)
+        lifted = lift_instance(base, 3)
+        assert lifted.length == 12
+        assert lifted.alpha == 3
+        for c_base, c_lift in zip(
+            base.intersection_counts(), lifted.intersection_counts()
+        ):
+            assert c_lift == 3 * c_base
+
+    def test_lift_preserves_disjointness_sum(self):
+        base = sample_twosum_instance(8, 4, alpha=1, rng=6)
+        assert lift_instance(base, 4).disjointness_sum() == base.disjointness_sum()
+
+    def test_lift_requires_unit_alpha(self):
+        lifted = lift_instance(sample_twosum_instance(3, 4, rng=7), 2)
+        with pytest.raises(ParameterError):
+            lift_instance(lifted, 2)
+
+    @given(st.integers(1, 8), st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_concatenation_is_intersection_additive(self, pairs, seed):
+        inst = sample_twosum_instance(pairs, 8, rng=seed)
+        x, y = concatenate_pairs(inst)
+        assert intersection_size(x, y) == sum(inst.intersection_counts())
+        assert x.shape[0] == pairs * 8

@@ -1,0 +1,75 @@
+"""Tests for repro.experiments.harness."""
+
+import pytest
+
+from repro.experiments.harness import Table, geometric_ratio, sweep
+
+
+class TestTable:
+    def test_render_contains_data(self):
+        t = Table(title="demo", columns=["x", "y"])
+        t.add_row(x=1, y=2.5)
+        t.add_row(x=10, y=0.000123)
+        out = t.render()
+        assert "demo" in out
+        assert "2.5" in out
+        assert "0.000123" in out
+
+    def test_unknown_column_rejected(self):
+        t = Table(title="demo", columns=["x"])
+        with pytest.raises(ValueError):
+            t.add_row(z=1)
+
+    def test_missing_column_renders_empty(self):
+        t = Table(title="demo", columns=["x", "y"])
+        t.add_row(x=1)
+        assert t.render()  # no crash
+
+    def test_notes_rendered(self):
+        t = Table(title="demo", columns=["x"])
+        t.add_note("shape only")
+        assert "note: shape only" in t.render()
+
+    def test_empty_table_renders_header(self):
+        t = Table(title="empty", columns=["col"])
+        assert "col" in t.render()
+
+    def test_float_formatting(self):
+        t = Table(title="f", columns=["v"])
+        t.add_row(v=0.0)
+        t.add_row(v=123456.0)
+        out = t.render()
+        assert "0" in out
+        assert "1.23e+05" in out
+
+    def test_emit_prints(self, capsys):
+        t = Table(title="emit", columns=["x"])
+        t.add_row(x=5)
+        t.emit()
+        assert "emit" in capsys.readouterr().out
+
+
+class TestGeometricRatio:
+    def test_constant_ratio(self):
+        assert geometric_ratio([1, 2, 4], [2, 4, 8]) == pytest.approx(2.0)
+
+    def test_mixed_ratios_geomean(self):
+        assert geometric_ratio([1, 1], [2, 8]) == pytest.approx(4.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_ratio([], [])
+        with pytest.raises(ValueError):
+            geometric_ratio([0.0], [1.0])
+
+
+class TestSweep:
+    def test_merges_config_and_result(self):
+        rows = sweep(
+            [{"a": 1}, {"a": 2}],
+            lambda a: {"square": a * a},
+        )
+        assert rows == [{"a": 1, "square": 1}, {"a": 2, "square": 4}]
+
+    def test_empty_sweep(self):
+        assert sweep([], lambda **kw: {}) == []

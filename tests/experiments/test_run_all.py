@@ -1,0 +1,35 @@
+"""Tests for the standalone experiment runner CLI."""
+
+import pytest
+
+from repro.experiments.run_all import REGISTRY, main
+
+
+class TestRegistry:
+    def test_all_nine_experiments_registered(self):
+        assert sorted(REGISTRY) == [f"e{i}" for i in range(1, 10)]
+
+    def test_each_experiment_returns_tables(self):
+        # The cheap ones run here; the full set runs via benchmarks.
+        for key in ("e5", "e6", "e7", "e8"):
+            tables = REGISTRY[key]()
+            assert tables
+            for table in tables:
+                assert table.rows
+                assert table.render()
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out and "e9" in out
+
+    def test_run_single(self, capsys):
+        assert main(["e7"]) == 0
+        out = capsys.readouterr().out
+        assert "Figures 3-6" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["e99"])

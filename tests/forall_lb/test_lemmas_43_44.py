@@ -1,0 +1,102 @@
+"""Direct statistical checks of Lemma 4.3 and Lemma 4.4.
+
+The for-all decoder's correctness rests on two claims from [ACK+16]
+that the paper re-uses; here we measure them on the actual construction
+rather than trusting the citation:
+
+* **Lemma 4.3**: for random strings, both ``L_high`` (left nodes with
+  ``|N(l) cap T| >= L/4 + gap/2``) and ``L_low`` occupy close to half
+  of ``L`` — at most half, and not much below it.
+* **Lemma 4.4**: the half-size subset ``Q`` with the highest
+  (approximately) estimated ``w(U, T)`` captures at least ~4/5 of
+  ``L_high``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.gap_hamming import sample_gap_hamming_instance
+from repro.forall_lb.decoder import ForAllDecoder
+from repro.forall_lb.encoder import ForAllEncoder
+from repro.forall_lb.params import ForAllParams
+from repro.sketch.exact import ExactCutSketch
+from repro.utils.bitstrings import intersection_size
+
+PARAMS = ForAllParams(inv_eps_sq=8, beta=1, num_groups=2)
+
+
+def build_round(seed):
+    inst = sample_gap_hamming_instance(
+        PARAMS.num_strings, PARAMS.string_length, rng=seed
+    )
+    encoded = ForAllEncoder(PARAMS).encode(inst.strings)
+    return inst, encoded
+
+
+def high_low_sets(inst):
+    """L_high / L_low for the planted cluster, from the raw strings."""
+    pair, _, cluster = PARAMS.locate_string(inst.index)
+    t = inst.query
+    quarter = PARAMS.string_length / 4.0
+    half_gap = inst.gap / 2.0
+    high, low = [], []
+    for left_index in range(PARAMS.group_size):
+        q = pair * PARAMS.strings_per_pair + left_index * PARAMS.beta + cluster
+        inter = intersection_size(inst.strings[q], t)
+        if inter >= quarter + half_gap:
+            high.append(left_index)
+        elif inter <= quarter - half_gap:
+            low.append(left_index)
+    return high, low
+
+
+class TestLemma43:
+    def test_high_and_low_fractions(self):
+        """Averaged over rounds, |L_high|/|L| and |L_low|/|L| sit in a
+        band around 1/2 (the finite-size analogue of [1/2 - 10c, 1/2]).
+        """
+        high_fracs, low_fracs = [], []
+        for seed in range(40):
+            inst, _ = build_round(seed)
+            high, low = high_low_sets(inst)
+            high_fracs.append(len(high) / PARAMS.group_size)
+            low_fracs.append(len(low) / PARAMS.group_size)
+        assert 0.2 <= float(np.mean(high_fracs)) <= 0.55
+        assert 0.2 <= float(np.mean(low_fracs)) <= 0.55
+
+    def test_high_and_low_disjoint(self):
+        for seed in range(10):
+            inst, _ = build_round(100 + seed)
+            high, low = high_low_sets(inst)
+            assert not (set(high) & set(low))
+
+    def test_planted_node_lands_on_its_promise_side(self):
+        for seed in range(15):
+            inst, _ = build_round(200 + seed)
+            high, low = high_low_sets(inst)
+            _, left_index, _ = PARAMS.locate_string(inst.index)
+            if inst.case.value == "low":  # LOW distance = HIGH intersection
+                assert left_index in high
+            else:
+                assert left_index in low
+
+
+class TestLemma44:
+    def test_argmax_subset_captures_most_of_l_high(self):
+        """The decoder's chosen Q contains >= 4/5 of L_high on average
+        (with an exact sketch the capture is essentially perfect)."""
+        capture_rates = []
+        for seed in range(20):
+            inst, encoded = build_round(300 + seed)
+            high, _ = high_low_sets(inst)
+            if not high:
+                continue
+            decoder = ForAllDecoder(PARAMS)
+            decision = decoder.decide(
+                ExactCutSketch(encoded.graph), inst.index, inst.query
+            )
+            pair, _, _ = PARAMS.locate_string(inst.index)
+            chosen = {idx for (g, idx) in decision.chosen_subset if g == pair}
+            capture_rates.append(len(set(high) & chosen) / len(high))
+        assert capture_rates, "no rounds with nonempty L_high"
+        assert float(np.mean(capture_rates)) >= 0.8

@@ -1,0 +1,127 @@
+"""Tests for repro.forall_lb params and encoder (Theorem 1.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.gap_hamming import sample_gap_hamming_instance
+from repro.errors import ParameterError
+from repro.forall_lb.encoder import ForAllEncoder
+from repro.forall_lb.params import ForAllParams
+from repro.graphs.balance import edgewise_balance_bound, is_beta_balanced
+from repro.graphs.connectivity import is_strongly_connected
+
+PARAMS = ForAllParams(inv_eps_sq=4, beta=1, num_groups=2)
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ForAllParams(inv_eps_sq=3, beta=1)  # odd
+        with pytest.raises(ParameterError):
+            ForAllParams(inv_eps_sq=4, beta=0)
+        with pytest.raises(ParameterError):
+            ForAllParams(inv_eps_sq=4, beta=1, num_groups=1)
+
+    def test_lemma_42_sizing(self):
+        p = ForAllParams(inv_eps_sq=4, beta=2, num_groups=2)
+        assert p.group_size == 8  # k = beta/eps^2
+        assert p.num_nodes == 16
+        assert p.strings_per_pair == 16  # k * beta
+        assert p.num_strings == 16
+        assert p.total_bits == 64  # h / eps^2
+        assert p.backward_weight == 0.5
+
+    @given(st.sampled_from([4, 8]), st.integers(1, 3), st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_total_bits_is_theorem_12_count(self, ies, beta, groups):
+        p = ForAllParams(inv_eps_sq=ies, beta=beta, num_groups=groups)
+        assert p.total_bits == (groups - 1) * beta**2 * ies * ies
+
+    def test_clusters_partition_right_group(self):
+        p = ForAllParams(inv_eps_sq=4, beta=3, num_groups=2)
+        nodes = []
+        for cluster in range(p.beta):
+            nodes.extend(p.cluster_nodes(1, cluster))
+        assert sorted(nodes) == sorted(p.group_nodes(1))
+
+    @given(st.sampled_from([4, 8]), st.integers(1, 2), st.integers(2, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_locate_string_bijection(self, ies, beta, groups):
+        p = ForAllParams(inv_eps_sq=ies, beta=beta, num_groups=groups)
+        seen = set()
+        for q in range(p.num_strings):
+            pair, left, cluster = p.locate_string(q)
+            assert 0 <= pair < groups - 1
+            assert 0 <= left < p.group_size
+            assert 0 <= cluster < beta
+            seen.add((pair, left, cluster))
+        assert len(seen) == p.num_strings
+
+    def test_locate_out_of_range(self):
+        with pytest.raises(ParameterError):
+            PARAMS.locate_string(PARAMS.num_strings)
+
+
+def _instance(params, seed):
+    return sample_gap_hamming_instance(
+        params.num_strings, params.string_length, rng=seed
+    )
+
+
+class TestEncoder:
+    def test_graph_shape(self):
+        inst = _instance(PARAMS, 0)
+        eg = ForAllEncoder(PARAMS).encode(inst.strings)
+        k = PARAMS.group_size
+        assert eg.graph.num_nodes == PARAMS.num_nodes
+        assert eg.graph.num_edges == 2 * k * k
+
+    def test_two_beta_balanced(self):
+        p = ForAllParams(inv_eps_sq=4, beta=2, num_groups=2)
+        inst = _instance(p, 1)
+        eg = ForAllEncoder(p).encode(inst.strings)
+        assert is_strongly_connected(eg.graph)
+        assert edgewise_balance_bound(eg.graph) <= 2 * p.beta + 1e-9
+        assert is_beta_balanced(eg.graph, 2 * p.beta)
+
+    def test_forward_weights_encode_bits(self):
+        inst = _instance(PARAMS, 2)
+        eg = ForAllEncoder(PARAMS).encode(inst.strings)
+        for q, s in enumerate(inst.strings):
+            pair, left, cluster = PARAMS.locate_string(q)
+            u = (pair, left)
+            for v, bit in zip(PARAMS.cluster_nodes(pair + 1, cluster), s):
+                assert eg.graph.weight(u, v) == pytest.approx(1.0 + float(bit))
+
+    def test_backward_weights(self):
+        inst = _instance(PARAMS, 3)
+        eg = ForAllEncoder(PARAMS).encode(inst.strings)
+        for v in PARAMS.group_nodes(1):
+            for u in PARAMS.group_nodes(0):
+                assert eg.graph.weight(v, u) == pytest.approx(
+                    PARAMS.backward_weight
+                )
+
+    def test_rejects_wrong_count(self):
+        with pytest.raises(ParameterError):
+            ForAllEncoder(PARAMS).encode([])
+
+    def test_rejects_bad_strings(self):
+        inst = _instance(PARAMS, 4)
+        strings = list(inst.strings)
+        strings[0] = np.array([2] * PARAMS.string_length, dtype=np.int8)
+        with pytest.raises(ParameterError):
+            ForAllEncoder(PARAMS).encode(strings)
+        strings[0] = np.ones(PARAMS.string_length + 1, dtype=np.int8)
+        with pytest.raises(ParameterError):
+            ForAllEncoder(PARAMS).encode(strings)
+
+    def test_chained_groups(self):
+        p = ForAllParams(inv_eps_sq=4, beta=1, num_groups=3)
+        inst = _instance(p, 5)
+        eg = ForAllEncoder(p).encode(inst.strings)
+        k = p.group_size
+        assert eg.graph.num_edges == 2 * (p.num_groups - 1) * k * k
+        assert is_strongly_connected(eg.graph)

@@ -1,0 +1,72 @@
+"""Tests for the end-to-end Index game (Theorem 1.1)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.foreach_lb.game import run_index_game
+from repro.foreach_lb.params import ForEachParams
+from repro.sketch.exact import ExactCutSketch
+from repro.sketch.noisy import NoisyForEachSketch
+
+PARAMS = ForEachParams(inv_eps=4, sqrt_beta=1, num_groups=2)
+
+
+class TestIndexGame:
+    def test_exact_sketch_wins_always(self):
+        result = run_index_game(
+            PARAMS, lambda g, r: ExactCutSketch(g), rounds=25, rng=0
+        )
+        # Only encoding failures (rare) can cost a round.
+        assert result.success_rate >= 0.9
+        assert result.mean_sketch_bits > 0
+
+    def test_valid_sketch_beats_two_thirds(self):
+        """The reduction's guarantee: a sketch within the proof's noise
+        tolerance lets Bob clear the Lemma 3.1 threshold."""
+        result = run_index_game(
+            PARAMS,
+            lambda g, r: NoisyForEachSketch(g, epsilon=0.01, rng=r),
+            rounds=40,
+            rng=1,
+        )
+        assert result.summary.rate > 2.0 / 3.0
+
+    def test_garbage_sketch_near_chance(self):
+        result = run_index_game(
+            PARAMS,
+            lambda g, r: NoisyForEachSketch(g, epsilon=0.95, rng=r),
+            rounds=60,
+            rng=2,
+        )
+        assert result.success_rate < 0.85
+
+    def test_fano_bits_monotone_in_success(self):
+        good = run_index_game(
+            PARAMS, lambda g, r: ExactCutSketch(g), rounds=20, rng=3
+        )
+        bad = run_index_game(
+            PARAMS,
+            lambda g, r: NoisyForEachSketch(g, epsilon=0.95, rng=r),
+            rounds=20,
+            rng=3,
+        )
+        assert good.fano_bits() >= bad.fano_bits()
+
+    def test_fano_bits_at_perfect_success_is_string_length(self):
+        result = run_index_game(
+            PARAMS, lambda g, r: ExactCutSketch(g), rounds=10, rng=4
+        )
+        if result.success_rate == 1.0:
+            assert result.fano_bits() == pytest.approx(
+                PARAMS.string_length, rel=1e-6
+            )
+
+    def test_rounds_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            run_index_game(PARAMS, lambda g, r: ExactCutSketch(g), rounds=0)
+
+    def test_deterministic_under_seed(self):
+        factory = lambda g, r: NoisyForEachSketch(g, epsilon=0.1, rng=r)
+        a = run_index_game(PARAMS, factory, rounds=15, rng=9)
+        b = run_index_game(PARAMS, factory, rounds=15, rng=9)
+        assert a.summary.successes == b.summary.successes

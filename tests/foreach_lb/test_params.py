@@ -1,0 +1,105 @@
+"""Tests for repro.foreach_lb.params."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.foreach_lb.params import ForEachParams
+
+
+class TestValidation:
+    def test_inv_eps_must_be_power_of_two(self):
+        with pytest.raises(ParameterError):
+            ForEachParams(inv_eps=3, sqrt_beta=1)
+        with pytest.raises(ParameterError):
+            ForEachParams(inv_eps=1, sqrt_beta=1)
+
+    def test_sqrt_beta_positive(self):
+        with pytest.raises(ParameterError):
+            ForEachParams(inv_eps=2, sqrt_beta=0)
+
+    def test_num_groups_at_least_two(self):
+        with pytest.raises(ParameterError):
+            ForEachParams(inv_eps=2, sqrt_beta=1, num_groups=1)
+
+
+class TestDerivedQuantities:
+    def test_lemma_33_sizing(self):
+        """inv_eps=4, sqrt_beta=2: the Lemma 3.3 special case n = 2k."""
+        p = ForEachParams(inv_eps=4, sqrt_beta=2, num_groups=2)
+        assert p.epsilon == 0.25
+        assert p.beta == 4
+        assert p.group_size == 8  # k = sqrt(beta)/eps
+        assert p.num_nodes == 16
+        assert p.bits_per_block == 9  # (1/eps - 1)^2
+        assert p.bits_per_pair == 36  # beta * (1/eps - 1)^2
+        assert p.string_length == 36
+        assert p.backward_weight == 0.25
+
+    def test_chained_groups_scale_linearly(self):
+        base = ForEachParams(inv_eps=4, sqrt_beta=1, num_groups=2)
+        chained = ForEachParams(inv_eps=4, sqrt_beta=1, num_groups=5)
+        assert chained.string_length == 4 * base.string_length
+        assert chained.num_nodes == 5 * base.group_size
+
+    @given(
+        st.sampled_from([2, 4, 8]),
+        st.integers(1, 3),
+        st.integers(2, 5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_string_length_is_theorem_11_count(self, inv_eps, sqrt_beta, groups):
+        p = ForEachParams(inv_eps=inv_eps, sqrt_beta=sqrt_beta, num_groups=groups)
+        expected = (groups - 1) * (sqrt_beta**2) * (inv_eps - 1) ** 2
+        assert p.string_length == expected
+
+
+class TestNodeAddressing:
+    def test_group_nodes(self):
+        p = ForEachParams(inv_eps=2, sqrt_beta=2, num_groups=2)
+        nodes = p.group_nodes(0)
+        assert len(nodes) == p.group_size
+        assert len(set(nodes)) == p.group_size
+
+    def test_cluster_nodes_partition_group(self):
+        p = ForEachParams(inv_eps=4, sqrt_beta=2, num_groups=2)
+        all_cluster_nodes = []
+        for cluster in range(p.sqrt_beta):
+            all_cluster_nodes.extend(p.cluster_nodes(0, cluster))
+        assert sorted(map(str, all_cluster_nodes)) == sorted(
+            map(str, p.group_nodes(0))
+        )
+
+    def test_bounds_checked(self):
+        p = ForEachParams(inv_eps=2, sqrt_beta=1, num_groups=2)
+        with pytest.raises(ParameterError):
+            p.group_nodes(2)
+        with pytest.raises(ParameterError):
+            p.cluster_nodes(0, 1)
+        with pytest.raises(ParameterError):
+            p.node_label(0, 0, 2)
+
+
+class TestBitLocation:
+    @given(st.sampled_from([2, 4]), st.integers(1, 2), st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_locate_bit_is_a_bijection(self, inv_eps, sqrt_beta, groups):
+        p = ForEachParams(inv_eps=inv_eps, sqrt_beta=sqrt_beta, num_groups=groups)
+        seen = set()
+        for q in range(p.string_length):
+            loc = p.locate_bit(q)
+            pair, ci, cj, t = loc
+            assert 0 <= pair < groups - 1
+            assert 0 <= ci < sqrt_beta
+            assert 0 <= cj < sqrt_beta
+            assert 0 <= t < p.bits_per_block
+            seen.add(loc)
+        assert len(seen) == p.string_length
+
+    def test_out_of_range(self):
+        p = ForEachParams(inv_eps=2, sqrt_beta=1, num_groups=2)
+        with pytest.raises(ParameterError):
+            p.locate_bit(-1)
+        with pytest.raises(ParameterError):
+            p.locate_bit(p.string_length)

@@ -1,0 +1,76 @@
+"""Tests for the Theorem 1.1 one-way protocol adapter."""
+
+import pytest
+
+from repro.comm.protocol import run_protocol
+from repro.errors import ParameterError, ProtocolError
+from repro.foreach_lb.encoder import ForEachEncoder
+from repro.foreach_lb.params import ForEachParams
+from repro.foreach_lb.protocol import (
+    IndexQuery,
+    SketchedGraphIndexProtocol,
+    deserialize_construction_graph,
+    serialize_construction_graph,
+)
+from repro.utils.bitstrings import random_signstring
+
+PARAMS = ForEachParams(inv_eps=4, sqrt_beta=1, num_groups=2)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        s = random_signstring(PARAMS.string_length, rng=0)
+        graph = ForEachEncoder(PARAMS).encode(s).graph
+        payload = serialize_construction_graph(graph, PARAMS)
+        restored = deserialize_construction_graph(payload, PARAMS)
+        assert restored.num_edges == graph.num_edges
+        for u, v, w in graph.edges():
+            assert restored.weight(u, v) == pytest.approx(w)
+
+    def test_byte_count_is_tight(self):
+        s = random_signstring(PARAMS.string_length, rng=1)
+        graph = ForEachEncoder(PARAMS).encode(s).graph
+        payload = serialize_construction_graph(graph, PARAMS)
+        assert len(payload) == 4 + graph.num_edges * 16
+
+    def test_truncated_message_rejected(self):
+        s = random_signstring(PARAMS.string_length, rng=2)
+        graph = ForEachEncoder(PARAMS).encode(s).graph
+        payload = serialize_construction_graph(graph, PARAMS)
+        with pytest.raises(ProtocolError):
+            deserialize_construction_graph(payload[:-3], PARAMS)
+        with pytest.raises(ProtocolError):
+            deserialize_construction_graph(b"", PARAMS)
+
+
+class TestProtocol:
+    def test_exact_mode_always_correct(self):
+        protocol = SketchedGraphIndexProtocol(PARAMS, mode="exact")
+        s = random_signstring(PARAMS.string_length, rng=3)
+        for q in range(0, PARAMS.string_length, 3):
+            run = run_protocol(protocol, s, IndexQuery(index=q))
+            assert run.answer == int(s[q])
+            assert run.message_bits > 0
+
+    def test_sparsified_mode_decodes_at_tight_epsilon(self):
+        protocol = SketchedGraphIndexProtocol(
+            PARAMS, mode="sparsified", sketch_epsilon=0.02, rng=4
+        )
+        s = random_signstring(PARAMS.string_length, rng=4)
+        hits = sum(
+            run_protocol(protocol, s, IndexQuery(index=q)).answer == int(s[q])
+            for q in range(PARAMS.string_length)
+        )
+        assert hits / PARAMS.string_length > 0.9
+
+    def test_message_bits_match_theorem_scale(self):
+        """The exact message carries the whole construction: Theta(k^2)
+        edges, i.e. Omega(string_length) bits — the Theorem 1.1 floor."""
+        protocol = SketchedGraphIndexProtocol(PARAMS, mode="exact")
+        s = random_signstring(PARAMS.string_length, rng=5)
+        run = run_protocol(protocol, s, IndexQuery(index=0))
+        assert run.message_bits >= PARAMS.string_length
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ParameterError):
+            SketchedGraphIndexProtocol(PARAMS, mode="bogus")

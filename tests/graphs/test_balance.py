@@ -1,0 +1,126 @@
+"""Tests for repro.graphs.balance (Definition 2.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.balance import (
+    edgewise_balance_bound,
+    exact_balance,
+    is_beta_balanced,
+    most_unbalanced_cut,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import (
+    cycle_digraph,
+    random_balanced_digraph,
+    random_eulerian_digraph,
+)
+
+
+def symmetric_pair(w_forward: float, w_backward: float) -> DiGraph:
+    g = DiGraph()
+    g.add_edge("a", "b", w_forward)
+    g.add_edge("b", "a", w_backward)
+    return g
+
+
+class TestExactBalance:
+    def test_symmetric_graph_is_1_balanced(self):
+        assert exact_balance(symmetric_pair(2.0, 2.0)) == pytest.approx(1.0)
+
+    def test_ratio_detected_both_directions(self):
+        assert exact_balance(symmetric_pair(6.0, 2.0)) == pytest.approx(3.0)
+        assert exact_balance(symmetric_pair(2.0, 6.0)) == pytest.approx(3.0)
+
+    def test_eulerian_graph_is_1_balanced(self):
+        g = random_eulerian_digraph(6, cycles=3, rng=0)
+        assert exact_balance(g) == pytest.approx(1.0)
+
+    def test_directed_cycle_is_maximally_unbalanced_but_connected(self):
+        # A pure cycle has w(backward) = 0 across every... no: every cut
+        # of a cycle has exactly one forward and one backward crossing
+        # arc, both of weight 1, so it is perfectly balanced.
+        g = cycle_digraph(5)
+        assert exact_balance(g) == pytest.approx(1.0)
+
+    def test_not_strongly_connected_raises(self):
+        g = DiGraph()
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(GraphError):
+            exact_balance(g)
+
+
+class TestEdgewiseBound:
+    def test_upper_bounds_exact(self):
+        for seed in range(5):
+            g = random_balanced_digraph(6, beta=5.0, density=0.5, rng=seed)
+            assert exact_balance(g) <= edgewise_balance_bound(g) + 1e-9
+
+    def test_missing_reverse_edge_gives_inf(self):
+        g = cycle_digraph(4)
+        assert edgewise_balance_bound(g) == math.inf
+
+    def test_zero_weight_reverse_is_unbalanced(self):
+        # The zero-weight edge itself imposes no constraint, but its
+        # positive reverse has a zero-weight reverse, so the bound is inf.
+        g = DiGraph()
+        g.add_edge("a", "b", 0.0)
+        g.add_edge("b", "a", 1.0)
+        assert edgewise_balance_bound(g) == math.inf
+
+    def test_zero_weight_both_directions_is_fine(self):
+        g = DiGraph()
+        g.add_edge("a", "b", 2.0)
+        g.add_edge("b", "a", 2.0)
+        g.add_edge("a", "c", 0.0)
+        g.add_edge("c", "a", 0.0)
+        assert edgewise_balance_bound(g) == 1.0
+
+    @given(st.integers(4, 8), st.floats(1.0, 10.0), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_generator_meets_its_promise(self, n, beta, seed):
+        g = random_balanced_digraph(n, beta=beta, rng=seed)
+        assert edgewise_balance_bound(g) <= beta + 1e-6
+
+
+class TestIsBetaBalanced:
+    def test_edgewise_mode(self):
+        g = symmetric_pair(4.0, 2.0)
+        assert is_beta_balanced(g, 2.0)
+        assert not is_beta_balanced(g, 1.5)
+
+    def test_exact_mode_can_accept_more(self):
+        # A cycle is exactly 1-balanced but edgewise infinity.
+        g = cycle_digraph(4)
+        assert not is_beta_balanced(g, 10.0, exact=False)
+        assert is_beta_balanced(g, 1.0, exact=True)
+
+    def test_disconnected_is_never_balanced(self):
+        g = DiGraph()
+        g.add_edge("a", "b", 1.0)
+        assert not is_beta_balanced(g, 100.0)
+
+    def test_beta_below_one_raises(self):
+        with pytest.raises(GraphError):
+            is_beta_balanced(symmetric_pair(1.0, 1.0), 0.5)
+
+
+class TestMostUnbalancedCut:
+    def test_finds_the_witness(self):
+        g = symmetric_pair(6.0, 2.0)
+        ratio, side = most_unbalanced_cut(g)
+        assert ratio == pytest.approx(3.0)
+        forward = g.cut_weight(side)
+        nodes = set(g.nodes())
+        backward = g.cut_weight(nodes - set(side))
+        assert forward / backward == pytest.approx(3.0)
+
+    def test_requires_strong_connectivity(self):
+        g = DiGraph()
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(GraphError):
+            most_unbalanced_cut(g)

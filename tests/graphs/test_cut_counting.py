@@ -1,0 +1,90 @@
+"""Tests for repro.graphs.cut_counting (Karger's n^{2 alpha} bound)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.cut_counting import cut_profile, near_minimum_counts
+from repro.graphs.generators import (
+    cycle_digraph,
+    planted_min_cut_ugraph,
+    random_connected_ugraph,
+)
+from repro.graphs.mincut import stoer_wagner
+from repro.graphs.ugraph import UGraph
+
+
+def cycle_ugraph(n):
+    g = UGraph()
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n, 1.0)
+    return g
+
+
+class TestCutProfile:
+    def test_min_matches_stoer_wagner(self):
+        g = random_connected_ugraph(8, extra_edge_prob=0.5, rng=0)
+        profile = cut_profile(g)
+        assert profile.min_value == pytest.approx(stoer_wagner(g)[0])
+
+    def test_cycle_min_cuts_counted_exactly(self):
+        """An n-cycle has exactly C(n, 2) minimum cuts (pick 2 edges)."""
+        n = 7
+        profile = cut_profile(cycle_ugraph(n))
+        assert profile.min_value == 2.0
+        assert profile.count_within_factor(1.0) == n * (n - 1) // 2
+
+    def test_counts_monotone_in_alpha(self):
+        g = random_connected_ugraph(8, extra_edge_prob=0.4, rng=1)
+        profile = cut_profile(g)
+        counts = [profile.count_within_factor(a) for a in (1.0, 1.5, 2.0, 3.0)]
+        assert counts == sorted(counts)
+
+    def test_total_cut_count(self):
+        g = random_connected_ugraph(6, rng=2)
+        profile = cut_profile(g)
+        assert len(profile.cuts) == 2 ** (6 - 1) - 1
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            cut_profile(UGraph(nodes=["a"]))
+        disconnected = UGraph(edges=[("a", "b", 1.0)])
+        disconnected.add_node("c")
+        with pytest.raises(GraphError):
+            cut_profile(disconnected)
+        g = cycle_ugraph(4)
+        with pytest.raises(GraphError):
+            cut_profile(g).count_within_factor(0.5)
+
+
+class TestKargerBound:
+    @given(st.integers(4, 9), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_bound_holds_on_random_graphs(self, n, seed):
+        """The paper's §1 fact: near-minimum cuts are poly(n)-many."""
+        g = random_connected_ugraph(n, extra_edge_prob=0.5, rng=seed)
+        profile = cut_profile(g)
+        for alpha in (1.0, 1.5, 2.0):
+            assert profile.respects_karger_bound(alpha)
+
+    def test_bound_holds_on_planted_instances(self):
+        g, _ = planted_min_cut_ugraph(6, 2, rng=3)
+        profile = cut_profile(g)
+        for alpha in (1.0, 2.0, 3.0):
+            assert profile.respects_karger_bound(alpha)
+
+    def test_cycle_is_near_the_tight_case(self):
+        """Cycles maximize min-cut counts: C(n,2) vs bound n^2."""
+        profile = cut_profile(cycle_ugraph(8))
+        count = profile.count_within_factor(1.0)
+        assert count == 28
+        assert count <= profile.karger_bound(1.0)
+        assert profile.karger_bound(1.0) == pytest.approx(64.0)
+
+    def test_near_minimum_counts_helper(self):
+        g = cycle_ugraph(6)
+        table = near_minimum_counts(g, [1.0, 2.0])
+        assert table[1.0][0] == 15
+        assert table[1.0][1] == pytest.approx(36.0)
+        assert table[2.0][0] >= table[1.0][0]

@@ -1,0 +1,120 @@
+"""Property tests on cut-value identities the reductions rely on.
+
+Small algebraic facts used silently throughout the paper's proofs:
+cut decomposition into directed parts, complement symmetry, reversal,
+bilinearity of ``w(S, T)`` over disjoint unions, and the relation
+between directed cuts and the symmetrization.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.cuts import enumerate_cut_sides
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_balanced_digraph, random_connected_ugraph
+from repro.graphs.ugraph import symmetrize
+from repro.utils.rng import ensure_rng
+
+
+def random_digraph(n, seed, density=0.5):
+    gen = ensure_rng(seed)
+    g = DiGraph(nodes=range(n))
+    for u in range(n):
+        for v in range(n):
+            if u != v and gen.random() < density:
+                g.add_edge(u, v, float(gen.uniform(0.5, 3.0)))
+    return g
+
+
+class TestDirectedCutIdentities:
+    @given(st.integers(3, 8), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_directed_cuts_sum_to_symmetrized_cut(self, n, seed):
+        """w(S, V\\S) + w(V\\S, S) equals the undirected cut of the
+        symmetrization — the identity behind the balanced-digraph
+        sparsifier's error analysis."""
+        g = random_digraph(n, seed)
+        u = symmetrize(g)
+        nodes = set(g.nodes())
+        for side in enumerate_cut_sides(g.nodes(), pinned=g.nodes()[0]):
+            forward = g.cut_weight(side)
+            backward = g.cut_weight(nodes - set(side))
+            assert forward + backward == pytest.approx(u.cut_weight(side))
+
+    @given(st.integers(3, 8), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_reversal_swaps_cut_directions(self, n, seed):
+        g = random_digraph(n, seed)
+        rev = g.reverse()
+        nodes = set(g.nodes())
+        for side in enumerate_cut_sides(g.nodes(), pinned=g.nodes()[0]):
+            assert rev.cut_weight(side) == pytest.approx(
+                g.cut_weight(nodes - set(side))
+            )
+
+    @given(st.integers(4, 8), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_weight_between_is_additive_in_target(self, n, seed):
+        """w(S, T1 u T2) = w(S, T1) + w(S, T2) for disjoint targets —
+        what lets the for-all decoder estimate w(U, T) additively."""
+        g = random_digraph(n, seed)
+        nodes = g.nodes()
+        src = set(nodes[: n // 3 + 1])
+        rest = [v for v in nodes if v not in src]
+        t1 = set(rest[: len(rest) // 2])
+        t2 = set(rest[len(rest) // 2 :])
+        if not t1 or not t2:
+            return
+        assert g.directed_weight_between(src, t1 | t2) == pytest.approx(
+            g.directed_weight_between(src, t1)
+            + g.directed_weight_between(src, t2)
+        )
+
+    @given(st.integers(3, 8), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_cut_equals_weight_between_complement(self, n, seed):
+        g = random_digraph(n, seed)
+        nodes = set(g.nodes())
+        for side in enumerate_cut_sides(g.nodes(), pinned=g.nodes()[0]):
+            assert g.cut_weight(side) == pytest.approx(
+                g.directed_weight_between(set(side), nodes - set(side))
+            )
+
+    @given(st.integers(3, 8), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_scaling_weights_scales_cuts(self, n, seed):
+        g = random_digraph(n, seed)
+        doubled = g.scale_weights(2.0)
+        side = {g.nodes()[0]}
+        assert doubled.cut_weight(side) == pytest.approx(2 * g.cut_weight(side))
+
+
+class TestBalanceIdentities:
+    @given(st.integers(3, 7), st.floats(1.0, 6.0), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_balance_bounds_cut_ratio_everywhere(self, n, beta, seed):
+        """Definition 2.1 unrolled: on a certified beta-balanced graph,
+        every cut's directional ratio is within [1/beta, beta]."""
+        g = random_balanced_digraph(n, beta=beta, rng=seed)
+        nodes = set(g.nodes())
+        for side in enumerate_cut_sides(g.nodes(), pinned=g.nodes()[0]):
+            forward = g.cut_weight(side)
+            backward = g.cut_weight(nodes - set(side))
+            if backward > 0:
+                assert forward <= beta * backward + 1e-9
+            if forward > 0:
+                assert backward <= beta * forward + 1e-9
+
+    @given(st.integers(3, 8), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_undirected_cut_halves_bound_directed(self, n, seed):
+        """w(S, V\\S) <= sym_cut(S) <= 2 * max-direction — the coarse
+        inequalities the E8/E9 analyses use."""
+        g = random_connected_ugraph(n, extra_edge_prob=0.4, rng=seed)
+        d = DiGraph(nodes=g.nodes())
+        for u, v, w in g.edges():
+            d.add_edge(u, v, w)
+            d.add_edge(v, u, w)
+        for side in enumerate_cut_sides(g.nodes(), pinned=g.nodes()[0]):
+            assert d.cut_weight(side) == pytest.approx(g.cut_weight(side))

@@ -1,0 +1,112 @@
+"""Tests for repro.graphs.cuts (enumeration and brute-force ground truth)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.cuts import (
+    all_directed_cut_values,
+    all_undirected_cut_values,
+    brute_force_directed_min_cut,
+    brute_force_min_cut,
+    enumerate_cut_sides,
+    max_cut_error,
+    max_directed_cut_error,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_connected_ugraph
+from repro.graphs.ugraph import UGraph
+
+
+class TestEnumerateCutSides:
+    def test_counts_directed(self):
+        sides = list(enumerate_cut_sides(["a", "b", "c"]))
+        assert len(sides) == 2**3 - 2
+
+    def test_counts_pinned(self):
+        sides = list(enumerate_cut_sides(["a", "b", "c", "d"], pinned="a"))
+        assert len(sides) == 2**3 - 1
+        assert all("a" in side for side in sides)
+
+    def test_no_trivial_sides(self):
+        sides = list(enumerate_cut_sides(["a", "b"]))
+        assert frozenset() not in sides
+        assert frozenset({"a", "b"}) not in sides
+
+    def test_single_node_yields_nothing(self):
+        assert list(enumerate_cut_sides(["a"])) == []
+
+    def test_pinned_must_exist(self):
+        with pytest.raises(GraphError):
+            list(enumerate_cut_sides(["a", "b"], pinned="zzz"))
+
+    def test_size_limit_enforced(self):
+        with pytest.raises(GraphError):
+            list(enumerate_cut_sides(list(range(30))))
+
+
+class TestBruteForce:
+    def test_min_cut_of_path(self):
+        g = UGraph(edges=[("a", "b", 5.0), ("b", "c", 1.0)])
+        value, side = brute_force_min_cut(g)
+        assert value == 1.0
+        assert side in (frozenset({"a", "b"}), frozenset({"c"}))
+
+    def test_directed_min_cut(self):
+        g = DiGraph()
+        g.add_edge("a", "b", 5.0)
+        g.add_edge("b", "a", 1.0)
+        value, side = brute_force_directed_min_cut(g)
+        assert value == 1.0
+        assert side == frozenset({"b"})
+
+    def test_too_small_raises(self):
+        with pytest.raises(GraphError):
+            brute_force_min_cut(UGraph(nodes=["a"]))
+        with pytest.raises(GraphError):
+            brute_force_directed_min_cut(DiGraph(nodes=["a"]))
+
+    def test_undirected_enumeration_counts_each_cut_once(self):
+        g = UGraph(edges=[("a", "b", 1.0), ("b", "c", 1.0)])
+        cuts = list(all_undirected_cut_values(g))
+        assert len(cuts) == 2**2 - 1
+
+    def test_directed_enumeration_counts_orientations(self):
+        g = DiGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "a", 3.0)
+        values = dict(all_directed_cut_values(g))
+        assert values[frozenset({"a"})] == 1.0
+        assert values[frozenset({"b"})] == 3.0
+
+
+class TestMaxCutError:
+    def test_exact_oracle_has_zero_error(self):
+        g = random_connected_ugraph(6, rng=0)
+        assert max_cut_error(g, g.cut_weight) == 0.0
+
+    def test_scaled_oracle_error(self):
+        g = random_connected_ugraph(6, rng=1)
+        err = max_cut_error(g, lambda side: 1.1 * g.cut_weight(side))
+        assert err == pytest.approx(0.1)
+
+    def test_zero_cut_must_be_exact(self):
+        g = UGraph(edges=[("a", "b", 1.0)])
+        g.add_node("c")  # isolated: cut({c}) = 0
+        err = max_cut_error(g, lambda side: g.cut_weight(side) + 0.5)
+        assert err == float("inf")
+
+    def test_directed_variant(self):
+        g = DiGraph()
+        g.add_edge("a", "b", 2.0)
+        g.add_edge("b", "a", 1.0)
+        err = max_directed_cut_error(g, lambda side: 0.9 * g.cut_weight(side))
+        assert err == pytest.approx(0.1)
+
+    @given(st.integers(3, 7), st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_error_of_unbiased_perturbation_bounded(self, n, seed):
+        g = random_connected_ugraph(n, rng=seed)
+        err = max_cut_error(g, lambda side: g.cut_weight(side) * 1.05)
+        assert err == pytest.approx(0.05)

@@ -1,0 +1,134 @@
+"""Tests for repro.graphs.generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.graphs.balance import edgewise_balance_bound, exact_balance
+from repro.graphs.connectivity import is_strongly_connected
+from repro.graphs.generators import (
+    complete_bipartite_digraph,
+    cycle_digraph,
+    planted_min_cut_ugraph,
+    random_balanced_digraph,
+    random_connected_ugraph,
+    random_eulerian_digraph,
+    random_regularish_ugraph,
+)
+from repro.graphs.mincut import stoer_wagner
+
+
+class TestRandomConnectedUGraph:
+    @given(st.integers(1, 20), st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_connected(self, n, seed):
+        g = random_connected_ugraph(n, rng=seed)
+        assert g.num_nodes == n
+        assert g.is_connected()
+
+    def test_extra_edges_increase_density(self):
+        sparse = random_connected_ugraph(20, extra_edge_prob=0.0, rng=1)
+        dense = random_connected_ugraph(20, extra_edge_prob=0.9, rng=1)
+        assert sparse.num_edges == 19  # exactly a tree
+        assert dense.num_edges > sparse.num_edges
+
+    def test_weight_range_respected(self):
+        g = random_connected_ugraph(10, rng=2, weight_range=(2.0, 3.0))
+        assert all(2.0 <= w <= 3.0 for _, _, w in g.edges())
+
+    def test_bad_params(self):
+        with pytest.raises(ParameterError):
+            random_connected_ugraph(0)
+        with pytest.raises(ParameterError):
+            random_connected_ugraph(5, extra_edge_prob=1.5)
+
+
+class TestRegularish:
+    def test_degrees_near_target(self):
+        g = random_regularish_ugraph(20, 6, rng=3)
+        degrees = [g.degree(v) for v in g.nodes()]
+        assert max(degrees) <= 6
+        assert min(degrees) >= 2
+
+    def test_connected(self):
+        assert random_regularish_ugraph(15, 4, rng=4).is_connected()
+
+    def test_bad_params(self):
+        with pytest.raises(ParameterError):
+            random_regularish_ugraph(2, 4)
+        with pytest.raises(ParameterError):
+            random_regularish_ugraph(10, 1)
+
+
+class TestPlantedMinCut:
+    @given(st.integers(4, 10), st.integers(1, 3), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_min_cut_is_planted_value(self, cluster, cut, seed):
+        if cut > cluster - 2:
+            return
+        g, k = planted_min_cut_ugraph(cluster, cut, rng=seed)
+        assert k == cut
+        value, _ = stoer_wagner(g)
+        assert value == pytest.approx(float(k))
+
+    def test_two_clusters_of_requested_size(self):
+        g, _ = planted_min_cut_ugraph(6, 2, rng=0)
+        assert g.num_nodes == 12
+
+    def test_bad_params(self):
+        with pytest.raises(ParameterError):
+            planted_min_cut_ugraph(2, 1)
+        with pytest.raises(ParameterError):
+            planted_min_cut_ugraph(5, 0)
+        with pytest.raises(ParameterError):
+            planted_min_cut_ugraph(5, 4)
+
+
+class TestCompleteBipartite:
+    def test_edge_counts_and_weights(self):
+        g = complete_bipartite_digraph(["l0", "l1"], ["r0", "r1", "r2"], 2.0, 0.5)
+        assert g.num_edges == 2 * 2 * 3
+        assert g.weight("l0", "r1") == 2.0
+        assert g.weight("r1", "l0") == 0.5
+
+    def test_strongly_connected(self):
+        g = complete_bipartite_digraph([0, 1], [2, 3], 1.0, 1.0)
+        assert is_strongly_connected(g)
+
+    def test_overlapping_parts_rejected(self):
+        with pytest.raises(ParameterError):
+            complete_bipartite_digraph([0, 1], [1, 2], 1.0, 1.0)
+
+
+class TestBalancedDigraph:
+    @given(st.integers(3, 10), st.floats(1.0, 8.0), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_certified_balance_and_connectivity(self, n, beta, seed):
+        g = random_balanced_digraph(n, beta=beta, rng=seed)
+        assert is_strongly_connected(g)
+        assert edgewise_balance_bound(g) <= beta + 1e-6
+
+    def test_beta_below_one_rejected(self):
+        with pytest.raises(ParameterError):
+            random_balanced_digraph(5, beta=0.9)
+
+
+class TestEulerian:
+    @given(st.integers(3, 10), st.integers(1, 4), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_in_weight_equals_out_weight(self, n, cycles, seed):
+        g = random_eulerian_digraph(n, cycles=cycles, rng=seed)
+        for node in g.nodes():
+            assert g.in_weight(node) == pytest.approx(g.out_weight(node))
+
+    def test_exactly_1_balanced(self):
+        g = random_eulerian_digraph(6, cycles=2, rng=9)
+        assert exact_balance(g) == pytest.approx(1.0)
+
+    def test_cycle_digraph(self):
+        g = cycle_digraph(4, weight=2.0)
+        assert g.num_edges == 4
+        assert is_strongly_connected(g)
+        with pytest.raises(ParameterError):
+            cycle_digraph(1)

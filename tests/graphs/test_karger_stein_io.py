@@ -1,0 +1,123 @@
+"""Tests for repro.graphs.karger_stein and repro.graphs.io."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import (
+    planted_min_cut_ugraph,
+    random_balanced_digraph,
+    random_connected_ugraph,
+)
+from repro.graphs.io import (
+    dump_edges,
+    load_digraph,
+    load_ugraph,
+    read_ugraph,
+    write_graph,
+)
+from repro.graphs.karger_stein import karger_stein_min_cut
+from repro.graphs.mincut import stoer_wagner
+from repro.graphs.ugraph import UGraph
+
+
+class TestKargerStein:
+    @given(st.integers(4, 10), st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_stoer_wagner(self, n, seed):
+        g = random_connected_ugraph(
+            n, extra_edge_prob=0.5, rng=seed, weight_range=(0.5, 3.0)
+        )
+        ks_value, ks_side = karger_stein_min_cut(g, rng=seed)
+        sw_value, _ = stoer_wagner(g)
+        assert ks_value == pytest.approx(sw_value)
+        assert g.cut_weight(ks_side) == pytest.approx(sw_value)
+
+    def test_planted_cut(self):
+        g, k = planted_min_cut_ugraph(9, 2, rng=1)
+        value, _ = karger_stein_min_cut(g, rng=1)
+        assert value == pytest.approx(float(k))
+
+    def test_disconnected_returns_zero(self):
+        g = UGraph(edges=[("a", "b", 1.0), ("c", "d", 1.0)])
+        value, _ = karger_stein_min_cut(g, rng=2)
+        assert value == 0.0
+
+    def test_two_nodes(self):
+        g = UGraph(edges=[("a", "b", 2.5)])
+        value, side = karger_stein_min_cut(g, rng=3)
+        assert value == 2.5
+
+    def test_too_small_raises(self):
+        with pytest.raises(GraphError):
+            karger_stein_min_cut(UGraph(nodes=["a"]))
+
+    def test_explicit_repetitions(self):
+        g = random_connected_ugraph(7, rng=4)
+        value, _ = karger_stein_min_cut(g, repetitions=3, rng=4)
+        assert value >= stoer_wagner(g)[0] - 1e-9
+
+
+class TestGraphIO:
+    def test_ugraph_roundtrip(self):
+        g = random_connected_ugraph(8, extra_edge_prob=0.4, rng=5)
+        restored = load_ugraph(dump_edges(g))
+        assert set(restored.nodes()) == set(g.nodes())
+        assert restored.num_edges == g.num_edges
+        for u, v, w in g.edges():
+            assert restored.weight(u, v) == pytest.approx(w)
+
+    def test_digraph_roundtrip_preserves_direction(self):
+        g = random_balanced_digraph(6, beta=3.0, rng=6)
+        restored = load_digraph(dump_edges(g))
+        for u, v, w in g.edges():
+            assert restored.weight(u, v) == pytest.approx(w)
+        assert restored.num_edges == g.num_edges
+
+    def test_isolated_nodes_survive(self):
+        g = UGraph(nodes=["lonely", "a", "b"])
+        g.add_edge("a", "b", 1.0)
+        restored = load_ugraph(dump_edges(g))
+        assert restored.has_node("lonely")
+
+    def test_stream_roundtrip(self):
+        g = random_connected_ugraph(5, rng=7)
+        buffer = io.StringIO()
+        write_graph(g, buffer)
+        buffer.seek(0)
+        restored = read_ugraph(buffer)
+        assert restored.num_edges == g.num_edges
+
+    def test_kind_mismatch_rejected(self):
+        g = DiGraph()
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(GraphError):
+            load_ugraph(dump_edges(g))
+        u = UGraph(edges=[("a", "b", 1.0)])
+        with pytest.raises(GraphError):
+            load_digraph(dump_edges(u))
+
+    def test_integer_labels_parse_back_as_ints(self):
+        g = UGraph(edges=[(0, 1, 2.0)])
+        restored = load_ugraph(dump_edges(g))
+        assert restored.has_edge(0, 1)
+
+    def test_malformed_lines_rejected(self):
+        with pytest.raises(GraphError):
+            load_ugraph("a b\n")
+        with pytest.raises(GraphError):
+            load_ugraph("a b notaweight\n")
+
+    def test_whitespace_label_rejected(self):
+        g = UGraph(edges=[("bad label", "b", 1.0)])
+        with pytest.raises(GraphError):
+            dump_edges(g)
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# a comment\n\n0 1 1.0\n"
+        restored = load_ugraph(text)
+        assert restored.has_edge(0, 1)

@@ -1,0 +1,134 @@
+"""Tests for repro.graphs.strong_components."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.connectivity import is_strongly_connected
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import cycle_digraph, random_balanced_digraph
+from repro.graphs.strong_components import (
+    condensation,
+    strongly_connected_components,
+    unbalanced_witness,
+)
+from repro.utils.rng import ensure_rng
+
+
+def random_digraph(n, seed, density=0.3):
+    gen = ensure_rng(seed)
+    g = DiGraph(nodes=range(n))
+    for u in range(n):
+        for v in range(n):
+            if u != v and gen.random() < density:
+                g.add_edge(u, v, 1.0)
+    return g
+
+
+class TestSCC:
+    def test_cycle_is_one_component(self):
+        comps = strongly_connected_components(cycle_digraph(5))
+        assert len(comps) == 1
+        assert comps[0] == set(range(5))
+
+    def test_dag_has_singleton_components(self):
+        g = DiGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 1.0)
+        comps = strongly_connected_components(g)
+        assert sorted(len(c) for c in comps) == [1, 1, 1]
+
+    def test_two_cycles_joined_one_way(self):
+        g = cycle_digraph(3)
+        for i in range(3):
+            g.add_edge(10 + i, 10 + (i + 1) % 3, 1.0)
+        g.add_edge(0, 10, 1.0)  # bridge, one direction only
+        comps = strongly_connected_components(g)
+        assert sorted(len(c) for c in comps) == [3, 3]
+
+    def test_isolated_nodes(self):
+        g = DiGraph(nodes=["a", "b"])
+        comps = strongly_connected_components(g)
+        assert len(comps) == 2
+
+    @given(st.integers(2, 12), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_components_partition_nodes(self, n, seed):
+        g = random_digraph(n, seed)
+        comps = strongly_connected_components(g)
+        seen = [node for comp in comps for node in comp]
+        assert sorted(seen) == sorted(g.nodes())
+
+    @given(st.integers(2, 10), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_single_component_iff_strongly_connected(self, n, seed):
+        g = random_digraph(n, seed)
+        comps = strongly_connected_components(g)
+        assert (len(comps) == 1) == is_strongly_connected(g)
+
+    def test_deep_chain_no_recursion_error(self):
+        g = DiGraph()
+        for i in range(3000):
+            g.add_edge(i, i + 1, 1.0)
+        comps = strongly_connected_components(g)
+        assert len(comps) == 3001
+
+
+class TestCondensation:
+    def test_condensation_is_acyclic(self):
+        g = random_digraph(10, seed=1, density=0.4)
+        dag = condensation(g)
+        assert len(strongly_connected_components(dag)) == dag.num_nodes
+
+    def test_weights_aggregate(self):
+        g = cycle_digraph(2)  # a <-> b via weights 1
+        g.add_edge(0, "t", 2.0)
+        g.add_edge(1, "t", 3.0)
+        dag = condensation(g)
+        src = frozenset({0, 1})
+        dst = frozenset({"t"})
+        assert dag.weight(src, dst) == pytest.approx(5.0)
+
+    @given(st.integers(2, 10), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_reverse_topological_emission_order(self, n, seed):
+        g = random_digraph(n, seed)
+        comps = strongly_connected_components(g)
+        position = {frozenset(c): i for i, c in enumerate(comps)}
+        dag = condensation(g)
+        for cu, cv, _ in dag.edges():
+            # Successors (cv) are emitted before predecessors (cu).
+            assert position[cv] < position[cu]
+
+
+class TestUnbalancedWitness:
+    def test_strongly_connected_has_no_witness(self):
+        g = random_balanced_digraph(8, beta=3.0, rng=2)
+        assert unbalanced_witness(g) is None
+
+    def test_witness_has_zero_backward_weight(self):
+        g = DiGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "a", 1.0)
+        g.add_edge("a", "c", 5.0)  # nothing returns from c
+        g.add_edge("c", "d", 1.0)
+        g.add_edge("d", "c", 1.0)
+        witness = unbalanced_witness(g)
+        assert witness is not None
+        nodes = set(g.nodes())
+        assert g.cut_weight(nodes - set(witness)) == 0.0
+
+    @given(st.integers(3, 10), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_witness_exists_iff_not_strongly_connected(self, n, seed):
+        g = random_digraph(n, seed, density=0.25)
+        witness = unbalanced_witness(g)
+        if is_strongly_connected(g):
+            assert witness is None
+        else:
+            assert witness is not None
+            nodes = set(g.nodes())
+            assert g.cut_weight(nodes - set(witness)) == 0.0
+
+    def test_trivial_graph(self):
+        assert unbalanced_witness(DiGraph(nodes=["a"])) is None

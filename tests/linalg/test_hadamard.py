@@ -1,0 +1,125 @@
+"""Tests for repro.linalg.hadamard — Lemma 3.2's three conditions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.linalg.hadamard import (
+    Lemma32Matrix,
+    is_power_of_two,
+    sylvester_hadamard,
+)
+from repro.utils.bitstrings import random_signstring
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        for v in (1, 2, 4, 8, 1024):
+            assert is_power_of_two(v)
+
+    def test_non_powers(self):
+        for v in (0, -2, 3, 6, 12, 1000):
+            assert not is_power_of_two(v)
+
+
+class TestSylvesterHadamard:
+    @pytest.mark.parametrize("order", [1, 2, 4, 8, 16, 32])
+    def test_orthogonal_rows(self, order):
+        h = sylvester_hadamard(order).astype(np.int64)
+        assert np.array_equal(h @ h.T, order * np.eye(order, dtype=np.int64))
+
+    @pytest.mark.parametrize("order", [2, 4, 8, 16])
+    def test_first_row_all_ones_rest_balanced(self, order):
+        h = sylvester_hadamard(order)
+        assert np.all(h[0] == 1)
+        assert np.all(h[1:].sum(axis=1) == 0)
+
+    def test_entries_are_signs(self):
+        h = sylvester_hadamard(16)
+        assert set(np.unique(h)) == {-1, 1}
+
+    def test_bad_order_raises(self):
+        with pytest.raises(ParameterError):
+            sylvester_hadamard(3)
+        with pytest.raises(ParameterError):
+            sylvester_hadamard(0)
+
+
+class TestLemma32Matrix:
+    @pytest.mark.parametrize("side", [2, 4, 8])
+    def test_dimensions(self, side):
+        m = Lemma32Matrix(side)
+        assert m.num_rows == (side - 1) ** 2
+        assert m.row_length == side * side
+        assert m.dense().shape == (m.num_rows, m.row_length)
+
+    @pytest.mark.parametrize("side", [2, 4, 8])
+    def test_condition_1_rows_balanced(self, side):
+        dense = Lemma32Matrix(side).dense().astype(np.int64)
+        assert np.all(dense.sum(axis=1) == 0)
+
+    @pytest.mark.parametrize("side", [2, 4, 8])
+    def test_condition_2_rows_orthogonal(self, side):
+        m = Lemma32Matrix(side)
+        dense = m.dense().astype(np.int64)
+        gram = dense @ dense.T
+        assert np.array_equal(gram, m.row_length * np.eye(m.num_rows, dtype=np.int64))
+
+    @pytest.mark.parametrize("side", [2, 4, 8])
+    def test_condition_3_tensor_factors_balanced(self, side):
+        m = Lemma32Matrix(side)
+        for row in m.rows():
+            assert int(row.u.sum()) == 0
+            assert int(row.v.sum()) == 0
+            assert np.array_equal(row.dense(), np.kron(row.u, row.v))
+
+    def test_side_sets_are_half_sized(self):
+        m = Lemma32Matrix(8)
+        for row in m.rows():
+            assert len(row.side_a) == 4
+            assert len(row.side_b) == 4
+
+    def test_bad_side_raises(self):
+        with pytest.raises(ParameterError):
+            Lemma32Matrix(3)
+        with pytest.raises(ParameterError):
+            Lemma32Matrix(1)
+
+    def test_row_index_bounds(self):
+        m = Lemma32Matrix(4)
+        with pytest.raises(ParameterError):
+            m.row(-1)
+        with pytest.raises(ParameterError):
+            m.row(m.num_rows)
+
+    @pytest.mark.parametrize("side", [2, 4, 8])
+    def test_combine_matches_dense_superposition(self, side):
+        m = Lemma32Matrix(side)
+        signs = random_signstring(m.num_rows, rng=side)
+        expected = (
+            signs.astype(np.int64)[:, None] * m.dense().astype(np.int64)
+        ).sum(axis=0)
+        assert np.array_equal(m.combine(signs), expected)
+
+    @given(st.sampled_from([2, 4, 8]), st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_combine_decode_roundtrip(self, side, seed):
+        m = Lemma32Matrix(side)
+        signs = random_signstring(m.num_rows, rng=seed)
+        x = m.combine(signs)
+        for t in range(m.num_rows):
+            assert m.decode_coefficient(x, t) == pytest.approx(float(signs[t]))
+
+    def test_combine_validates_signs(self):
+        m = Lemma32Matrix(4)
+        with pytest.raises(ParameterError):
+            m.combine(np.zeros(m.num_rows, dtype=np.int8))
+        with pytest.raises(ParameterError):
+            m.combine(np.ones(m.num_rows + 1, dtype=np.int8))
+
+    def test_decode_validates_length(self):
+        m = Lemma32Matrix(4)
+        with pytest.raises(ParameterError):
+            m.decode_coefficient(np.zeros(5), 0)

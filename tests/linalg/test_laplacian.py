@@ -1,0 +1,143 @@
+"""Tests for repro.linalg.laplacian."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.cuts import all_undirected_cut_values
+from repro.graphs.generators import random_connected_ugraph
+from repro.graphs.ugraph import UGraph
+from repro.linalg.laplacian import (
+    effective_resistances,
+    indicator_vector,
+    laplacian_matrix,
+    node_order,
+    quadratic_form,
+    spectral_distortion,
+)
+
+
+class TestLaplacianMatrix:
+    def test_small_example(self):
+        g = UGraph(edges=[("a", "b", 2.0), ("b", "c", 1.0)])
+        lap = laplacian_matrix(g, order=["a", "b", "c"])
+        expected = np.array(
+            [[2.0, -2.0, 0.0], [-2.0, 3.0, -1.0], [0.0, -1.0, 1.0]]
+        )
+        assert np.allclose(lap, expected)
+
+    @given(st.integers(2, 10), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_rows_sum_to_zero_and_symmetric(self, n, seed):
+        g = random_connected_ugraph(n, extra_edge_prob=0.4, rng=seed)
+        lap = laplacian_matrix(g)
+        assert np.allclose(lap.sum(axis=1), 0.0)
+        assert np.allclose(lap, lap.T)
+
+    @given(st.integers(2, 8), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_positive_semidefinite(self, n, seed):
+        g = random_connected_ugraph(n, rng=seed, weight_range=(0.5, 2.0))
+        eigenvalues = np.linalg.eigvalsh(laplacian_matrix(g))
+        assert eigenvalues.min() > -1e-9
+
+    def test_bad_order_rejected(self):
+        g = UGraph(edges=[("a", "b", 1.0)])
+        with pytest.raises(GraphError):
+            laplacian_matrix(g, order=["a"])
+
+
+class TestQuadraticForm:
+    @given(st.integers(3, 9), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_indicator_gives_cut_value(self, n, seed):
+        """x^T L x = cut(S) for x = 1_S — the bridge between spectral
+        and cut sparsification."""
+        g = random_connected_ugraph(
+            n, extra_edge_prob=0.4, rng=seed, weight_range=(0.5, 3.0)
+        )
+        order = node_order(g)
+        lap = laplacian_matrix(g, order)
+        for side, value in all_undirected_cut_values(g):
+            x = indicator_vector(order, set(side))
+            assert quadratic_form(lap, x) == pytest.approx(value)
+
+    def test_constant_vector_is_in_kernel(self):
+        g = random_connected_ugraph(6, rng=0)
+        lap = laplacian_matrix(g)
+        assert quadratic_form(lap, np.ones(6)) == pytest.approx(0.0)
+
+    def test_dimension_checked(self):
+        g = UGraph(edges=[("a", "b", 1.0)])
+        with pytest.raises(GraphError):
+            quadratic_form(laplacian_matrix(g), np.ones(3))
+
+    def test_indicator_rejects_unknown_nodes(self):
+        with pytest.raises(GraphError):
+            indicator_vector(["a", "b"], {"zzz"})
+
+
+class TestEffectiveResistances:
+    def test_series_resistors(self):
+        g = UGraph(edges=[("a", "b", 1.0), ("b", "c", 1.0)])
+        res = effective_resistances(g)
+        assert res[("a", "b")] == pytest.approx(1.0)
+        assert res[("b", "c")] == pytest.approx(1.0)
+
+    def test_parallel_paths_halve_resistance(self):
+        # A 4-cycle: each edge sees 1 ohm in series with 3 in parallel.
+        g = UGraph()
+        for u, v in (("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")):
+            g.add_edge(u, v, 1.0)
+        res = effective_resistances(g)
+        for value in res.values():
+            assert value == pytest.approx(0.75)
+
+    @given(st.integers(3, 10), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_fosters_theorem(self, n, seed):
+        """sum_e w_e R_e = n - 1 for connected graphs."""
+        g = random_connected_ugraph(
+            n, extra_edge_prob=0.4, rng=seed, weight_range=(0.5, 2.0)
+        )
+        res = effective_resistances(g)
+        total = sum(w * res[(u, v)] for u, v, w in g.edges())
+        assert total == pytest.approx(n - 1)
+
+    def test_bridge_has_unit_leverage(self):
+        g = random_connected_ugraph(5, extra_edge_prob=0.9, rng=3)
+        g.add_edge("pendant", 0, 2.0)
+        res = effective_resistances(g)
+        # A bridge's leverage w * R is exactly 1 (key order follows the
+        # edge iterator, so accept either orientation).
+        value = res.get(("pendant", 0), res.get((0, "pendant")))
+        assert 2.0 * value == pytest.approx(1.0)
+
+    def test_disconnected_rejected(self):
+        g = UGraph(edges=[("a", "b", 1.0)])
+        g.add_node("c")
+        with pytest.raises(GraphError):
+            effective_resistances(g)
+
+
+class TestSpectralDistortion:
+    def test_identical_graphs_zero(self):
+        g = random_connected_ugraph(6, rng=4)
+        probes = [np.random.default_rng(0).normal(size=6) for _ in range(5)]
+        assert spectral_distortion(g, g.copy(), probes) == 0.0
+
+    def test_scaled_graph_distortion(self):
+        g = random_connected_ugraph(6, rng=5)
+        scaled = UGraph(nodes=g.nodes())
+        for u, v, w in g.edges():
+            scaled.add_edge(u, v, 1.2 * w)
+        probes = [np.random.default_rng(1).normal(size=6) for _ in range(5)]
+        assert spectral_distortion(g, scaled, probes) == pytest.approx(0.2)
+
+    def test_node_set_mismatch_rejected(self):
+        g = UGraph(edges=[("a", "b", 1.0)])
+        h = UGraph(edges=[("a", "c", 1.0)])
+        with pytest.raises(GraphError):
+            spectral_distortion(g, h, [np.zeros(2)])

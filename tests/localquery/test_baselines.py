@@ -1,0 +1,94 @@
+"""Tests for repro.localquery.baselines."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.generators import planted_min_cut_ugraph, random_connected_ugraph
+from repro.graphs.mincut import stoer_wagner
+from repro.graphs.ugraph import UGraph
+from repro.localquery.baselines import (
+    exact_reconstruction_estimate,
+    minimum_degree_upper_bound,
+    reconstruct_graph,
+    uniform_edge_sample_estimate,
+)
+from repro.localquery.oracle import GraphOracle
+
+
+@pytest.fixture
+def planted():
+    g, k = planted_min_cut_ugraph(12, 3, rng=0)
+    return g, float(k)
+
+
+class TestReconstruction:
+    def test_rebuilds_graph_exactly(self, planted):
+        g, _ = planted
+        oracle = GraphOracle(g)
+        rebuilt = reconstruct_graph(oracle)
+        assert rebuilt.num_edges == g.num_edges
+        for u, v, _ in g.edges():
+            assert rebuilt.has_edge(u, v)
+
+    def test_exact_estimate(self, planted):
+        g, k = planted
+        oracle = GraphOracle(g)
+        result = exact_reconstruction_estimate(oracle)
+        assert result.value == k
+        # Theta(m): n degree queries + 2m neighbor queries.
+        assert result.queries == g.num_nodes + 2 * g.num_edges
+
+    def test_disconnected_gives_zero(self):
+        g = UGraph(edges=[("a", "b", 1.0), ("c", "d", 1.0)])
+        result = exact_reconstruction_estimate(GraphOracle(g))
+        assert result.value == 0.0
+
+    def test_too_small_raises(self):
+        g = UGraph(nodes=["a"])
+        with pytest.raises(ParameterError):
+            exact_reconstruction_estimate(GraphOracle(g))
+
+
+class TestDegreeBound:
+    def test_upper_bounds_min_cut(self, planted):
+        g, k = planted
+        result = minimum_degree_upper_bound(GraphOracle(g))
+        assert result.value >= k
+        assert result.queries == g.num_nodes
+
+    def test_tight_on_stars(self):
+        g = UGraph(edges=[("hub", leaf, 1.0) for leaf in "abc"])
+        result = minimum_degree_upper_bound(GraphOracle(g))
+        assert result.value == 1.0  # a leaf's degree = the min cut here
+
+
+class TestUniformSample:
+    def test_full_budget_is_exact(self, planted):
+        g, k = planted
+        oracle = GraphOracle(g)
+        result = uniform_edge_sample_estimate(oracle, budget=10**6, rng=1)
+        assert result.value == pytest.approx(k)
+
+    def test_tiny_budget_is_unreliable(self, planted):
+        """Without accept/reject semantics a small budget silently
+        returns garbage — the failure mode VERIFY-GUESS exists to
+        prevent."""
+        g, k = planted
+        wrong = 0
+        for seed in range(10):
+            oracle = GraphOracle(g)
+            result = uniform_edge_sample_estimate(oracle, budget=30, rng=seed)
+            if abs(result.value - k) > 0.5 * k:
+                wrong += 1
+        assert wrong >= 5
+
+    def test_budget_validated(self, planted):
+        g, _ = planted
+        with pytest.raises(ParameterError):
+            uniform_edge_sample_estimate(GraphOracle(g), budget=0)
+
+    def test_query_accounting(self, planted):
+        g, _ = planted
+        oracle = GraphOracle(g)
+        result = uniform_edge_sample_estimate(oracle, budget=40, rng=2)
+        assert result.queries == g.num_nodes + 40

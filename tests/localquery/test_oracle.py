@@ -1,0 +1,91 @@
+"""Tests for repro.localquery.oracle."""
+
+import pytest
+
+from repro.errors import BudgetExceededError, OracleError
+from repro.graphs.generators import random_connected_ugraph
+from repro.graphs.ugraph import UGraph
+from repro.localquery.oracle import GraphOracle, QueryCounter
+
+
+@pytest.fixture
+def oracle():
+    g = UGraph(edges=[("a", "b", 1.0), ("b", "c", 1.0), ("a", "c", 1.0)])
+    return GraphOracle(g)
+
+
+class TestQueryAnswers:
+    def test_degree(self, oracle):
+        assert oracle.degree("a") == 2
+
+    def test_neighbor_in_order(self, oracle):
+        first = oracle.neighbor("a", 0)
+        second = oracle.neighbor("a", 1)
+        assert {first, second} == {"b", "c"}
+
+    def test_neighbor_order_is_stable(self, oracle):
+        assert oracle.neighbor("a", 0) == oracle.neighbor("a", 0)
+
+    def test_neighbor_past_degree_is_none(self, oracle):
+        assert oracle.neighbor("a", 2) is None
+
+    def test_neighbor_bad_inputs(self, oracle):
+        with pytest.raises(OracleError):
+            oracle.neighbor("a", -1)
+        with pytest.raises(OracleError):
+            oracle.neighbor("zzz", 0)
+
+    def test_adjacent(self, oracle):
+        assert oracle.adjacent("a", "b")
+        assert not oracle.adjacent("a", "zzz")
+
+    def test_vertices_public(self, oracle):
+        assert set(oracle.vertices) == {"a", "b", "c"}
+
+    def test_oracle_isolated_from_mutation(self):
+        g = UGraph(edges=[("a", "b", 1.0)])
+        oracle = GraphOracle(g)
+        g.add_edge("a", "c", 1.0)
+        assert not oracle.adjacent("a", "c")
+
+
+class TestCounting:
+    def test_counts_by_type(self, oracle):
+        oracle.degree("a")
+        oracle.degree("b")
+        oracle.neighbor("a", 0)
+        oracle.adjacent("a", "b")
+        counter = oracle.counter
+        assert counter.degree_queries == 2
+        assert counter.neighbor_queries == 1
+        assert counter.pair_queries == 1
+        assert counter.total == 4
+
+    def test_reset(self, oracle):
+        oracle.degree("a")
+        oracle.counter.reset()
+        assert oracle.counter.total == 0
+
+    def test_failed_queries_still_charged(self, oracle):
+        try:
+            oracle.neighbor("zzz", 0)
+        except OracleError:
+            pass
+        assert oracle.counter.neighbor_queries == 1
+
+
+class TestBudget:
+    def test_budget_enforced(self):
+        g = random_connected_ugraph(5, rng=0)
+        oracle = GraphOracle(g, budget=3)
+        for v in list(g.nodes())[:3]:
+            oracle.degree(v)
+        with pytest.raises(BudgetExceededError):
+            oracle.degree(g.nodes()[3])
+
+    def test_no_budget_unlimited(self):
+        g = random_connected_ugraph(4, rng=1)
+        oracle = GraphOracle(g)
+        for _ in range(100):
+            oracle.degree(g.nodes()[0])
+        assert oracle.counter.total == 100

@@ -1,0 +1,107 @@
+"""Tests for the Lemma 5.6 reduction (2-SUM via MINCUT)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.twosum import sample_twosum_instance
+from repro.errors import ParameterError
+from repro.graphs.mincut import stoer_wagner
+from repro.localquery.mincut_query import estimate_min_cut
+from repro.localquery.reduction import (
+    build_instance_graph,
+    pad_to_square,
+    solve_twosum_via_mincut,
+)
+
+
+def exact_mincut_algorithm(oracle, gen):
+    """Reference algorithm: reconstruct the graph via neighbor queries
+    and compute the exact min cut (maximal queries, zero error)."""
+    from repro.graphs.ugraph import UGraph
+
+    g = UGraph(nodes=oracle.vertices)
+    for v in oracle.vertices:
+        deg = oracle.degree(v)
+        for i in range(deg):
+            u = oracle.neighbor(v, i)
+            if u is not None and not g.has_edge(v, u):
+                g.add_edge(v, u, 1.0)
+    return stoer_wagner(g)[0]
+
+
+class TestPadding:
+    def test_square_untouched(self):
+        x = np.zeros(9, dtype=np.int8)
+        y = np.zeros(9, dtype=np.int8)
+        px, py = pad_to_square(x, y)
+        assert px.shape == (9,)
+
+    def test_padded_to_next_square(self):
+        x = np.ones(10, dtype=np.int8)
+        y = np.ones(10, dtype=np.int8)
+        px, py = pad_to_square(x, y)
+        assert px.shape == (16,)
+        assert np.all(px[10:] == 0)
+        assert np.all(py[10:] == 0)
+
+    def test_intersection_preserved(self):
+        x = np.array([1, 1, 0], dtype=np.int8)
+        y = np.array([1, 0, 1], dtype=np.int8)
+        px, py = pad_to_square(x, y)
+        assert int(np.sum(np.logical_and(px, py))) == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            pad_to_square(np.zeros(3, dtype=np.int8), np.zeros(4, dtype=np.int8))
+
+
+class TestBuildInstanceGraph:
+    def test_mincut_identity(self):
+        inst = sample_twosum_instance(16, 16, intersecting_fraction=0.2, rng=0)
+        gxy = build_instance_graph(inst)
+        value, _ = stoer_wagner(gxy.graph)
+        assert value == pytest.approx(2.0 * gxy.intersection())
+
+    def test_violating_instance_rejected(self):
+        # All pairs intersect with tiny strings: sqrt(N) < 3 INT.
+        inst = sample_twosum_instance(9, 1, intersecting_fraction=1.0, rng=1)
+        with pytest.raises(ParameterError):
+            build_instance_graph(inst)
+
+
+class TestSolveTwoSum:
+    @pytest.mark.parametrize("alpha", [1, 2])
+    def test_exact_algorithm_recovers_disj_sum(self, alpha):
+        inst = sample_twosum_instance(
+            16, 36 * alpha, alpha=alpha, intersecting_fraction=0.25, rng=2
+        )
+        result = solve_twosum_via_mincut(inst, exact_mincut_algorithm, rng=3)
+        assert result.disj_estimate == pytest.approx(result.true_disj)
+        assert result.within_budget
+        assert result.mincut_estimate == pytest.approx(result.true_mincut)
+
+    def test_real_estimator_within_budget(self):
+        inst = sample_twosum_instance(16, 16, intersecting_fraction=0.25, rng=4)
+
+        def algorithm(oracle, gen):
+            return estimate_min_cut(oracle, eps=0.2, rng=gen).value
+
+        result = solve_twosum_via_mincut(inst, algorithm, rng=5)
+        assert result.within_budget
+
+    def test_bits_at_most_twice_queries(self):
+        inst = sample_twosum_instance(16, 16, intersecting_fraction=0.25, rng=6)
+        result = solve_twosum_via_mincut(inst, exact_mincut_algorithm, rng=7)
+        # Lemma 5.6: each query costs at most 2 bits.
+        assert result.bits_exchanged <= 2 * result.queries
+
+    def test_queries_recorded(self):
+        inst = sample_twosum_instance(9, 9, intersecting_fraction=0.2, rng=8)
+
+        def frugal(oracle, gen):
+            oracle.degree(oracle.vertices[0])
+            return 2.0 * 1  # wrong but cheap
+
+        result = solve_twosum_via_mincut(inst, frugal, rng=9)
+        assert result.queries == 1
+        assert result.bits_exchanged == 0

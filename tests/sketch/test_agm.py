@@ -1,0 +1,132 @@
+"""Tests for repro.sketch.agm (the [AGM12] substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SketchError
+from repro.graphs.connectivity import edge_connectivity
+from repro.graphs.generators import (
+    planted_min_cut_ugraph,
+    random_connected_ugraph,
+    random_regularish_ugraph,
+)
+from repro.graphs.ugraph import UGraph
+from repro.sketch.agm import (
+    AGMSketch,
+    certify_k_connectivity,
+    sketch_connected,
+    sketch_connected_components,
+    sketch_spanning_forest,
+)
+
+
+class TestConstruction:
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(SketchError):
+            AGMSketch([])
+        with pytest.raises(SketchError):
+            AGMSketch(["a", "a"])
+
+    def test_rejects_self_loop_and_unknown(self):
+        sketch = AGMSketch(["a", "b"])
+        with pytest.raises(SketchError):
+            sketch.add_edge("a", "a")
+        with pytest.raises(SketchError):
+            sketch.add_edge("a", "zzz")
+
+    def test_edge_id_roundtrip(self):
+        sketch = AGMSketch(list("abcd"))
+        edge_id, lo, hi = sketch._edge_id("c", "a")
+        assert sketch.decode_edge_id(edge_id) == ("a", "c")
+        with pytest.raises(SketchError):
+            sketch.decode_edge_id(0)  # lo == hi == 0 is invalid
+
+    def test_size_words_scales_with_n_not_m(self):
+        small = AGMSketch(range(8), copies=4)
+        # Adding edges must not change the footprint (it's linear).
+        before = small.size_words()
+        small.add_edge(0, 1)
+        small.add_edge(2, 3)
+        assert small.size_words() == before
+
+
+class TestCutEdgeSampling:
+    def test_sample_is_a_real_cut_edge(self):
+        g = random_connected_ugraph(10, extra_edge_prob=0.4, rng=1)
+        sketch = AGMSketch.of_graph(g, seed=1)
+        side = set(list(g.nodes())[:4])
+        edge = sketch.sample_cut_edge(side)
+        if edge is not None:
+            u, v = edge
+            assert g.has_edge(u, v)
+            assert (u in side) != (v in side)
+
+    def test_internal_edges_cancel(self):
+        # A clique component with no outgoing edges must sketch to zero.
+        g = UGraph(nodes=range(6))
+        for u in range(3):
+            for v in range(u + 1, 3):
+                g.add_edge(u, v, 1.0)
+        sketch = AGMSketch.of_graph(g, seed=2)
+        assert sketch.sample_cut_edge({0, 1, 2}) is None
+
+    def test_deletion_cancels_insertion(self):
+        sketch = AGMSketch(range(4), seed=3)
+        sketch.add_edge(0, 1)
+        sketch.remove_edge(0, 1)
+        assert sketch.sample_cut_edge({0}) is None
+
+    def test_copy_out_of_range(self):
+        sketch = AGMSketch(range(4), copies=2, seed=4)
+        with pytest.raises(SketchError):
+            sketch.sample_cut_edge({0}, copy=2)
+
+
+class TestSpanningForest:
+    @given(st.integers(3, 14), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_recovers_spanning_tree_of_connected_graph(self, n, seed):
+        g = random_connected_ugraph(n, extra_edge_prob=0.4, rng=seed)
+        sketch = AGMSketch.of_graph(g, seed=seed)
+        forest = sketch_spanning_forest(sketch)
+        assert forest.num_edges == n - 1
+        assert forest.is_connected()
+        for u, v, _ in forest.edges():
+            assert g.has_edge(u, v)
+
+    def test_components_recovered(self):
+        g = UGraph(edges=[("a", "b", 1.0), ("c", "d", 1.0)])
+        g.add_node("e")
+        sketch = AGMSketch.of_graph(g, seed=5)
+        comps = sketch_connected_components(sketch)
+        assert sorted(len(c) for c in comps) == [1, 2, 2]
+        assert not sketch_connected(sketch)
+
+    def test_connected_flag(self):
+        g = random_connected_ugraph(8, rng=6)
+        assert sketch_connected(AGMSketch.of_graph(g, seed=6))
+
+
+class TestKConnectivityCertificate:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_certifies_min_of_k_and_connectivity(self, seed):
+        g = random_regularish_ugraph(10, 6, rng=seed)
+        true_k = edge_connectivity(g)
+        assert certify_k_connectivity(g, k=6, seed=seed) == min(6, true_k)
+        assert certify_k_connectivity(g, k=2, seed=seed) == min(2, true_k)
+
+    def test_planted_cut_detected(self):
+        g, k = planted_min_cut_ugraph(8, 2, rng=3)
+        assert certify_k_connectivity(g, k=5, seed=3) == k
+
+    def test_disconnected_certifies_zero(self):
+        g = UGraph(edges=[("a", "b", 1.0), ("c", "d", 1.0)])
+        assert certify_k_connectivity(g, k=3, seed=4) == 0
+
+    def test_bad_params(self):
+        g = random_connected_ugraph(5, rng=7)
+        with pytest.raises(SketchError):
+            certify_k_connectivity(g, k=0)
+        with pytest.raises(SketchError):
+            certify_k_connectivity(UGraph(nodes=["a"]), k=1)

@@ -1,0 +1,117 @@
+"""Tests for repro.sketch.boosted (footnote 2/3 median boosting)."""
+
+import pytest
+
+from repro.errors import SketchError
+from repro.graphs.generators import random_balanced_digraph
+from repro.sketch.base import SketchModel
+from repro.sketch.boosted import BoostedForEachSketch
+from repro.sketch.exact import ExactCutSketch
+from repro.sketch.noisy import NoisyForEachSketch
+
+
+@pytest.fixture
+def graph():
+    return random_balanced_digraph(8, beta=2.0, density=0.5, rng=0)
+
+
+class TestConstruction:
+    def test_even_replica_count_rounded_up(self, graph):
+        boosted = BoostedForEachSketch(
+            graph, lambda g, r: ExactCutSketch(g), replicas=4
+        )
+        assert boosted.replicas == 5
+
+    def test_zero_replicas_rejected(self, graph):
+        with pytest.raises(SketchError):
+            BoostedForEachSketch(graph, lambda g, r: ExactCutSketch(g), replicas=0)
+
+    def test_wrap_existing(self, graph):
+        inner = [ExactCutSketch(graph) for _ in range(3)]
+        boosted = BoostedForEachSketch.wrap(inner)
+        assert boosted.replicas == 3
+        with pytest.raises(SketchError):
+            BoostedForEachSketch.wrap([])
+
+    def test_model_and_epsilon(self, graph):
+        boosted = BoostedForEachSketch(
+            graph,
+            lambda g, r: NoisyForEachSketch(g, epsilon=0.1, rng=r),
+            replicas=3,
+        )
+        assert boosted.model is SketchModel.FOR_EACH
+        assert boosted.epsilon == 0.1
+
+
+class TestBoosting:
+    def test_size_is_constant_factor(self, graph):
+        single = ExactCutSketch(graph)
+        boosted = BoostedForEachSketch(
+            graph, lambda g, r: ExactCutSketch(g), replicas=5
+        )
+        assert boosted.size_bits() == 5 * single.size_bits()
+
+    def test_median_suppresses_failures(self, graph):
+        """Inner sketches fail 20% of the time (returning 2w+1); the
+        5-way median must fail far less often."""
+        side = {graph.nodes()[0]}
+        truth = graph.cut_weight(side)
+
+        boosted = BoostedForEachSketch(
+            graph,
+            lambda g, r: NoisyForEachSketch(
+                g, epsilon=0.0, failure_prob=0.2, rng=100 + r
+            ),
+            replicas=5,
+        )
+        failures = sum(
+            1
+            for _ in range(300)
+            if abs(boosted.query(side) - truth) > 1e-9
+        )
+        # P(median fails) = P(>=3 of 5 fail) ~ 5.8% at p=0.2.
+        assert failures / 300 < 0.15
+
+    def test_single_inner_failure_never_visible(self, graph):
+        side = {graph.nodes()[1]}
+        truth = graph.cut_weight(side)
+        inner = [
+            ExactCutSketch(graph),
+            ExactCutSketch(graph),
+            NoisyForEachSketch(graph, epsilon=0.0, failure_prob=0.999, rng=1),
+        ]
+        boosted = BoostedForEachSketch.wrap(inner)
+        for _ in range(20):
+            assert boosted.query(side) == pytest.approx(truth)
+
+    def test_boosted_decoder_pipeline(self, graph):
+        """The boosted sketch slots straight into the Theorem 1.1
+        decoder (footnote 2's actual use)."""
+        from repro.foreach_lb.decoder import ForEachDecoder
+        from repro.foreach_lb.encoder import ForEachEncoder
+        from repro.foreach_lb.params import ForEachParams
+        from repro.utils.bitstrings import random_signstring
+
+        params = ForEachParams(inv_eps=4, sqrt_beta=1, num_groups=2)
+        s = random_signstring(params.string_length, rng=7)
+        encoded = ForEachEncoder(params).encode(s)
+        boosted = BoostedForEachSketch(
+            encoded.graph,
+            lambda g, r: NoisyForEachSketch(
+                g, epsilon=0.001, failure_prob=0.1, rng=50 + r
+            ),
+            replicas=9,
+        )
+        decoder = ForEachDecoder(params)
+        hits = sum(
+            1
+            for q in range(params.string_length)
+            if params.locate_bit(q)[:3] not in encoded.failed_blocks
+            and decoder.decode_bit(boosted, q) == int(s[q])
+        )
+        total = params.string_length - sum(
+            1
+            for q in range(params.string_length)
+            if params.locate_bit(q)[:3] in encoded.failed_blocks
+        )
+        assert hits / total > 0.9

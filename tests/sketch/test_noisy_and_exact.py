@@ -1,0 +1,138 @@
+"""Tests for repro.sketch.exact, repro.sketch.noisy, and serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SketchError
+from repro.graphs.cuts import all_directed_cut_values
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_balanced_digraph
+from repro.sketch.base import SketchModel
+from repro.sketch.exact import ExactCutSketch
+from repro.sketch.noisy import NoisyForAllSketch, NoisyForEachSketch
+from repro.sketch.serialization import (
+    edge_bits,
+    graph_size_bits,
+    node_id_bits,
+)
+
+
+@pytest.fixture
+def graph():
+    return random_balanced_digraph(8, beta=3.0, density=0.4, rng=0)
+
+
+class TestExactSketch:
+    def test_model_and_epsilon(self, graph):
+        sketch = ExactCutSketch(graph)
+        assert sketch.model is SketchModel.EXACT
+        assert sketch.epsilon == 0.0
+
+    def test_answers_every_cut_exactly(self, graph):
+        sketch = ExactCutSketch(graph)
+        for side, value in all_directed_cut_values(graph):
+            assert sketch.query(set(side)) == pytest.approx(value)
+
+    def test_isolated_from_later_mutation(self, graph):
+        sketch = ExactCutSketch(graph)
+        side = {graph.nodes()[0]}
+        before = sketch.query(side)
+        u, v, w = next(graph.edges())
+        graph.add_edge(u, v, w + 100.0, combine="set")
+        assert sketch.query(side) == before
+
+    def test_size_positive(self, graph):
+        assert ExactCutSketch(graph).size_bits() > 0
+
+
+class TestNoisyForEach:
+    def test_error_within_epsilon(self, graph):
+        sketch = NoisyForEachSketch(graph, epsilon=0.1, rng=1)
+        for side, value in all_directed_cut_values(graph):
+            estimate = sketch.query(set(side))
+            if value > 0:
+                assert abs(estimate - value) <= 0.1 * value + 1e-12
+
+    def test_fresh_noise_per_query(self, graph):
+        sketch = NoisyForEachSketch(graph, epsilon=0.2, rng=2)
+        side = {graph.nodes()[0]}
+        answers = {sketch.query(side) for _ in range(10)}
+        assert len(answers) > 1
+
+    def test_failure_injection(self, graph):
+        sketch = NoisyForEachSketch(graph, epsilon=0.0, failure_prob=0.5, rng=3)
+        side = {graph.nodes()[0]}
+        true_value = graph.cut_weight(side)
+        answers = [sketch.query(side) for _ in range(50)]
+        bad = sum(1 for a in answers if abs(a - true_value) > 1e-9)
+        assert 5 < bad < 45  # roughly half fail
+
+    def test_adversarial_noise_is_extremal(self, graph):
+        sketch = NoisyForEachSketch(graph, epsilon=0.1, adversarial=True, rng=4)
+        side = {graph.nodes()[0]}
+        value = graph.cut_weight(side)
+        for _ in range(10):
+            estimate = sketch.query(side)
+            assert abs(abs(estimate - value) - 0.1 * value) < 1e-9
+
+    def test_bad_params(self, graph):
+        with pytest.raises(SketchError):
+            NoisyForEachSketch(graph, epsilon=1.0)
+        with pytest.raises(SketchError):
+            NoisyForEachSketch(graph, epsilon=0.1, failure_prob=1.0)
+
+
+class TestNoisyForAll:
+    def test_error_within_epsilon_for_all_cuts(self, graph):
+        sketch = NoisyForAllSketch(graph, epsilon=0.15, seed=5)
+        for side, value in all_directed_cut_values(graph):
+            estimate = sketch.query(set(side))
+            assert abs(estimate - value) <= 0.15 * value + 1e-12
+
+    def test_consistent_across_queries(self, graph):
+        sketch = NoisyForAllSketch(graph, epsilon=0.2, seed=6)
+        side = {graph.nodes()[0], graph.nodes()[3]}
+        assert sketch.query(side) == sketch.query(set(side))
+
+    def test_different_seeds_different_noise(self, graph):
+        side = {graph.nodes()[0]}
+        a = NoisyForAllSketch(graph, epsilon=0.2, seed=1).query(side)
+        b = NoisyForAllSketch(graph, epsilon=0.2, seed=2).query(side)
+        assert a != b
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_adversarial_magnitude_pinned(self, seed):
+        g = random_balanced_digraph(6, beta=2.0, rng=0)
+        sketch = NoisyForAllSketch(g, epsilon=0.1, adversarial=True, seed=seed)
+        side = {g.nodes()[0]}
+        value = g.cut_weight(side)
+        assert abs(abs(sketch.query(side) - value) - 0.1 * value) < 1e-9
+
+    def test_bad_epsilon(self, graph):
+        with pytest.raises(SketchError):
+            NoisyForAllSketch(graph, epsilon=-0.1)
+
+
+class TestSerialization:
+    def test_node_id_bits(self):
+        assert node_id_bits(2) == 1
+        assert node_id_bits(1024) == 10
+        assert node_id_bits(1025) == 11
+        with pytest.raises(SketchError):
+            node_id_bits(0)
+
+    def test_edge_bits(self):
+        assert edge_bits(4, weight_bits=32) == 2 * 2 + 32
+        with pytest.raises(SketchError):
+            edge_bits(4, weight_bits=-1)
+
+    def test_graph_size_scales_with_edges(self):
+        small = DiGraph()
+        small.add_edge(0, 1, 1.0)
+        big = DiGraph()
+        for i in range(10):
+            big.add_edge(i, i + 1, 1.0)
+        assert graph_size_bits(big) > graph_size_bits(small)

@@ -1,0 +1,97 @@
+"""Tests for repro.sketch.quantized."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SketchError
+from repro.graphs.cuts import all_directed_cut_values, max_directed_cut_error
+from repro.graphs.generators import random_balanced_digraph
+from repro.sketch.base import SketchModel
+from repro.sketch.quantized import (
+    QuantizedCutSketch,
+    quantize_graph,
+    quantize_weight,
+)
+
+
+class TestQuantizeWeight:
+    @given(
+        st.floats(1e-6, 1e6),
+        st.integers(1, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_relative_error_bound(self, weight, bits):
+        q = quantize_weight(weight, bits)
+        assert abs(q - weight) <= weight * 2.0 ** (-bits)
+
+    def test_zero_maps_to_zero(self):
+        assert quantize_weight(0.0, 8) == 0.0
+
+    def test_powers_of_two_exact(self):
+        for exp in (-3, 0, 5):
+            assert quantize_weight(2.0**exp, 4) == 2.0**exp
+
+    def test_validation(self):
+        with pytest.raises(SketchError):
+            quantize_weight(1.0, 0)
+        with pytest.raises(SketchError):
+            quantize_weight(-1.0, 4)
+
+    @given(st.floats(1e-3, 1e3))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_precision(self, weight):
+        coarse = abs(quantize_weight(weight, 2) - weight)
+        fine = abs(quantize_weight(weight, 12) - weight)
+        assert fine <= coarse + 1e-12
+
+
+class TestQuantizedSketch:
+    @pytest.fixture
+    def graph(self):
+        return random_balanced_digraph(8, beta=3.0, density=0.5, rng=0)
+
+    def test_model_and_epsilon(self, graph):
+        sketch = QuantizedCutSketch(graph, mantissa_bits=6)
+        assert sketch.model is SketchModel.FOR_ALL
+        assert sketch.epsilon == 2.0**-6
+        assert sketch.mantissa_bits == 6
+
+    def test_every_cut_within_epsilon(self, graph):
+        sketch = QuantizedCutSketch(graph, mantissa_bits=8)
+        err = max_directed_cut_error(graph, sketch.query)
+        assert err <= sketch.epsilon + 1e-12
+
+    def test_coarse_quantization_visibly_perturbs(self, graph):
+        sketch = QuantizedCutSketch(graph, mantissa_bits=1)
+        diffs = [
+            abs(sketch.query(set(side)) - value)
+            for side, value in all_directed_cut_values(graph)
+        ]
+        assert max(diffs) > 0.0
+
+    def test_size_decreases_with_fewer_bits(self, graph):
+        fine = QuantizedCutSketch(graph, mantissa_bits=32)
+        coarse = QuantizedCutSketch(graph, mantissa_bits=4)
+        assert coarse.size_bits() < fine.size_bits()
+
+    def test_size_accuracy_tradeoff_curve(self, graph):
+        """Bits halve-ish while error doubles — the explicit trade the
+        lower bounds say cannot beat eps ~ bits^-1/2 territory."""
+        rows = []
+        for bits in (2, 4, 8, 16):
+            sketch = QuantizedCutSketch(graph, mantissa_bits=bits)
+            rows.append((sketch.size_bits(), max_directed_cut_error(graph, sketch.query)))
+        sizes = [r[0] for r in rows]
+        errors = [r[1] for r in rows]
+        assert sizes == sorted(sizes)
+        assert errors == sorted(errors, reverse=True)
+
+    def test_quantize_graph_structure_preserved(self, graph):
+        q = quantize_graph(graph, 6)
+        assert q.num_edges == graph.num_edges
+        assert set(q.nodes()) == set(graph.nodes())
+
+    def test_validation(self, graph):
+        with pytest.raises(SketchError):
+            QuantizedCutSketch(graph, mantissa_bits=0)

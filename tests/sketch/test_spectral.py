@@ -1,0 +1,86 @@
+"""Tests for repro.sketch.spectral ([SS11] sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SketchError
+from repro.graphs.cuts import all_undirected_cut_values
+from repro.graphs.generators import random_connected_ugraph
+from repro.graphs.ugraph import UGraph
+from repro.linalg.laplacian import laplacian_matrix, spectral_distortion
+from repro.sketch.base import SketchModel
+from repro.sketch.spectral import SpectralSketch, spectral_sparsify
+
+
+def dense_graph(n):
+    g = UGraph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v, 1.0)
+    return g
+
+
+class TestSpectralSparsify:
+    def test_unbiased_for_cuts(self):
+        g = dense_graph(10)
+        side = set(range(5))
+        totals = 0.0
+        trials = 40
+        for seed in range(trials):
+            sparse = spectral_sparsify(g, epsilon=0.7, rng=seed, rounds=80)
+            totals += sparse.cut_weight(side)
+        assert totals / trials == pytest.approx(g.cut_weight(side), rel=0.15)
+
+    def test_total_weight_preserved(self):
+        g = dense_graph(9)
+        sparse = spectral_sparsify(g, epsilon=0.4, rng=1)
+        assert sparse.total_weight() == pytest.approx(g.total_weight(), rel=0.3)
+
+    def test_compresses_dense_graphs(self):
+        g = dense_graph(16)
+        sparse = spectral_sparsify(g, epsilon=0.9, rng=2, constant=0.25)
+        assert sparse.num_edges < g.num_edges
+
+    def test_quadratic_form_distortion_bounded(self):
+        g = dense_graph(10)
+        sparse = spectral_sparsify(g, epsilon=0.5, rng=3)
+        gen = np.random.default_rng(0)
+        probes = [gen.normal(size=10) for _ in range(20)]
+        assert spectral_distortion(g, sparse, probes) < 0.5
+
+    def test_disconnected_rejected(self):
+        g = UGraph(edges=[("a", "b", 1.0)])
+        g.add_node("c")
+        with pytest.raises(SketchError):
+            spectral_sparsify(g, epsilon=0.5)
+
+    def test_bad_epsilon(self):
+        g = dense_graph(4)
+        with pytest.raises(SketchError):
+            spectral_sparsify(g, epsilon=0.0)
+
+
+class TestSpectralSketch:
+    def test_model_and_epsilon(self):
+        g = dense_graph(8)
+        sketch = SpectralSketch(g, epsilon=0.5, rng=4)
+        assert sketch.model is SketchModel.FOR_ALL
+        assert sketch.epsilon == 0.5
+
+    def test_all_cuts_near_truth(self):
+        g = dense_graph(10)
+        sketch = SpectralSketch(g, epsilon=0.4, rng=5)
+        errors = [
+            abs(sketch.query(set(side)) - value) / value
+            for side, value in all_undirected_cut_values(g)
+        ]
+        assert float(np.mean(errors)) < 0.4
+
+    def test_size_bits_positive_and_trivial_cut_rejected(self):
+        g = dense_graph(6)
+        sketch = SpectralSketch(g, epsilon=0.5, rng=6)
+        assert sketch.size_bits() > 0
+        with pytest.raises(SketchError):
+            sketch.query(set())
+        with pytest.raises(SketchError):
+            sketch.query(set(range(6)))

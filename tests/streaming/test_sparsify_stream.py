@@ -1,0 +1,86 @@
+"""Tests for repro.streaming.sparsify_stream."""
+
+import pytest
+
+from repro.errors import ParameterError, SketchError
+from repro.graphs.cuts import max_cut_error
+from repro.graphs.generators import random_connected_ugraph
+from repro.graphs.mincut import stoer_wagner
+from repro.graphs.ugraph import UGraph
+from repro.sketch.base import SketchModel
+from repro.streaming.sparsify_stream import StreamingCutSparsifier
+
+
+def stream_all(graph, **kwargs):
+    sketch = StreamingCutSparsifier(graph.nodes(), **kwargs)
+    sketch.extend(graph.edges())
+    return sketch
+
+
+class TestStreaming:
+    def test_counts_and_model(self):
+        g = random_connected_ugraph(12, extra_edge_prob=0.5, rng=0)
+        sketch = stream_all(g, epsilon=0.5, block_size=20, rng=0)
+        assert sketch.edges_seen == g.num_edges
+        assert sketch.model is SketchModel.FOR_ALL
+
+    def test_reduces_triggered_by_block_size(self):
+        g = random_connected_ugraph(12, extra_edge_prob=0.8, rng=1)
+        sketch = stream_all(g, epsilon=0.5, block_size=10, rng=1)
+        assert sketch.reduce_count >= g.num_edges // 10 - 1
+
+    def test_buffer_flushed_on_finish(self):
+        g = random_connected_ugraph(10, rng=2)
+        sketch = StreamingCutSparsifier(g.nodes(), epsilon=0.5, block_size=10**6, rng=2)
+        sketch.extend(g.edges())
+        assert sketch.reduce_count == 0
+        final = sketch.finish()
+        assert sketch.reduce_count == 1
+        assert final.num_nodes == g.num_nodes
+
+    def test_error_stays_within_budget_on_dense_graph(self):
+        g = random_connected_ugraph(14, extra_edge_prob=0.9, rng=3)
+        sketch = stream_all(g, epsilon=0.5, block_size=30, rng=3)
+        err = max_cut_error(g, sketch.query)
+        assert err <= 0.5 + 1e-9
+
+    def test_min_cut_preserved(self):
+        g = random_connected_ugraph(14, extra_edge_prob=0.6, rng=4)
+        sketch = stream_all(g, epsilon=0.4, block_size=25, rng=4)
+        true_value, _ = stoer_wagner(g)
+        estimate, _ = stoer_wagner(sketch.finish())
+        assert estimate == pytest.approx(true_value, rel=0.4)
+
+    def test_query_mid_stream_counts_buffer_exactly(self):
+        g = UGraph(edges=[("a", "b", 2.0), ("b", "c", 3.0)])
+        sketch = StreamingCutSparsifier(
+            ["a", "b", "c"], epsilon=0.5, block_size=10, rng=5
+        )
+        sketch.insert("a", "b", 2.0)
+        assert sketch.query({"a"}) == pytest.approx(2.0)
+        sketch.insert("b", "c", 3.0)
+        assert sketch.query({"c"}) == pytest.approx(3.0)
+
+    def test_resident_never_exceeds_stream(self):
+        g = random_connected_ugraph(16, extra_edge_prob=0.7, rng=6)
+        sketch = stream_all(g, epsilon=0.6, block_size=15, rng=6)
+        assert sketch.resident_edges <= g.num_edges
+
+    def test_parallel_edges_merge(self):
+        sketch = StreamingCutSparsifier(["a", "b"], epsilon=0.5, rng=7)
+        sketch.insert("a", "b", 1.0)
+        sketch.insert("a", "b", 2.0)
+        assert sketch.query({"a"}) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(SketchError):
+            StreamingCutSparsifier(["a"], epsilon=0.5)
+        with pytest.raises(SketchError):
+            StreamingCutSparsifier(["a", "b"], epsilon=1.5)
+        with pytest.raises(ParameterError):
+            StreamingCutSparsifier(["a", "b"], epsilon=0.5, block_size=0)
+        with pytest.raises(ParameterError):
+            StreamingCutSparsifier(["a", "b"], epsilon=0.5, expected_reduces=0)
+        sketch = StreamingCutSparsifier(["a", "b"], epsilon=0.5)
+        with pytest.raises(SketchError):
+            sketch.query(set())

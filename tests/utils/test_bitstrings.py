@@ -1,0 +1,128 @@
+"""Tests for repro.utils.bitstrings, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bitstrings import (
+    bits_to_signs,
+    hamming_distance,
+    hamming_weight,
+    intersection_size,
+    is_disjoint,
+    pack_bits,
+    random_bitstring,
+    random_fixed_weight_bitstring,
+    random_signstring,
+    signs_to_bits,
+    unpack_bits,
+)
+
+
+class TestSamplers:
+    def test_bitstring_values(self):
+        s = random_bitstring(200, rng=1)
+        assert s.shape == (200,)
+        assert set(np.unique(s)) <= {0, 1}
+
+    def test_signstring_values(self):
+        s = random_signstring(200, rng=1)
+        assert set(np.unique(s)) <= {-1, 1}
+
+    def test_fixed_weight_exact(self):
+        for weight in (0, 3, 10):
+            s = random_fixed_weight_bitstring(10, weight, rng=weight)
+            assert hamming_weight(s) == weight
+
+    def test_fixed_weight_bad_weight(self):
+        with pytest.raises(ValueError):
+            random_fixed_weight_bitstring(4, 5)
+        with pytest.raises(ValueError):
+            random_fixed_weight_bitstring(4, -1)
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            random_bitstring(-1)
+        with pytest.raises(ValueError):
+            random_signstring(-1)
+
+    def test_zero_length_ok(self):
+        assert random_bitstring(0).shape == (0,)
+
+    def test_samplers_are_seed_deterministic(self):
+        assert np.array_equal(random_bitstring(64, rng=3), random_bitstring(64, rng=3))
+        assert np.array_equal(
+            random_fixed_weight_bitstring(64, 32, rng=3),
+            random_fixed_weight_bitstring(64, 32, rng=3),
+        )
+
+
+class TestArithmetic:
+    def test_hamming_distance_basic(self):
+        x = np.array([0, 1, 1, 0], dtype=np.int8)
+        y = np.array([1, 1, 0, 0], dtype=np.int8)
+        assert hamming_distance(x, y) == 2
+
+    def test_intersection_and_disjoint(self):
+        x = np.array([1, 1, 0], dtype=np.int8)
+        y = np.array([0, 1, 1], dtype=np.int8)
+        assert intersection_size(x, y) == 1
+        assert not is_disjoint(x, y)
+        assert is_disjoint(x, np.array([0, 0, 1], dtype=np.int8))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_distance(np.zeros(3, dtype=np.int8), np.zeros(4, dtype=np.int8))
+        with pytest.raises(ValueError):
+            intersection_size(np.zeros(3, dtype=np.int8), np.zeros(4, dtype=np.int8))
+
+    @given(st.integers(1, 200), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_distance_identity_property(self, length, seed):
+        x = random_bitstring(length, rng=seed)
+        y = random_bitstring(length, rng=seed + 1)
+        # Delta(x, y) = |x| + |y| - 2 INT(x, y), the identity Section 4 uses.
+        assert hamming_distance(x, y) == (
+            hamming_weight(x) + hamming_weight(y) - 2 * intersection_size(x, y)
+        )
+
+    @given(st.integers(1, 100), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_distance_is_symmetric_and_bounded(self, length, seed):
+        x = random_bitstring(length, rng=seed)
+        y = random_bitstring(length, rng=seed + 7)
+        assert hamming_distance(x, y) == hamming_distance(y, x)
+        assert 0 <= hamming_distance(x, y) <= length
+
+
+class TestPacking:
+    @given(st.integers(1, 300), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_pack_unpack_roundtrip(self, length, seed):
+        s = random_bitstring(length, rng=seed)
+        assert np.array_equal(unpack_bits(pack_bits(s), length), s)
+
+    def test_pack_charges_ceil_bytes(self):
+        assert len(pack_bits(np.zeros(9, dtype=np.int8))) == 2
+        assert len(pack_bits(np.zeros(8, dtype=np.int8))) == 1
+
+    def test_pack_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([0, 2], dtype=np.int8))
+
+    def test_unpack_too_short_raises(self):
+        with pytest.raises(ValueError):
+            unpack_bits(b"\x00", 9)
+
+    @given(st.integers(1, 100), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_sign_bit_conversion_roundtrip(self, length, seed):
+        s = random_signstring(length, rng=seed)
+        assert np.array_equal(bits_to_signs(signs_to_bits(s)), s)
+
+    def test_sign_conversion_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            signs_to_bits(np.array([0], dtype=np.int8))
+        with pytest.raises(ValueError):
+            bits_to_signs(np.array([-1], dtype=np.int8))

@@ -1,0 +1,57 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1 << 30, size=8)
+        b = ensure_rng(42).integers(0, 1 << 30, size=8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1 << 30, size=8)
+        b = ensure_rng(2).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(7)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_seed_accepted(self):
+        seed = np.int64(5)
+        assert isinstance(ensure_rng(seed), np.random.Generator)
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 1 << 30, size=16)
+        b = children[1].integers(0, 1 << 30, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_seed(self):
+        a = [g.integers(0, 1 << 30) for g in spawn_rngs(9, 3)]
+        b = [g.integers(0, 1 << 30) for g in spawn_rngs(9, 3)]
+        assert a == b
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,133 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    RunningStat,
+    TrialSummary,
+    binomial_confidence_interval,
+    estimate_success_probability,
+    median_of_trials,
+)
+
+
+class TestRunningStat:
+    def test_mean_and_variance(self):
+        stat = RunningStat()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            stat.add(v)
+        assert stat.mean == pytest.approx(2.5)
+        assert stat.variance == pytest.approx(5.0 / 3.0)
+        assert stat.stddev == pytest.approx(math.sqrt(5.0 / 3.0))
+
+    def test_single_observation(self):
+        stat = RunningStat()
+        stat.add(7.0)
+        assert stat.mean == 7.0
+        assert stat.variance == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            RunningStat().mean
+        with pytest.raises(ValueError):
+            RunningStat().variance
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_two_pass(self, values):
+        stat = RunningStat()
+        for v in values:
+            stat.add(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert stat.mean == pytest.approx(mean, abs=1e-6)
+        assert stat.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+
+
+class TestConfidenceInterval:
+    def test_interval_contains_rate(self):
+        lo, hi = binomial_confidence_interval(70, 100)
+        assert lo < 0.7 < hi
+
+    def test_extremes_clamped(self):
+        lo, hi = binomial_confidence_interval(0, 10)
+        assert lo == 0.0
+        lo, hi = binomial_confidence_interval(10, 10)
+        assert hi == 1.0
+
+    def test_wider_with_fewer_trials(self):
+        small = binomial_confidence_interval(7, 10)
+        big = binomial_confidence_interval(700, 1000)
+        assert (small[1] - small[0]) > (big[1] - big[0])
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            binomial_confidence_interval(1, 0)
+        with pytest.raises(ValueError):
+            binomial_confidence_interval(5, 4)
+        with pytest.raises(ValueError):
+            binomial_confidence_interval(1, 10, confidence=1.5)
+
+    @given(st.integers(1, 200), st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_interval_ordered_and_in_unit_range(self, trials, successes):
+        if successes > trials:
+            return
+        lo, hi = binomial_confidence_interval(successes, trials)
+        assert 0.0 <= lo <= hi <= 1.0
+
+
+class TestTrialSummary:
+    def test_rate(self):
+        s = TrialSummary(successes=3, trials=4)
+        assert s.rate == 0.75
+
+    def test_exceeds_uses_lower_bound(self):
+        confident = TrialSummary(successes=990, trials=1000)
+        assert confident.exceeds(0.9)
+        shaky = TrialSummary(successes=3, trials=4)
+        assert not shaky.exceeds(0.7)
+
+    def test_zero_trials_rate_raises(self):
+        with pytest.raises(ValueError):
+            TrialSummary(successes=0, trials=1).rate  # fine
+            TrialSummary(successes=0, trials=0)
+
+
+class TestEstimateSuccessProbability:
+    def test_counts_successes(self):
+        summary = estimate_success_probability(
+            lambda rng: bool(rng.random() < 2.0), trials=10, rng=1
+        )
+        assert summary.successes == 10
+
+    def test_deterministic_under_seed(self):
+        trial = lambda rng: bool(rng.random() < 0.5)
+        a = estimate_success_probability(trial, trials=50, rng=3)
+        b = estimate_success_probability(trial, trials=50, rng=3)
+        assert a.successes == b.successes
+
+    def test_zero_trials_raises(self):
+        with pytest.raises(ValueError):
+            estimate_success_probability(lambda rng: True, trials=0)
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median_of_trials([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even(self):
+        assert median_of_trials([4.0, 1.0, 3.0, 2.0]) == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_of_trials([])
+
+    def test_boosting_rejects_outlier(self):
+        # One corrupted query out of three cannot move the median: the
+        # footnote-2 boosting argument in miniature.
+        assert median_of_trials([10.0, 10.2, 99.0]) == 10.2
