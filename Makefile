@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench tables api all
+.PHONY: install test bench bench-report tables api all
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-report:
+	PYTHONPATH=src python scripts/bench_report.py
 
 tables:
 	python -m repro.experiments.run_all

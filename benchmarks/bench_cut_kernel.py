@@ -1,0 +1,105 @@
+"""E11 — the CSR cut-kernel layer: batched vs per-cut evaluation.
+
+The acceptance bar for the kernel layer: evaluating 4096 random cuts
+through one :meth:`CSRGraph.cut_weights` call must beat 4096 individual
+``DiGraph.cut_weight`` calls by at least 5x.  The table reports both
+paths at several graph sizes plus the enumeration engines of
+``all_directed_cut_values``; the registered pytest-benchmark kernel is
+the 4096-cut batch on the largest graph.
+"""
+
+import time
+
+import numpy as np
+
+from repro.experiments.harness import Table
+from repro.graphs.cuts import all_directed_cut_values
+from repro.graphs.generators import random_balanced_digraph
+
+#: Cuts per batch in the headline measurement (matches the PR gate).
+BATCH_CUTS = 4096
+
+
+def _random_sides(graph, k, rng):
+    nodes = graph.nodes()
+    n = len(nodes)
+    sides = []
+    for _ in range(k):
+        size = int(rng.integers(1, n))
+        picks = rng.choice(n, size=size, replace=False)
+        sides.append(frozenset(nodes[i] for i in picks))
+    return sides
+
+
+def _time(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batched_cut_weights_speedup(benchmark, emit_table):
+    table = Table(
+        title="E11a - 4096 random cuts: batched CSR kernel vs dict loop",
+        columns=["n", "m", "dict_s", "csr_s", "speedup"],
+    )
+    rng = np.random.default_rng(7)
+    for n in (64, 128, 256):
+        g = random_balanced_digraph(n, beta=2.0, density=0.3, rng=int(n))
+        sides = _random_sides(g, BATCH_CUTS, rng)
+        csr = g.freeze()
+        member = csr.membership_matrix(sides)
+
+        dict_s = _time(lambda: [g.cut_weight(side) for side in sides])
+        csr_s = _time(lambda: csr.cut_weights(member))
+        table.add_row(
+            n=n,
+            m=g.num_edges,
+            dict_s=dict_s,
+            csr_s=csr_s,
+            speedup=dict_s / csr_s,
+        )
+    table.add_note(
+        "one BLAS bilinear form M w_out - (M W).M replaces 4096 python "
+        "dict scans; the gap widens with graph size"
+    )
+    emit_table(table)
+
+    g = random_balanced_digraph(256, beta=2.0, density=0.3, rng=256)
+    sides = _random_sides(g, BATCH_CUTS, rng)
+    csr = g.freeze()
+    member = csr.membership_matrix(sides)
+    benchmark.pedantic(lambda: csr.cut_weights(member), rounds=3, iterations=1)
+
+
+def test_enumeration_engines(benchmark, emit_table):
+    table = Table(
+        title="E11b - full 2^(n-1) directed cut enumeration: csr vs dict engine",
+        columns=["n", "cuts", "dict_s", "csr_s", "speedup"],
+    )
+    for n in (12, 14, 16):
+        g = random_balanced_digraph(n, beta=2.0, density=0.5, rng=n)
+        cuts = 2 ** (n - 1) - 1
+        dict_s = _time(
+            lambda: list(all_directed_cut_values(g, engine="dict")), repeats=1
+        )
+        csr_s = _time(
+            lambda: list(all_directed_cut_values(g, engine="csr")), repeats=1
+        )
+        table.add_row(
+            n=n, cuts=cuts, dict_s=dict_s, csr_s=csr_s, speedup=dict_s / csr_s
+        )
+    table.add_note(
+        "the csr engine batches enumeration in 1024-cut blocks; identical "
+        "values and order to the dict engine (property-tested)"
+    )
+    emit_table(table)
+
+    g = random_balanced_digraph(14, beta=2.0, density=0.5, rng=14)
+    benchmark.pedantic(
+        lambda: list(all_directed_cut_values(g, engine="csr")),
+        rounds=3,
+        iterations=1,
+    )

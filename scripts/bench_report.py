@@ -1,0 +1,184 @@
+"""Write BENCH_PR1.json: timing evidence for the CSR cut-kernel layer.
+
+Two parts:
+
+1. **Micro benches** (run in-process, median of repeats): the PR gate —
+   4096 random cuts through one ``CSRGraph.cut_weights`` call vs 4096
+   ``DiGraph.cut_weight`` calls (must be >= 5x), plus full cut
+   enumeration and sparsifier quality-evaluation timings on both
+   engines.
+2. **pytest-benchmark medians** for the suite's timed kernels
+   (cut-kernel, sparsifier quality, Theorem 1.1/1.2 pipelines), pulled
+   from a ``--benchmark-json`` run.  Skipped with ``--micro-only``
+   (the micro section alone decides the acceptance gate).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py [--micro-only]
+"""
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.graphs.cuts import all_directed_cut_values  # noqa: E402
+from repro.graphs.generators import random_balanced_digraph  # noqa: E402
+from repro.sketch.sparsifier import SparsifierSketch  # noqa: E402
+
+GATE_CUTS = 4096
+GATE_NODES = 256
+BENCH_FILES = [
+    "benchmarks/bench_cut_kernel.py",
+    "benchmarks/bench_sparsifier_quality.py",
+    "benchmarks/bench_theorem11_foreach.py",
+    "benchmarks/bench_theorem12_forall.py",
+]
+
+
+def _median_time(fn, repeats=5):
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def _random_sides(graph, k, rng):
+    nodes = graph.nodes()
+    n = len(nodes)
+    sides = []
+    for _ in range(k):
+        size = int(rng.integers(1, n))
+        picks = rng.choice(n, size=size, replace=False)
+        sides.append(frozenset(nodes[i] for i in picks))
+    return sides
+
+
+def micro_benches():
+    rng = np.random.default_rng(7)
+    out = {}
+
+    # The acceptance gate: one batched kernel call vs GATE_CUTS dict calls.
+    g = random_balanced_digraph(GATE_NODES, beta=2.0, density=0.3, rng=GATE_NODES)
+    sides = _random_sides(g, GATE_CUTS, rng)
+    csr = g.freeze()
+    member = csr.membership_matrix(sides)
+    csr.cut_weights(member)  # warm the dense adjacency cache
+    dict_s = _median_time(lambda: [g.cut_weight(side) for side in sides], repeats=3)
+    batch_s = _median_time(lambda: csr.cut_weights(member), repeats=5)
+    out["cut_kernel_4096"] = {
+        "nodes": GATE_NODES,
+        "edges": g.num_edges,
+        "cuts": GATE_CUTS,
+        "dict_loop_median_s": dict_s,
+        "csr_batch_median_s": batch_s,
+        "speedup": dict_s / batch_s,
+    }
+
+    # Full 2^(n-1) directed cut enumeration, both engines.
+    g16 = random_balanced_digraph(16, beta=2.0, density=0.5, rng=16)
+    dict_enum = _median_time(
+        lambda: list(all_directed_cut_values(g16, engine="dict")), repeats=3
+    )
+    csr_enum = _median_time(
+        lambda: list(all_directed_cut_values(g16, engine="csr")), repeats=3
+    )
+    out["cut_enumeration_n16"] = {
+        "nodes": 16,
+        "cuts": 2 ** 15 - 1,
+        "dict_engine_median_s": dict_enum,
+        "csr_engine_median_s": csr_enum,
+        "speedup": dict_enum / csr_enum,
+    }
+
+    # Sparsifier quality evaluation: every cut error via query_many vs query.
+    gq = random_balanced_digraph(14, beta=2.0, density=0.5, rng=14)
+    sketch = SparsifierSketch(gq, 0.5, rng=3, constant=0.4)
+    pairs = list(all_directed_cut_values(gq, engine="csr"))
+    eval_sides = [side for side, _ in pairs]
+
+    def looped():
+        return [sketch.query(set(side)) for side in eval_sides]
+
+    def batched():
+        return sketch.query_many(eval_sides)
+
+    loop_s = _median_time(looped, repeats=3)
+    batch_q = _median_time(batched, repeats=3)
+    out["sparsifier_quality_n14"] = {
+        "nodes": 14,
+        "cuts": len(eval_sides),
+        "query_loop_median_s": loop_s,
+        "query_many_median_s": batch_q,
+        "speedup": loop_s / batch_q,
+    }
+    return out
+
+
+def pytest_benchmark_medians():
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = handle.name
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *BENCH_FILES,
+        "--benchmark-only",
+        f"--benchmark-json={json_path}",
+        "-q",
+    ]
+    proc = subprocess.run(
+        cmd,
+        cwd=REPO,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return {"error": proc.stdout[-2000:] + proc.stderr[-2000:]}
+    data = json.loads(Path(json_path).read_text())
+    return {
+        bench["fullname"]: {"median_s": bench["stats"]["median"]}
+        for bench in data["benchmarks"]
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--micro-only",
+        action="store_true",
+        help="skip the pytest-benchmark suite run",
+    )
+    args = parser.parse_args()
+
+    report = {"micro": micro_benches()}
+    if not args.micro_only:
+        report["pytest_benchmarks"] = pytest_benchmark_medians()
+
+    gate = report["micro"]["cut_kernel_4096"]["speedup"]
+    report["gate"] = {
+        "requirement": "cut_weights on 4096 cuts >= 5x faster than looped cut_weight",
+        "speedup": gate,
+        "passed": gate >= 5.0,
+    }
+
+    out_path = REPO / "BENCH_PR1.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    print(f"gate speedup: {gate:.1f}x ({'PASS' if gate >= 5.0 else 'FAIL'})")
+
+
+if __name__ == "__main__":
+    main()

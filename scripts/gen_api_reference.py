@@ -12,6 +12,38 @@ import importlib
 import inspect
 import os
 
+#: Hand-written prose inserted after a package's generated table.
+EXTRA_SECTIONS = {
+    "repro.graphs": """\
+### CSR kernel layer
+
+`DiGraph.freeze()` / `UGraph.freeze()` return a cached `CSRGraph` — an
+immutable integer-indexed snapshot (node labels interned to `0..n-1`,
+edges in flat `tails`/`heads`/`weights` arrays with CSR index pointers
+for both adjacency directions).  The snapshot is invalidated and rebuilt
+automatically when the graph mutates; repeated `freeze()` calls between
+mutations return the same object.
+
+The snapshot's batch kernels evaluate many cuts per call:
+
+| kernel | computes |
+|---|---|
+| `cut_weights(M)` | `w(S_k, V\\S_k)` for every row of a boolean membership matrix `M` |
+| `cut_weights_both(M)` | forward and backward cut values in one pass (balance scans) |
+| `weights_between(Msrc, Mdst)` | `w(S_k, T_k)` for paired row sets |
+| `out_weight_vector()` etc. | per-node degree/weight/imbalance vectors |
+| `max_flow(s, t)` | integer-indexed Dinic over residual arcs built from the snapshot |
+
+Consumers: `all_directed_cut_values(engine="csr")` (default; the
+`"dict"` engine is the reference implementation), sketch `query_many`
+batch probes, the lower-bound decoders' cut-probe loops, and
+`balance.py`'s exact scans.  `batched_cut_weights(graph, sides)` is the
+one-call convenience wrapper.  Equivalence with the dict path is
+property-tested in `tests/graphs/test_csr_equivalence.py`; timings live
+in `BENCH_PR1.json` (`make bench-report`).
+""",
+}
+
 PACKAGES = [
     "repro.graphs",
     "repro.linalg",
@@ -69,6 +101,9 @@ def main() -> None:
             kind, summary = describe(getattr(package, name))
             lines.append(f"| `{name}` | {kind} | {summary} |")
         lines.append("")
+        extra = EXTRA_SECTIONS.get(package_name)
+        if extra:
+            lines.append(extra)
     os.makedirs("docs", exist_ok=True)
     with open("docs/API.md", "w") as fh:
         fh.write("\n".join(lines) + "\n")

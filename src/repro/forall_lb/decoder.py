@@ -23,7 +23,7 @@ subtraction, and takes the subset ``Q`` with the largest estimate
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations
+from itertools import combinations, islice
 from math import comb
 from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
 
@@ -41,6 +41,9 @@ from repro.utils.rng import RngLike, ensure_rng
 #: Above this many half-size subsets the decoder switches from exact
 #: enumeration to random sampling (documented substitution in DESIGN.md).
 DEFAULT_ENUMERATION_LIMIT = 20_000
+
+#: Subsets evaluated per batched kernel/sketch call inside :meth:`decide`.
+SUBSET_BATCH = 512
 
 
 @dataclass
@@ -68,6 +71,9 @@ class ForAllDecoder:
         self.enumeration_limit = enumeration_limit
         self._rng = ensure_rng(rng)
         self._skeleton = ForAllEncoder(params).skeleton()
+        # Frozen once: the fixed skeleton offsets for whole batches of
+        # candidate subsets are evaluated through this snapshot.
+        self._skeleton_csr = self._skeleton.freeze()
 
     def _query_nodes(self, pair: int, cluster: int, t: BitString) -> Set[NodeLabel]:
         """The node set ``T``: positions of 1 in ``t`` inside ``R_cluster``."""
@@ -121,7 +127,7 @@ class ForAllDecoder:
         error.
         """
         side = self.cut_side(pair, subset, t_nodes)
-        fixed = self._skeleton.cut_weight(side)
+        fixed = self._skeleton_csr.cut_weight(side)
         return sketch.query(side) - fixed
 
     def decide(
@@ -136,12 +142,29 @@ class ForAllDecoder:
         best_value = -np.inf
         best_subset: Optional[FrozenSet[NodeLabel]] = None
         examined = 0
-        for subset in subsets:
-            examined += 1
-            value = self.estimate_block_weight(sketch, pair, subset, t_nodes)
-            if value > best_value:
-                best_value = value
-                best_subset = subset
+        csr = self._skeleton_csr
+        query_many = getattr(sketch, "query_many", None)
+        while True:
+            chunk = list(islice(subsets, SUBSET_BATCH))
+            if not chunk:
+                break
+            # One skeleton-kernel call for the fixed offsets and one
+            # batched sketch probe per chunk; the sequential scan below
+            # keeps the first-strictly-greater argmax of the loop form.
+            sides = [
+                frozenset(self.cut_side(pair, subset, t_nodes)) for subset in chunk
+            ]
+            fixed = csr.cut_weights(csr.membership_matrix(sides))
+            if query_many is not None:
+                observed = query_many(sides)
+            else:  # duck-typed sketches that only implement query()
+                observed = [sketch.query(side) for side in sides]
+            examined += len(chunk)
+            for subset, answer, offset in zip(chunk, observed, fixed):
+                value = answer - float(offset)
+                if value > best_value:
+                    best_value = value
+                    best_subset = subset
         if best_subset is None:
             raise ParameterError("no subsets enumerated")
         target = (pair, left_index)

@@ -57,6 +57,9 @@ class ForEachDecoder:
         # Lemma 3.2 matrix and the public skeleton; it never sees s.
         self._encoder = ForEachEncoder(params)
         self._skeleton = self._encoder.skeleton()
+        # Frozen once: every bit's four fixed-backward offsets are
+        # evaluated through this snapshot in a single batched kernel call.
+        self._skeleton_csr = self._skeleton.freeze()
 
     def query_plans(self, q: int) -> List[CutQueryPlan]:
         """The four cut queries recovering bit ``q`` (Figure 1 layout)."""
@@ -71,19 +74,22 @@ class ForEachDecoder:
         side_b = {right_cluster[i] for i in row.side_b}
         side_b_bar = set(right_cluster) - side_b
 
-        plans: List[CutQueryPlan] = []
-        for a_part, b_part, sign in (
+        quadrants = (
             (side_a, side_b, +1),
             (side_a_bar, side_b, -1),
             (side_a, side_b_bar, -1),
             (side_a_bar, side_b_bar, +1),
-        ):
-            side = self._cut_side(pair, a_part, b_part)
-            fixed = self._skeleton.cut_weight(side)
-            plans.append(
-                CutQueryPlan(side=frozenset(side), fixed_backward=fixed, sign=sign)
-            )
-        return plans
+        )
+        sides = [
+            frozenset(self._cut_side(pair, a_part, b_part))
+            for a_part, b_part, _ in quadrants
+        ]
+        csr = self._skeleton_csr
+        fixed = csr.cut_weights(csr.membership_matrix(sides))
+        return [
+            CutQueryPlan(side=side, fixed_backward=float(offset), sign=sign)
+            for side, offset, (_, _, sign) in zip(sides, fixed, quadrants)
+        ]
 
     def _cut_side(self, pair: int, a_part: set, b_part: set) -> set:
         """``S = A' u (V_{pair+1} \\ B') u V_{pair+2} u ... `` ."""
@@ -100,10 +106,19 @@ class ForEachDecoder:
         """Estimate ``<w, M_t>`` for the block containing bit ``q``."""
         if boost < 1:
             raise ParameterError("boost must be at least 1")
+        plans = self.query_plans(q)
+        # One batched probe covering all four quadrants and all boost
+        # trials; order matches the sequential loop so per-query sketch
+        # randomness is drawn identically.
+        sides = [plan.side for plan in plans for _ in range(boost)]
+        query_many = getattr(sketch, "query_many", None)
+        if query_many is not None:
+            answers = query_many(sides)
+        else:  # duck-typed sketches that only implement query()
+            answers = [sketch.query(side) for side in sides]
         total = 0.0
-        for plan in self.query_plans(q):
-            values = [sketch.query(plan.side) for _ in range(boost)]
-            observed = median_of_trials(values)
+        for i, plan in enumerate(plans):
+            observed = median_of_trials(answers[i * boost : (i + 1) * boost])
             total += plan.sign * (observed - plan.fixed_backward)
         return total
 

@@ -2,6 +2,7 @@
 
 from repro.graphs.digraph import DiGraph
 from repro.graphs.ugraph import UGraph, symmetrize
+from repro.graphs.csr import CSRFlowResult, CSRGraph, batched_cut_weights
 from repro.graphs.cuts import (
     all_directed_cut_values,
     all_undirected_cut_values,
@@ -62,8 +63,11 @@ from repro.graphs.generators import (
 )
 
 __all__ = [
+    "CSRFlowResult",
+    "CSRGraph",
     "DiGraph",
     "FlowResult",
+    "batched_cut_weights",
     "GomoryHuTree",
     "UGraph",
     "all_directed_cut_values",

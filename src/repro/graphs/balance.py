@@ -18,12 +18,60 @@ Two evaluators are provided:
 from __future__ import annotations
 
 import math
+from itertools import islice
 from typing import Optional, Tuple
 
+import numpy as np
+
 from repro.errors import GraphError
-from repro.graphs.cuts import enumerate_cut_sides
+from repro.graphs.cuts import DEFAULT_CUT_BATCH, enumerate_cut_sides
 from repro.graphs.digraph import DiGraph
 from repro.graphs.connectivity import is_strongly_connected
+
+
+def _balance_scan(graph: DiGraph) -> Tuple[float, Optional[frozenset]]:
+    """Worst cut-direction ratio and the side achieving it.
+
+    Streams the pinned cut enumeration through the frozen snapshot's
+    two-direction kernel; per batch, both ratio orientations are computed
+    vectorized.  Selection keeps the dict path's semantics — per side the
+    forward ratio is considered before the backward one, and only a
+    strictly larger ratio replaces the incumbent.
+    """
+    csr = graph.freeze()
+    nodes = graph.nodes()
+    node_set = set(nodes)
+    sides = enumerate_cut_sides(nodes, pinned=nodes[0])
+    worst = 1.0
+    worst_side: Optional[frozenset] = None
+    while True:
+        batch = list(islice(sides, DEFAULT_CUT_BATCH))
+        if not batch:
+            break
+        member = csr.membership_matrix(batch)
+        forward, backward = csr.cut_weights_both(member)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fwd_ratio = np.where(
+                forward == 0, 1.0, np.where(backward == 0, np.inf, forward / backward)
+            )
+            bwd_ratio = np.where(
+                backward == 0, 1.0, np.where(forward == 0, np.inf, backward / forward)
+            )
+        # Interleave so index order matches the sequential forward-then-
+        # backward consideration per side.
+        ratios = np.empty(2 * len(batch))
+        ratios[0::2] = fwd_ratio
+        ratios[1::2] = bwd_ratio
+        peak = float(ratios.max())
+        if peak > worst:
+            worst = peak
+            at = int(np.argmax(ratios))
+            side = batch[at // 2]
+            if at % 2 == 0:
+                worst_side = frozenset(side)
+            else:
+                worst_side = frozenset(node_set - set(side))
+    return worst, worst_side
 
 
 def exact_balance(graph: DiGraph) -> float:
@@ -31,16 +79,12 @@ def exact_balance(graph: DiGraph) -> float:
 
     Requires strong connectivity (otherwise some direction of some cut
     has weight 0 and the ratio is infinite).  Exponential in ``n``; the
-    cut enumerator enforces its own size limit.
+    cut enumerator enforces its own size limit.  Cut values are evaluated
+    in batches through the frozen CSR kernel.
     """
     if not is_strongly_connected(graph):
         raise GraphError("balance is only defined for strongly connected graphs")
-    worst = 1.0
-    nodes = graph.nodes()
-    for side in enumerate_cut_sides(nodes, pinned=nodes[0]):
-        forward = graph.cut_weight(side)
-        backward = graph.cut_weight(set(nodes) - set(side))
-        worst = max(worst, _ratio(forward, backward), _ratio(backward, forward))
+    worst, _ = _balance_scan(graph)
     return worst
 
 
@@ -93,18 +137,7 @@ def most_unbalanced_cut(graph: DiGraph) -> Tuple[float, frozenset]:
     """The cut achieving :func:`exact_balance` and its ratio."""
     if not is_strongly_connected(graph):
         raise GraphError("balance is only defined for strongly connected graphs")
-    nodes = graph.nodes()
-    worst = 1.0
-    worst_side: Optional[frozenset] = None
-    for side in enumerate_cut_sides(nodes, pinned=nodes[0]):
-        forward = graph.cut_weight(side)
-        backward = graph.cut_weight(set(nodes) - set(side))
-        for ratio, which in ((_ratio(forward, backward), side),
-                             (_ratio(backward, forward),
-                              frozenset(set(nodes) - set(side)))):
-            if ratio > worst:
-                worst = ratio
-                worst_side = which
+    worst, worst_side = _balance_scan(graph)
     if worst_side is None:
-        worst_side = frozenset([nodes[0]])
+        worst_side = frozenset([graph.nodes()[0]])
     return worst, worst_side

@@ -16,7 +16,7 @@ from typing import Dict, FrozenSet, Hashable, List, Set, Tuple
 
 from repro.errors import GraphError
 from repro.graphs.digraph import DiGraph, Node
-from repro.graphs.maxflow import max_flow, max_flow_undirected
+from repro.graphs.maxflow import max_flow
 from repro.graphs.ugraph import UGraph
 
 
@@ -40,12 +40,34 @@ def _reachable(graph: DiGraph, root: Node, forward: bool) -> Set[Node]:
     stack = [root]
     while stack:
         cur = stack.pop()
-        nbrs = graph.successors(cur) if forward else graph.predecessors(cur)
-        for nxt in nbrs:
+        nbrs = (
+            graph.iter_successors(cur) if forward else graph.iter_predecessors(cur)
+        )
+        for nxt, _ in nbrs:
             if nxt not in seen:
                 seen.add(nxt)
                 stack.append(nxt)
     return seen
+
+
+def _unit_digraph(graph: UGraph) -> DiGraph:
+    """Unit-capacity bidirected view of an undirected graph.
+
+    Built once per certification batch; its cached CSR snapshot is then
+    reused by every max-flow call instead of copying neighbor dicts per
+    pair.
+    """
+    unit = DiGraph(nodes=graph.nodes())
+    for a, b, _ in graph.edges():
+        unit.add_edge(a, b, 1.0)
+        unit.add_edge(b, a, 1.0)
+    return unit
+
+
+def _unit_flow_value(unit: DiGraph, u: Node, v: Node) -> int:
+    if u == v:
+        raise GraphError("endpoints must differ")
+    return int(round(max_flow(unit, u, v).value))
 
 
 def edge_disjoint_path_count(graph: UGraph, u: Node, v: Node) -> int:
@@ -54,28 +76,24 @@ def edge_disjoint_path_count(graph: UGraph, u: Node, v: Node) -> int:
     The graph is treated as unweighted: every present edge has capacity 1
     regardless of stored weight, matching Section 5's unweighted model.
     """
-    if u == v:
-        raise GraphError("endpoints must differ")
-    unit = UGraph(nodes=graph.nodes())
-    for a, b, _ in graph.edges():
-        unit.add_edge(a, b, 1.0)
-    result = max_flow_undirected(unit, u, v)
-    return int(round(result.value))
+    return _unit_flow_value(_unit_digraph(graph), u, v)
 
 
 def edge_connectivity(graph: UGraph) -> int:
     """Global edge connectivity ``min_{u,v} maxflow(u, v)``.
 
     Computed with ``n - 1`` flow calls from a fixed root (the global
-    minimum separates the root from someone).
+    minimum separates the root from someone); all calls share one frozen
+    unit-capacity snapshot.
     """
     nodes = graph.nodes()
     if len(nodes) < 2:
         raise GraphError("edge connectivity needs at least two nodes")
+    unit = _unit_digraph(graph)
     root = nodes[0]
     best = math.inf
     for other in nodes[1:]:
-        best = min(best, edge_disjoint_path_count(graph, root, other))
+        best = min(best, _unit_flow_value(unit, root, other))
         if best == 0:
             break
     return int(best)
@@ -105,9 +123,10 @@ def certify_pairwise_connectivity(
     first failing pair.  Benchmarks E7 feed this the representative
     ``(u, v)`` pairs of Figures 3–6.
     """
+    unit = _unit_digraph(graph)
     counts: Dict[Tuple[Node, Node], int] = {}
     for u, v in pairs:
-        count = edge_disjoint_path_count(graph, u, v)
+        count = _unit_flow_value(unit, u, v)
         counts[(u, v)] = count
         if count < gamma:
             raise GraphError(

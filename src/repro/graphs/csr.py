@@ -1,0 +1,579 @@
+"""Frozen CSR snapshots with vectorized, batched cut kernels.
+
+Every headline artifact of the reproduction — the Theta(2^n) ground-truth
+cut enumerations, the for-each/for-all decoders' cut probes, balance
+scans, and sparsifier-quality sweeps — evaluates *many cuts against one
+fixed graph*.  The dict-of-dicts :class:`~repro.graphs.digraph.DiGraph`
+is the right structure while a graph is being built; once it is fixed,
+that shape is exactly what NumPy batch kernels excel at.
+
+:class:`CSRGraph` is an immutable integer-indexed snapshot:
+
+* node labels interned to ``0..n-1`` (insertion order preserved);
+* flat edge arrays ``tails``/``heads``/``weights`` plus CSR index
+  pointers for both out- and in-adjacency;
+* batched kernels — :meth:`cut_weights` evaluates ``K`` cuts in one
+  vectorized pass over a boolean membership matrix (no per-cut Python
+  loop), :meth:`cut_weights_both` returns both orientations for balance
+  scans, :meth:`weights_between` handles ``w(S, T)`` block queries;
+* degree/weight vectors for :mod:`repro.graphs.balance`;
+* an integer-indexed Dinic fast path (:meth:`max_flow`) that builds its
+  residual arc arrays straight from the snapshot instead of copying
+  neighbor dicts.
+
+Obtain snapshots through :meth:`DiGraph.freeze` /
+:meth:`UGraph.freeze`, which cache them behind a mutation counter; the
+dict-path methods remain the reference implementation that the
+hypothesis equivalence suite checks the kernels against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.errors import GraphError
+
+Node = Hashable
+
+_EPS = 1e-12
+
+#: Bool cells (rows x edges) processed per kernel chunk; bounds peak
+#: memory of a batched call to a few tens of megabytes regardless of K.
+_BATCH_CELL_BUDGET = 1 << 23
+
+#: Above this node count the dense adjacency fast path is skipped and the
+#: batch kernels fall back to per-edge gathers (n^2 floats get too big).
+_DENSE_N_LIMIT = 2048
+
+
+@dataclass(frozen=True)
+class CSRFlowResult:
+    """Integer-indexed outcome of :meth:`CSRGraph.max_flow`."""
+
+    value: float
+    #: Indices residual-reachable from the source — a min s-t cut side.
+    source_side: FrozenSet[int]
+    #: Flow per snapshot edge, aligned with ``tails``/``heads``.
+    edge_flows: List[float]
+
+
+class CSRGraph:
+    """Immutable CSR snapshot of a directed graph with batch kernels.
+
+    Construct via :meth:`from_digraph` / :meth:`from_ugraph` (or the
+    caching wrappers ``DiGraph.freeze()`` / ``UGraph.freeze()``).  The
+    undirected snapshot stores each edge in both directions, so the
+    forward cut kernel returns undirected cut values.
+    """
+
+    __slots__ = (
+        "_labels",
+        "_index",
+        "_tails",
+        "_heads",
+        "_weights",
+        "_indptr",
+        "_rindptr",
+        "_rindices",
+        "_rweights",
+        "_total_weight",
+        "_dense",
+    )
+
+    def __init__(
+        self,
+        labels: Sequence[Node],
+        tails: np.ndarray,
+        heads: np.ndarray,
+        weights: np.ndarray,
+    ):
+        self._labels: Tuple[Node, ...] = tuple(labels)
+        self._index: Dict[Node, int] = {
+            label: i for i, label in enumerate(self._labels)
+        }
+        if len(self._index) != len(self._labels):
+            raise GraphError("duplicate node labels in CSR snapshot")
+        n = len(self._labels)
+        self._tails = np.ascontiguousarray(tails, dtype=np.int64)
+        self._heads = np.ascontiguousarray(heads, dtype=np.int64)
+        self._weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if not (self._tails.shape == self._heads.shape == self._weights.shape):
+            raise GraphError("edge arrays must have equal length")
+        if self._tails.size and (
+            self._tails.min() < 0
+            or self._tails.max() >= n
+            or self._heads.min() < 0
+            or self._heads.max() >= n
+        ):
+            raise GraphError("edge endpoint index out of range")
+        # Out-CSR: construction orders edges by tail, so indptr is a
+        # prefix sum of out-degrees; in-CSR comes from a stable argsort.
+        counts = np.bincount(self._tails, minlength=n)
+        self._indptr = np.concatenate(([0], np.cumsum(counts)))
+        order = np.argsort(self._heads, kind="stable")
+        rcounts = np.bincount(self._heads, minlength=n)
+        self._rindptr = np.concatenate(([0], np.cumsum(rcounts)))
+        self._rindices = self._tails[order]
+        self._rweights = self._weights[order]
+        self._total_weight = float(self._weights.sum())
+        self._dense: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_digraph(cls, graph) -> "CSRGraph":
+        """Snapshot a :class:`~repro.graphs.digraph.DiGraph`."""
+        labels = graph.nodes()
+        index = {label: i for i, label in enumerate(labels)}
+        m = graph.num_edges
+        tails = np.empty(m, dtype=np.int64)
+        heads = np.empty(m, dtype=np.int64)
+        weights = np.empty(m, dtype=np.float64)
+        pos = 0
+        for u in labels:
+            ui = index[u]
+            for v, w in graph.iter_successors(u):
+                tails[pos] = ui
+                heads[pos] = index[v]
+                weights[pos] = w
+                pos += 1
+        return cls(labels, tails, heads, weights)
+
+    @classmethod
+    def from_ugraph(cls, graph) -> "CSRGraph":
+        """Snapshot a :class:`~repro.graphs.ugraph.UGraph`.
+
+        Each undirected edge is stored in both directions, so directed
+        kernels on the snapshot compute undirected cut quantities.
+        """
+        labels = graph.nodes()
+        index = {label: i for i, label in enumerate(labels)}
+        m = 2 * graph.num_edges
+        tails = np.empty(m, dtype=np.int64)
+        heads = np.empty(m, dtype=np.int64)
+        weights = np.empty(m, dtype=np.float64)
+        pos = 0
+        for u in labels:
+            ui = index[u]
+            for v, w in graph.iter_neighbors(u):
+                tails[pos] = ui
+                heads[pos] = index[v]
+                weights[pos] = w
+                pos += 1
+        return cls(labels, tails, heads, weights)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges in the snapshot."""
+        return int(self._tails.size)
+
+    @property
+    def labels(self) -> Tuple[Node, ...]:
+        """Node labels in interning order (index ``i`` -> ``labels[i]``)."""
+        return self._labels
+
+    @property
+    def tails(self) -> np.ndarray:
+        """Edge tail indices (read-only view)."""
+        return self._tails
+
+    @property
+    def heads(self) -> np.ndarray:
+        """Edge head indices (read-only view)."""
+        return self._heads
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Edge weights aligned with :attr:`tails`/:attr:`heads`."""
+        return self._weights
+
+    def index_of(self, node: Node) -> int:
+        """Interned index of ``node``."""
+        try:
+            return self._index[node]
+        except KeyError:
+            raise GraphError(f"node {node!r} not in CSR snapshot") from None
+
+    def node_at(self, index: int) -> Node:
+        """Label of interned ``index``."""
+        return self._labels[index]
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights in the snapshot."""
+        return self._total_weight
+
+    # ------------------------------------------------------------------
+    # membership handling
+    # ------------------------------------------------------------------
+    def membership_matrix(
+        self, sides: Sequence[AbstractSet[Node]]
+    ) -> np.ndarray:
+        """Boolean ``(K, n)`` matrix: row ``k`` is the indicator of side ``k``.
+
+        Raises :class:`GraphError` on labels absent from the snapshot
+        (mirroring the dict path's unknown-node check).
+        """
+        member = np.zeros((len(sides), self.num_nodes), dtype=bool)
+        index = self._index
+        for k, side in enumerate(sides):
+            row = member[k]
+            for node in side:
+                try:
+                    row[index[node]] = True
+                except KeyError:
+                    raise GraphError(
+                        f"cut side contains unknown nodes: [{node!r}]"
+                    ) from None
+        return member
+
+    def side_from_row(self, row: np.ndarray) -> FrozenSet[Node]:
+        """Inverse of :meth:`membership_matrix` for one row."""
+        return frozenset(self._labels[i] for i in np.flatnonzero(row))
+
+    def _as_membership(self, membership) -> Tuple[np.ndarray, bool]:
+        member = np.asarray(membership, dtype=bool)
+        single = member.ndim == 1
+        if single:
+            member = member[None, :]
+        if member.ndim != 2 or member.shape[1] != self.num_nodes:
+            raise GraphError(
+                f"membership matrix must have {self.num_nodes} columns"
+            )
+        return member, single
+
+    def check_proper(self, membership) -> None:
+        """Raise unless every row is a proper nonempty subset of ``V``.
+
+        The dict path's ``cut_weight`` rejects the trivial cuts; batched
+        callers that want the same contract call this first.
+        """
+        member, _ = self._as_membership(membership)
+        sizes = member.sum(axis=1)
+        if np.any(sizes == 0) or np.any(sizes == self.num_nodes):
+            raise GraphError("cut side must be a proper nonempty subset")
+
+    # ------------------------------------------------------------------
+    # batched cut kernels
+    # ------------------------------------------------------------------
+    def _chunk_rows(self, k: int) -> int:
+        per_row = max(1, self.num_edges)
+        return max(1, _BATCH_CELL_BUDGET // per_row)
+
+    def _dense_parts(
+        self,
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Lazily built ``(W, w_out, w_in)`` dense adjacency, or ``None``.
+
+        With the (K, n) float membership matrix ``M`` the forward cut is
+        the bilinear form ``diag(M W (1 - M)^T) = M w_out - (M W) . M``,
+        one BLAS matmul for the whole batch instead of per-edge gathers.
+        Skipped above :data:`_DENSE_N_LIMIT` nodes, where n^2 floats
+        outgrow the edge arrays.
+        """
+        n = self.num_nodes
+        if n > _DENSE_N_LIMIT:
+            return None
+        if self._dense is None:
+            adjacency = np.zeros((n, n), dtype=np.float64)
+            # add.at tolerates duplicate (tail, head) pairs from direct
+            # constructor calls; the from_* paths never produce them.
+            np.add.at(adjacency, (self._tails, self._heads), self._weights)
+            self._dense = (
+                adjacency,
+                adjacency.sum(axis=1),
+                adjacency.sum(axis=0),
+            )
+        return self._dense
+
+    def _dense_chunk_rows(self) -> int:
+        # Per row the dense path materialises two (chunk, n) float blocks.
+        return max(1, _BATCH_CELL_BUDGET // max(1, 2 * self.num_nodes))
+
+    def cut_weights(self, membership) -> np.ndarray:
+        """Directed cut values ``w(S_k, V \\ S_k)`` for ``K`` cuts at once.
+
+        ``membership`` is a boolean ``(K, n)`` matrix (or a single
+        ``(n,)`` row, in which case a scalar is returned).  Trivial rows
+        are allowed and evaluate to 0; callers wanting ``cut_weight``'s
+        strictness should :meth:`check_proper` first.
+        """
+        member, single = self._as_membership(membership)
+        k = member.shape[0]
+        out = np.empty(k, dtype=np.float64)
+        dense = self._dense_parts()
+        if dense is not None:
+            adjacency, w_out, _ = dense
+            chunk = self._dense_chunk_rows()
+            for start in range(0, k, chunk):
+                block = member[start : start + chunk].astype(np.float64)
+                inner = np.einsum("ij,ij->i", block @ adjacency, block)
+                out[start : start + chunk] = block @ w_out - inner
+        else:
+            chunk = self._chunk_rows(k)
+            for start in range(0, k, chunk):
+                block = member[start : start + chunk]
+                in_tail = block[:, self._tails]
+                in_head = block[:, self._heads]
+                crossing = in_tail & ~in_head
+                out[start : start + chunk] = crossing @ self._weights
+        return float(out[0]) if single else out
+
+    def cut_weights_both(self, membership) -> Tuple[np.ndarray, np.ndarray]:
+        """``(w(S, V\\S), w(V\\S, S))`` per row, sharing one pass.
+
+        The backward direction is what balance scans need; both come from
+        the same ``M W`` product (dense path) or the same endpoint
+        gathers (fallback), halving the work of two
+        :meth:`cut_weights` calls.
+        """
+        member, single = self._as_membership(membership)
+        k = member.shape[0]
+        forward = np.empty(k, dtype=np.float64)
+        backward = np.empty(k, dtype=np.float64)
+        dense = self._dense_parts()
+        if dense is not None:
+            adjacency, w_out, w_in = dense
+            chunk = self._dense_chunk_rows()
+            for start in range(0, k, chunk):
+                block = member[start : start + chunk].astype(np.float64)
+                inner = np.einsum("ij,ij->i", block @ adjacency, block)
+                forward[start : start + chunk] = block @ w_out - inner
+                backward[start : start + chunk] = block @ w_in - inner
+        else:
+            chunk = self._chunk_rows(k)
+            for start in range(0, k, chunk):
+                block = member[start : start + chunk]
+                in_tail = block[:, self._tails]
+                in_head = block[:, self._heads]
+                forward[start : start + chunk] = (
+                    in_tail & ~in_head
+                ) @ self._weights
+                backward[start : start + chunk] = (
+                    ~in_tail & in_head
+                ) @ self._weights
+        if single:
+            return float(forward[0]), float(backward[0])
+        return forward, backward
+
+    def weights_between(self, src_membership, dst_membership) -> np.ndarray:
+        """Batched ``w(S_k, T_k)``: weight of edges from ``S_k`` into ``T_k``.
+
+        Like the dict path's ``directed_weight_between``, sources and
+        destinations may overlap; self loops do not exist so overlap
+        edges are never double-counted.
+        """
+        src, single_src = self._as_membership(src_membership)
+        dst, single_dst = self._as_membership(dst_membership)
+        if src.shape[0] != dst.shape[0]:
+            raise GraphError("src and dst membership row counts differ")
+        k = src.shape[0]
+        out = np.empty(k, dtype=np.float64)
+        dense = self._dense_parts()
+        if dense is not None:
+            adjacency, _, _ = dense
+            chunk = self._dense_chunk_rows()
+            for start in range(0, k, chunk):
+                src_block = src[start : start + chunk].astype(np.float64)
+                dst_block = dst[start : start + chunk].astype(np.float64)
+                out[start : start + chunk] = np.einsum(
+                    "ij,ij->i", src_block @ adjacency, dst_block
+                )
+        else:
+            chunk = self._chunk_rows(k)
+            for start in range(0, k, chunk):
+                in_src = src[start : start + chunk][:, self._tails]
+                in_dst = dst[start : start + chunk][:, self._heads]
+                out[start : start + chunk] = (in_src & in_dst) @ self._weights
+        return float(out[0]) if single_src and single_dst else out
+
+    def cut_weight(self, side: AbstractSet[Node]) -> float:
+        """Single-cut convenience with ``DiGraph.cut_weight`` semantics."""
+        member = self.membership_matrix([set(side)])
+        self.check_proper(member)
+        return float(self.cut_weights(member)[0])
+
+    # ------------------------------------------------------------------
+    # degree / balance vectors
+    # ------------------------------------------------------------------
+    def out_weight_vector(self) -> np.ndarray:
+        """Per-node total out-edge weight, indexed by interned id."""
+        return np.bincount(
+            self._tails, weights=self._weights, minlength=self.num_nodes
+        )
+
+    def in_weight_vector(self) -> np.ndarray:
+        """Per-node total in-edge weight, indexed by interned id."""
+        return np.bincount(
+            self._heads, weights=self._weights, minlength=self.num_nodes
+        )
+
+    def out_degree_vector(self) -> np.ndarray:
+        """Per-node out-degree, indexed by interned id."""
+        return np.diff(self._indptr)
+
+    def in_degree_vector(self) -> np.ndarray:
+        """Per-node in-degree, indexed by interned id."""
+        return np.diff(self._rindptr)
+
+    def imbalance_vector(self) -> np.ndarray:
+        """Per-node ``out_weight - in_weight`` (0 everywhere iff Eulerian)."""
+        return self.out_weight_vector() - self.in_weight_vector()
+
+    # ------------------------------------------------------------------
+    # max flow (integer-indexed Dinic fast path)
+    # ------------------------------------------------------------------
+    def max_flow(self, source: int, sink: int) -> CSRFlowResult:
+        """Dinic's algorithm on residual arc arrays built from the snapshot.
+
+        ``source``/``sink`` are interned indices.  Arc ``2e`` is the
+        forward residual arc of snapshot edge ``e`` and ``2e + 1`` its
+        reverse, so the reverse of arc ``a`` is always ``a ^ 1``.
+        """
+        n = self.num_nodes
+        if not (0 <= source < n and 0 <= sink < n):
+            raise GraphError("source and sink must be interned indices")
+        if source == sink:
+            raise GraphError("source and sink must differ")
+        tails = self._tails.tolist()
+        heads = self._heads.tolist()
+        caps_in = self._weights.tolist()
+        m = len(tails)
+        arc_head: List[int] = [0] * (2 * m)
+        arc_cap: List[float] = [0.0] * (2 * m)
+        arc_flow: List[float] = [0.0] * (2 * m)
+        adj: List[List[int]] = [[] for _ in range(n)]
+        for e in range(m):
+            u = tails[e]
+            v = heads[e]
+            a = 2 * e
+            arc_head[a] = v
+            arc_cap[a] = caps_in[e]
+            arc_head[a + 1] = u
+            adj[u].append(a)
+            adj[v].append(a + 1)
+
+        total = 0.0
+        while True:
+            level = self._bfs_levels(adj, arc_head, arc_cap, arc_flow, source)
+            if level[sink] < 0:
+                break
+            total += self._blocking_flow(
+                adj, arc_head, arc_cap, arc_flow, level, source, sink
+            )
+        side = self._residual_reachable(adj, arc_head, arc_cap, arc_flow, source)
+        flows = [max(0.0, arc_flow[2 * e]) for e in range(m)]
+        return CSRFlowResult(
+            value=total, source_side=frozenset(side), edge_flows=flows
+        )
+
+    @staticmethod
+    def _bfs_levels(adj, arc_head, arc_cap, arc_flow, source) -> List[int]:
+        level = [-1] * len(adj)
+        level[source] = 0
+        queue = deque([source])
+        while queue:
+            cur = queue.popleft()
+            for a in adj[cur]:
+                head = arc_head[a]
+                if level[head] < 0 and arc_cap[a] - arc_flow[a] > _EPS:
+                    level[head] = level[cur] + 1
+                    queue.append(head)
+        return level
+
+    @staticmethod
+    def _blocking_flow(adj, arc_head, arc_cap, arc_flow, level, source, sink) -> float:
+        """Iterative blocking flow for one Dinic phase."""
+        iters = [0] * len(adj)
+        total = 0.0
+        stack = [source]
+        path: List[int] = []
+        while stack:
+            u = stack[-1]
+            if u == sink:
+                push = min(arc_cap[a] - arc_flow[a] for a in path)
+                total += push
+                for a in path:
+                    arc_flow[a] += push
+                    arc_flow[a ^ 1] -= push
+                # Retreat to just past the first arc this push saturated.
+                cut = 0
+                for i, a in enumerate(path):
+                    if arc_cap[a] - arc_flow[a] <= _EPS:
+                        cut = i
+                        break
+                del stack[cut + 1 :]
+                del path[cut:]
+                continue
+            advanced = False
+            while iters[u] < len(adj[u]):
+                a = adj[u][iters[u]]
+                head = arc_head[a]
+                if arc_cap[a] - arc_flow[a] > _EPS and level[head] == level[u] + 1:
+                    stack.append(head)
+                    path.append(a)
+                    advanced = True
+                    break
+                iters[u] += 1
+            if not advanced:
+                level[u] = -1  # dead end for the rest of this phase
+                stack.pop()
+                if path:
+                    path.pop()
+                    iters[stack[-1]] += 1
+        return total
+
+    @staticmethod
+    def _residual_reachable(adj, arc_head, arc_cap, arc_flow, source) -> List[int]:
+        seen = [False] * len(adj)
+        seen[source] = True
+        stack = [source]
+        out = [source]
+        while stack:
+            cur = stack.pop()
+            for a in adj[cur]:
+                head = arc_head[a]
+                if not seen[head] and arc_cap[a] - arc_flow[a] > _EPS:
+                    seen[head] = True
+                    stack.append(head)
+                    out.append(head)
+        return out
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.num_nodes}, m={self.num_edges})"
+
+
+def batched_cut_weights(
+    graph, sides: Sequence[AbstractSet[Node]]
+) -> np.ndarray:
+    """Cut values of ``sides`` on ``graph`` through its cached snapshot.
+
+    ``graph`` is any object with ``freeze()`` (DiGraph or UGraph).  Each
+    side must be a proper nonempty subset, matching ``cut_weight``.
+    """
+    csr = graph.freeze()
+    member = csr.membership_matrix(sides)
+    csr.check_proper(member)
+    return csr.cut_weights(member)

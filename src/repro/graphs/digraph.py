@@ -20,10 +20,12 @@ Design notes
 from __future__ import annotations
 
 from typing import (
+    TYPE_CHECKING,
     AbstractSet,
     Dict,
     Hashable,
     Iterable,
+    ItemsView,
     Iterator,
     List,
     Optional,
@@ -32,6 +34,9 @@ from typing import (
 )
 
 from repro.errors import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graphs.csr import CSRGraph
 
 Node = Hashable
 Edge = Tuple[Node, Node]
@@ -45,6 +50,14 @@ class DiGraph:
         self._succ: Dict[Node, Dict[Node, float]] = {}
         self._pred: Dict[Node, Dict[Node, float]] = {}
         self._num_edges = 0
+        # Mutation counter; every cached derived value (the CSR snapshot,
+        # the total weight) is stamped with the version it was computed at
+        # and recomputed lazily when the stamp goes stale.
+        self._version = 0
+        self._csr: Optional["CSRGraph"] = None
+        self._csr_version = -1
+        self._total_weight = 0.0
+        self._total_weight_version = -1
         for node in nodes:
             self.add_node(node)
         for u, v, w in edges:
@@ -58,6 +71,7 @@ class DiGraph:
         if node not in self._succ:
             self._succ[node] = {}
             self._pred[node] = {}
+            self._version += 1
 
     def add_nodes(self, nodes: Iterable[Node]) -> None:
         """Add each node in ``nodes``."""
@@ -88,6 +102,7 @@ class DiGraph:
             self._num_edges += 1
         self._succ[u][v] = weight
         self._pred[v][u] = weight
+        self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Delete edge ``u -> v``; raises if absent."""
@@ -96,6 +111,7 @@ class DiGraph:
         del self._succ[u][v]
         del self._pred[v][u]
         self._num_edges -= 1
+        self._version += 1
 
     def remove_node(self, node: Node) -> None:
         """Delete ``node`` and all incident edges."""
@@ -107,6 +123,7 @@ class DiGraph:
             self.remove_edge(u, node)
         del self._succ[node]
         del self._pred[node]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # inspection
@@ -157,6 +174,25 @@ class DiGraph:
             raise GraphError(f"node {node!r} does not exist")
         return dict(self._pred[node])
 
+    def iter_successors(self, node: Node) -> ItemsView[Node, float]:
+        """Live ``(successor, weight)`` view — no copy.
+
+        Internal hot paths (BFS/DFS, CSR snapshotting) use this instead
+        of :meth:`successors`, which copies a dict per call.  Callers
+        must not mutate the graph while iterating.
+        """
+        try:
+            return self._succ[node].items()
+        except KeyError:
+            raise GraphError(f"node {node!r} does not exist") from None
+
+    def iter_predecessors(self, node: Node) -> ItemsView[Node, float]:
+        """Live ``(predecessor, weight)`` view — no copy."""
+        try:
+            return self._pred[node].items()
+        except KeyError:
+            raise GraphError(f"node {node!r} does not exist") from None
+
     def out_degree(self, node: Node) -> int:
         """Number of out-edges of ``node``."""
         if node not in self._succ:
@@ -182,8 +218,29 @@ class DiGraph:
         return sum(self._pred[node].values())
 
     def total_weight(self) -> float:
-        """Sum of all edge weights."""
-        return sum(w for _, _, w in self.edges())
+        """Sum of all edge weights (cached behind the mutation counter)."""
+        if self._total_weight_version != self._version:
+            self._total_weight = sum(w for _, _, w in self.edges())
+            self._total_weight_version = self._version
+        return self._total_weight
+
+    # ------------------------------------------------------------------
+    # frozen snapshot
+    # ------------------------------------------------------------------
+    def freeze(self) -> "CSRGraph":
+        """Cached CSR snapshot for batched kernels (see :mod:`repro.graphs.csr`).
+
+        The snapshot is immutable and shared between callers; it is
+        rebuilt lazily after any mutation (same mutation counter that
+        guards :meth:`total_weight`).  Freeze once, then evaluate many
+        cuts in single vectorized passes.
+        """
+        from repro.graphs.csr import CSRGraph
+
+        if self._csr is None or self._csr_version != self._version:
+            self._csr = CSRGraph.from_digraph(self)
+            self._csr_version = self._version
+        return self._csr
 
     # ------------------------------------------------------------------
     # cuts
@@ -205,10 +262,20 @@ class DiGraph:
         if not s or len(s) == self.num_nodes:
             raise GraphError("cut side must be a proper nonempty subset")
         total = 0.0
-        for u in s:
-            for v, w in self._succ[u].items():
-                if v not in s:
-                    total += w
+        if 2 * len(s) <= self.num_nodes:
+            for u in s:
+                for v, w in self._succ[u].items():
+                    if v not in s:
+                        total += w
+        else:
+            # |S| > n/2: scan the complement's in-edges instead — the
+            # same sum over E(S, V\S), touching fewer adjacency dicts.
+            for v in self._pred:
+                if v in s:
+                    continue
+                for u, w in self._pred[v].items():
+                    if u in s:
+                        total += w
         return total
 
     def directed_weight_between(self, src: AbstractSet[Node], dst: AbstractSet[Node]) -> float:

@@ -35,7 +35,7 @@ def strongly_connected_components(graph: DiGraph) -> List[Set[Node]]:
         if root in index:
             continue
         work: List[Tuple[Node, List[Node]]] = [
-            (root, list(graph.successors(root)))
+            (root, [v for v, _ in graph.iter_successors(root)])
         ]
         index[root] = lowlink[root] = index_counter
         index_counter += 1
@@ -51,7 +51,9 @@ def strongly_connected_components(graph: DiGraph) -> List[Set[Node]]:
                     index_counter += 1
                     stack.append(nxt)
                     on_stack.add(nxt)
-                    work.append((nxt, list(graph.successors(nxt))))
+                    work.append(
+                        (nxt, [v for v, _ in graph.iter_successors(nxt)])
+                    )
                     advanced = True
                     break
                 if nxt in on_stack:

@@ -12,18 +12,24 @@ edge weights.
 from __future__ import annotations
 
 from typing import (
+    TYPE_CHECKING,
     AbstractSet,
     Dict,
     FrozenSet,
     Hashable,
     Iterable,
+    ItemsView,
     Iterator,
     List,
+    Optional,
     Set,
     Tuple,
 )
 
 from repro.errors import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graphs.csr import CSRGraph
 
 Node = Hashable
 WeightedEdge = Tuple[Node, Node, float]
@@ -39,6 +45,13 @@ class UGraph:
     def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[WeightedEdge] = ()):
         self._adj: Dict[Node, Dict[Node, float]] = {}
         self._num_edges = 0
+        # Mutation counter guarding cached derived values (CSR snapshot,
+        # total weight) — mirrors DiGraph.
+        self._version = 0
+        self._csr: Optional["CSRGraph"] = None
+        self._csr_version = -1
+        self._total_weight = 0.0
+        self._total_weight_version = -1
         for node in nodes:
             self.add_node(node)
         for u, v, w in edges:
@@ -48,6 +61,7 @@ class UGraph:
         """Add ``node`` if not present; idempotent."""
         if node not in self._adj:
             self._adj[node] = {}
+            self._version += 1
 
     def add_nodes(self, nodes: Iterable[Node]) -> None:
         """Add each node in ``nodes``."""
@@ -73,6 +87,7 @@ class UGraph:
             self._num_edges += 1
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Delete edge ``{u, v}``; raises if absent."""
@@ -81,6 +96,7 @@ class UGraph:
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
+        self._version += 1
 
     @property
     def num_nodes(self) -> int:
@@ -126,6 +142,16 @@ class UGraph:
             raise GraphError(f"node {node!r} does not exist")
         return dict(self._adj[node])
 
+    def iter_neighbors(self, node: Node) -> ItemsView[Node, float]:
+        """Live ``(neighbor, weight)`` view — no copy (internal hot paths).
+
+        Callers must not mutate the graph while iterating.
+        """
+        try:
+            return self._adj[node].items()
+        except KeyError:
+            raise GraphError(f"node {node!r} does not exist") from None
+
     def degree(self, node: Node) -> int:
         """Number of incident edges."""
         if node not in self._adj:
@@ -139,11 +165,28 @@ class UGraph:
         return sum(self._adj[node].values())
 
     def total_weight(self) -> float:
-        """Sum of all edge weights."""
-        return sum(w for _, _, w in self.edges())
+        """Sum of all edge weights (cached behind the mutation counter)."""
+        if self._total_weight_version != self._version:
+            self._total_weight = sum(w for _, _, w in self.edges())
+            self._total_weight_version = self._version
+        return self._total_weight
+
+    def freeze(self) -> "CSRGraph":
+        """Cached CSR snapshot (see :mod:`repro.graphs.csr`).
+
+        Stores each undirected edge in both directions, so the directed
+        cut kernels on the snapshot compute undirected cut values.
+        Rebuilt lazily after mutation.
+        """
+        from repro.graphs.csr import CSRGraph
+
+        if self._csr is None or self._csr_version != self._version:
+            self._csr = CSRGraph.from_ugraph(self)
+            self._csr_version = self._version
+        return self._csr
 
     def cut_weight(self, side: AbstractSet[Node]) -> float:
-        """Undirected cut value ``w(S, V \\ S)``."""
+        """Undirected cut value ``w(S, V \\ S)`` (scans the smaller side)."""
         s = set(side)
         unknown = [node for node in s if node not in self._adj]
         if unknown:
@@ -151,10 +194,19 @@ class UGraph:
         if not s or len(s) == self.num_nodes:
             raise GraphError("cut side must be a proper nonempty subset")
         total = 0.0
-        for u in s:
-            for v, w in self._adj[u].items():
-                if v not in s:
-                    total += w
+        if 2 * len(s) <= self.num_nodes:
+            for u in s:
+                for v, w in self._adj[u].items():
+                    if v not in s:
+                        total += w
+        else:
+            # The cut is symmetric; scan the smaller complement instead.
+            for u in self._adj:
+                if u in s:
+                    continue
+                for v, w in self._adj[u].items():
+                    if v in s:
+                        total += w
         return total
 
     def copy(self) -> "UGraph":
@@ -190,6 +242,7 @@ class UGraph:
             if nbr != u:
                 out.add_edge(u, nbr, w, combine="add")
         del out._adj[v]
+        out._version += 1
         return out
 
     def connected_components(self) -> List[Set[Node]]:

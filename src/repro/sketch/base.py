@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from enum import Enum
-from typing import AbstractSet
+from typing import AbstractSet, List, Sequence
 
 from repro.graphs.digraph import Node
 
@@ -48,6 +48,17 @@ class CutSketch(ABC):
     @abstractmethod
     def query(self, side: AbstractSet[Node]) -> float:
         """Approximate ``w(S, V \\ S)`` for ``S = side``."""
+
+    def query_many(self, sides: Sequence[AbstractSet[Node]]) -> List[float]:
+        """Answer a batch of cut queries, in order.
+
+        Semantically identical to ``[self.query(s) for s in sides]`` —
+        including per-query randomness drawn in the same order — but
+        sketches backed by a concrete graph override this to evaluate
+        all true cut values in one vectorized CSR kernel pass.  Decoders
+        issue their cut probes through this entry point.
+        """
+        return [self.query(side) for side in sides]
 
     @abstractmethod
     def size_bits(self) -> int:

@@ -70,6 +70,19 @@ class BoostedForEachSketch(CutSketch):
         """Median of the inner sketches' answers."""
         return median_of_trials([sketch.query(side) for sketch in self._inner])
 
+    def query_many(self, sides) -> list:
+        """Per-replica batched queries, median-combined per side.
+
+        Each inner sketch answers the whole batch in one pass (replica-
+        major order, matching repeated :meth:`query` randomness per
+        replica), then the median is taken across replicas per side.
+        """
+        per_replica = [sketch.query_many(sides) for sketch in self._inner]
+        return [
+            median_of_trials([answers[i] for answers in per_replica])
+            for i in range(len(sides))
+        ]
+
     def size_bits(self) -> int:
         """Sum of inner sizes — the footnote's 'constant factor'."""
         return sum(sketch.size_bits() for sketch in self._inner)

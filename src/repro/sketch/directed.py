@@ -101,5 +101,9 @@ class BalancedDigraphSparsifier(CutSketch):
         """Unbiased directed cut estimate."""
         return self._inner.query(side)
 
+    def query_many(self, sides) -> list:
+        """Batched estimates through the inner sparsifier's kernel."""
+        return self._inner.query_many(sides)
+
     def size_bits(self) -> int:
         return self._inner.size_bits()

@@ -7,7 +7,7 @@ size-versus-accuracy trade-off in the sparsifier benchmarks.
 
 from __future__ import annotations
 
-from typing import AbstractSet
+from typing import AbstractSet, List, Sequence
 
 from repro.graphs.digraph import DiGraph, Node
 from repro.sketch.base import CutSketch, SketchModel
@@ -32,6 +32,13 @@ class ExactCutSketch(CutSketch):
     def query(self, side: AbstractSet[Node]) -> float:
         """Exact ``w(S, V \\ S)``."""
         return self._graph.cut_weight(side)
+
+    def query_many(self, sides: Sequence[AbstractSet[Node]]) -> List[float]:
+        """Batched exact answers via the stored graph's CSR kernel."""
+        csr = self._graph.freeze()
+        member = csr.membership_matrix(sides)
+        csr.check_proper(member)
+        return csr.cut_weights(member).tolist()
 
     def size_bits(self) -> int:
         """Edge-list encoding of the stored graph."""

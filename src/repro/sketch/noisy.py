@@ -24,7 +24,7 @@ be small.
 from __future__ import annotations
 
 import hashlib
-from typing import AbstractSet, FrozenSet
+from typing import AbstractSet, FrozenSet, List, Sequence
 
 import numpy as np
 
@@ -73,9 +73,8 @@ class NoisyForEachSketch(CutSketch):
     def epsilon(self) -> float:
         return self._epsilon
 
-    def query(self, side: AbstractSet[Node]) -> float:
-        """Fresh (1 +- eps) noise; occasional adversarial garbage."""
-        true_value = self._graph.cut_weight(side)
+    def _perturb(self, true_value: float) -> float:
+        """Apply one query's worth of noise (one rng draw sequence)."""
         if self._failure_prob > 0 and self._rng.random() < self._failure_prob:
             # A failed for-each query may return anything; a doubling is
             # the classic way to break a naive (non-boosted) decoder.
@@ -85,6 +84,20 @@ class NoisyForEachSketch(CutSketch):
             return true_value * (1.0 + sign * self._epsilon)
         noise = self._rng.uniform(-self._epsilon, self._epsilon)
         return true_value * (1.0 + noise)
+
+    def query(self, side: AbstractSet[Node]) -> float:
+        """Fresh (1 +- eps) noise; occasional adversarial garbage."""
+        return self._perturb(self._graph.cut_weight(side))
+
+    def query_many(self, sides: Sequence[AbstractSet[Node]]) -> List[float]:
+        """Batched queries: one CSR kernel pass for the true values,
+        then per-query noise drawn in the same order as repeated
+        :meth:`query` calls (so games are reproducible either way)."""
+        csr = self._graph.freeze()
+        member = csr.membership_matrix(sides)
+        csr.check_proper(member)
+        true_values = csr.cut_weights(member)
+        return [self._perturb(float(value)) for value in true_values]
 
     def size_bits(self) -> int:
         return graph_size_bits(self._graph)
@@ -121,9 +134,7 @@ class NoisyForAllSketch(CutSketch):
     def epsilon(self) -> float:
         return self._epsilon
 
-    def query(self, side: AbstractSet[Node]) -> float:
-        """Deterministic (1 +- eps) answer for this cut."""
-        true_value = self._graph.cut_weight(side)
+    def _perturb(self, true_value: float, side: AbstractSet[Node]) -> float:
         fingerprint = _cut_fingerprint(self._seed, frozenset(side))
         unit = (fingerprint % (2**53)) / float(2**53)  # in [0, 1)
         if self._adversarial:
@@ -131,6 +142,21 @@ class NoisyForAllSketch(CutSketch):
             return true_value * (1.0 + sign * self._epsilon)
         noise = (2.0 * unit - 1.0) * self._epsilon
         return true_value * (1.0 + noise)
+
+    def query(self, side: AbstractSet[Node]) -> float:
+        """Deterministic (1 +- eps) answer for this cut."""
+        return self._perturb(self._graph.cut_weight(side), side)
+
+    def query_many(self, sides: Sequence[AbstractSet[Node]]) -> List[float]:
+        """Batched queries: vectorized true values, per-cut fingerprints."""
+        csr = self._graph.freeze()
+        member = csr.membership_matrix(sides)
+        csr.check_proper(member)
+        true_values = csr.cut_weights(member)
+        return [
+            self._perturb(float(value), side)
+            for value, side in zip(true_values, sides)
+        ]
 
     def size_bits(self) -> int:
         return graph_size_bits(self._graph)

@@ -85,6 +85,13 @@ class QuantizedCutSketch(CutSketch):
         """Cut value over the quantized weights."""
         return self._graph.cut_weight(side)
 
+    def query_many(self, sides) -> list:
+        """Batched answers over the quantized graph's CSR kernel."""
+        csr = self._graph.freeze()
+        member = csr.membership_matrix(sides)
+        csr.check_proper(member)
+        return csr.cut_weights(member).tolist()
+
     def size_bits(self) -> int:
         """``m * (2 log n + b + exponent)`` — the whole point."""
         per_edge = (

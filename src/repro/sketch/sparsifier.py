@@ -183,5 +183,12 @@ class SparsifierSketch(CutSketch):
         """Cut value in the sparsifier — an unbiased estimate of w(S, V\\S)."""
         return self._sparse.cut_weight(side)
 
+    def query_many(self, sides) -> list:
+        """Batched estimates via the sparse graph's CSR kernel."""
+        csr = self._sparse.freeze()
+        member = csr.membership_matrix(sides)
+        csr.check_proper(member)
+        return csr.cut_weights(member).tolist()
+
     def size_bits(self) -> int:
         return graph_size_bits(self._sparse)
