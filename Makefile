@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-report tables api all
+.PHONY: install test bench bench-report tables trace-report api all
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,6 +16,9 @@ bench-report:
 
 tables:
 	python -m repro.experiments.run_all
+
+trace-report:
+	PYTHONPATH=src python scripts/trace_report.py telemetry.jsonl
 
 api:
 	python scripts/gen_api_reference.py

@@ -1,8 +1,8 @@
-"""Write BENCH_PR1.json: timing evidence for the CSR cut-kernel layer.
+"""Write BENCH_PR1.json and BENCH_PR2.json: timing evidence per PR.
 
-Two parts:
+Three parts:
 
-1. **Micro benches** (run in-process, median of repeats): the PR gate —
+1. **Micro benches** (run in-process, median of repeats): the PR1 gate —
    4096 random cuts through one ``CSRGraph.cut_weights`` call vs 4096
    ``DiGraph.cut_weight`` calls (must be >= 5x), plus full cut
    enumeration and sparsifier quality-evaluation timings on both
@@ -11,10 +11,15 @@ Two parts:
    (cut-kernel, sparsifier quality, Theorem 1.1/1.2 pipelines), pulled
    from a ``--benchmark-json`` run.  Skipped with ``--micro-only``
    (the micro section alone decides the acceptance gate).
+3. **Observability guard** (the PR2 gate, written to BENCH_PR2.json):
+   the instrumented hot CSR batch loop with telemetry *disabled* must
+   stay within 5% of the BENCH_PR1 baseline — the global switch's off
+   path is one attribute load and a branch, and this keeps it honest.
+   The enabled/disabled ratio is recorded alongside for context.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [--micro-only]
+    PYTHONPATH=src python scripts/bench_report.py [--micro-only] [--pr2-only]
 """
 
 import argparse
@@ -31,6 +36,7 @@ import numpy as np
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from repro import obs  # noqa: E402
 from repro.graphs.cuts import all_directed_cut_values  # noqa: E402
 from repro.graphs.generators import random_balanced_digraph  # noqa: E402
 from repro.sketch.sparsifier import SparsifierSketch  # noqa: E402
@@ -126,6 +132,49 @@ def micro_benches():
     return out
 
 
+def obs_guard():
+    """Time the hot CSR batch loop with telemetry off and on.
+
+    Returns the BENCH_PR2 payload.  The gate compares the disabled-path
+    timing against the committed BENCH_PR1 baseline when one exists
+    (same benchmark, same machine class); the enabled run uses the
+    global registry with no sink, i.e. pure metering cost.
+    """
+    rng = np.random.default_rng(7)
+    g = random_balanced_digraph(GATE_NODES, beta=2.0, density=0.3, rng=GATE_NODES)
+    sides = _random_sides(g, GATE_CUTS, rng)
+    csr = g.freeze()
+    member = csr.membership_matrix(sides)
+    csr.cut_weights(member)  # warm the dense adjacency cache
+
+    obs.disable()
+    disabled_s = _median_time(lambda: csr.cut_weights(member), repeats=9)
+    with obs.enabled():
+        enabled_s = _median_time(lambda: csr.cut_weights(member), repeats=9)
+        obs.reset_metrics()
+
+    out = {
+        "nodes": GATE_NODES,
+        "edges": g.num_edges,
+        "cuts": GATE_CUTS,
+        "disabled_median_s": disabled_s,
+        "enabled_median_s": enabled_s,
+        "enabled_over_disabled": enabled_s / disabled_s,
+    }
+    baseline_path = REPO / "BENCH_PR1.json"
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        pr1 = (
+            baseline.get("micro", {})
+            .get("cut_kernel_4096", {})
+            .get("csr_batch_median_s")
+        )
+        if pr1:
+            out["pr1_baseline_s"] = pr1
+            out["disabled_over_pr1"] = disabled_s / pr1
+    return out
+
+
 def pytest_benchmark_medians():
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         json_path = handle.name
@@ -154,6 +203,29 @@ def pytest_benchmark_medians():
     }
 
 
+def write_pr2_report():
+    guard = obs_guard()
+    ratio = guard.get("disabled_over_pr1", guard["enabled_over_disabled"])
+    report = {
+        "obs_guard": guard,
+        "gate": {
+            "requirement": (
+                "instrumented cut_weights on 4096 cuts, telemetry disabled, "
+                "within 5% of the BENCH_PR1 baseline"
+            ),
+            "ratio": ratio,
+            "passed": ratio <= 1.05,
+        },
+    }
+    out_path = REPO / "BENCH_PR2.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    print(
+        f"obs guard ratio: {ratio:.3f}x "
+        f"({'PASS' if report['gate']['passed'] else 'FAIL'})"
+    )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -161,23 +233,31 @@ def main():
         action="store_true",
         help="skip the pytest-benchmark suite run",
     )
+    parser.add_argument(
+        "--pr2-only",
+        action="store_true",
+        help="only run the observability guard and write BENCH_PR2.json",
+    )
     args = parser.parse_args()
 
-    report = {"micro": micro_benches()}
-    if not args.micro_only:
-        report["pytest_benchmarks"] = pytest_benchmark_medians()
+    if not args.pr2_only:
+        report = {"micro": micro_benches()}
+        if not args.micro_only:
+            report["pytest_benchmarks"] = pytest_benchmark_medians()
 
-    gate = report["micro"]["cut_kernel_4096"]["speedup"]
-    report["gate"] = {
-        "requirement": "cut_weights on 4096 cuts >= 5x faster than looped cut_weight",
-        "speedup": gate,
-        "passed": gate >= 5.0,
-    }
+        gate = report["micro"]["cut_kernel_4096"]["speedup"]
+        report["gate"] = {
+            "requirement": "cut_weights on 4096 cuts >= 5x faster than looped cut_weight",
+            "speedup": gate,
+            "passed": gate >= 5.0,
+        }
 
-    out_path = REPO / "BENCH_PR1.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out_path}")
-    print(f"gate speedup: {gate:.1f}x ({'PASS' if gate >= 5.0 else 'FAIL'})")
+        out_path = REPO / "BENCH_PR1.json"
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out_path}")
+        print(f"gate speedup: {gate:.1f}x ({'PASS' if gate >= 5.0 else 'FAIL'})")
+
+    write_pr2_report()
 
 
 if __name__ == "__main__":

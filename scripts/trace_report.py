@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Aggregate a telemetry JSONL into per-span / per-metric tables.
+
+Usage::
+
+    PYTHONPATH=src python scripts/trace_report.py telemetry.jsonl
+    PYTHONPATH=src python scripts/trace_report.py run_a.jsonl --diff run_b.jsonl
+
+The first form prints one table of span wall-time statistics and one of
+cumulative metric totals (query charges, wire bits, sketch sizes, CSR
+kernel calls, ...).  The second also prints the other run's spans and a
+metric-by-metric diff — the quickest way to see how a parameter change
+moved the measured resources.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.report import render_report  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("telemetry", help="telemetry JSONL file to summarise")
+    parser.add_argument(
+        "--diff",
+        metavar="OTHER",
+        default=None,
+        help="second telemetry file; also print its spans and a metric diff",
+    )
+    args = parser.parse_args()
+    print(render_report(args.telemetry, diff_path=args.diff))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

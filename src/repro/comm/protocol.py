@@ -19,10 +19,13 @@ from __future__ import annotations
 
 import pickle
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Any, Generic, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import Any, Generic, TypeVar
 
 from repro.errors import ProtocolError
+from repro.obs import STATE as _OBS
+from repro.obs import count as _obs_count
+from repro.obs import span as _obs_span
 
 AliceInput = TypeVar("AliceInput")
 BobInput = TypeVar("BobInput")
@@ -80,36 +83,95 @@ def run_protocol(
     alice_input: AliceInput,
     bob_input: BobInput,
 ) -> ProtocolRun[Answer]:
-    """Run one round of a one-way protocol, accounting message size."""
-    message = protocol.alice(alice_input)
-    if not isinstance(message, Message):
-        raise ProtocolError("alice() must return a Message")
-    answer = protocol.bob(message, bob_input)
+    """Run one round of a one-way protocol, accounting message size.
+
+    The message size lands in the ``comm.message_bits`` counter (and the
+    round in ``comm.messages``) when telemetry is enabled, under the
+    same namespace the ledgers and sketch sizes report to.
+    """
+    with _obs_span("comm.run_protocol", protocol=type(protocol).__name__):
+        message = protocol.alice(alice_input)
+        if not isinstance(message, Message):
+            raise ProtocolError("alice() must return a Message")
+        if _OBS.enabled:
+            _obs_count("comm.messages")
+            _obs_count("comm.message_bits", message.bits)
+        answer = protocol.bob(message, bob_input)
     return ProtocolRun(answer=answer, message_bits=message.bits)
 
 
-@dataclass
 class BitLedger:
     """Running bit count for interactive (two-way) simulations.
 
     Lemma 5.6 simulates each local query with at most 2 bits of
     communication; the ledger records each charge so the reduction can
     report total communication alongside total queries.
+
+    Backed by a private obs :class:`~repro.obs.metrics.MetricsRegistry`
+    (always on — wire bits are the measured quantity of the reductions);
+    each charge is mirrored into the global ``comm.wire_bits`` /
+    ``comm.wire_charges`` counters when telemetry is enabled, the same
+    namespace ``run_protocol`` and ``size_bits()`` report under.
     """
 
-    total_bits: int = 0
-    charges: int = 0
+    __slots__ = ("registry", "_bits", "_charges")
+
+    def __init__(self, total_bits: int = 0, charges: int = 0):
+        from repro.obs.metrics import MetricsRegistry
+
+        self.registry = MetricsRegistry()
+        self._bits = self.registry.counter("comm.wire_bits")
+        self._charges = self.registry.counter("comm.wire_charges")
+        self._bits.inc(total_bits)
+        self._charges.inc(charges)
+
+    @property
+    def total_bits(self) -> int:
+        """Bits transferred so far (both directions)."""
+        return self._bits.value
+
+    @property
+    def charges(self) -> int:
+        """Number of recorded transfers."""
+        return self._charges.value
 
     def charge(self, bits: int) -> None:
         """Record a transfer of ``bits`` bits (either direction)."""
         if bits < 0:
             raise ProtocolError("cannot charge negative bits")
-        self.total_bits += bits
-        self.charges += 1
+        self._bits.inc(bits)
+        self._charges.inc()
+        if _OBS.enabled:
+            _obs_count("comm.wire_bits", bits)
+            _obs_count("comm.wire_charges")
 
     def merged_with(self, other: "BitLedger") -> "BitLedger":
         """A new ledger combining two accounts."""
         return BitLedger(
             total_bits=self.total_bits + other.total_bits,
             charges=self.charges + other.charges,
+        )
+
+    def __add__(self, other) -> "BitLedger":
+        """``a + b`` merges two ledgers; ``sum(ledgers)`` works too."""
+        if isinstance(other, BitLedger):
+            return self.merged_with(other)
+        if other == 0:  # the implicit start value of sum()
+            return self.merged_with(BitLedger())
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BitLedger):
+            return NotImplemented
+        return (
+            self.total_bits == other.total_bits
+            and self.charges == other.charges
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BitLedger(total_bits={self.total_bits}, "
+            f"charges={self.charges})"
         )

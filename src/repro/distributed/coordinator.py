@@ -25,6 +25,9 @@ from repro.distributed.server import Server
 from repro.errors import ParameterError
 from repro.graphs.mincut import sample_near_min_cuts, stoer_wagner
 from repro.graphs.ugraph import Node, UGraph
+from repro.obs import STATE as _OBS
+from repro.obs import count as _obs_count
+from repro.obs import span as _obs_span
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 #: Constant accuracy of the hybrid strategy's shipped sketches.
@@ -107,9 +110,15 @@ def distributed_min_cut(
 
     if strategy == "forall_only":
         ship_rng, union_rng = spawn_rngs(gen, 2)
-        sketch_bits = _shipped_bits(servers, epsilon, ship_rng, sampling_constant)
-        union = _union_of_sketches(servers, epsilon, ship_rng, sampling_constant)
-        value, side = stoer_wagner(union)
+        with _obs_span(
+            "distributed.ship", strategy=strategy, servers=len(servers)
+        ):
+            sketch_bits = _shipped_bits(servers, epsilon, ship_rng, sampling_constant)
+            union = _union_of_sketches(servers, epsilon, ship_rng, sampling_constant)
+        if _OBS.enabled:
+            _obs_count("distributed.sketch_bits", sketch_bits)
+        with _obs_span("distributed.mincut", strategy=strategy):
+            value, side = stoer_wagner(union)
         return DistributedMinCutResult(
             value=value,
             side=frozenset(side),
@@ -121,29 +130,38 @@ def distributed_min_cut(
 
     # hybrid: constant-accuracy sketches + high-accuracy candidate queries
     ship_rng, karger_rng = spawn_rngs(gen, 2)
-    sketch_bits = _shipped_bits(
-        servers, HYBRID_SKETCH_ACCURACY, ship_rng, sampling_constant
-    )
-    union = _union_of_sketches(
-        servers, HYBRID_SKETCH_ACCURACY, ship_rng, sampling_constant
-    )
-    candidates = sample_near_min_cuts(
-        union, factor=CANDIDATE_FACTOR, attempts=contraction_attempts, rng=karger_rng
-    )
+    with _obs_span(
+        "distributed.ship", strategy="hybrid", servers=len(servers)
+    ):
+        sketch_bits = _shipped_bits(
+            servers, HYBRID_SKETCH_ACCURACY, ship_rng, sampling_constant
+        )
+        union = _union_of_sketches(
+            servers, HYBRID_SKETCH_ACCURACY, ship_rng, sampling_constant
+        )
+    if _OBS.enabled:
+        _obs_count("distributed.sketch_bits", sketch_bits)
+    with _obs_span("distributed.candidates"):
+        candidates = sample_near_min_cuts(
+            union, factor=CANDIDATE_FACTOR, attempts=contraction_attempts, rng=karger_rng
+        )
 
     precision = epsilon / 4.0
     query_bits = 0
     best_value = math.inf
     best_side: FrozenSet[Node] = frozenset()
-    for _, side in candidates:
-        total = 0.0
-        for server in servers:
-            response, bits = server.cut_value_response(side, precision)
-            total += response
-            query_bits += bits
-        if total < best_value:
-            best_value = total
-            best_side = frozenset(side)
+    with _obs_span("distributed.rescore", candidates=len(candidates)):
+        for _, side in candidates:
+            total = 0.0
+            for server in servers:
+                response, bits = server.cut_value_response(side, precision)
+                total += response
+                query_bits += bits
+            if total < best_value:
+                best_value = total
+                best_side = frozenset(side)
+    if _OBS.enabled:
+        _obs_count("distributed.query_bits", query_bits)
     return DistributedMinCutResult(
         value=best_value,
         side=best_side,

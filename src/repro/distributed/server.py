@@ -23,6 +23,8 @@ from typing import AbstractSet, List, Sequence, Tuple
 from repro.errors import ParameterError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.ugraph import Node, UGraph
+from repro.obs import STATE as _OBS
+from repro.obs import count as _obs_count
 from repro.sketch.serialization import graph_size_bits
 from repro.sketch.sparsifier import SparsifierSketch
 from repro.utils.rng import RngLike, ensure_rng
@@ -111,9 +113,15 @@ class Server:
         known = set(self._shard.nodes())
         local_side = set(side) & known
         if not local_side or local_side == known:
-            return 0.0, quantize_relative(0.0, relative_precision)[1]
-        value = self._shard.cut_weight(local_side)
-        return quantize_relative(value, relative_precision)
+            response = 0.0, quantize_relative(0.0, relative_precision)[1]
+        else:
+            value = self._shard.cut_weight(local_side)
+            response = quantize_relative(value, relative_precision)
+        if _OBS.enabled:
+            # One coordinator<->server round trip, priced in bits.
+            _obs_count("distributed.round_trips")
+            _obs_count("distributed.response_bits", response[1])
+        return response
 
 
 @dataclass

@@ -39,5 +39,10 @@ class OracleError(ReproError):
     """A local-query oracle received an invalid query."""
 
 
+class ObsError(ReproError):
+    """The observability layer was used outside its contract
+    (unknown metric kind, quantile of an empty histogram, ...)."""
+
+
 class BudgetExceededError(OracleError):
     """A query-limited oracle ran past its allowed budget."""

@@ -5,12 +5,51 @@ collecting one :class:`Row` per configuration, and printing a
 fixed-width table (captured into ``bench_output.txt`` by the final run).
 Keeping the rendering here means every experiment reports in the same
 format, which EXPERIMENTS.md quotes directly.
+
+When the observability switch (:mod:`repro.obs`) is on, each
+:meth:`Table.add_row` also attaches a telemetry record to the row — the
+wall time and global-metric delta since the previous row of the same
+table — and mirrors it to the active sink as a ``row`` event, so
+``telemetry.jsonl`` carries per-configuration resource accounting next
+to the printed numbers.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs import STATE as _OBS
+from repro.obs import current_path as _obs_current_path
+from repro.obs import event as _obs_event
+from repro.obs import delta_since as _obs_delta_since
+from repro.obs import snapshot as _obs_snapshot
+
+
+@dataclass
+class Row:
+    """One result row: the printed values plus recorded telemetry.
+
+    ``telemetry`` is empty when observability is off (or for the first
+    row added before a baseline exists); otherwise it holds ``wall_s``
+    and the ``metrics`` delta attributable to producing this row.
+    ``Row`` keeps dict-style read access (``row["col"]``, ``row.get``)
+    so existing callers that treated rows as mappings keep working.
+    """
+
+    values: Dict[str, Any]
+    telemetry: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """``values.get`` passthrough."""
+        return self.values.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.values
 
 
 @dataclass
@@ -19,15 +58,40 @@ class Table:
 
     title: str
     columns: Sequence[str]
-    rows: List[Dict[str, Any]] = field(default_factory=list)
+    rows: List[Row] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: (perf_counter, metrics snapshot) at the last row boundary.
+    _mark: Optional[Tuple[float, Dict[str, float]]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if _OBS.enabled:
+            self._mark = (time.perf_counter(), _obs_snapshot())
 
     def add_row(self, **values: Any) -> None:
         """Append one result row; unknown columns are rejected."""
         unknown = set(values) - set(self.columns)
         if unknown:
             raise ValueError(f"unknown columns: {sorted(unknown)}")
-        self.rows.append(values)
+        row = Row(values=values)
+        if _OBS.enabled:
+            now = time.perf_counter()
+            snap = _obs_snapshot()
+            if self._mark is not None:
+                row.telemetry = {
+                    "wall_s": now - self._mark[0],
+                    "metrics": _obs_delta_since(self._mark[1]),
+                }
+            self._mark = (now, snap)
+            _obs_event(
+                "row",
+                table=self.title,
+                values=values,
+                span_path=_obs_current_path(),
+                **row.telemetry,
+            )
+        self.rows.append(row)
 
     def add_note(self, note: str) -> None:
         """Attach a footnote printed under the table."""
@@ -38,8 +102,15 @@ class Table:
             if value == 0:
                 return "0"
             if abs(value) >= 1000 or abs(value) < 0.01:
-                return f"{value:.3g}"
-            return f"{value:.3f}".rstrip("0").rstrip(".")
+                text = f"{value:.3g}"
+            else:
+                text = f"{value:.3f}".rstrip("0").rstrip(".")
+            # Rounding can collapse a small negative to "-0"; a signed
+            # zero in one row of an otherwise clean column reads as a
+            # formatting bug, so normalise it away.
+            if float(text) == 0:
+                return "0"
+            return text
         return str(value)
 
     def render(self) -> str:

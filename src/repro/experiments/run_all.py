@@ -10,6 +10,12 @@ Each experiment prints the same harness tables as its benchmark twin in
 ``benchmarks/``; this entry point exists so a user can regenerate one
 artifact quickly (and pipe it into a report) without the benchmarking
 machinery.
+
+Unless ``--no-telemetry`` is passed, the run also records structured
+telemetry (spans, per-row metric deltas, and a final ``summary`` with
+every global counter/histogram) into ``--telemetry PATH`` (default
+``telemetry.jsonl``); ``scripts/trace_report.py`` turns that file back
+into tables.
 """
 
 from __future__ import annotations
@@ -19,6 +25,15 @@ import sys
 from typing import Callable, Dict, List
 
 from repro.experiments.harness import Table
+from repro.obs import (
+    REGISTRY as OBS_REGISTRY,
+    JsonlSink,
+    disable as obs_disable,
+    enable as obs_enable,
+    event as obs_event,
+    reset_metrics,
+    span as obs_span,
+)
 
 
 def _e1_foreach() -> List[Table]:
@@ -280,6 +295,17 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default="telemetry.jsonl",
+        help="where to write the telemetry JSONL (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable telemetry recording for this run",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -291,9 +317,26 @@ def main(argv: List[str] = None) -> int:
     unknown = [key for key in chosen if key not in REGISTRY]
     if unknown:
         parser.error(f"unknown experiments: {unknown}; use --list")
-    for key in chosen:
-        for table in REGISTRY[key]():
-            table.emit()
+
+    sink = None
+    if not args.no_telemetry:
+        reset_metrics()
+        sink = JsonlSink(args.telemetry)
+        obs_enable(sink)
+    try:
+        for key in chosen:
+            with obs_span(f"experiment.{key}"):
+                for table in REGISTRY[key]():
+                    table.emit()
+        if sink is not None:
+            # The authoritative cumulative totals for trace_report.
+            obs_event("summary", metrics=OBS_REGISTRY.as_dict())
+    finally:
+        if sink is not None:
+            obs_disable()
+            sink.close()
+    if sink is not None:
+        print(f"\ntelemetry written to {args.telemetry}")
     return 0
 
 

@@ -21,6 +21,9 @@ from repro.forall_lb.decoder import DEFAULT_ENUMERATION_LIMIT, ForAllDecoder
 from repro.forall_lb.encoder import ForAllEncoder
 from repro.forall_lb.params import ForAllParams
 from repro.graphs.digraph import DiGraph
+from repro.obs import STATE as _OBS
+from repro.obs import count as _obs_count
+from repro.obs import span as _obs_span
 from repro.sketch.base import CutSketch
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 from repro.utils.stats import TrialSummary
@@ -73,21 +76,26 @@ def run_gap_hamming_game(
     total_bits = 0.0
     total_queries = 0.0
     for round_rng in spawn_rngs(gen, rounds):
-        instance = sample_gap_hamming_instance(
-            num_strings=params.num_strings,
-            length=params.string_length,
-            rng=round_rng,
-        )
-        encoded = encoder.encode(instance.strings)
-        sketch = sketch_factory(encoded.graph, round_rng)
-        total_bits += sketch.size_bits()
-        decoder = ForAllDecoder(
-            params, enumeration_limit=enumeration_limit, rng=round_rng
-        )
-        decision = decoder.decide(sketch, instance.index, instance.query)
-        total_queries += decision.queries_made
-        if decision.case is instance.case:
-            successes += 1
+        with _obs_span("forall.round"):
+            instance = sample_gap_hamming_instance(
+                num_strings=params.num_strings,
+                length=params.string_length,
+                rng=round_rng,
+            )
+            with _obs_span("forall.encode"):
+                encoded = encoder.encode(instance.strings)
+            sketch = sketch_factory(encoded.graph, round_rng)
+            total_bits += sketch.size_bits()
+            decoder = ForAllDecoder(
+                params, enumeration_limit=enumeration_limit, rng=round_rng
+            )
+            with _obs_span("forall.decode"):
+                decision = decoder.decide(sketch, instance.index, instance.query)
+            total_queries += decision.queries_made
+            if decision.case is instance.case:
+                successes += 1
+            if _OBS.enabled:
+                _obs_count("game.forall.rounds")
     return GapHammingGameResult(
         params=params,
         summary=TrialSummary(successes=successes, trials=rounds),

@@ -25,6 +25,9 @@ from repro.foreach_lb.decoder import ForEachDecoder
 from repro.foreach_lb.encoder import EncodedGraph, ForEachEncoder
 from repro.foreach_lb.params import ForEachParams
 from repro.graphs.digraph import DiGraph
+from repro.obs import STATE as _OBS
+from repro.obs import count as _obs_count
+from repro.obs import span as _obs_span
 from repro.sketch.base import CutSketch
 from repro.utils.bitstrings import random_signstring
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -82,17 +85,22 @@ def run_index_game(
     failed_rounds = 0
     total_bits = 0.0
     for round_rng in spawn_rngs(gen, rounds):
-        s = random_signstring(params.string_length, rng=round_rng)
-        q = int(round_rng.integers(0, params.string_length))
-        encoded = encoder.encode(s)
-        block = params.locate_bit(q)[:3]
-        if block in encoded.failed_blocks:
-            failed_rounds += 1
-        sketch = sketch_factory(encoded.graph, round_rng)
-        total_bits += sketch.size_bits()
-        guess = decoder.decode_bit(sketch, q, boost=boost)
-        if guess == int(s[q]):
-            successes += 1
+        with _obs_span("foreach.round"):
+            s = random_signstring(params.string_length, rng=round_rng)
+            q = int(round_rng.integers(0, params.string_length))
+            with _obs_span("foreach.encode"):
+                encoded = encoder.encode(s)
+            block = params.locate_bit(q)[:3]
+            if block in encoded.failed_blocks:
+                failed_rounds += 1
+            sketch = sketch_factory(encoded.graph, round_rng)
+            total_bits += sketch.size_bits()
+            with _obs_span("foreach.decode", q=q):
+                guess = decoder.decode_bit(sketch, q, boost=boost)
+            if guess == int(s[q]):
+                successes += 1
+            if _OBS.enabled:
+                _obs_count("game.foreach.rounds")
     return IndexGameResult(
         params=params,
         summary=TrialSummary(successes=successes, trials=rounds),

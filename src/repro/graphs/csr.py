@@ -46,6 +46,9 @@ from typing import (
 import numpy as np
 
 from repro.errors import GraphError
+from repro.obs import STATE as _OBS
+from repro.obs import count as _obs_count
+from repro.obs import observe as _obs_observe
 
 Node = Hashable
 
@@ -278,6 +281,18 @@ class CSRGraph:
     # ------------------------------------------------------------------
     # batched cut kernels
     # ------------------------------------------------------------------
+    @staticmethod
+    def _obs_kernel(kernel: str, rows: int, dense: bool) -> None:
+        """Telemetry for one batched kernel call (caller checks enabled).
+
+        Records the call, the batch width, and which evaluation path ran
+        — exactly the knobs that decide kernel throughput.
+        """
+        _obs_count(f"csr.{kernel}.calls")
+        _obs_count(f"csr.{kernel}.rows", rows)
+        _obs_observe("csr.batch_rows", rows)
+        _obs_count("csr.path.dense" if dense else "csr.path.gather")
+
     def _chunk_rows(self, k: int) -> int:
         per_row = max(1, self.num_edges)
         return max(1, _BATCH_CELL_BUDGET // per_row)
@@ -324,6 +339,8 @@ class CSRGraph:
         k = member.shape[0]
         out = np.empty(k, dtype=np.float64)
         dense = self._dense_parts()
+        if _OBS.enabled:
+            self._obs_kernel("cut_weights", k, dense is not None)
         if dense is not None:
             adjacency, w_out, _ = dense
             chunk = self._dense_chunk_rows()
@@ -354,6 +371,8 @@ class CSRGraph:
         forward = np.empty(k, dtype=np.float64)
         backward = np.empty(k, dtype=np.float64)
         dense = self._dense_parts()
+        if _OBS.enabled:
+            self._obs_kernel("cut_weights_both", k, dense is not None)
         if dense is not None:
             adjacency, w_out, w_in = dense
             chunk = self._dense_chunk_rows()
@@ -392,6 +411,8 @@ class CSRGraph:
         k = src.shape[0]
         out = np.empty(k, dtype=np.float64)
         dense = self._dense_parts()
+        if _OBS.enabled:
+            self._obs_kernel("weights_between", k, dense is not None)
         if dense is not None:
             adjacency, _, _ = dense
             chunk = self._dense_chunk_rows()
@@ -476,13 +497,18 @@ class CSRGraph:
             adj[v].append(a + 1)
 
         total = 0.0
+        phases = 0
         while True:
             level = self._bfs_levels(adj, arc_head, arc_cap, arc_flow, source)
             if level[sink] < 0:
                 break
+            phases += 1
             total += self._blocking_flow(
                 adj, arc_head, arc_cap, arc_flow, level, source, sink
             )
+        if _OBS.enabled:
+            _obs_count("csr.maxflow.calls")
+            _obs_observe("csr.maxflow.phases", phases)
         side = self._residual_reachable(adj, arc_head, arc_cap, arc_flow, source)
         flows = [max(0.0, arc_flow[2 * e]) for e in range(m)]
         return CSRFlowResult(

@@ -22,6 +22,8 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 from repro.errors import GraphError
 from repro.graphs.digraph import DiGraph, Node
 from repro.graphs.ugraph import UGraph
+from repro.obs import STATE as _OBS
+from repro.obs import count as _obs_count
 
 _EPS = 1e-12
 
@@ -166,6 +168,8 @@ def max_flow(
     """
     if not graph.has_node(source) or not graph.has_node(sink):
         raise GraphError("source and sink must be nodes of the graph")
+    if _OBS.enabled:
+        _obs_count(f"maxflow.calls.{engine}")
     if engine == "csr":
         csr = graph.freeze()
         result = csr.max_flow(csr.index_of(source), csr.index_of(sink))

@@ -27,6 +27,8 @@ from typing import (
 )
 
 from repro.errors import GraphError
+from repro.obs import STATE as _OBS
+from repro.obs import count as _obs_count
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.graphs.csr import CSRGraph
@@ -181,8 +183,12 @@ class UGraph:
         from repro.graphs.csr import CSRGraph
 
         if self._csr is None or self._csr_version != self._version:
+            if _OBS.enabled:
+                _obs_count("csr.freeze.miss")
             self._csr = CSRGraph.from_ugraph(self)
             self._csr_version = self._version
+        elif _OBS.enabled:
+            _obs_count("csr.freeze.hit")
         return self._csr
 
     def cut_weight(self, side: AbstractSet[Node]) -> float:

@@ -17,31 +17,90 @@ experiments use for failure injection.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import BudgetExceededError, OracleError
 from repro.graphs.ugraph import Node, UGraph
+from repro.obs import STATE as _OBS
+from repro.obs import count as _obs_count
+from repro.obs.metrics import Counter, MetricsRegistry
+
+#: The three query types of the Section 5 model, in namespace order.
+QUERY_KINDS = ("degree", "neighbor", "pair")
 
 
-@dataclass
 class QueryCounter:
-    """Per-type and total query tallies."""
+    """Per-type and total query tallies, backed by obs counters.
 
-    degree_queries: int = 0
-    neighbor_queries: int = 0
-    pair_queries: int = 0
+    Historically a plain dataclass of three ints; now a thin shim over a
+    private :class:`~repro.obs.metrics.MetricsRegistry` so the same
+    Counter objects feed both the theorem's complexity measure (always
+    on — this is the measured quantity of Theorem 1.3) and, when the
+    global telemetry switch is enabled, the unified ``oracle.query.*``
+    namespace.  The public ``degree_queries`` / ``neighbor_queries`` /
+    ``pair_queries`` / ``total`` / ``reset()`` API is unchanged.
+    """
+
+    __slots__ = ("registry", "_by_kind")
+
+    def __init__(
+        self,
+        degree_queries: int = 0,
+        neighbor_queries: int = 0,
+        pair_queries: int = 0,
+    ):
+        self.registry = MetricsRegistry()
+        self._by_kind: Dict[str, Counter] = {
+            kind: self.registry.counter(f"oracle.query.{kind}")
+            for kind in QUERY_KINDS
+        }
+        self._by_kind["degree"].inc(degree_queries)
+        self._by_kind["neighbor"].inc(neighbor_queries)
+        self._by_kind["pair"].inc(pair_queries)
+
+    def charge(self, kind: str) -> None:
+        """Count one query of ``kind``; unknown kinds raise OracleError.
+
+        Mirrors the charge into the global ``oracle.query.<kind>``
+        counter when telemetry is enabled.
+        """
+        counter = self._by_kind.get(kind)
+        if counter is None:
+            raise OracleError(f"unknown query kind {kind!r}")
+        counter.inc()
+        if _OBS.enabled:
+            _obs_count(f"oracle.query.{kind}")
+
+    @property
+    def degree_queries(self) -> int:
+        """Degree queries charged so far."""
+        return self._by_kind["degree"].value
+
+    @property
+    def neighbor_queries(self) -> int:
+        """Neighbor (edge) queries charged so far."""
+        return self._by_kind["neighbor"].value
+
+    @property
+    def pair_queries(self) -> int:
+        """Adjacency (pair) queries charged so far."""
+        return self._by_kind["pair"].value
 
     @property
     def total(self) -> int:
         """All queries of all three types."""
-        return self.degree_queries + self.neighbor_queries + self.pair_queries
+        return sum(counter.value for counter in self._by_kind.values())
 
     def reset(self) -> None:
         """Zero every tally."""
-        self.degree_queries = 0
-        self.neighbor_queries = 0
-        self.pair_queries = 0
+        self.registry.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryCounter(degree_queries={self.degree_queries}, "
+            f"neighbor_queries={self.neighbor_queries}, "
+            f"pair_queries={self.pair_queries})"
+        )
 
 
 class LocalQueryOracle(ABC):
@@ -52,15 +111,10 @@ class LocalQueryOracle(ABC):
         self.budget = budget
 
     def _charge(self, kind: str) -> None:
-        if kind == "degree":
-            self.counter.degree_queries += 1
-        elif kind == "neighbor":
-            self.counter.neighbor_queries += 1
-        elif kind == "pair":
-            self.counter.pair_queries += 1
-        else:
-            raise OracleError(f"unknown query kind {kind!r}")
+        self.counter.charge(kind)
         if self.budget is not None and self.counter.total > self.budget:
+            if _OBS.enabled:
+                _obs_count("oracle.budget_overrun")
             raise BudgetExceededError(
                 f"query budget of {self.budget} exceeded"
             )

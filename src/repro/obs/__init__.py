@@ -1,0 +1,64 @@
+"""Unified observability: metrics, tracing spans, structured telemetry.
+
+One subsystem accounts for every resource the reproduced theorems
+measure — oracle queries (Thm 1.3), communication bits (the INDEX /
+Gap-Hamming / 2-SUM reductions), sketch sizes (Thms 1.1/1.2) — and for
+where wall time goes (CSR kernel batches, max-flow phases, distributed
+round trips).  Three pieces:
+
+* :mod:`repro.obs.metrics` — counters / gauges / histograms in a
+  namespaced registry;
+* :mod:`repro.obs.trace` — nested spans recording wall time and the
+  metric deltas attributable to each region;
+* :mod:`repro.obs.sink` — a JSONL event sink (``telemetry.jsonl``)
+  consumed by ``scripts/trace_report.py``.
+
+Everything is gated by one switch (:func:`enable` / :func:`disable`,
+default **off**) whose disabled path is a near-zero-cost branch; see
+``BENCH_PR2.json`` for the guard benchmark.  Aggregation lives in
+:mod:`repro.obs.report` (imported lazily — it depends on the experiment
+harness).
+"""
+
+from repro.obs.core import STATE, disable, enable, enabled, is_enabled
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    count,
+    delta_since,
+    observe,
+    reset_metrics,
+    set_gauge,
+    snapshot,
+)
+from repro.obs.sink import JsonlSink, ListSink, emit, event
+from repro.obs.trace import Span, current_path, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "ListSink",
+    "MetricsRegistry",
+    "REGISTRY",
+    "STATE",
+    "Span",
+    "count",
+    "current_path",
+    "delta_since",
+    "disable",
+    "emit",
+    "enable",
+    "enabled",
+    "event",
+    "is_enabled",
+    "observe",
+    "reset_metrics",
+    "set_gauge",
+    "snapshot",
+    "span",
+]

@@ -1,0 +1,288 @@
+"""Counters, gauges, and histograms with a namespaced registry.
+
+Two usage modes share the same classes:
+
+* **Local registries** — always-on resource accounting.  The local-query
+  :class:`~repro.localquery.oracle.QueryCounter` and the comm layer's
+  :class:`~repro.comm.protocol.BitLedger` own private
+  :class:`MetricsRegistry` instances because their tallies *are* the
+  measured quantities of Theorems 1.1–1.3; they count whether or not
+  telemetry is enabled.
+* **The global registry** — :data:`REGISTRY`, fed by the module-level
+  helpers (:func:`count`, :func:`observe`, :func:`set_gauge`), which are
+  no-ops while the global switch is off.  Spans snapshot this registry
+  to attribute metric deltas to the code region that produced them.
+
+Metric names are dotted namespaces (``oracle.query.degree``,
+``comm.wire_bits``, ``csr.cut_weights.rows``) so one JSONL record can
+carry the whole story of a run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.errors import ObsError
+from repro.obs.core import STATE
+
+
+class Counter:
+    """A monotonically increasing integer/float tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the tally."""
+        if amount < 0:
+            raise ObsError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the tally."""
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A last-value-wins instantaneous measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+
+    def reset(self) -> None:
+        """Forget the recorded level."""
+        self.value = None
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A sample distribution with nearest-rank quantiles.
+
+    Samples are kept verbatim (runs at this scale observe thousands of
+    values, not billions); the sorted order is cached and invalidated on
+    the next :meth:`observe`.
+    """
+
+    __slots__ = ("name", "_samples", "_sorted")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self._samples.append(float(value))
+        self._sorted = False
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self._samples)
+
+    @property
+    def sum(self) -> float:
+        """Sum of recorded samples."""
+        return math.fsum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean; raises :class:`ObsError` when empty."""
+        if not self._samples:
+            raise ObsError(f"histogram {self.name!r} has no samples")
+        return self.sum / len(self._samples)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile: ``q=0`` is the min, ``q=1`` the max.
+
+        Duplicate samples are handled naturally (the rank lands on one of
+        them); an empty histogram raises :class:`ObsError` rather than
+        inventing a value.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObsError(f"quantile must be in [0, 1], got {q!r}")
+        if not self._samples:
+            raise ObsError(f"histogram {self.name!r} has no samples")
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        rank = max(1, math.ceil(q * len(self._samples)))
+        return self._samples[rank - 1]
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/mean/min/p50/p90/max in one JSON-friendly dict."""
+        if not self._samples:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.quantile(0.0),
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "max": self.quantile(1.0),
+        }
+
+    def reset(self) -> None:
+        """Drop all samples."""
+        self._samples.clear()
+        self._sorted = True
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """A namespace of metrics, created on first use.
+
+    A name is bound to one metric kind for the registry's lifetime;
+    asking for the same name as a different kind raises
+    :class:`ObsError` (it would silently split the tally otherwise).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, want: str) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if kind != want and name in table:
+                raise ObsError(
+                    f"metric {name!r} already registered as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created if needed."""
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_free(name, "counter")
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created if needed."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_free(name, "gauge")
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created if needed."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_free(name, "histogram")
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat cumulative view: counters plus histogram count/sum.
+
+        Gauges are instantaneous, so they are excluded — a delta of two
+        snapshots would be meaningless for them.
+        """
+        snap: Dict[str, float] = {
+            name: metric.value for name, metric in self._counters.items()
+        }
+        for name, hist in self._histograms.items():
+            snap[f"{name}.count"] = hist.count
+            snap[f"{name}.sum"] = hist.sum
+        return snap
+
+    def delta_since(self, snapshot: Dict[str, float]) -> Dict[str, float]:
+        """Changed entries of :meth:`snapshot` relative to an older one."""
+        now = self.snapshot()
+        return {
+            name: value - snapshot.get(name, 0)
+            for name, value in now.items()
+            if value != snapshot.get(name, 0)
+        }
+
+    def as_dict(self) -> Dict[str, Dict]:
+        """Full structured dump, the payload of ``summary`` events."""
+        return {
+            "counters": {
+                name: metric.value
+                for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: metric.value
+                for name, metric in sorted(self._gauges.items())
+                if metric.value is not None
+            },
+            "histograms": {
+                name: hist.summary()
+                for name, hist in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every metric (the objects stay registered)."""
+        for table in (self._counters, self._gauges, self._histograms):
+            for metric in table.values():
+                metric.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, "
+            f"histograms={len(self._histograms)})"
+        )
+
+
+#: The global registry behind the gated helpers below.
+REGISTRY = MetricsRegistry()
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Increment a global counter — no-op while telemetry is disabled."""
+    if STATE.enabled:
+        REGISTRY.counter(name).inc(amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a global histogram sample — no-op while disabled."""
+    if STATE.enabled:
+        REGISTRY.histogram(name).observe(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a global gauge — no-op while disabled."""
+    if STATE.enabled:
+        REGISTRY.gauge(name).set(value)
+
+
+def snapshot() -> Dict[str, float]:
+    """Cumulative snapshot of the global registry (works even disabled)."""
+    return REGISTRY.snapshot()
+
+
+def delta_since(snap: Dict[str, float]) -> Dict[str, float]:
+    """Global-registry metric movement since ``snap``."""
+    return REGISTRY.delta_since(snap)
+
+
+def reset_metrics() -> None:
+    """Zero the global registry (tests and fresh runs)."""
+    REGISTRY.reset()

@@ -1,0 +1,173 @@
+"""Aggregate a telemetry JSONL into per-span / per-metric summaries.
+
+The companion of ``scripts/trace_report.py``: load a ``telemetry.jsonl``
+produced by ``python -m repro.experiments.run_all`` (or any run with
+:func:`repro.obs.enable` pointed at a :class:`~repro.obs.sink.JsonlSink`)
+and reduce it to
+
+* one row per span *path* — call count, error count, total / mean / max
+  wall seconds;
+* one row per metric — the final cumulative value from the run's
+  ``summary`` event, falling back to top-level span deltas when a run
+  ended without one (nested spans would double-count, so only depth-0
+  deltas are summed in the fallback);
+* optionally, a diff of two runs' metric totals — this is how the
+  Ω̃(n·√β/ε) / Ω(n·β/ε²) / Ω(m/(ε²k)) scaling curves are read straight
+  out of recorded runs.
+
+Tables render through :class:`repro.experiments.harness.Table`, so trace
+reports look like every other artifact of the repository.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import ObsError
+from repro.experiments.harness import Table
+
+
+def load_events(path) -> List[Dict[str, Any]]:
+    """Parse one JSONL telemetry file; blank lines are tolerated."""
+    events: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ObsError(f"{path}:{lineno}: not valid JSON ({exc})")
+            if not isinstance(record, dict):
+                raise ObsError(f"{path}:{lineno}: expected a JSON object")
+            events.append(record)
+    return events
+
+
+def aggregate_spans(events: Iterable[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Per-span-path count/error/wall-time statistics."""
+    spans: Dict[str, Dict[str, Any]] = {}
+    for record in events:
+        if record.get("event") != "span":
+            continue
+        path = record.get("path", record.get("name", "?"))
+        stats = spans.setdefault(
+            path,
+            {"count": 0, "errors": 0, "total_s": 0.0, "max_s": 0.0},
+        )
+        stats["count"] += 1
+        if record.get("status") == "error":
+            stats["errors"] += 1
+        wall = float(record.get("wall_s", 0.0))
+        stats["total_s"] += wall
+        stats["max_s"] = max(stats["max_s"], wall)
+    for stats in spans.values():
+        stats["mean_s"] = stats["total_s"] / stats["count"]
+    return spans
+
+
+def metric_totals(events: Iterable[Dict[str, Any]]) -> Dict[str, float]:
+    """Final cumulative metric values of a run.
+
+    The last ``summary`` event is authoritative (its counters and
+    histogram count/sum flatten into one namespace).  Without one, sum
+    the metric deltas of *top-level* spans plus ``row`` events recorded
+    outside any span — deeper spans are already included in their
+    parents' deltas.
+    """
+    summary: Optional[Dict[str, Any]] = None
+    for record in events:
+        if record.get("event") == "summary":
+            summary = record
+    if summary is not None:
+        metrics = summary.get("metrics", {})
+        flat: Dict[str, float] = dict(metrics.get("counters", {}))
+        for name, hist in metrics.get("histograms", {}).items():
+            flat[f"{name}.count"] = hist.get("count", 0)
+            flat[f"{name}.sum"] = hist.get("sum", 0.0)
+        for name, value in metrics.get("gauges", {}).items():
+            flat[f"{name}.gauge"] = value
+        return flat
+    totals: Dict[str, float] = {}
+    for record in events:
+        kind = record.get("event")
+        in_scope = (kind == "span" and record.get("depth", 0) == 0) or (
+            kind == "row" and not record.get("span_path")
+        )
+        if not in_scope:
+            continue
+        for name, delta in record.get("metrics", {}).items():
+            totals[name] = totals.get(name, 0) + delta
+    return totals
+
+
+def span_table(spans: Dict[str, Dict[str, Any]], title: str = "spans") -> Table:
+    """Render aggregated spans as a harness table (sorted by total time)."""
+    table = Table(
+        title=title,
+        columns=["span", "count", "errors", "total_s", "mean_s", "max_s"],
+    )
+    for path, stats in sorted(
+        spans.items(), key=lambda item: -item[1]["total_s"]
+    ):
+        table.add_row(
+            span=path,
+            count=stats["count"],
+            errors=stats["errors"],
+            total_s=stats["total_s"],
+            mean_s=stats["mean_s"],
+            max_s=stats["max_s"],
+        )
+    return table
+
+
+def metric_table(totals: Dict[str, float], title: str = "metrics") -> Table:
+    """Render cumulative metric totals as a harness table."""
+    table = Table(title=title, columns=["metric", "value"])
+    for name in sorted(totals):
+        table.add_row(metric=name, value=totals[name])
+    return table
+
+
+def diff_table(
+    base: Dict[str, float],
+    other: Dict[str, float],
+    title: str = "metric diff (other - base)",
+) -> Table:
+    """Metric-by-metric comparison of two runs."""
+    table = Table(title=title, columns=["metric", "base", "other", "delta"])
+    for name in sorted(set(base) | set(other)):
+        a = base.get(name, 0)
+        b = other.get(name, 0)
+        if a == b:
+            continue
+        table.add_row(metric=name, base=a, other=b, delta=b - a)
+    return table
+
+
+def render_report(
+    path, diff_path=None
+) -> str:
+    """Full textual report for one telemetry file (optionally a diff)."""
+    events = load_events(path)
+    pieces = [
+        span_table(aggregate_spans(events), title=f"spans · {path}").render(),
+        metric_table(metric_totals(events), title=f"metrics · {path}").render(),
+    ]
+    if diff_path is not None:
+        other = load_events(diff_path)
+        pieces.append(
+            span_table(
+                aggregate_spans(other), title=f"spans · {diff_path}"
+            ).render()
+        )
+        pieces.append(
+            diff_table(
+                metric_totals(events),
+                metric_totals(other),
+                title=f"metric diff · {diff_path} - {path}",
+            ).render()
+        )
+    return "\n\n".join(pieces)

@@ -1,0 +1,102 @@
+"""Structured event sinks: JSONL on disk, a list in memory.
+
+Every telemetry record is one flat JSON object with an ``event`` field
+(``span``, ``row``, ``table``, ``summary``, or anything a caller passes
+to :func:`event`).  The JSONL shape means ``scripts/trace_report.py``
+— or plain ``jq`` — can aggregate a run without importing the library.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from itertools import count as _itercount
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+from repro.obs.core import STATE
+
+#: Monotonic sequence number shared by every record of a process.
+_SEQ = _itercount()
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON coercion; exotic values degrade to ``repr``."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+class JsonlSink:
+    """Append telemetry records to a JSONL file, one object per line."""
+
+    def __init__(self, path: Union[str, os.PathLike], mode: str = "w"):
+        self.path = str(path)
+        self._fh: Optional[TextIO] = open(self.path, mode)
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Serialize one record; closed sinks drop records silently."""
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(_jsonable(record)) + "\n")
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+
+class ListSink:
+    """In-memory sink for tests and programmatic inspection."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def flush(self) -> None:  # interface parity with JsonlSink
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def of_kind(self, kind: str) -> List[Dict[str, Any]]:
+        """Records whose ``event`` field equals ``kind``."""
+        return [r for r in self.records if r.get("event") == kind]
+
+
+def emit(record: Dict[str, Any]) -> None:
+    """Send one record to the active sink, stamping ``seq`` and ``ts``.
+
+    A no-op while telemetry is disabled or no sink is installed; callers
+    never need to guard.
+    """
+    if not STATE.enabled or STATE.sink is None:
+        return
+    stamped = dict(record)
+    stamped.setdefault("seq", next(_SEQ))
+    stamped.setdefault("ts", time.time())
+    STATE.sink.write(stamped)
+
+
+def event(kind: str, **fields: Any) -> None:
+    """Emit an ad-hoc structured event (e.g. ``event("row", table=...)``)."""
+    record: Dict[str, Any] = {"event": kind}
+    record.update(fields)
+    emit(record)

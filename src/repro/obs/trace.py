@@ -1,0 +1,120 @@
+"""Nested tracing spans with wall time and per-span metric deltas.
+
+Usage::
+
+    from repro.obs import trace
+
+    with trace.span("decode.foreach", n=n):
+        ...
+
+While telemetry is disabled, :func:`span` returns one shared no-op
+object — no allocation, no clock read — so hot loops can be instrumented
+unconditionally.  While enabled, entering a span snapshots the global
+metrics registry and the monotonic clock; leaving it emits one ``span``
+event carrying the wall time, the metric movement attributable to the
+region, the nesting path (``parent/child``), and an ``ok``/``error``
+status.  A span whose body raises still closes and records — the
+exception propagates untouched.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List
+
+from repro.obs import metrics, sink
+from repro.obs.core import STATE
+
+#: Active span stack (single-threaded by design, like the rest of the
+#: simulator); reset whenever telemetry is (re-)enabled.
+_STACK: List["Span"] = []
+
+
+def reset_stack() -> None:
+    """Drop any stale active spans (called by :func:`repro.obs.enable`)."""
+    _STACK.clear()
+
+
+def current_path() -> str:
+    """``/``-joined names of the active spans (empty when outside any)."""
+    return "/".join(s.name for s in _STACK)
+
+
+class _NullSpan:
+    """The shared disabled-path span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live traced region.  Construct through :func:`span`."""
+
+    __slots__ = ("name", "attrs", "path", "depth", "_start", "_snapshot")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.path = name
+        self.depth = 0
+        self._start = 0.0
+        self._snapshot: Dict[str, float] = {}
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach extra attributes discovered inside the region."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.depth = len(_STACK)
+        self.path = (
+            f"{_STACK[-1].path}/{self.name}" if _STACK else self.name
+        )
+        _STACK.append(self)
+        self._snapshot = metrics.REGISTRY.snapshot()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._start
+        # Unwind defensively: an inner span abandoned by an exception
+        # (e.g. a generator that never resumed) must not wedge the stack.
+        while _STACK and _STACK[-1] is not self:
+            _STACK.pop()
+        if _STACK:
+            _STACK.pop()
+        record: Dict[str, Any] = {
+            "event": "span",
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+            "wall_s": wall,
+            "status": "ok" if exc_type is None else "error",
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = self.attrs
+        delta = metrics.REGISTRY.delta_since(self._snapshot)
+        if delta:
+            record["metrics"] = delta
+        sink.emit(record)
+        return False  # never swallow the exception
+
+
+def span(name: str, **attrs: Any):
+    """A traced region, or the shared no-op when telemetry is off."""
+    if not STATE.enabled:
+        return _NULL_SPAN
+    return Span(name, attrs)

@@ -22,6 +22,9 @@ from enum import Enum
 from typing import AbstractSet, List, Sequence
 
 from repro.graphs.digraph import Node
+from repro.obs import STATE as _OBS
+from repro.obs import count as _obs_count
+from repro.obs import observe as _obs_observe
 
 
 class SketchModel(Enum):
@@ -63,6 +66,30 @@ class CutSketch(ABC):
     @abstractmethod
     def size_bits(self) -> int:
         """Size of the sketch in bits — what the lower bounds measure."""
+
+    # ------------------------------------------------------------------
+    # observability hooks (no-ops while telemetry is disabled)
+    # ------------------------------------------------------------------
+    def _obs_queries(self, n: int) -> None:
+        """Record ``n`` cut queries under ``sketch.queries`` telemetry.
+
+        Leaf implementations call this from ``query`` / ``query_many``;
+        combinators (e.g. the boosted median) do not, so inner queries
+        are counted exactly once.
+        """
+        if _OBS.enabled:
+            _obs_count("sketch.queries", n)
+            _obs_observe("sketch.query_batch", n)
+
+    def _obs_size(self, bits: int) -> int:
+        """Record one ``size_bits()`` observation; returns ``bits``.
+
+        Histogram ``sketch.size_bits`` therefore reproduces exactly the
+        sizes the games sum into their reported totals.
+        """
+        if _OBS.enabled:
+            _obs_observe("sketch.size_bits", bits)
+        return bits
 
     def query_between(
         self, side: AbstractSet[Node], complement_hint: AbstractSet[Node]

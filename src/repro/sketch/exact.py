@@ -31,10 +31,12 @@ class ExactCutSketch(CutSketch):
 
     def query(self, side: AbstractSet[Node]) -> float:
         """Exact ``w(S, V \\ S)``."""
+        self._obs_queries(1)
         return self._graph.cut_weight(side)
 
     def query_many(self, sides: Sequence[AbstractSet[Node]]) -> List[float]:
         """Batched exact answers via the stored graph's CSR kernel."""
+        self._obs_queries(len(sides))
         csr = self._graph.freeze()
         member = csr.membership_matrix(sides)
         csr.check_proper(member)
@@ -42,4 +44,4 @@ class ExactCutSketch(CutSketch):
 
     def size_bits(self) -> int:
         """Edge-list encoding of the stored graph."""
-        return graph_size_bits(self._graph, self._weight_bits)
+        return self._obs_size(graph_size_bits(self._graph, self._weight_bits))

@@ -87,12 +87,14 @@ class NoisyForEachSketch(CutSketch):
 
     def query(self, side: AbstractSet[Node]) -> float:
         """Fresh (1 +- eps) noise; occasional adversarial garbage."""
+        self._obs_queries(1)
         return self._perturb(self._graph.cut_weight(side))
 
     def query_many(self, sides: Sequence[AbstractSet[Node]]) -> List[float]:
         """Batched queries: one CSR kernel pass for the true values,
         then per-query noise drawn in the same order as repeated
         :meth:`query` calls (so games are reproducible either way)."""
+        self._obs_queries(len(sides))
         csr = self._graph.freeze()
         member = csr.membership_matrix(sides)
         csr.check_proper(member)
@@ -100,7 +102,7 @@ class NoisyForEachSketch(CutSketch):
         return [self._perturb(float(value)) for value in true_values]
 
     def size_bits(self) -> int:
-        return graph_size_bits(self._graph)
+        return self._obs_size(graph_size_bits(self._graph))
 
 
 class NoisyForAllSketch(CutSketch):
@@ -145,10 +147,12 @@ class NoisyForAllSketch(CutSketch):
 
     def query(self, side: AbstractSet[Node]) -> float:
         """Deterministic (1 +- eps) answer for this cut."""
+        self._obs_queries(1)
         return self._perturb(self._graph.cut_weight(side), side)
 
     def query_many(self, sides: Sequence[AbstractSet[Node]]) -> List[float]:
         """Batched queries: vectorized true values, per-cut fingerprints."""
+        self._obs_queries(len(sides))
         csr = self._graph.freeze()
         member = csr.membership_matrix(sides)
         csr.check_proper(member)
@@ -159,4 +163,4 @@ class NoisyForAllSketch(CutSketch):
         ]
 
     def size_bits(self) -> int:
-        return graph_size_bits(self._graph)
+        return self._obs_size(graph_size_bits(self._graph))

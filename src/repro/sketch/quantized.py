@@ -83,10 +83,12 @@ class QuantizedCutSketch(CutSketch):
 
     def query(self, side: AbstractSet[Node]) -> float:
         """Cut value over the quantized weights."""
+        self._obs_queries(1)
         return self._graph.cut_weight(side)
 
     def query_many(self, sides) -> list:
         """Batched answers over the quantized graph's CSR kernel."""
+        self._obs_queries(len(sides))
         csr = self._graph.freeze()
         member = csr.membership_matrix(sides)
         csr.check_proper(member)
@@ -99,4 +101,4 @@ class QuantizedCutSketch(CutSketch):
             + self._mantissa_bits
             + EXPONENT_BITS
         )
-        return self._graph.num_edges * per_edge
+        return self._obs_size(self._graph.num_edges * per_edge)

@@ -181,14 +181,16 @@ class SparsifierSketch(CutSketch):
 
     def query(self, side: AbstractSet[Node]) -> float:
         """Cut value in the sparsifier — an unbiased estimate of w(S, V\\S)."""
+        self._obs_queries(1)
         return self._sparse.cut_weight(side)
 
     def query_many(self, sides) -> list:
         """Batched estimates via the sparse graph's CSR kernel."""
+        self._obs_queries(len(sides))
         csr = self._sparse.freeze()
         member = csr.membership_matrix(sides)
         csr.check_proper(member)
         return csr.cut_weights(member).tolist()
 
     def size_bits(self) -> int:
-        return graph_size_bits(self._sparse)
+        return self._obs_size(graph_size_bits(self._sparse))

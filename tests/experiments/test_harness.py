@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.experiments.harness import Table, geometric_ratio, sweep
+from repro import obs
+from repro.experiments.harness import Row, Table, geometric_ratio, sweep
+from repro.obs.sink import ListSink
 
 
 class TestTable:
@@ -47,6 +49,61 @@ class TestTable:
         t.add_row(x=5)
         t.emit()
         assert "emit" in capsys.readouterr().out
+
+    def test_negative_zero_renders_as_zero(self):
+        t = Table(title="nz", columns=["v"])
+        t.add_row(v=-0.0)
+        out = t.render()
+        assert "-0" not in out
+        assert t._format_cell(-0.0) == "0"
+
+    def test_small_negatives_keep_their_sign(self):
+        t = Table(title="nz", columns=["v"])
+        assert t._format_cell(-1e-05) == "-1e-05"
+        assert t._format_cell(-0.5) == "-0.5"
+
+    def test_rows_keep_mapping_access(self):
+        t = Table(title="demo", columns=["x", "y"])
+        t.add_row(x=1, y=2)
+        row = t.rows[0]
+        assert isinstance(row, Row)
+        assert row["x"] == 1
+        assert row.get("missing", "d") == "d"
+        assert "y" in row and "z" not in row
+
+
+class TestRowTelemetry:
+    def test_disabled_rows_have_empty_telemetry(self):
+        t = Table(title="demo", columns=["x"])
+        t.add_row(x=1)
+        assert t.rows[0].telemetry == {}
+
+    def test_enabled_rows_record_deltas_and_events(self):
+        obs.reset_metrics()
+        with obs.enabled(ListSink()) as sink:
+            t = Table(title="demo", columns=["x"])
+            obs.count("demo.work", 3)
+            t.add_row(x=1)
+            obs.count("demo.work", 4)
+            t.add_row(x=2)
+        obs.reset_metrics()
+        first, second = t.rows
+        assert first.telemetry["metrics"] == {"demo.work": 3}
+        assert second.telemetry["metrics"] == {"demo.work": 4}
+        assert first.telemetry["wall_s"] >= 0.0
+        events = sink.of_kind("row")
+        assert [e["values"] for e in events] == [{"x": 1}, {"x": 2}]
+        assert events[0]["table"] == "demo"
+
+    def test_row_events_carry_span_path(self):
+        obs.reset_metrics()
+        with obs.enabled(ListSink()) as sink:
+            with obs.span("experiment.e1"):
+                t = Table(title="demo", columns=["x"])
+                t.add_row(x=1)
+        obs.reset_metrics()
+        (event,) = sink.of_kind("row")
+        assert event["span_path"] == "experiment.e1"
 
 
 class TestGeometricRatio:

@@ -1,8 +1,11 @@
 """Tests for the standalone experiment runner CLI."""
 
+import json
+
 import pytest
 
 from repro.experiments.run_all import REGISTRY, main
+from repro.obs.report import aggregate_spans, load_events, metric_totals
 
 
 class TestRegistry:
@@ -26,10 +29,47 @@ class TestCli:
         assert "e1" in out and "e9" in out
 
     def test_run_single(self, capsys):
-        assert main(["e7"]) == 0
+        assert main(["e7", "--no-telemetry"]) == 0
         out = capsys.readouterr().out
         assert "Figures 3-6" in out
 
     def test_unknown_experiment_errors(self):
         with pytest.raises(SystemExit):
             main(["e99"])
+
+
+class TestTelemetry:
+    def test_run_writes_telemetry_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "telemetry.jsonl"
+        assert main(["e5", "e7", "--telemetry", str(path)]) == 0
+        assert f"telemetry written to {path}" in capsys.readouterr().out
+        events = load_events(path)
+        kinds = {e["event"] for e in events}
+        assert {"span", "row", "summary"} <= kinds
+        spans = aggregate_spans(events)
+        assert spans["experiment.e5"]["count"] == 1
+        assert spans["experiment.e7"]["count"] == 1
+        # The summary's CSR counters reflect real kernel activity.
+        totals = metric_totals(events)
+        assert totals.get("csr.freeze.miss", 0) >= 1
+
+    def test_rows_in_telemetry_match_printed_tables(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        assert main(["e5", "--telemetry", str(path)]) == 0
+        capsys.readouterr()
+        rows = [e for e in load_events(path) if e["event"] == "row"]
+        assert len(rows) == 3  # e5 prints three configurations
+        assert all(r["span_path"] == "experiment.e5" for r in rows)
+
+    def test_no_telemetry_writes_nothing(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["e7", "--no-telemetry"]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "telemetry.jsonl").exists()
+
+    def test_telemetry_file_is_valid_json_lines(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        assert main(["e7", "--telemetry", str(path)]) == 0
+        capsys.readouterr()
+        for line in path.read_text().splitlines():
+            json.loads(line)

@@ -2,10 +2,12 @@
 
 import pytest
 
+from repro import obs
 from repro.errors import BudgetExceededError, OracleError
 from repro.graphs.generators import random_connected_ugraph
 from repro.graphs.ugraph import UGraph
-from repro.localquery.oracle import GraphOracle, QueryCounter
+from repro.localquery.oracle import QUERY_KINDS, GraphOracle, QueryCounter
+from repro.obs.sink import ListSink
 
 
 @pytest.fixture
@@ -72,6 +74,75 @@ class TestCounting:
         except OracleError:
             pass
         assert oracle.counter.neighbor_queries == 1
+
+
+class TestQueryCounterShim:
+    def test_kinds_cover_the_model(self):
+        assert QUERY_KINDS == ("degree", "neighbor", "pair")
+
+    def test_initial_values_constructor(self):
+        counter = QueryCounter(
+            degree_queries=2, neighbor_queries=3, pair_queries=5
+        )
+        assert counter.degree_queries == 2
+        assert counter.neighbor_queries == 3
+        assert counter.pair_queries == 5
+        assert counter.total == 10
+
+    def test_charge_by_kind(self):
+        counter = QueryCounter()
+        counter.charge("degree")
+        counter.charge("pair")
+        counter.charge("pair")
+        assert counter.degree_queries == 1
+        assert counter.pair_queries == 2
+        assert counter.total == 3
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(OracleError):
+            QueryCounter().charge("telepathy")
+
+    def test_counters_independent_between_instances(self):
+        a, b = QueryCounter(), QueryCounter()
+        a.charge("degree")
+        assert b.degree_queries == 0
+
+    def test_repr_shows_tallies(self):
+        counter = QueryCounter(degree_queries=1)
+        assert "degree_queries=1" in repr(counter)
+
+    def test_counts_without_telemetry(self):
+        assert not obs.is_enabled()
+        counter = QueryCounter()
+        counter.charge("neighbor")
+        assert counter.neighbor_queries == 1  # local meter is always on
+
+
+class TestObsMirroring:
+    def test_charges_mirror_to_global_registry(self, oracle):
+        obs.reset_metrics()
+        with obs.enabled(ListSink()):
+            oracle.degree("a")
+            oracle.neighbor("a", 0)
+            oracle.neighbor("a", 1)
+            oracle.adjacent("a", "b")
+        snap = obs.snapshot()
+        obs.reset_metrics()
+        assert snap["oracle.query.degree"] == 1
+        assert snap["oracle.query.neighbor"] == 2
+        assert snap["oracle.query.pair"] == 1
+
+    def test_budget_overrun_counted(self):
+        g = random_connected_ugraph(5, rng=0)
+        oracle = GraphOracle(g, budget=1)
+        obs.reset_metrics()
+        with obs.enabled(ListSink()):
+            oracle.degree(g.nodes()[0])
+            with pytest.raises(BudgetExceededError):
+                oracle.degree(g.nodes()[1])
+        snap = obs.snapshot()
+        obs.reset_metrics()
+        assert snap["oracle.budget_overrun"] == 1
 
 
 class TestBudget:

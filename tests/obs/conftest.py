@@ -1,0 +1,15 @@
+"""Shared obs-test hygiene: leave the global switch and registry clean."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.reset_metrics()
+    yield
+    obs.disable()
+    obs.STATE.sink = None
+    obs.reset_metrics()

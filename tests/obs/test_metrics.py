@@ -1,0 +1,177 @@
+"""Tests for repro.obs.metrics: counters, gauges, histograms, registry."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ObsError):
+            Counter("x").inc(-1)
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        g = Gauge("depth")
+        assert g.value is None
+        g.set(3)
+        g.set(7)
+        assert g.value == 7
+
+    def test_reset_forgets(self):
+        g = Gauge("depth")
+        g.set(1)
+        g.reset()
+        assert g.value is None
+
+
+class TestHistogramQuantiles:
+    def test_empty_quantile_raises(self):
+        h = Histogram("h")
+        with pytest.raises(ObsError):
+            h.quantile(0.5)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ObsError):
+            Histogram("h").mean
+
+    def test_quantile_out_of_range_raises(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ObsError):
+            h.quantile(1.5)
+        with pytest.raises(ObsError):
+            h.quantile(-0.1)
+
+    def test_single_sample_all_quantiles(self):
+        h = Histogram("h")
+        h.observe(42.0)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert h.quantile(q) == 42.0
+
+    def test_duplicates(self):
+        h = Histogram("h")
+        for v in (5.0, 5.0, 5.0, 9.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 5.0
+        assert h.quantile(0.75) == 5.0
+        assert h.quantile(1.0) == 9.0
+
+    def test_nearest_rank_min_max(self):
+        h = Histogram("h")
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 3.0
+
+    def test_observe_after_sort_resorts(self):
+        h = Histogram("h")
+        h.observe(2.0)
+        assert h.quantile(1.0) == 2.0
+        h.observe(1.0)  # arrives out of order after a sorted read
+        assert h.quantile(0.0) == 1.0
+
+    def test_summary_empty_and_filled(self):
+        h = Histogram("h")
+        assert h.summary() == {"count": 0, "sum": 0.0}
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["sum"] == 6.0
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["min"] == 1.0 and s["max"] == 3.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(ObsError):
+            r.histogram("a")
+        with pytest.raises(ObsError):
+            r.gauge("a")
+
+    def test_snapshot_and_delta(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(2)
+        r.histogram("h").observe(10.0)
+        snap = r.snapshot()
+        assert snap == {"c": 2, "h.count": 1, "h.sum": 10.0}
+        r.counter("c").inc(3)
+        r.histogram("h").observe(5.0)
+        delta = r.delta_since(snap)
+        assert delta == {"c": 3, "h.count": 1, "h.sum": 5.0}
+
+    def test_delta_skips_unchanged(self):
+        r = MetricsRegistry()
+        r.counter("same").inc(1)
+        r.counter("moves").inc(1)
+        snap = r.snapshot()
+        r.counter("moves").inc(1)
+        assert r.delta_since(snap) == {"moves": 1}
+
+    def test_gauges_excluded_from_snapshot(self):
+        r = MetricsRegistry()
+        r.gauge("g").set(9)
+        assert r.snapshot() == {}
+
+    def test_as_dict_shape(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.gauge("g").set(2.0)
+        r.histogram("h").observe(1.0)
+        dump = r.as_dict()
+        assert dump["counters"] == {"c": 1}
+        assert dump["gauges"] == {"g": 2.0}
+        assert dump["histograms"]["h"]["count"] == 1
+
+    def test_reset_keeps_names(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(7)
+        r.reset()
+        assert r.counter("c").value == 0
+
+
+class TestGatedHelpers:
+    def test_disabled_helpers_do_nothing(self):
+        obs.count("gated.off.c", 5)
+        obs.observe("gated.off.h", 1.0)
+        obs.set_gauge("gated.off.g", 2.0)
+        snap = obs.snapshot()
+        # Disabled helpers never even register the metric.
+        assert "gated.off.c" not in snap
+        assert "gated.off.h.count" not in snap
+
+    def test_enabled_helpers_feed_global_registry(self):
+        with obs.enabled():
+            obs.count("gated.c", 5)
+            obs.observe("gated.h", 1.0)
+        snap = obs.snapshot()
+        assert snap["gated.c"] == 5
+        assert snap["gated.h.count"] == 1
+
+    def test_reset_metrics_zeroes(self):
+        with obs.enabled():
+            obs.count("gated.c")
+        obs.reset_metrics()
+        assert obs.snapshot().get("gated.c", 0) == 0

@@ -1,0 +1,138 @@
+"""Tests for repro.obs.report aggregation and the trace-report tables."""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.report import (
+    aggregate_spans,
+    diff_table,
+    load_events,
+    metric_table,
+    metric_totals,
+    render_report,
+    span_table,
+)
+
+
+def _write_jsonl(path, records):
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+
+
+SPANS = [
+    {"event": "span", "path": "a", "depth": 0, "wall_s": 0.2, "status": "ok",
+     "metrics": {"c": 2}},
+    {"event": "span", "path": "a", "depth": 0, "wall_s": 0.4, "status": "error",
+     "metrics": {"c": 1}},
+    {"event": "span", "path": "a/b", "depth": 1, "wall_s": 0.1, "status": "ok",
+     "metrics": {"c": 1}},
+]
+
+
+class TestLoadEvents:
+    def test_loads_and_tolerates_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"event": "span"}\n\n{"event": "summary"}\n')
+        events = load_events(path)
+        assert [e["event"] for e in events] == ["span", "summary"]
+
+    def test_bad_json_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ObsError):
+            load_events(path)
+
+    def test_non_object_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ObsError):
+            load_events(path)
+
+
+class TestAggregateSpans:
+    def test_stats_per_path(self):
+        spans = aggregate_spans(SPANS)
+        assert spans["a"]["count"] == 2
+        assert spans["a"]["errors"] == 1
+        assert spans["a"]["total_s"] == pytest.approx(0.6)
+        assert spans["a"]["max_s"] == pytest.approx(0.4)
+        assert spans["a"]["mean_s"] == pytest.approx(0.3)
+        assert spans["a/b"]["count"] == 1
+
+    def test_non_span_events_ignored(self):
+        assert aggregate_spans([{"event": "summary"}]) == {}
+
+
+class TestMetricTotals:
+    def test_summary_event_is_authoritative(self):
+        events = SPANS + [
+            {
+                "event": "summary",
+                "metrics": {
+                    "counters": {"c": 99},
+                    "gauges": {"g": 2.5},
+                    "histograms": {"h": {"count": 3, "sum": 12.0}},
+                },
+            }
+        ]
+        totals = metric_totals(events)
+        assert totals["c"] == 99
+        assert totals["g.gauge"] == 2.5
+        assert totals["h.count"] == 3
+        assert totals["h.sum"] == 12.0
+
+    def test_fallback_sums_only_depth_zero(self):
+        # Without a summary, a/b's delta is already inside a's; only
+        # depth-0 spans count, so c totals 3, not 4.
+        assert metric_totals(SPANS) == {"c": 3}
+
+    def test_fallback_includes_unscoped_rows(self):
+        events = SPANS + [
+            {"event": "row", "metrics": {"r": 5}, "span_path": ""},
+            {"event": "row", "metrics": {"r": 7}, "span_path": "a"},
+        ]
+        totals = metric_totals(events)
+        assert totals["r"] == 5  # the in-span row is inside a's delta
+
+
+class TestTables:
+    def test_span_table_sorted_by_total(self):
+        table = span_table(aggregate_spans(SPANS))
+        assert [row["span"] for row in table.rows] == ["a", "a/b"]
+
+    def test_metric_table_rows(self):
+        table = metric_table({"b": 2, "a": 1})
+        assert [row["metric"] for row in table.rows] == ["a", "b"]
+
+    def test_diff_table_skips_equal(self):
+        table = diff_table({"same": 1, "moved": 2}, {"same": 1, "moved": 5})
+        (row,) = table.rows
+        assert row["metric"] == "moved"
+        assert row["delta"] == 3
+
+    def test_diff_table_handles_missing_keys(self):
+        table = diff_table({"only_base": 2}, {"only_other": 3})
+        deltas = {row["metric"]: row["delta"] for row in table.rows}
+        assert deltas == {"only_base": -2, "only_other": 3}
+
+
+class TestRenderReport:
+    def test_single_run(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_jsonl(path, SPANS)
+        out = render_report(path)
+        assert "spans" in out and "metrics" in out
+        assert "a/b" in out
+
+    def test_diff_mode(self, tmp_path):
+        base = tmp_path / "base.jsonl"
+        other = tmp_path / "other.jsonl"
+        _write_jsonl(base, SPANS)
+        _write_jsonl(
+            other,
+            [{"event": "span", "path": "a", "depth": 0, "wall_s": 0.1,
+              "status": "ok", "metrics": {"c": 10}}],
+        )
+        out = render_report(base, diff_path=other)
+        assert "metric diff" in out

@@ -1,0 +1,167 @@
+"""Tests for repro.obs.trace spans and the enable/disable switch."""
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+from repro.obs.sink import ListSink
+
+
+class TestSwitch:
+    def test_default_off(self):
+        assert not obs.is_enabled()
+
+    def test_enable_disable(self):
+        obs.enable()
+        assert obs.is_enabled()
+        obs.disable()
+        assert not obs.is_enabled()
+
+    def test_enabled_context_restores(self):
+        sink = ListSink()
+        with obs.enabled(sink) as active:
+            assert active is sink
+            assert obs.is_enabled()
+        assert not obs.is_enabled()
+
+    def test_enabled_context_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.enabled(ListSink()):
+                raise RuntimeError("boom")
+        assert not obs.is_enabled()
+
+    def test_enable_keeps_prior_sink(self):
+        sink = ListSink()
+        obs.enable(sink)
+        obs.disable()
+        obs.enable()  # no sink argument: the old one stays installed
+        assert obs.STATE.sink is sink
+
+
+class TestSpans:
+    def test_disabled_span_is_shared_null(self):
+        a = obs.span("x")
+        b = obs.span("y")
+        assert a is b
+        with a:
+            pass  # no-op, no record anywhere
+
+    def test_span_records_wall_and_name(self):
+        with obs.enabled(ListSink()) as sink:
+            with obs.span("outer", n=3):
+                pass
+        (record,) = sink.of_kind("span")
+        assert record["name"] == "outer"
+        assert record["path"] == "outer"
+        assert record["depth"] == 0
+        assert record["status"] == "ok"
+        assert record["wall_s"] >= 0.0
+        assert record["attrs"] == {"n": 3}
+
+    def test_nesting_paths_and_depths(self):
+        with obs.enabled(ListSink()) as sink:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    assert trace.current_path() == "outer/inner"
+        inner, outer = sink.of_kind("span")  # inner closes first
+        assert inner["path"] == "outer/inner" and inner["depth"] == 1
+        assert outer["path"] == "outer" and outer["depth"] == 0
+
+    def test_exception_unwinds_and_records_error(self):
+        with obs.enabled(ListSink()) as sink:
+            with pytest.raises(ValueError):
+                with obs.span("outer"):
+                    with obs.span("inner"):
+                        raise ValueError("boom")
+        inner, outer = sink.of_kind("span")
+        assert inner["status"] == "error" and inner["error"] == "ValueError"
+        assert outer["status"] == "error"
+        assert trace.current_path() == ""
+
+    def test_span_captures_metric_delta(self):
+        with obs.enabled(ListSink()) as sink:
+            with obs.span("work"):
+                obs.count("work.items", 4)
+        (record,) = sink.of_kind("span")
+        assert record["metrics"] == {"work.items": 4}
+
+    def test_inner_delta_included_in_outer(self):
+        with obs.enabled(ListSink()) as sink:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    obs.count("c", 1)
+                obs.count("c", 2)
+        inner, outer = sink.of_kind("span")
+        assert inner["metrics"] == {"c": 1}
+        assert outer["metrics"] == {"c": 3}
+
+    def test_annotate(self):
+        with obs.enabled(ListSink()) as sink:
+            with obs.span("s") as sp:
+                sp.annotate(found=7)
+        (record,) = sink.of_kind("span")
+        assert record["attrs"] == {"found": 7}
+
+    def test_stale_stack_entries_unwound(self):
+        # A span abandoned without __exit__ (e.g. a never-resumed
+        # generator) must not wedge the stack for its parent.
+        with obs.enabled(ListSink()):
+            parent = obs.span("parent")
+            parent.__enter__()
+            obs.span("abandoned").__enter__()
+            parent.__exit__(None, None, None)
+            assert trace.current_path() == ""
+
+    def test_events_have_seq_and_ts(self):
+        with obs.enabled(ListSink()) as sink:
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+        first, second = sink.of_kind("span")
+        assert first["seq"] < second["seq"]
+        assert first["ts"] > 0
+
+
+class TestEvents:
+    def test_event_disabled_is_noop(self):
+        sink = ListSink()
+        obs.STATE.sink = sink
+        obs.event("row", table="t")
+        assert sink.records == []
+
+    def test_event_without_sink_is_noop(self):
+        obs.enable()
+        obs.event("row", table="t")  # must not raise
+
+    def test_event_enabled(self):
+        with obs.enabled(ListSink()) as sink:
+            obs.event("row", table="t", values={"x": 1})
+        (record,) = sink.records
+        assert record["event"] == "row"
+        assert record["values"] == {"x": 1}
+
+
+class TestJsonlSink:
+    def test_roundtrip(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        from repro.obs.sink import JsonlSink
+
+        sink = JsonlSink(path)
+        with obs.enabled(sink):
+            obs.event("custom", payload={"side": frozenset({1, 2})})
+        sink.close()
+        lines = path.read_text().strip().splitlines()
+        (record,) = [json.loads(line) for line in lines]
+        assert record["event"] == "custom"
+        assert sorted(record["payload"]["side"]) == [1, 2]
+
+    def test_closed_sink_drops_silently(self, tmp_path):
+        from repro.obs.sink import JsonlSink
+
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.write({"event": "late"})  # no raise
+        sink.close()  # idempotent
