@@ -1,6 +1,7 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-report tables trace-report api all
+.PHONY: install test bench bench-report tables trace-report api all \
+	bounds-check dashboard
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +20,13 @@ tables:
 
 trace-report:
 	PYTHONPATH=src python scripts/trace_report.py telemetry.jsonl
+
+bounds-check:
+	PYTHONPATH=src python -m repro.experiments.run_all --strict-bounds
+
+dashboard:
+	PYTHONPATH=src python scripts/obs_db.py ingest --telemetry telemetry.jsonl
+	PYTHONPATH=src python scripts/obs_dashboard.py
 
 api:
 	python scripts/gen_api_reference.py

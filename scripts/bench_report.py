@@ -19,7 +19,13 @@ Three parts:
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [--micro-only] [--pr2-only]
+    PYTHONPATH=src python scripts/bench_report.py \
+        [--micro-only] [--pr2-only] [--pr3-only]
+
+``--pr3-only`` re-times the PR2 guard with the PR3 additions (bound
+certification and the span-attributed profiler) imported but inactive
+and writes BENCH_PR3.json — the new layers must keep the disabled hot
+path within the same 5% envelope.
 """
 
 import argparse
@@ -226,6 +232,42 @@ def write_pr2_report():
     )
 
 
+def write_pr3_report():
+    """The PR3 gate: the PR2 guard must still hold with the bound-
+    certification and profiler modules imported (profiler constructed
+    but never started) — importing the new observability layers must
+    not put anything on the disabled hot path.
+    """
+    from repro.obs import bounds, profile  # noqa: F401
+
+    profiler = profile.SpanProfiler()  # imported and instantiated, never started
+    assert not profiler.running
+    guard = obs_guard()
+    ratio = guard.get("disabled_over_pr1", guard["enabled_over_disabled"])
+    report = {
+        "obs_guard": guard,
+        "profiler_imported": True,
+        "profiler_running": profiler.running,
+        "bound_specs_registered": len(bounds.registered_specs()),
+        "gate": {
+            "requirement": (
+                "instrumented cut_weights on 4096 cuts, telemetry disabled, "
+                "profiler module imported but off, within 5% of the "
+                "BENCH_PR1 baseline"
+            ),
+            "ratio": ratio,
+            "passed": ratio <= 1.05,
+        },
+    }
+    out_path = REPO / "BENCH_PR3.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    print(
+        f"obs guard ratio (profiler imported): {ratio:.3f}x "
+        f"({'PASS' if report['gate']['passed'] else 'FAIL'})"
+    )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -238,7 +280,16 @@ def main():
         action="store_true",
         help="only run the observability guard and write BENCH_PR2.json",
     )
+    parser.add_argument(
+        "--pr3-only",
+        action="store_true",
+        help="only run the profiler-imported guard and write BENCH_PR3.json",
+    )
     args = parser.parse_args()
+
+    if args.pr3_only:
+        write_pr3_report()
+        return
 
     if not args.pr2_only:
         report = {"micro": micro_benches()}

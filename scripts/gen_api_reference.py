@@ -69,6 +69,53 @@ Three coordinated pieces:
   `telemetry.jsonl` and `scripts/trace_report.py` (or
   `repro.obs.report`) folds it back into harness tables, with a
   two-run `--diff` mode.
+
+### Bound certification (`repro.obs.bounds`)
+
+`BoundSpec` declares one certified envelope: a name, the theorem tag,
+the measured quantity (`"value:<column>"` for a printed table column,
+`"metric:<name>"` for a per-row counter delta, `"metric:<name>.mean"`
+for a per-row histogram mean), the predicted curve as a function of the
+construction parameters `(n, m, beta, eps, k, ...)`, a direction
+(`lower` / `upper` / `band`), and a multiplicative `slack` absorbing the
+constants and polylogs hidden in Õ/Ω̃.  The module registry ships with
+the Thm 1.1 (`n·√β/ε`, lower), Thm 1.2 (`n·β/ε²`, lower), Thm 1.3
+(`min{2m, m/(ε²k)}`, band) and Thm 5.7 (same curve, upper) envelopes.
+
+`BoundMonitor` receives one observation per experiment-table row —
+tables opt in with `Table(bounds=["thm13.queries"], meta={"m": m,
+"k": k})` — checks it immediately, emits a `bound_check` event, and on
+`finish()` fits the empirical log-log scaling exponent of each sweep
+against the envelope's exponent on the same points (`kind="fit"`
+checks; a table can redirect its fit variable with
+`bounds=[("thm13.queries", {"sweep": "k"})]`).
+`python -m repro.experiments.run_all --strict-bounds` exits 2 on any
+violation; `make bounds-check` wraps this.
+
+### Span-attributed profiler (`repro.obs.profile`)
+
+`SpanProfiler` answers *where inside each span* wall time went.
+`mode="deterministic"` (default) installs a `sys.setprofile` hook that
+charges self-time between consecutive profile events to the function on
+top of the call stack under the currently active span path (exact call
+counts, noticeable slowdown); `mode="sampling"` snapshots the main
+thread's stack every `interval` seconds from a daemon thread (
+statistical counts, near-zero overhead).  Nothing is installed until
+`start()` — importing the module costs nothing on the disabled path
+(gate: `python scripts/bench_report.py --pr3-only`, `BENCH_PR3.json`).
+`emit_events()` lands the aggregates in telemetry as `profile` events,
+which `scripts/trace_report.py` renders as a per-span hot-function
+table; `run_all --profile` wires this end to end.
+
+### Cross-run observatory
+
+`scripts/obs_db.py ingest` condenses a `telemetry.jsonl` plus the
+`BENCH_*.json` gate reports into one append-only record in
+`.obs/history.jsonl`; `scripts/obs_dashboard.py` renders the history as
+a static dashboard (`.obs/dashboard.{md,html}`, `make dashboard`):
+measured-vs-envelope curves (bits vs ε, queries vs ε and k), the latest
+run's bound-check verdicts, span wall-time trends per ingested run, and
+a regression verdict comparing the last two runs.
 """,
 }
 

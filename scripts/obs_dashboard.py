@@ -1,0 +1,379 @@
+#!/usr/bin/env python
+"""Render the cross-run observability dashboard from .obs/history.jsonl.
+
+Reads the run history accumulated by ``scripts/obs_db.py`` and writes a
+static dashboard (``.obs/dashboard.md`` + ``.obs/dashboard.html``):
+
+* **Measured-vs-theory curves** for the latest run — sketch bits vs ε
+  against the Ω̃(n·√β/ε) / Ω(n·β/ε²) envelopes, and VERIFY-GUESS
+  queries vs ε and vs k against the min{2m, m/(ε²k)} curve — as log-log
+  ASCII plots (``*`` measured, ``o`` theory envelope);
+* **Bound certification** status of the latest run (every
+  ``bound_check`` verdict);
+* **Span wall-time trends** across all ingested runs — how long each
+  experiment region takes per PR;
+* **Regression verdict** comparing the two most recent runs: the
+  metric diff (via :func:`repro.obs.report.diff_table`) plus span
+  wall-time ratios, with a headline OK / REGRESSION line.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_dashboard.py [--db .obs/history.jsonl]
+"""
+
+import argparse
+import html
+import math
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments.harness import Table  # noqa: E402
+from repro.obs.report import diff_table  # noqa: E402
+from obs_db import DEFAULT_DB, load_history  # noqa: E402
+
+#: Span whose wall time grows by more than this factor between the two
+#: latest runs counts as a timing regression.
+SPAN_REGRESSION_RATIO = 1.5
+
+#: Ignore span timing ratios below this many seconds in the newer run —
+#: sub-millisecond regions are all interpreter noise.
+SPAN_MIN_SECONDS = 0.005
+
+#: The dashboard's curve catalogue: (title, table-name fragment, x
+#: column, measured column, envelope column).  Matching by fragment
+#: keeps the dashboard working as experiment titles gain suffixes.
+CURVES = [
+    (
+        "Thm 1.1 - for-each sketch bits vs eps",
+        "E1b",
+        "eps",
+        "mean_bits",
+        "envelope",
+    ),
+    (
+        "Thm 1.2 - for-all sketch bits vs eps",
+        "E2b",
+        "eps",
+        "mean_bits",
+        "envelope",
+    ),
+    (
+        "Thm 1.3 - VERIFY-GUESS queries vs eps",
+        "E3 /",
+        "eps",
+        "queries",
+        "bound",
+    ),
+    (
+        "Thm 1.3 - VERIFY-GUESS queries vs k",
+        "E3b",
+        "k",
+        "queries",
+        "bound",
+    ),
+]
+
+
+def _log(value):
+    return math.log(value) if value > 0 else 0.0
+
+
+def ascii_plot(series, width=56, height=12):
+    """Log-log ASCII scatter of ``[(marker, [(x, y), ...]), ...]``.
+
+    Overlapping markers collapse to ``@``.  Returns a list of lines
+    including axis annotations; empty series produce a placeholder.
+    """
+    points = [(x, y) for _, pts in series for x, y in pts if x > 0 and y > 0]
+    if not points:
+        return ["(no data)"]
+    xs = [_log(x) for x, _ in points]
+    ys = [_log(y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for marker, pts in series:
+        for x, y in pts:
+            if x <= 0 or y <= 0:
+                continue
+            col = round((_log(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((_log(y) - y_lo) / y_span * (height - 1))
+            cell = grid[row][col]
+            grid[row][col] = marker if cell in (" ", marker) else "@"
+    x_min, x_max = math.exp(x_lo), math.exp(x_hi)
+    y_min, y_max = math.exp(y_lo), math.exp(y_hi)
+    lines = [f"{y_max:>10.4g} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_min:>10.4g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_min:<.4g}" + " " * max(1, width - 18) + f"{x_max:>.4g}"
+    )
+    return lines
+
+
+def _curve_points(run, fragment, x_col, y_col, env_col):
+    """(measured, envelope) point lists for one curve of one run."""
+    measured, envelope = [], []
+    for row in run.get("rows", []):
+        table = row.get("table") or ""
+        if fragment not in table:
+            continue
+        values = row.get("values", {})
+        x = values.get(x_col)
+        if x is None:
+            continue
+        if values.get(y_col) is not None:
+            measured.append((float(x), float(values[y_col])))
+        if values.get(env_col) is not None:
+            envelope.append((float(x), float(values[env_col])))
+    return measured, envelope
+
+
+def curves_section(run):
+    lines = ["## Measured vs theory (latest run)", ""]
+    plotted = 0
+    for title, fragment, x_col, y_col, env_col in CURVES:
+        measured, envelope = _curve_points(run, fragment, x_col, y_col, env_col)
+        if not measured:
+            continue
+        plotted += 1
+        lines.append(f"### {title}")
+        lines.append("")
+        lines.append(
+            f"log-log, x = {x_col}; `*` measured {y_col}, "
+            f"`o` theory envelope, `@` overlap"
+        )
+        lines.append("")
+        lines.append("```")
+        lines.extend(ascii_plot([("*", measured), ("o", envelope)]))
+        lines.append("```")
+        lines.append("")
+    if not plotted:
+        lines.append(
+            "_No curve tables in the latest run — ingest a full "
+            "`run_all` telemetry file._"
+        )
+        lines.append("")
+    return lines
+
+
+def bounds_section(run):
+    lines = ["## Bound certification (latest run)", ""]
+    checks = run.get("bound_checks", [])
+    if not checks:
+        lines.append("_No bound_check events in the latest run._")
+        lines.append("")
+        return lines
+    table = Table(
+        title="bound checks",
+        columns=["spec", "kind", "status", "measured", "predicted", "ratio"],
+    )
+    violations = 0
+    for check in checks:
+        violations += check.get("status") == "violation"
+        table.add_row(
+            spec=check.get("spec", "?"),
+            kind=check.get("kind", "?"),
+            status=check.get("status", "?"),
+            measured=check.get("measured", ""),
+            predicted=check.get("predicted", ""),
+            ratio=check.get("ratio", ""),
+        )
+    verdict = (
+        "all bounds hold within declared slack"
+        if not violations
+        else f"{violations} VIOLATION(S)"
+    )
+    lines.append(f"**{len(checks)} checks — {verdict}.**")
+    lines.append("")
+    lines.append("```")
+    lines.append(table.render())
+    lines.append("```")
+    lines.append("")
+    return lines
+
+
+def _run_name(run, index):
+    label = run.get("label")
+    if label:
+        return str(label)
+    stamp = run.get("ingested_at")
+    if stamp:
+        return time.strftime("%m-%d %H:%M", time.localtime(stamp))
+    return f"run{index}"
+
+
+def trends_section(runs):
+    lines = ["## Span wall-time trends (seconds per run)", ""]
+    names = [_run_name(run, i) for i, run in enumerate(runs)]
+    paths = sorted(
+        {path for run in runs for path in run.get("spans", {})},
+        key=lambda p: -(runs[-1].get("spans", {}).get(p, {}).get("total_s", 0.0)),
+    )
+    if not paths:
+        lines.append("_No span data ingested yet._")
+        lines.append("")
+        return lines
+    table = Table(title="span total_s per run", columns=["span"] + names)
+    for path in paths:
+        cells = {"span": path}
+        for name, run in zip(names, runs):
+            stats = run.get("spans", {}).get(path)
+            cells[name] = round(stats["total_s"], 4) if stats else ""
+        table.add_row(**cells)
+    lines.append("```")
+    lines.append(table.render())
+    lines.append("```")
+    lines.append("")
+    return lines
+
+
+def regression_section(runs):
+    lines = ["## Regression verdict (last two runs)", ""]
+    if len(runs) < 2:
+        lines.append("_Need at least two ingested runs for a verdict._")
+        lines.append("")
+        return lines
+    base, other = runs[-2], runs[-1]
+    base_name = _run_name(base, len(runs) - 2)
+    other_name = _run_name(other, len(runs) - 1)
+
+    problems = []
+    new_violations = sum(
+        1 for c in other.get("bound_checks", []) if c.get("status") == "violation"
+    )
+    if new_violations:
+        problems.append(f"{new_violations} bound violation(s) in {other_name}")
+
+    slow = Table(
+        title=f"span regressions > {SPAN_REGRESSION_RATIO}x",
+        columns=["span", base_name, other_name, "ratio"],
+    )
+    for path, stats in other.get("spans", {}).items():
+        before = base.get("spans", {}).get(path)
+        now_s = stats.get("total_s", 0.0)
+        if not before or now_s < SPAN_MIN_SECONDS:
+            continue
+        prev_s = before.get("total_s", 0.0)
+        if prev_s > 0 and now_s / prev_s > SPAN_REGRESSION_RATIO:
+            slow.add_row(
+                **{
+                    "span": path,
+                    base_name: round(prev_s, 4),
+                    other_name: round(now_s, 4),
+                    "ratio": round(now_s / prev_s, 2),
+                }
+            )
+    if slow.rows:
+        problems.append(f"{len(slow.rows)} span timing regression(s)")
+
+    verdict = "OK" if not problems else "REGRESSION: " + "; ".join(problems)
+    lines.append(f"**{base_name} -> {other_name}: {verdict}**")
+    lines.append("")
+    if slow.rows:
+        lines.append("```")
+        lines.append(slow.render())
+        lines.append("```")
+        lines.append("")
+    metric_diff = diff_table(
+        base.get("metrics", {}),
+        other.get("metrics", {}),
+        title=f"metric diff · {other_name} - {base_name}",
+    )
+    if metric_diff.rows:
+        lines.append("```")
+        lines.append(metric_diff.render())
+        lines.append("```")
+    else:
+        lines.append("_Metric totals identical across the two runs._")
+    lines.append("")
+    return lines
+
+
+def render_markdown(runs):
+    latest = runs[-1]
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+    lines = [
+        "# Observability dashboard",
+        "",
+        f"Generated {stamp} from {len(runs)} ingested run(s); "
+        f"latest: `{_run_name(latest, len(runs) - 1)}`"
+        + (" **(partial run)**" if latest.get("partial") else "")
+        + ".",
+        "",
+    ]
+    lines += curves_section(latest)
+    lines += bounds_section(latest)
+    lines += trends_section(runs)
+    lines += regression_section(runs)
+    return "\n".join(lines) + "\n"
+
+
+def render_html(markdown_text):
+    """Minimal static HTML wrapper (the plots are preformatted text)."""
+    body = []
+    in_code = False
+    for line in markdown_text.splitlines():
+        if line.strip() == "```":
+            body.append("</pre>" if in_code else "<pre>")
+            in_code = not in_code
+            continue
+        if in_code:
+            body.append(html.escape(line))
+        elif line.startswith("# "):
+            body.append(f"<h1>{html.escape(line[2:])}</h1>")
+        elif line.startswith("## "):
+            body.append(f"<h2>{html.escape(line[3:])}</h2>")
+        elif line.startswith("### "):
+            body.append(f"<h3>{html.escape(line[4:])}</h3>")
+        elif line.strip():
+            body.append(f"<p>{html.escape(line)}</p>")
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        "<title>Observability dashboard</title>"
+        "<style>body{font-family:sans-serif;margin:2em;max-width:72em}"
+        "pre{background:#f6f8fa;padding:1em;overflow-x:auto;"
+        "font-size:13px;line-height:1.25}</style>"
+        "</head><body>\n" + "\n".join(body) + "\n</body></html>\n"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--db", default=DEFAULT_DB, help="history database path")
+    parser.add_argument(
+        "--out-dir",
+        default=None,
+        help="output directory (default: the database's directory)",
+    )
+    args = parser.parse_args()
+
+    runs = load_history(args.db)
+    if not runs:
+        print(
+            f"error: no runs in {args.db}; ingest one with scripts/obs_db.py",
+            file=sys.stderr,
+        )
+        return 1
+    out_dir = Path(args.out_dir) if args.out_dir else Path(args.db).parent
+    out_dir.mkdir(parents=True, exist_ok=True)
+    markdown_text = render_markdown(runs)
+    md_path = out_dir / "dashboard.md"
+    html_path = out_dir / "dashboard.html"
+    md_path.write_text(markdown_text)
+    html_path.write_text(render_html(markdown_text))
+    print(f"wrote {md_path}")
+    print(f"wrote {html_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

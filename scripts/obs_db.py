@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Cross-run observability database: ingest runs into .obs/history.jsonl.
+
+Each ``ingest`` appends **one** summary record per run to an append-only
+JSONL database (default ``.obs/history.jsonl``), condensing
+
+* a ``telemetry.jsonl`` produced by ``python -m repro.experiments.run_all``
+  — per-span wall-time aggregates, cumulative metric totals, experiment
+  table rows (the bits-vs-eps / queries-vs-k curves), and every
+  ``bound_check`` verdict;
+* any ``BENCH_*.json`` gate reports present in the repository root.
+
+``scripts/obs_dashboard.py`` renders the accumulated history into a
+static dashboard; keeping the database append-only means every past
+run's curves stay comparable forever (the PR-over-PR trend is the
+point).
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_db.py ingest \
+        --telemetry telemetry.jsonl --label pr3
+    PYTHONPATH=src python scripts/obs_db.py list
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.report import (  # noqa: E402
+    aggregate_spans,
+    is_partial,
+    load_events,
+    metric_totals,
+)
+
+DEFAULT_DB = ".obs/history.jsonl"
+
+#: Bench reports picked up automatically when present.
+BENCH_GLOB = "BENCH_*.json"
+
+
+def condense_run(events, label=None, source=None):
+    """One history record summarising a telemetry event stream."""
+    rows = []
+    for record in events:
+        if record.get("event") != "row":
+            continue
+        row = {"table": record.get("table"), "values": record.get("values", {})}
+        if record.get("meta"):
+            row["meta"] = record["meta"]
+        if "wall_s" in record:
+            row["wall_s"] = record["wall_s"]
+        rows.append(row)
+    bound_checks = [
+        {k: v for k, v in record.items() if k not in ("event", "seq", "ts")}
+        for record in events
+        if record.get("event") == "bound_check"
+    ]
+    return {
+        "record": "run",
+        "label": label,
+        "source": source,
+        "ingested_at": time.time(),
+        "partial": is_partial(events),
+        "spans": aggregate_spans(events),
+        "metrics": metric_totals(events),
+        "rows": rows,
+        "bound_checks": bound_checks,
+    }
+
+
+def collect_bench(paths):
+    """Gate/number payloads of the given BENCH_*.json files."""
+    bench = {}
+    for path in paths:
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            bench[path.name] = {"error": str(exc)}
+            continue
+        entry = {}
+        if "gate" in data:
+            entry["gate"] = data["gate"]
+        if "obs_guard" in data:
+            entry["obs_guard"] = {
+                k: data["obs_guard"][k]
+                for k in ("disabled_median_s", "enabled_over_disabled")
+                if k in data["obs_guard"]
+            }
+        bench[path.name] = entry or data
+    return bench
+
+
+def load_history(db_path):
+    """All run records of the database, oldest first."""
+    path = Path(db_path)
+    if not path.exists():
+        return []
+    runs = []
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("record") == "run":
+                runs.append(record)
+    return runs
+
+
+def ingest(args):
+    events = load_events(args.telemetry)
+    record = condense_run(events, label=args.label, source=str(args.telemetry))
+    bench_paths = (
+        args.bench if args.bench is not None else sorted(REPO.glob(BENCH_GLOB))
+    )
+    record["bench"] = collect_bench(bench_paths)
+    db = Path(args.db)
+    db.parent.mkdir(parents=True, exist_ok=True)
+    with db.open("a") as fh:
+        fh.write(json.dumps(record) + "\n")
+    print(
+        f"ingested {args.telemetry} into {db} "
+        f"(label={args.label or '-'}, {len(record['rows'])} rows, "
+        f"{len(record['bound_checks'])} bound checks, "
+        f"partial={record['partial']})"
+    )
+    return 0
+
+
+def list_runs(args):
+    runs = load_history(args.db)
+    if not runs:
+        print(f"no runs in {args.db}")
+        return 0
+    for index, run in enumerate(runs):
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(run.get("ingested_at", 0))
+        )
+        violations = sum(
+            1 for c in run.get("bound_checks", []) if c.get("status") == "violation"
+        )
+        print(
+            f"[{index}] {stamp} label={run.get('label') or '-'} "
+            f"source={run.get('source')} rows={len(run.get('rows', []))} "
+            f"violations={violations}"
+            + (" PARTIAL" if run.get("partial") else "")
+        )
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ingest = sub.add_parser("ingest", help="append one run to the database")
+    p_ingest.add_argument(
+        "--telemetry", default="telemetry.jsonl", help="telemetry JSONL to ingest"
+    )
+    p_ingest.add_argument(
+        "--bench",
+        nargs="*",
+        default=None,
+        help="BENCH_*.json files (default: all in the repo root)",
+    )
+    p_ingest.add_argument("--db", default=DEFAULT_DB, help="history database path")
+    p_ingest.add_argument(
+        "--label", default=None, help="run label (e.g. the PR or commit)"
+    )
+    p_ingest.set_defaults(func=ingest)
+
+    p_list = sub.add_parser("list", help="list ingested runs")
+    p_list.add_argument("--db", default=DEFAULT_DB, help="history database path")
+    p_list.set_defaults(func=list_runs)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

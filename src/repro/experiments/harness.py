@@ -12,6 +12,14 @@ wall time and global-metric delta since the previous row of the same
 table — and mirrors it to the active sink as a ``row`` event, so
 ``telemetry.jsonl`` carries per-configuration resource accounting next
 to the printed numbers.
+
+Tables may additionally declare which theorem envelopes their rows
+certify (``bounds=["thm13.queries"]``) together with the construction
+parameters that stay constant across the sweep (``meta={"m": m,
+"k": k}``); every :meth:`Table.add_row` then reports the merged
+``meta + values`` parameters and the row's metric delta to any
+installed :class:`repro.obs.bounds.BoundMonitor`, which checks the row
+against the envelope and emits a ``bound_check`` event.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs import STATE as _OBS
+from repro.obs import bounds as _bounds
 from repro.obs import current_path as _obs_current_path
 from repro.obs import event as _obs_event
 from repro.obs import delta_since as _obs_delta_since
@@ -54,12 +63,23 @@ class Row:
 
 @dataclass
 class Table:
-    """A fixed-width experiment table."""
+    """A fixed-width experiment table.
+
+    ``meta`` holds sweep-constant construction parameters (``n``, ``m``,
+    ``beta``, ``k``, ...) that are not printed columns but are needed by
+    bound certification and by the cross-run dashboard; it rides along
+    on every ``row`` telemetry event.  ``bounds`` names the registered
+    :class:`repro.obs.bounds.BoundSpec` entries each row is checked
+    against (entries may be ``(name, {"sweep": "k"})`` to override the
+    exponent-fit sweep variable for this table).
+    """
 
     title: str
     columns: Sequence[str]
     rows: List[Row] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    bounds: Sequence[Any] = ()
     #: (perf_counter, metrics snapshot) at the last row boundary.
     _mark: Optional[Tuple[float, Dict[str, float]]] = field(
         default=None, repr=False, compare=False
@@ -84,12 +104,23 @@ class Table:
                     "metrics": _obs_delta_since(self._mark[1]),
                 }
             self._mark = (now, snap)
+            extra: Dict[str, Any] = {}
+            if self.meta:
+                extra["meta"] = self.meta
             _obs_event(
                 "row",
                 table=self.title,
                 values=values,
                 span_path=_obs_current_path(),
+                **extra,
                 **row.telemetry,
+            )
+        if self.bounds and _bounds.active():
+            _bounds.observe_row(
+                self.bounds,
+                {**self.meta, **values},
+                metrics=row.telemetry.get("metrics"),
+                table=self.title,
             )
         self.rows.append(row)
 

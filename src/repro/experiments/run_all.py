@@ -16,24 +16,44 @@ telemetry (spans, per-row metric deltas, and a final ``summary`` with
 every global counter/histogram) into ``--telemetry PATH`` (default
 ``telemetry.jsonl``); ``scripts/trace_report.py`` turns that file back
 into tables.
+
+Every run additionally certifies the metered quantities against the
+paper's envelopes (:mod:`repro.obs.bounds`): experiment tables that
+declare ``bounds=...`` are checked row by row, the per-sweep scaling
+exponents are fitted, and the results are printed and emitted as
+``bound_check`` events.  ``--strict-bounds`` turns any violation into
+exit code 2.  ``--profile`` attaches the span-attributed profiler
+(:mod:`repro.obs.profile`) and records ``profile`` events.
+
+Exit codes: 0 success; 2 bound violation under ``--strict-bounds``;
+3 telemetry sink failure (could not open, or writing failed mid-run).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List
 
 from repro.experiments.harness import Table
 from repro.obs import (
     REGISTRY as OBS_REGISTRY,
+    STATE as OBS_STATE,
     JsonlSink,
+    SpanProfiler,
     disable as obs_disable,
     enable as obs_enable,
     event as obs_event,
     reset_metrics,
     span as obs_span,
 )
+from repro.obs import bounds as obs_bounds
+
+#: Exit code for a bound violation under ``--strict-bounds``.
+EXIT_BOUND_VIOLATION = 2
+#: Exit code for a telemetry sink failure.
+EXIT_TELEMETRY_FAILURE = 3
 
 
 def _e1_foreach() -> List[Table]:
@@ -41,6 +61,7 @@ def _e1_foreach() -> List[Table]:
 
     from repro.foreach_lb.game import run_index_game
     from repro.foreach_lb.params import ForEachParams
+    from repro.sketch.exact import ExactCutSketch
     from repro.sketch.noisy import NoisyForEachSketch
 
     params = ForEachParams(inv_eps=4, sqrt_beta=1, num_groups=2)
@@ -62,7 +83,27 @@ def _e1_foreach() -> List[Table]:
             success_rate=result.success_rate,
             fano_bits=result.fano_bits(),
         )
-    return [table]
+    # Valid-sketch sweep certifying the Thm 1.1 envelope: a correct
+    # (here exact) sketch of the construction graph must carry
+    # Omega~(n sqrt(beta)/eps) bits at every epsilon on the sweep.
+    sweep_table = Table(
+        title="E1b / Theorem 1.1 - exact sketch bits vs eps",
+        columns=["eps", "n", "beta", "mean_bits", "envelope"],
+        bounds=["thm11.sketch_bits"],
+    )
+    for inv_eps in (2, 4, 8):
+        p = ForEachParams(inv_eps=inv_eps, sqrt_beta=1, num_groups=2)
+        result = run_index_game(
+            p, lambda g, r: ExactCutSketch(g), rounds=3, rng=inv_eps
+        )
+        sweep_table.add_row(
+            eps=p.epsilon,
+            n=p.num_nodes,
+            beta=p.beta,
+            mean_bits=result.mean_sketch_bits,
+            envelope=p.num_nodes * math.sqrt(p.beta) / p.epsilon,
+        )
+    return [table, sweep_table]
 
 
 def _e2_forall() -> List[Table]:
@@ -84,7 +125,25 @@ def _e2_forall() -> List[Table]:
         success_rate=result.success_rate,
         fano_bits=result.fano_bits(),
     )
-    return [table]
+    # Valid-sketch sweep certifying the Thm 1.2 envelope over epsilon.
+    sweep_table = Table(
+        title="E2b / Theorem 1.2 - exact sketch bits vs eps",
+        columns=["eps", "n", "beta", "mean_bits", "envelope"],
+        bounds=["thm12.sketch_bits"],
+    )
+    for inv_eps_sq in (2, 4, 8):
+        p = ForAllParams(inv_eps_sq=inv_eps_sq, beta=1, num_groups=2)
+        res = run_gap_hamming_game(
+            p, lambda g, r: ExactCutSketch(g), rounds=3, rng=inv_eps_sq
+        )
+        sweep_table.add_row(
+            eps=p.epsilon,
+            n=p.num_nodes,
+            beta=p.beta,
+            mean_bits=res.mean_sketch_bits,
+            envelope=p.num_nodes * p.beta / (p.epsilon * p.epsilon),
+        )
+    return [table, sweep_table]
 
 
 def _e3_localquery() -> List[Table]:
@@ -97,6 +156,8 @@ def _e3_localquery() -> List[Table]:
     table = Table(
         title="E3 / Theorem 1.3 - VERIFY-GUESS queries vs min{2m, m/(eps^2 k)}",
         columns=["eps", "queries", "bound"],
+        meta={"m": m, "k": k, "n": graph.num_nodes},
+        bounds=["thm13.queries"],
     )
     for eps in (0.6, 0.45, 0.3, 0.2):
         oracle = GraphOracle(graph)
@@ -109,7 +170,29 @@ def _e3_localquery() -> List[Table]:
             queries=result.neighbor_queries,
             bound=min(2 * m, m / (eps * eps * k)),
         )
-    return [table]
+    # Same certification over the cut-size sweep: the min{2m, m/(eps^2 k)}
+    # curve crosses over from the 2m clamp to the 1/k regime as k grows.
+    sweep_table = Table(
+        title="E3b / Theorem 1.3 - VERIFY-GUESS queries vs k (eps = 0.45)",
+        columns=["k", "m", "eps", "queries", "bound"],
+        bounds=[("thm13.queries", {"sweep": "k"})],
+    )
+    for cut_size in (5, 10, 20, 38):
+        g, planted_k = planted_min_cut_ugraph(40, cut_size, rng=cut_size)
+        m_k, eps = g.num_edges, 0.45
+        oracle = GraphOracle(g)
+        degrees = fetch_degrees(oracle)
+        result = verify_guess(
+            oracle, degrees, t=float(planted_k), eps=eps, rng=0, constant=0.5
+        )
+        sweep_table.add_row(
+            k=planted_k,
+            m=m_k,
+            eps=eps,
+            queries=result.neighbor_queries,
+            bound=min(2 * m_k, m_k / (eps * eps * planted_k)),
+        )
+    return [table, sweep_table]
 
 
 def _e4_upperbound() -> List[Table]:
@@ -121,6 +204,8 @@ def _e4_upperbound() -> List[Table]:
     table = Table(
         title="E4 / Theorem 5.7 - naive vs modified search queries",
         columns=["eps", "naive_search", "modified_search"],
+        meta={"m": graph.num_edges, "k": k, "n": graph.num_nodes},
+        bounds=["thm57.search_queries"],
     )
     for eps in (0.6, 0.45, 0.3):
         row = {}
@@ -306,6 +391,17 @@ def main(argv: List[str] = None) -> int:
         action="store_true",
         help="disable telemetry recording for this run",
     )
+    parser.add_argument(
+        "--strict-bounds",
+        action="store_true",
+        help=f"exit {EXIT_BOUND_VIOLATION} if any bound_check reports a "
+        "violation (bounds are always checked and printed)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the span-attributed profiler and emit profile events",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -318,25 +414,80 @@ def main(argv: List[str] = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {unknown}; use --list")
 
+    # Metric mirroring must be on for bound certification (the sketch-size
+    # specs read per-row metric deltas), so --no-telemetry only drops the
+    # sink, not the switch, when bounds are enforced strictly.
+    use_obs = not args.no_telemetry or args.strict_bounds
     sink = None
     if not args.no_telemetry:
+        try:
+            sink = JsonlSink(args.telemetry)
+        except OSError as exc:
+            print(
+                f"error: cannot open telemetry sink "
+                f"{os.path.abspath(args.telemetry)}: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_TELEMETRY_FAILURE
+        print(f"telemetry sink: {os.path.abspath(sink.path)}")
+    if use_obs:
         reset_metrics()
-        sink = JsonlSink(args.telemetry)
-        obs_enable(sink)
+        OBS_STATE.sink = sink  # None drops events; metrics still record
+        obs_enable()
+
+    monitor = obs_bounds.BoundMonitor()
+    obs_bounds.install(monitor)
+    profiler = SpanProfiler() if args.profile else None
     try:
-        for key in chosen:
-            with obs_span(f"experiment.{key}"):
-                for table in REGISTRY[key]():
-                    table.emit()
+        if profiler is not None:
+            profiler.start()
+        try:
+            for key in chosen:
+                with obs_span(f"experiment.{key}"):
+                    for table in REGISTRY[key]():
+                        table.emit()
+        finally:
+            if profiler is not None:
+                profiler.stop()
+        monitor.finish()
+        if profiler is not None:
+            profiler.emit_events()
         if sink is not None:
             # The authoritative cumulative totals for trace_report.
             obs_event("summary", metrics=OBS_REGISTRY.as_dict())
     finally:
-        if sink is not None:
+        obs_bounds.uninstall(monitor)
+        if use_obs:
             obs_disable()
+        if sink is not None:
             sink.close()
+            OBS_STATE.sink = None
+
+    if monitor.checks:
+        print("\n== Bound certification ==")
+        for line in monitor.summary_lines():
+            print(line)
+        print(
+            f"bounds: {len(monitor.checks)} checks, "
+            f"{len(monitor.violations)} violations"
+        )
+
     if sink is not None:
+        if sink.error is not None:
+            print(
+                f"error: telemetry writing to {os.path.abspath(sink.path)} "
+                f"failed: {sink.error}",
+                file=sys.stderr,
+            )
+            return EXIT_TELEMETRY_FAILURE
         print(f"\ntelemetry written to {args.telemetry}")
+    if args.strict_bounds and monitor.violations:
+        print(
+            f"error: {len(monitor.violations)} bound violation(s) under "
+            "--strict-bounds",
+            file=sys.stderr,
+        )
+        return EXIT_BOUND_VIOLATION
     return 0
 
 

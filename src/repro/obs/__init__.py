@@ -11,15 +11,23 @@ round trips).  Three pieces:
 * :mod:`repro.obs.trace` — nested spans recording wall time and the
   metric deltas attributable to each region;
 * :mod:`repro.obs.sink` — a JSONL event sink (``telemetry.jsonl``)
-  consumed by ``scripts/trace_report.py``.
+  consumed by ``scripts/trace_report.py``;
+* :mod:`repro.obs.bounds` — the interpretation layer: declarative
+  bound specs (Thm 1.1 / 1.2 / 1.3 / 5.7 envelopes) and a monitor that
+  certifies metered quantities against them, emitting ``bound_check``
+  events;
+* :mod:`repro.obs.profile` — a span-attributed profiler (deterministic
+  or sampling) whose ``profile`` events feed per-span hot-function
+  tables.
 
 Everything is gated by one switch (:func:`enable` / :func:`disable`,
 default **off**) whose disabled path is a near-zero-cost branch; see
-``BENCH_PR2.json`` for the guard benchmark.  Aggregation lives in
-:mod:`repro.obs.report` (imported lazily — it depends on the experiment
-harness).
+``BENCH_PR2.json`` / ``BENCH_PR3.json`` for the guard benchmarks.
+Aggregation lives in :mod:`repro.obs.report` (imported lazily — it
+depends on the experiment harness).
 """
 
+from repro.obs.bounds import BoundCheck, BoundMonitor, BoundSpec
 from repro.obs.core import STATE, disable, enable, enabled, is_enabled
 from repro.obs.metrics import (
     REGISTRY,
@@ -34,10 +42,14 @@ from repro.obs.metrics import (
     set_gauge,
     snapshot,
 )
+from repro.obs.profile import SpanProfiler
 from repro.obs.sink import JsonlSink, ListSink, emit, event
-from repro.obs.trace import Span, current_path, span
+from repro.obs.trace import Span, active_span, current_path, span
 
 __all__ = [
+    "BoundCheck",
+    "BoundMonitor",
+    "BoundSpec",
     "Counter",
     "Gauge",
     "Histogram",
@@ -47,6 +59,8 @@ __all__ = [
     "REGISTRY",
     "STATE",
     "Span",
+    "SpanProfiler",
+    "active_span",
     "count",
     "current_path",
     "delta_since",

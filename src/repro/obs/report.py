@@ -29,19 +29,30 @@ from repro.experiments.harness import Table
 
 
 def load_events(path) -> List[Dict[str, Any]]:
-    """Parse one JSONL telemetry file; blank lines are tolerated."""
+    """Parse one JSONL telemetry file; blank lines are tolerated.
+
+    An unparseable *final* line is dropped rather than rejected: a run
+    killed mid-write leaves its block-buffered last record truncated,
+    and the partial-run reconstruction must still see the earlier
+    events.  Corruption anywhere else is an error.
+    """
     events: List[Dict[str, Any]] = []
+    pending_error: Optional[ObsError] = None
     with open(path) as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
+            if pending_error is not None:
+                raise pending_error
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ObsError(f"{path}:{lineno}: not valid JSON ({exc})")
+                pending_error = ObsError(f"{path}:{lineno}: not valid JSON ({exc})")
+                continue
             if not isinstance(record, dict):
-                raise ObsError(f"{path}:{lineno}: expected a JSON object")
+                pending_error = ObsError(f"{path}:{lineno}: expected a JSON object")
+                continue
             events.append(record)
     return events
 
@@ -68,14 +79,27 @@ def aggregate_spans(events: Iterable[Dict[str, Any]]) -> Dict[str, Dict[str, Any
     return spans
 
 
+def is_partial(events: Iterable[Dict[str, Any]]) -> bool:
+    """Whether the run ended without its final ``summary`` event.
+
+    ``run_all`` emits the summary last, after every experiment span
+    closed, so its absence means the run crashed (or was killed) mid-way
+    and any totals are reconstructed rather than authoritative.
+    """
+    return not any(record.get("event") == "summary" for record in events)
+
+
 def metric_totals(events: Iterable[Dict[str, Any]]) -> Dict[str, float]:
     """Final cumulative metric values of a run.
 
     The last ``summary`` event is authoritative (its counters and
-    histogram count/sum flatten into one namespace).  Without one, sum
-    the metric deltas of *top-level* spans plus ``row`` events recorded
-    outside any span — deeper spans are already included in their
-    parents' deltas.
+    histogram count/sum flatten into one namespace).  Without one (a
+    crashed run — see :func:`is_partial`) the totals are reconstructed:
+    sum the metric deltas of *top-level* spans — deeper spans are
+    already included in their parents' deltas — plus ``row`` events
+    outside any span, plus rows inside a span that never completed
+    (their enclosing depth-0 span event was lost with the crash, so the
+    rows are the only record of that work).
     """
     summary: Optional[Dict[str, Any]] = None
     for record in events:
@@ -90,17 +114,52 @@ def metric_totals(events: Iterable[Dict[str, Any]]) -> Dict[str, float]:
         for name, value in metrics.get("gauges", {}).items():
             flat[f"{name}.gauge"] = value
         return flat
+    completed_roots = {
+        record.get("path", record.get("name"))
+        for record in events
+        if record.get("event") == "span" and record.get("depth", 0) == 0
+    }
     totals: Dict[str, float] = {}
     for record in events:
         kind = record.get("event")
-        in_scope = (kind == "span" and record.get("depth", 0) == 0) or (
-            kind == "row" and not record.get("span_path")
-        )
+        if kind == "span":
+            in_scope = record.get("depth", 0) == 0
+        elif kind == "row":
+            root = str(record.get("span_path") or "").split("/")[0]
+            in_scope = not root or root not in completed_roots
+        else:
+            in_scope = False
         if not in_scope:
             continue
         for name, delta in record.get("metrics", {}).items():
             totals[name] = totals.get(name, 0) + delta
     return totals
+
+
+def aggregate_profile(
+    events: Iterable[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Per-(span, function) profile aggregates, hottest first.
+
+    ``profile`` events are already aggregated per run by
+    :meth:`repro.obs.profile.SpanProfiler.emit_events`; merging here
+    makes the report robust to files holding several profiled runs.
+    """
+    merged: Dict[tuple, Dict[str, Any]] = {}
+    for record in events:
+        if record.get("event") != "profile":
+            continue
+        key = (record.get("span", ""), record.get("func", "?"))
+        cell = merged.setdefault(
+            key,
+            {"span": key[0], "func": key[1], "calls": 0, "total_s": 0.0},
+        )
+        cell["calls"] += int(record.get("calls", 0))
+        cell["total_s"] += float(record.get("total_s", 0.0))
+    return sorted(
+        merged.values(),
+        key=lambda r: (-r["total_s"], r["span"], r["func"]),
+    )
 
 
 def span_table(spans: Dict[str, Dict[str, Any]], title: str = "spans") -> Table:
@@ -131,6 +190,60 @@ def metric_table(totals: Dict[str, float], title: str = "metrics") -> Table:
     return table
 
 
+def profile_table(
+    records: List[Dict[str, Any]],
+    title: str = "profile hot functions",
+    top_per_span: int = 5,
+) -> Table:
+    """Per-span hot-function table from aggregated ``profile`` records.
+
+    Shows the ``top_per_span`` hottest functions of every span path,
+    ordered by the span's hottest entry, so the table reads as "where
+    did each region's time actually go".
+    """
+    by_span: Dict[str, List[Dict[str, Any]]] = {}
+    for record in records:
+        by_span.setdefault(record["span"], []).append(record)
+    table = Table(
+        title=title, columns=["span", "func", "calls", "total_s"]
+    )
+    ordered = sorted(
+        by_span.items(),
+        key=lambda item: -max(r["total_s"] for r in item[1]),
+    )
+    for span_path, rows in ordered:
+        for record in rows[:top_per_span]:
+            table.add_row(
+                span=span_path or "(no span)",
+                func=record["func"],
+                calls=record["calls"],
+                total_s=record["total_s"],
+            )
+    return table
+
+
+def bound_check_table(
+    events: Iterable[Dict[str, Any]], title: str = "bound checks"
+) -> Table:
+    """One row per ``bound_check`` event (row- and fit-level)."""
+    table = Table(
+        title=title,
+        columns=["spec", "kind", "status", "measured", "predicted", "ratio"],
+    )
+    for record in events:
+        if record.get("event") != "bound_check":
+            continue
+        table.add_row(
+            spec=record.get("spec", "?"),
+            kind=record.get("kind", "?"),
+            status=record.get("status", "?"),
+            measured=record.get("measured", ""),
+            predicted=record.get("predicted", ""),
+            ratio=record.get("ratio", ""),
+        )
+    return table
+
+
 def diff_table(
     base: Dict[str, float],
     other: Dict[str, float],
@@ -150,12 +263,35 @@ def diff_table(
 def render_report(
     path, diff_path=None
 ) -> str:
-    """Full textual report for one telemetry file (optionally a diff)."""
+    """Full textual report for one telemetry file (optionally a diff).
+
+    A run that crashed before its ``summary`` event is flagged as
+    **partial** and its metric totals are reconstructed from row/span
+    deltas (see :func:`metric_totals`).
+    """
     events = load_events(path)
+    metrics_title = f"metrics · {path}"
+    partial = is_partial(events)
+    if partial:
+        metrics_title += " (PARTIAL)"
+    metrics = metric_table(metric_totals(events), title=metrics_title)
+    if partial:
+        metrics.add_note(
+            "no summary event: run ended early; totals reconstructed "
+            "from row/span deltas"
+        )
     pieces = [
         span_table(aggregate_spans(events), title=f"spans · {path}").render(),
-        metric_table(metric_totals(events), title=f"metrics · {path}").render(),
+        metrics.render(),
     ]
+    profile = aggregate_profile(events)
+    if profile:
+        pieces.append(
+            profile_table(profile, title=f"profile · {path}").render()
+        )
+    checks = bound_check_table(events, title=f"bound checks · {path}")
+    if checks.rows:
+        pieces.append(checks.render())
     if diff_path is not None:
         other = load_events(diff_path)
         pieces.append(

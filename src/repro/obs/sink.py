@@ -32,25 +32,54 @@ def _jsonable(value: Any) -> Any:
 
 
 class JsonlSink:
-    """Append telemetry records to a JSONL file, one object per line."""
+    """Append telemetry records to a JSONL file, one object per line.
+
+    ``mode="w"`` truncates an existing file; ``mode="a"`` appends to it
+    (the run-history database in ``.obs/`` relies on append semantics).
+    A mid-run disk failure must not take the experiment down with it:
+    the first :class:`OSError` from a write is remembered in
+    :attr:`error`, the file is closed, and every later record is
+    dropped — ``run_all`` inspects :attr:`error` at the end of the run
+    and turns it into a distinct exit code.
+    """
 
     def __init__(self, path: Union[str, os.PathLike], mode: str = "w"):
         self.path = str(path)
+        self.error: Optional[OSError] = None
         self._fh: Optional[TextIO] = open(self.path, mode)
 
     def write(self, record: Dict[str, Any]) -> None:
-        """Serialize one record; closed sinks drop records silently."""
+        """Serialize one record; closed or failed sinks drop silently."""
         if self._fh is None:
             return
-        self._fh.write(json.dumps(_jsonable(record)) + "\n")
+        try:
+            self._fh.write(json.dumps(_jsonable(record)) + "\n")
+        except OSError as exc:
+            self._fail(exc)
 
     def flush(self) -> None:
         if self._fh is not None:
-            self._fh.flush()
+            try:
+                self._fh.flush()
+            except OSError as exc:
+                self._fail(exc)
 
     def close(self) -> None:
         if self._fh is not None:
-            self._fh.close()
+            try:
+                self._fh.close()
+            except OSError as exc:
+                self.error = self.error or exc
+            self._fh = None
+
+    def _fail(self, exc: OSError) -> None:
+        """Record the first failure and stop writing."""
+        self.error = self.error or exc
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
             self._fh = None
 
     def __enter__(self) -> "JsonlSink":

@@ -40,6 +40,16 @@ def current_path() -> str:
     return "/".join(s.name for s in _STACK)
 
 
+def active_span() -> "Span":
+    """The innermost live span, or ``None`` outside any.
+
+    The attribution hook of :mod:`repro.obs.profile`: the profiler reads
+    the active span's precomputed ``path`` on every profile event, so
+    the lookup must stay O(1) — no joining, no allocation.
+    """
+    return _STACK[-1] if _STACK else None
+
+
 class _NullSpan:
     """The shared disabled-path span: every operation is a no-op."""
 

@@ -4,7 +4,15 @@ import json
 
 import pytest
 
-from repro.experiments.run_all import REGISTRY, main
+from repro.experiments.harness import Table
+from repro.experiments.run_all import (
+    EXIT_BOUND_VIOLATION,
+    EXIT_TELEMETRY_FAILURE,
+    REGISTRY,
+    main,
+)
+from repro.obs import bounds
+from repro.obs.bounds import BoundSpec
 from repro.obs.report import aggregate_spans, load_events, metric_totals
 
 
@@ -73,3 +81,120 @@ class TestTelemetry:
         capsys.readouterr()
         for line in path.read_text().splitlines():
             json.loads(line)
+
+    def test_sink_path_is_logged(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        assert main(["e7", "--telemetry", str(path)]) == 0
+        assert f"telemetry sink: {path}" in capsys.readouterr().out
+
+    def test_unopenable_sink_exits_3(self, tmp_path, capsys):
+        path = tmp_path / "no_such_dir" / "t.jsonl"
+        assert main(["e7", "--telemetry", str(path)]) == EXIT_TELEMETRY_FAILURE
+        assert "cannot open telemetry sink" in capsys.readouterr().err
+
+    def test_midrun_write_failure_exits_3(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.run_all as run_all_mod
+        from repro.obs.sink import JsonlSink
+
+        class FailingSink(JsonlSink):
+            def write(self, record):
+                self._fail(OSError(28, "No space left on device"))
+
+        monkeypatch.setattr(run_all_mod, "JsonlSink", FailingSink)
+        path = tmp_path / "t.jsonl"
+        assert main(["e7", "--telemetry", str(path)]) == EXIT_TELEMETRY_FAILURE
+        assert "telemetry writing" in capsys.readouterr().err
+
+
+@pytest.fixture
+def scratch_bound_registry():
+    before = dict(bounds._REGISTRY)
+    yield
+    bounds._REGISTRY.clear()
+    bounds._REGISTRY.update(before)
+
+
+@pytest.fixture
+def fake_experiment(monkeypatch, scratch_bound_registry):
+    """Register a tiny bound-certified experiment as ``e0test``.
+
+    The bound is an upper envelope of 10 with slack 1, so a measured
+    value above 10 is a violation and 10 or below passes.
+    """
+    bounds.register(
+        BoundSpec(
+            name="test.cli",
+            theorem="Thm T",
+            quantity="value:queries",
+            direction="upper",
+            predicted=lambda p: 10.0,
+            formula="10",
+            slack=1.0,
+            sweep=None,
+            requires=(),
+        )
+    )
+    measured = {"value": 5.0}
+
+    def _experiment():
+        table = Table(title="T0", columns=["queries"], bounds=["test.cli"])
+        table.add_row(queries=measured["value"])
+        return [table]
+
+    monkeypatch.setitem(REGISTRY, "e0test", _experiment)
+    return measured
+
+
+class TestStrictBounds:
+    def test_passing_run_exits_0_and_prints_checks(
+        self, fake_experiment, tmp_path, capsys
+    ):
+        path = tmp_path / "t.jsonl"
+        code = main(["e0test", "--strict-bounds", "--telemetry", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Bound certification" in out
+        assert "0 violations" in out
+        checks = [
+            e for e in load_events(path) if e["event"] == "bound_check"
+        ]
+        assert checks and all(c["status"] == "pass" for c in checks)
+
+    def test_violation_exits_2_under_strict(
+        self, fake_experiment, tmp_path, capsys
+    ):
+        fake_experiment["value"] = 99.0
+        path = tmp_path / "t.jsonl"
+        code = main(["e0test", "--strict-bounds", "--telemetry", str(path)])
+        captured = capsys.readouterr()
+        assert code == EXIT_BOUND_VIOLATION
+        assert "bound violation" in captured.err
+        assert "1 violations" in captured.out
+
+    def test_violation_without_strict_still_exits_0(
+        self, fake_experiment, tmp_path, capsys
+    ):
+        fake_experiment["value"] = 99.0
+        path = tmp_path / "t.jsonl"
+        assert main(["e0test", "--telemetry", str(path)]) == 0
+        assert "1 violations" in capsys.readouterr().out
+
+    def test_strict_bounds_without_telemetry_still_checks(
+        self, fake_experiment, capsys
+    ):
+        fake_experiment["value"] = 99.0
+        code = main(["e0test", "--strict-bounds", "--no-telemetry"])
+        assert code == EXIT_BOUND_VIOLATION
+        assert "Bound certification" in capsys.readouterr().out
+
+
+class TestProfileFlag:
+    def test_profile_events_written(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        assert main(["e7", "--profile", "--telemetry", str(path)]) == 0
+        capsys.readouterr()
+        profiles = [
+            e for e in load_events(path) if e["event"] == "profile"
+        ]
+        assert profiles
+        assert all("span" in p and "func" in p for p in profiles)

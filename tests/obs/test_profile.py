@@ -1,0 +1,160 @@
+"""Tests for repro.obs.profile: span-attributed profiling."""
+
+import sys
+import time
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+from repro.obs.profile import DETERMINISTIC, SAMPLING, SpanProfiler, _func_key
+from repro.obs.sink import ListSink
+
+
+def _busy(n=4000):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+def _other_work(n=4000):
+    return sum(i for i in range(n))
+
+
+class TestFuncKey:
+    def test_last_two_path_components(self):
+        assert _func_key("/a/b/c/mod.py", "f") == "c/mod.py:f"
+
+    def test_bare_filename(self):
+        assert _func_key("mod.py", "f") == "mod.py:f"
+
+
+class TestLifecycle:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ObsError):
+            SpanProfiler(mode="guess")
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ObsError):
+            SpanProfiler(mode=SAMPLING, interval=0.0)
+
+    def test_start_twice_raises(self):
+        profiler = SpanProfiler()
+        profiler.start()
+        try:
+            with pytest.raises(ObsError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_idle_is_noop(self):
+        SpanProfiler().stop()
+
+    def test_construction_installs_nothing(self):
+        SpanProfiler()
+        assert sys.getprofile() is None
+
+    def test_context_manager_uninstalls_hook(self):
+        with SpanProfiler():
+            assert sys.getprofile() is not None
+        assert sys.getprofile() is None
+
+    def test_reset_clears_aggregates(self):
+        profiler = SpanProfiler()
+        with profiler:
+            _busy()
+        assert profiler.records()
+        profiler.reset()
+        assert profiler.records() == []
+
+
+class TestDeterministicAttribution:
+    def test_counts_calls_and_time(self):
+        profiler = SpanProfiler(mode=DETERMINISTIC)
+        with profiler:
+            for _ in range(3):
+                _busy()
+        records = profiler.records(top=None)
+        busy = [r for r in records if r["func"].endswith(":_busy")]
+        assert busy
+        assert busy[0]["calls"] == 3
+        assert busy[0]["total_s"] > 0
+
+    def test_attributes_to_enclosing_span(self):
+        profiler = SpanProfiler()
+        with obs.enabled(ListSink()):
+            with profiler:
+                with obs.span("outer"):
+                    _busy()
+                    with obs.span("inner"):
+                        _other_work()
+        spans = {
+            record["span"]
+            for record in profiler.records(top=None)
+            if record["func"].endswith((":_busy", ":_other_work"))
+        }
+        busy_spans = {
+            r["span"]
+            for r in profiler.records(top=None)
+            if r["func"].endswith(":_busy")
+        }
+        other_spans = {
+            r["span"]
+            for r in profiler.records(top=None)
+            if r["func"].endswith(":_other_work")
+        }
+        assert "outer" in busy_spans
+        assert "outer/inner" in other_spans
+        assert spans >= {"outer", "outer/inner"}
+
+    def test_code_outside_spans_lands_on_empty_path(self):
+        profiler = SpanProfiler()
+        with profiler:
+            _busy()
+        assert any(
+            r["span"] == "" and r["func"].endswith(":_busy")
+            for r in profiler.records(top=None)
+        )
+
+    def test_records_sorted_and_capped(self):
+        profiler = SpanProfiler()
+        with profiler:
+            _busy()
+            _other_work()
+        records = profiler.records(top=2)
+        assert len(records) == 2
+        assert records[0]["total_s"] >= records[1]["total_s"]
+
+
+class TestSampling:
+    def test_collects_samples_from_main_thread(self):
+        profiler = SpanProfiler(mode=SAMPLING, interval=0.002)
+        deadline = time.perf_counter() + 0.15
+        with profiler:
+            while time.perf_counter() < deadline:
+                _busy(500)
+        records = profiler.records(top=None)
+        assert records  # a 150ms busy loop at 2ms interval must sample
+        assert all(r["calls"] >= 1 for r in records)
+        assert profiler._thread is None  # joined on stop
+
+
+class TestEmitEvents:
+    def test_profile_events_reach_sink(self):
+        profiler = SpanProfiler()
+        with obs.enabled(ListSink()) as sink:
+            with profiler:
+                _busy()
+            emitted = profiler.emit_events(top=5)
+        events = sink.of_kind("profile")
+        assert emitted == len(events) > 0
+        record = events[0]
+        assert record["mode"] == DETERMINISTIC
+        assert {"span", "func", "calls", "total_s"} <= set(record)
+
+    def test_emit_disabled_returns_count_but_drops(self):
+        profiler = SpanProfiler()
+        with profiler:
+            _busy()
+        assert profiler.emit_events(top=1) == 1  # nothing listening, no error

@@ -6,11 +6,15 @@ import pytest
 
 from repro.errors import ObsError
 from repro.obs.report import (
+    aggregate_profile,
     aggregate_spans,
+    bound_check_table,
     diff_table,
+    is_partial,
     load_events,
     metric_table,
     metric_totals,
+    profile_table,
     render_report,
     span_table,
 )
@@ -37,17 +41,25 @@ class TestLoadEvents:
         events = load_events(path)
         assert [e["event"] for e in events] == ["span", "summary"]
 
-    def test_bad_json_raises(self, tmp_path):
+    def test_bad_json_midfile_raises(self, tmp_path):
         path = tmp_path / "t.jsonl"
-        path.write_text("not json\n")
+        path.write_text('not json\n{"event": "summary"}\n')
         with pytest.raises(ObsError):
             load_events(path)
 
-    def test_non_object_raises(self, tmp_path):
+    def test_non_object_midfile_raises(self, tmp_path):
         path = tmp_path / "t.jsonl"
-        path.write_text("[1, 2]\n")
+        path.write_text('[1, 2]\n{"event": "summary"}\n')
         with pytest.raises(ObsError):
             load_events(path)
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        # A killed run leaves its block-buffered last record cut short;
+        # the earlier events must still load (partial-run reconstruction).
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"event": "span", "path": "a"}\n{"event": "ro')
+        events = load_events(path)
+        assert [e["event"] for e in events] == ["span"]
 
 
 class TestAggregateSpans:
@@ -94,6 +106,89 @@ class TestMetricTotals:
         ]
         totals = metric_totals(events)
         assert totals["r"] == 5  # the in-span row is inside a's delta
+
+
+class TestPartialRuns:
+    """A crashed run has no summary event and maybe unclosed spans."""
+
+    # experiment.e1 completed (depth-0 span emitted); experiment.e2's
+    # rows were recorded but the run died before its span closed.
+    CRASHED = [
+        {"event": "span", "path": "experiment.e1", "depth": 0, "wall_s": 1.0,
+         "status": "ok", "metrics": {"q": 10}},
+        {"event": "row", "table": "T1", "span_path": "experiment.e1",
+         "metrics": {"q": 10}},
+        {"event": "row", "table": "T2", "span_path": "experiment.e2",
+         "metrics": {"q": 7}},
+        {"event": "row", "table": "T2", "span_path": "experiment.e2/inner",
+         "metrics": {"q": 5}},
+    ]
+
+    def test_is_partial(self):
+        assert is_partial(self.CRASHED)
+        assert not is_partial(self.CRASHED + [{"event": "summary"}])
+
+    def test_totals_reconstructed_from_orphan_rows(self):
+        # e1's row is inside its completed span (not double-counted);
+        # e2's rows have no completed root span, so they are the only
+        # record of that work and must be summed.
+        assert metric_totals(self.CRASHED) == {"q": 22}
+
+    def test_render_flags_partial_run(self, tmp_path):
+        path = tmp_path / "crashed.jsonl"
+        _write_jsonl(path, self.CRASHED)
+        out = render_report(path)
+        assert "PARTIAL" in out
+        assert "reconstructed" in out
+
+    def test_complete_run_not_flagged(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        _write_jsonl(path, SPANS + [{"event": "summary", "metrics": {}}])
+        assert "PARTIAL" not in render_report(path)
+
+
+PROFILE_EVENTS = [
+    {"event": "profile", "mode": "deterministic", "span": "experiment.e1",
+     "func": "a.py:f", "calls": 3, "total_s": 0.5},
+    {"event": "profile", "mode": "deterministic", "span": "experiment.e1",
+     "func": "a.py:g", "calls": 1, "total_s": 0.1},
+    {"event": "profile", "mode": "deterministic", "span": "",
+     "func": "a.py:f", "calls": 2, "total_s": 0.2},
+]
+
+
+class TestProfileAggregation:
+    def test_merges_by_span_and_func(self):
+        records = aggregate_profile(PROFILE_EVENTS + PROFILE_EVENTS)
+        assert len(records) == 3
+        hottest = records[0]
+        assert (hottest["span"], hottest["func"]) == ("experiment.e1", "a.py:f")
+        assert hottest["calls"] == 6
+        assert hottest["total_s"] == pytest.approx(1.0)
+
+    def test_profile_table_caps_per_span(self):
+        table = profile_table(aggregate_profile(PROFILE_EVENTS), top_per_span=1)
+        spans = [row["span"] for row in table.rows]
+        assert spans == ["experiment.e1", "(no span)"]
+
+    def test_render_report_includes_profile_section(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        _write_jsonl(path, SPANS + PROFILE_EVENTS)
+        assert "profile" in render_report(path)
+
+
+class TestBoundCheckTable:
+    def test_rows_from_bound_check_events(self):
+        events = [
+            {"event": "bound_check", "spec": "thm13.queries", "kind": "row",
+             "status": "pass", "measured": 10.0, "predicted": 5.0,
+             "ratio": 2.0},
+            {"event": "span", "path": "x", "depth": 0, "wall_s": 0.1},
+        ]
+        table = bound_check_table(events)
+        (row,) = table.rows
+        assert row["spec"] == "thm13.queries"
+        assert row["status"] == "pass"
 
 
 class TestTables:

@@ -1,0 +1,115 @@
+"""JsonlSink edge cases: file modes, failure capture, seq monotonicity."""
+
+import json
+
+from repro import obs
+from repro.obs.sink import JsonlSink, event
+
+
+def _lines(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestFileModes:
+    def test_default_mode_truncates_existing_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"event": "stale"}\n')
+        with JsonlSink(path) as sink:
+            sink.write({"event": "fresh"})
+        records = _lines(path)
+        assert [r["event"] for r in records] == ["fresh"]
+
+    def test_append_mode_keeps_existing_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"event": "old"}\n')
+        with JsonlSink(path, mode="a") as sink:
+            sink.write({"event": "new"})
+        assert [r["event"] for r in _lines(path)] == ["old", "new"]
+
+
+class TestAfterClose:
+    def test_write_after_close_is_dropped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.write({"event": "kept"})
+        sink.close()
+        sink.write({"event": "lost"})  # must not raise nor resurrect the fh
+        sink.flush()
+        sink.close()  # idempotent
+        assert [r["event"] for r in _lines(path)] == ["kept"]
+        assert sink.error is None
+
+
+class _ExplodingFile:
+    """File stub whose writes fail like a full disk."""
+
+    def __init__(self, exc):
+        self.exc = exc
+        self.closed = False
+
+    def write(self, text):
+        raise self.exc
+
+    def flush(self):
+        raise self.exc
+
+    def close(self):
+        self.closed = True
+
+
+class TestFailureCapture:
+    def test_first_oserror_is_remembered_and_writes_stop(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        boom = OSError(28, "No space left on device")
+        sink._fh = _ExplodingFile(boom)
+        sink.write({"event": "a"})
+        assert sink.error is boom
+        assert sink._fh is None
+        sink.write({"event": "b"})  # silently dropped
+        sink.flush()
+        assert sink.error is boom  # first error wins
+
+    def test_flush_failure_recorded(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        boom = OSError(5, "I/O error")
+        sink._fh = _ExplodingFile(boom)
+        sink.flush()
+        assert sink.error is boom
+        assert sink._fh is None
+
+    def test_open_failure_propagates(self, tmp_path):
+        try:
+            JsonlSink(tmp_path / "missing_dir" / "t.jsonl")
+        except OSError:
+            return
+        raise AssertionError("expected OSError for unwritable path")
+
+
+class TestSeqMonotonicity:
+    def test_seq_increases_across_reenable_cycles(self, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        with obs.enabled(JsonlSink(first)) as sink_a:
+            event("tick", phase=1)
+            event("tick", phase=2)
+        sink_a.close()
+        with obs.enabled(JsonlSink(second)) as sink_b:
+            event("tick", phase=3)
+        sink_b.close()
+        seqs = [r["seq"] for r in _lines(first)] + [
+            r["seq"] for r in _lines(second)
+        ]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)  # strictly increasing, no reuse
+
+    def test_records_stamped_with_seq_and_ts(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.enabled(JsonlSink(path)) as sink:
+            event("tick")
+        sink.close()
+        (record,) = _lines(path)
+        assert "seq" in record and "ts" in record

@@ -1,0 +1,239 @@
+"""Tests for the cross-run observatory: obs_db ingestion + dashboard."""
+
+import importlib
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent.parent
+SCRIPTS = REPO / "scripts"
+
+
+@pytest.fixture(scope="module")
+def observatory():
+    """Import scripts/obs_db.py and scripts/obs_dashboard.py as modules."""
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        obs_db = importlib.import_module("obs_db")
+        obs_dashboard = importlib.import_module("obs_dashboard")
+    finally:
+        sys.path.remove(str(SCRIPTS))
+    return obs_db, obs_dashboard
+
+
+def _telemetry_events(queries=531.0, wall=0.5, with_summary=True):
+    events = [
+        {"event": "span", "path": "experiment.e3", "depth": 0,
+         "wall_s": wall, "status": "ok", "metrics": {"oracle.calls": queries}},
+        {"event": "row", "table": "E3 / Theorem 1.3 - queries",
+         "span_path": "experiment.e3", "meta": {"m": 1580, "k": 20},
+         "values": {"eps": 0.6, "queries": queries, "bound": 219.4},
+         "wall_s": wall},
+        {"event": "row", "table": "E1b / Theorem 1.1 - bits",
+         "span_path": "experiment.e3",
+         "values": {"eps": 0.25, "n": 8, "beta": 1, "mean_bits": 1216.0,
+                    "envelope": 32.0}},
+        {"event": "bound_check", "spec": "thm13.queries", "theorem": "Thm 1.3",
+         "kind": "row", "status": "pass", "measured": queries,
+         "predicted": 219.4, "ratio": queries / 219.4},
+    ]
+    if with_summary:
+        events.append(
+            {"event": "summary",
+             "metrics": {"counters": {"oracle.calls": queries},
+                         "gauges": {}, "histograms": {}}}
+        )
+    return events
+
+
+def _write_telemetry(path, **kwargs):
+    events = _telemetry_events(**kwargs)
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+    return events
+
+
+class TestCondenseRun:
+    def test_summarises_all_sections(self, observatory, tmp_path):
+        obs_db, _ = observatory
+        events = _telemetry_events()
+        record = obs_db.condense_run(events, label="pr3", source="t.jsonl")
+        assert record["record"] == "run"
+        assert record["label"] == "pr3"
+        assert not record["partial"]
+        assert record["spans"]["experiment.e3"]["count"] == 1
+        assert record["metrics"]["oracle.calls"] == 531.0
+        assert len(record["rows"]) == 2
+        assert record["rows"][0]["meta"] == {"m": 1580, "k": 20}
+        (check,) = record["bound_checks"]
+        assert check["spec"] == "thm13.queries"
+        assert "event" not in check
+
+    def test_partial_flag(self, observatory):
+        obs_db, _ = observatory
+        record = obs_db.condense_run(_telemetry_events(with_summary=False))
+        assert record["partial"]
+
+
+class TestIngestion:
+    def test_ingest_appends_one_record_per_run(
+        self, observatory, tmp_path, capsys, monkeypatch
+    ):
+        obs_db, _ = observatory
+        telemetry = tmp_path / "telemetry.jsonl"
+        db = tmp_path / ".obs" / "history.jsonl"
+        _write_telemetry(telemetry)
+        args = ["ingest", "--telemetry", str(telemetry), "--db", str(db),
+                "--label", "run-a", "--bench"]
+        monkeypatch.setattr(sys, "argv", ["obs_db.py"] + args)
+        assert obs_db.main() == 0
+        _write_telemetry(telemetry, queries=600.0)
+        assert obs_db.main() == 0
+        runs = obs_db.load_history(db)
+        assert len(runs) == 2  # append-only: both ingests survive
+        assert runs[1]["metrics"]["oracle.calls"] == 600.0
+
+    def test_collect_bench_extracts_gates(self, observatory, tmp_path):
+        obs_db, _ = observatory
+        bench = tmp_path / "BENCH_PRX.json"
+        bench.write_text(json.dumps(
+            {"gate": {"ratio": 1.0, "passed": True},
+             "obs_guard": {"disabled_median_s": 0.01,
+                           "enabled_over_disabled": 1.02,
+                           "cuts": 4096}}
+        ))
+        out = obs_db.collect_bench([bench])
+        assert out["BENCH_PRX.json"]["gate"]["passed"] is True
+        assert "cuts" not in out["BENCH_PRX.json"]["obs_guard"]
+
+    def test_collect_bench_tolerates_bad_file(self, observatory, tmp_path):
+        obs_db, _ = observatory
+        bad = tmp_path / "BENCH_BAD.json"
+        bad.write_text("{not json")
+        assert "error" in obs_db.collect_bench([bad])["BENCH_BAD.json"]
+
+    def test_list_runs(self, observatory, tmp_path, capsys, monkeypatch):
+        obs_db, _ = observatory
+        telemetry = tmp_path / "t.jsonl"
+        db = tmp_path / "h.jsonl"
+        _write_telemetry(telemetry)
+        monkeypatch.setattr(
+            sys, "argv",
+            ["obs_db.py", "ingest", "--telemetry", str(telemetry),
+             "--db", str(db), "--label", "xyz", "--bench"],
+        )
+        obs_db.main()
+        capsys.readouterr()
+        monkeypatch.setattr(sys, "argv", ["obs_db.py", "list", "--db", str(db)])
+        assert obs_db.main() == 0
+        out = capsys.readouterr().out
+        assert "label=xyz" in out and "violations=0" in out
+
+
+class TestAsciiPlot:
+    def test_plots_points_and_axes(self, observatory):
+        _, dash = observatory
+        lines = dash.ascii_plot(
+            [("*", [(0.1, 100.0), (0.2, 25.0), (0.4, 6.0)]),
+             ("o", [(0.1, 50.0), (0.4, 3.0)])]
+        )
+        joined = "\n".join(lines)
+        assert "*" in joined and "o" in joined
+        assert "100" in joined  # y-axis max label
+        assert "0.1" in joined and "0.4" in joined  # x-axis labels
+
+    def test_overlap_marker(self, observatory):
+        _, dash = observatory
+        lines = dash.ascii_plot(
+            [("*", [(1.0, 1.0), (2.0, 2.0)]), ("o", [(1.0, 1.0)])]
+        )
+        assert any("@" in line for line in lines)
+
+    def test_empty_series(self, observatory):
+        _, dash = observatory
+        assert dash.ascii_plot([("*", [])]) == ["(no data)"]
+
+
+class TestDashboard:
+    def _runs(self, observatory, slow_factor=1.0, queries=531.0):
+        obs_db, _ = observatory
+        base = obs_db.condense_run(_telemetry_events(), label="pr2")
+        other = obs_db.condense_run(
+            _telemetry_events(queries=queries, wall=0.5 * slow_factor),
+            label="pr3",
+        )
+        return [base, other]
+
+    def test_markdown_sections(self, observatory):
+        _, dash = observatory
+        text = dash.render_markdown(self._runs(observatory))
+        assert "# Observability dashboard" in text
+        assert "Thm 1.1 - for-each sketch bits vs eps" in text
+        assert "VERIFY-GUESS queries vs eps" in text
+        assert "Bound certification" in text
+        assert "all bounds hold" in text
+        assert "Span wall-time trends" in text
+        assert "Regression verdict" in text
+
+    def test_single_run_has_no_verdict(self, observatory):
+        obs_db, dash = observatory
+        runs = [obs_db.condense_run(_telemetry_events(), label="only")]
+        assert "Need at least two ingested runs" in dash.render_markdown(runs)
+
+    def test_regression_flagged_on_slow_span(self, observatory):
+        _, dash = observatory
+        text = dash.render_markdown(self._runs(observatory, slow_factor=3.0))
+        assert "REGRESSION" in text
+        assert "span timing regression" in text
+
+    def test_ok_verdict_when_stable(self, observatory):
+        _, dash = observatory
+        text = dash.render_markdown(self._runs(observatory))
+        assert "pr2 -> pr3: OK" in text
+
+    def test_metric_diff_reused_from_report(self, observatory):
+        _, dash = observatory
+        text = dash.render_markdown(self._runs(observatory, queries=600.0))
+        assert "metric diff" in text
+        assert "oracle.calls" in text
+
+    def test_html_rendering(self, observatory):
+        _, dash = observatory
+        html_text = dash.render_html(
+            dash.render_markdown(self._runs(observatory))
+        )
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "<pre>" in html_text and "</pre>" in html_text
+        assert "<h1>Observability dashboard</h1>" in html_text
+
+    def test_main_writes_dashboard_files(
+        self, observatory, tmp_path, capsys, monkeypatch
+    ):
+        obs_db, dash = observatory
+        telemetry = tmp_path / "t.jsonl"
+        db = tmp_path / ".obs" / "history.jsonl"
+        _write_telemetry(telemetry)
+        monkeypatch.setattr(
+            sys, "argv",
+            ["obs_db.py", "ingest", "--telemetry", str(telemetry),
+             "--db", str(db), "--bench"],
+        )
+        obs_db.main()
+        monkeypatch.setattr(
+            sys, "argv", ["obs_dashboard.py", "--db", str(db)]
+        )
+        assert dash.main() == 0
+        assert (tmp_path / ".obs" / "dashboard.md").exists()
+        assert (tmp_path / ".obs" / "dashboard.html").exists()
+
+    def test_main_errors_without_history(
+        self, observatory, tmp_path, capsys, monkeypatch
+    ):
+        _, dash = observatory
+        monkeypatch.setattr(
+            sys, "argv",
+            ["obs_dashboard.py", "--db", str(tmp_path / "none.jsonl")],
+        )
+        assert dash.main() == 1
+        assert "no runs" in capsys.readouterr().err
