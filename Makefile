@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction repository.
 
 .PHONY: install test bench bench-report tables trace-report api all \
-	bounds-check dashboard
+	bounds-check dashboard wire-check
 
 install:
 	pip install -e . || python setup.py develop
@@ -23,6 +23,12 @@ trace-report:
 
 bounds-check:
 	PYTHONPATH=src python -m repro.experiments.run_all --strict-bounds
+
+wire-check:
+	PYTHONPATH=src python scripts/wire_replay.py record foreach --seed 7 \
+		--out wire-check.capture.jsonl
+	PYTHONPATH=src python scripts/wire_replay.py verify wire-check.capture.jsonl
+	rm -f wire-check.capture.jsonl
 
 dashboard:
 	PYTHONPATH=src python scripts/obs_db.py ingest --telemetry telemetry.jsonl

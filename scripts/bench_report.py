@@ -26,6 +26,10 @@ Usage::
 certification and the span-attributed profiler) imported but inactive
 and writes BENCH_PR3.json — the new layers must keep the disabled hot
 path within the same 5% envelope.
+
+``--pr4-only`` does the same for the PR4 additions (wire capture,
+replay, and trace export) imported with no capture installed, and
+writes BENCH_PR4.json.
 """
 
 import argparse
@@ -268,6 +272,41 @@ def write_pr3_report():
     )
 
 
+def write_pr4_report():
+    """The PR4 gate: the guard must still hold with the wire-capture,
+    replay, and export modules imported but no capture installed — the
+    capture hook is one list-truthiness check on the hot path, and the
+    export/replay layers must stay entirely off it.
+    """
+    from repro.obs import capture, export, replay  # noqa: F401
+
+    assert capture.active() is None  # imported, nothing installed
+    guard = obs_guard()
+    ratio = guard.get("disabled_over_pr1", guard["enabled_over_disabled"])
+    report = {
+        "obs_guard": guard,
+        "capture_imported": True,
+        "capture_installed": capture.active() is not None,
+        "replay_families": list(replay.GAME_FAMILIES),
+        "gate": {
+            "requirement": (
+                "instrumented cut_weights on 4096 cuts, telemetry disabled, "
+                "wire capture module imported but not installed, within 5% "
+                "of the BENCH_PR1 baseline"
+            ),
+            "ratio": ratio,
+            "passed": ratio <= 1.05,
+        },
+    }
+    out_path = REPO / "BENCH_PR4.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    print(
+        f"obs guard ratio (capture imported): {ratio:.3f}x "
+        f"({'PASS' if report['gate']['passed'] else 'FAIL'})"
+    )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -285,7 +324,16 @@ def main():
         action="store_true",
         help="only run the profiler-imported guard and write BENCH_PR3.json",
     )
+    parser.add_argument(
+        "--pr4-only",
+        action="store_true",
+        help="only run the capture-imported guard and write BENCH_PR4.json",
+    )
     args = parser.parse_args()
+
+    if args.pr4_only:
+        write_pr4_report()
+        return
 
     if args.pr3_only:
         write_pr3_report()

@@ -116,6 +116,43 @@ a static dashboard (`.obs/dashboard.{md,html}`, `make dashboard`):
 measured-vs-envelope curves (bits vs ε, queries vs ε and k), the latest
 run's bound-check verdicts, span wall-time trends per ingested run, and
 a regression verdict comparing the last two runs.
+
+### Wire capture (`repro.obs.capture`)
+
+`WireCapture` records every message crossing an instrumented path as a
+`WireMessage` — `(seq, sender, receiver, kind, bits, payload digest,
+enclosing span path)` — making the wire itself observable: the summed
+`bits` of a transcript reconcile *exactly* with the `comm.*` /
+`distributed.*` counters and `BitLedger` totals (zero-cost messages
+such as answers, decisions, and oracle query requests carry `bits=0`).
+Instrumentation sites (one-way protocol sends, `BitLedger.charge`, the
+foreach/forall games, distributed ship/query traffic, local-query
+oracle calls) call the module-level `capture.record(...)` hook, a
+two-branch no-op unless the global switch is on *and* a capture is
+installed via `capture.install(...)` / the `capturing(...)` context
+manager (gate: `python scripts/bench_report.py --pr4-only`,
+`BENCH_PR4.json`).  `payload_digest` hashes a canonical encoding
+(graphs digest as sorted edge lists, numpy scalars normalise through
+int/float) so transcripts from separate processes are byte-comparable;
+`first_divergence(a, b)` pinpoints the first mismatching message.
+Transcripts persist as JSONL (`save`/`load`, or stream through a
+`sink`); `repro.obs.replay.run_captured_game` / `replay_capture` play
+seeded games under capture and re-verify them from the header alone
+(CLI: `scripts/wire_replay.py`, `make wire-check`;
+`run_all --capture-wire` captures a full experiment run).
+
+### Trace export (`repro.obs.export`)
+
+`chrome_trace(events)` converts telemetry/capture records into Chrome
+trace-event JSON loadable in Perfetto or `chrome://tracing`: spans
+become duration (`ph="X"`) events on a dedicated lane, wire messages
+become instants on per-party lanes joined by flow arrows (`ph="s"/"f"`,
+keyed by `seq`).  `validate_chrome_trace` checks a document against the
+trace-event schema (used by `write_chrome_trace`, which refuses to
+write an invalid trace); `collapsed_stacks(events)` folds `profile`
+events into collapsed-stack lines (`span;path;func microseconds`) for
+standard flamegraph tooling.  `scripts/wire_report.py` drives both
+(`--trace`, `--flame`) plus a terminal message-lane diagram.
 """,
 }
 

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Render a wire capture as a message-lane diagram with bit accounting.
+
+Usage::
+
+    PYTHONPATH=src python scripts/wire_report.py foreach.capture.jsonl
+    PYTHONPATH=src python scripts/wire_report.py run.capture.jsonl \\
+        --trace trace.json --flame stacks.txt
+
+Prints, for one capture (or a telemetry file containing ``wire`` events):
+
+* a message-lane diagram — one line per message, sender→receiver arrows
+  with kind, bit size, and enclosing span (``--limit`` caps the listing);
+* per-party sent/received bit totals and per-kind totals;
+* a reconciliation line comparing the transcript's summed bits against
+  the game's own accounting (the ``reported_bits`` of the capture
+  header — BitLedger total, sketch-size sum, or shipped+query bits,
+  depending on the family).
+
+``--trace`` additionally writes Chrome trace-event JSON (open in
+https://ui.perfetto.dev — spans as duration events, messages as flow
+arrows between party lanes); ``--flame`` writes collapsed-stack
+flamegraph text from any ``profile`` events in the file.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.errors import ObsError  # noqa: E402
+from repro.experiments.harness import Table  # noqa: E402
+from repro.obs.capture import WireCapture  # noqa: E402
+from repro.obs.export import (  # noqa: E402
+    write_chrome_trace,
+    write_collapsed_stacks,
+)
+from repro.obs.report import load_events  # noqa: E402
+
+
+def lane_diagram(capture: WireCapture, limit: int) -> str:
+    """The per-message arrow listing, parties as fixed-width lanes."""
+    parties = capture.parties()
+    if not parties:
+        return "(no messages)"
+    width = max(len(p) for p in parties)
+    lines = []
+    shown = capture.messages if limit <= 0 else capture.messages[:limit]
+    for m in shown:
+        bits = f"{m.bits} b" if m.bits else "-"
+        span = f"  [{m.span}]" if m.span else ""
+        lines.append(
+            f"  {m.seq:>5}  {m.sender:>{width}} --({m.kind}, {bits})--> "
+            f"{m.receiver:<{width}}{span}"
+        )
+    hidden = len(capture.messages) - len(shown)
+    if hidden > 0:
+        lines.append(f"  ... {hidden} more messages (raise --limit)")
+    return "\n".join(lines)
+
+
+def party_table(capture: WireCapture) -> Table:
+    table = Table(
+        title="bits by party", columns=["party", "sent", "received"]
+    )
+    for party, totals in capture.bits_by_party().items():
+        table.add_row(
+            party=party, sent=totals["sent"], received=totals["received"]
+        )
+    return table
+
+
+def kind_table(capture: WireCapture) -> Table:
+    table = Table(title="bits by kind", columns=["kind", "messages", "bits"])
+    counts = {}
+    for m in capture.messages:
+        counts[m.kind] = counts.get(m.kind, 0) + 1
+    for kind, bits in sorted(capture.bits_by_kind().items()):
+        table.add_row(kind=kind, messages=counts[kind], bits=bits)
+    return table
+
+
+def reconciliation_line(capture: WireCapture) -> str:
+    """Compare transcript bits against the game's own ledger/meters."""
+    reported = (capture.meta.get("result") or {}).get("reported_bits")
+    captured = capture.total_bits
+    if reported is None:
+        return (
+            f"reconciliation: capture holds {captured} bits "
+            "(no reported_bits in header to compare against)"
+        )
+    status = "OK" if int(reported) == captured else "MISMATCH"
+    return (
+        f"reconciliation {status}: capture {captured} bits vs "
+        f"game-reported {reported} bits"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("capture", help="capture (or telemetry) JSONL file")
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=40,
+        help="max messages in the lane diagram (<=0 for all)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT",
+        default=None,
+        help="also write Chrome trace-event JSON (Perfetto-loadable)",
+    )
+    parser.add_argument(
+        "--flame",
+        metavar="OUT",
+        default=None,
+        help="also write collapsed-stack flamegraph text",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        capture = WireCapture.load(args.capture)
+    except (OSError, ObsError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    header = ", ".join(
+        f"{k}={v!r}"
+        for k, v in capture.meta.items()
+        if k in ("family", "seed", "run")
+    )
+    title = f"wire capture · {args.capture}" + (f" ({header})" if header else "")
+    print(title)
+    print(lane_diagram(capture, args.limit))
+    print()
+    print(party_table(capture).render())
+    print()
+    print(kind_table(capture).render())
+    print()
+    print(reconciliation_line(capture))
+
+    if args.trace or args.flame:
+        events = load_events(args.capture)
+        if args.trace:
+            write_chrome_trace(events, args.trace)
+            print(f"wrote Chrome trace: {args.trace} (open in Perfetto)")
+        if args.flame:
+            text = write_collapsed_stacks(events, args.flame)
+            frames = len(text.splitlines())
+            print(f"wrote collapsed stacks: {args.flame} ({frames} frames)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

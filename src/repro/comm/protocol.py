@@ -24,6 +24,7 @@ from typing import Any, Generic, TypeVar
 
 from repro.errors import ProtocolError
 from repro.obs import STATE as _OBS
+from repro.obs import capture as _capture
 from repro.obs import count as _obs_count
 from repro.obs import span as _obs_span
 
@@ -96,6 +97,10 @@ def run_protocol(
         if _OBS.enabled:
             _obs_count("comm.messages")
             _obs_count("comm.message_bits", message.bits)
+            _capture.record(
+                "alice", "bob", "oneway.message", message.bits,
+                payload=message.payload,
+            )
         answer = protocol.bob(message, bob_input)
     return ProtocolRun(answer=answer, message_bits=message.bits)
 
@@ -114,9 +119,15 @@ class BitLedger:
     namespace ``run_protocol`` and ``size_bits()`` report under.
     """
 
-    __slots__ = ("registry", "_bits", "_charges")
+    __slots__ = ("registry", "_bits", "_charges", "sender", "receiver")
 
-    def __init__(self, total_bits: int = 0, charges: int = 0):
+    def __init__(
+        self,
+        total_bits: int = 0,
+        charges: int = 0,
+        sender: str = "alice",
+        receiver: str = "bob",
+    ):
         from repro.obs.metrics import MetricsRegistry
 
         self.registry = MetricsRegistry()
@@ -124,6 +135,8 @@ class BitLedger:
         self._charges = self.registry.counter("comm.wire_charges")
         self._bits.inc(total_bits)
         self._charges.inc(charges)
+        self.sender = sender
+        self.receiver = receiver
 
     @property
     def total_bits(self) -> int:
@@ -135,8 +148,15 @@ class BitLedger:
         """Number of recorded transfers."""
         return self._charges.value
 
-    def charge(self, bits: int) -> None:
-        """Record a transfer of ``bits`` bits (either direction)."""
+    def charge(
+        self, bits: int, kind: str = "ledger.charge", payload: Any = None
+    ) -> None:
+        """Record a transfer of ``bits`` bits (either direction).
+
+        ``kind``/``payload`` only label the wire-capture event (e.g. the
+        local-query reduction tags each 2-bit exchange with the revealed
+        index pair); accounting is unchanged.
+        """
         if bits < 0:
             raise ProtocolError("cannot charge negative bits")
         self._bits.inc(bits)
@@ -144,6 +164,9 @@ class BitLedger:
         if _OBS.enabled:
             _obs_count("comm.wire_bits", bits)
             _obs_count("comm.wire_charges")
+            _capture.record(
+                self.sender, self.receiver, kind, bits, payload=payload
+            )
 
     def merged_with(self, other: "BitLedger") -> "BitLedger":
         """A new ledger combining two accounts."""

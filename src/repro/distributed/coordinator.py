@@ -26,6 +26,7 @@ from repro.errors import ParameterError
 from repro.graphs.mincut import sample_near_min_cuts, stoer_wagner
 from repro.graphs.ugraph import Node, UGraph
 from repro.obs import STATE as _OBS
+from repro.obs import capture as _capture
 from repro.obs import count as _obs_count
 from repro.obs import span as _obs_span
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -85,9 +86,19 @@ def _shipped_bits(
 ) -> int:
     bits = 0
     for server, child in zip(servers, spawn_rngs(rng, len(servers))):
-        bits += server.forall_sketch(
+        sketch = server.forall_sketch(
             epsilon, rng=child, sampling_constant=sampling_constant
-        ).size_bits()
+        )
+        shipped = sketch.size_bits()
+        bits += shipped
+        if _OBS.enabled:
+            # This accounting pass is the single source of truth for
+            # shipped bits, so the wire event is recorded here (and not
+            # in _union_of_sketches, which rebuilds sketches).
+            _capture.record(
+                server.name, "coordinator", "distributed.ship",
+                int(shipped), payload=sketch.sparse,
+            )
     return bits
 
 

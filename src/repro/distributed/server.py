@@ -24,6 +24,7 @@ from repro.errors import ParameterError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.ugraph import Node, UGraph
 from repro.obs import STATE as _OBS
+from repro.obs import capture as _capture
 from repro.obs import count as _obs_count
 from repro.sketch.serialization import graph_size_bits
 from repro.sketch.sparsifier import SparsifierSketch
@@ -118,9 +119,22 @@ class Server:
             value = self._shard.cut_weight(local_side)
             response = quantize_relative(value, relative_precision)
         if _OBS.enabled:
-            # One coordinator<->server round trip, priced in bits.
+            # One coordinator<->server round trip, priced in bits.  The
+            # downstream query is free in the [ACK+16] accounting (the
+            # candidate cut is broadcast); only the response is charged.
             _obs_count("distributed.round_trips")
             _obs_count("distributed.response_bits", response[1])
+            _capture.record(
+                "coordinator", self.name, "distributed.query", 0,
+                payload=(
+                    sorted(repr(v) for v in local_side),
+                    float(relative_precision),
+                ),
+            )
+            _capture.record(
+                self.name, "coordinator", "distributed.response",
+                response[1], payload=float(response[0]),
+            )
         return response
 
 

@@ -24,6 +24,10 @@ exponents are fitted, and the results are printed and emitted as
 ``bound_check`` events.  ``--strict-bounds`` turns any violation into
 exit code 2.  ``--profile`` attaches the span-attributed profiler
 (:mod:`repro.obs.profile`) and records ``profile`` events.
+``--capture-wire`` additionally records every protocol message (sketch
+ships, ledger charges, oracle queries) to ``--capture-path`` as a
+wire-level transcript; render it with ``scripts/wire_report.py`` or
+diff-replay individual games with ``scripts/wire_replay.py``.
 
 Exit codes: 0 success; 2 bound violation under ``--strict-bounds``;
 3 telemetry sink failure (could not open, or writing failed mid-run).
@@ -49,6 +53,7 @@ from repro.obs import (
     span as obs_span,
 )
 from repro.obs import bounds as obs_bounds
+from repro.obs import capture as obs_capture
 
 #: Exit code for a bound violation under ``--strict-bounds``.
 EXIT_BOUND_VIOLATION = 2
@@ -402,6 +407,20 @@ def main(argv: List[str] = None) -> int:
         action="store_true",
         help="attach the span-attributed profiler and emit profile events",
     )
+    parser.add_argument(
+        "--capture-wire",
+        action="store_true",
+        help="record every protocol message (sketch ships, ledger "
+        "charges, oracle queries) to --capture-path; render with "
+        "scripts/wire_report.py",
+    )
+    parser.add_argument(
+        "--capture-path",
+        metavar="PATH",
+        default="wire.capture.jsonl",
+        help="where --capture-wire writes the transcript "
+        "(default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -417,7 +436,9 @@ def main(argv: List[str] = None) -> int:
     # Metric mirroring must be on for bound certification (the sketch-size
     # specs read per-row metric deltas), so --no-telemetry only drops the
     # sink, not the switch, when bounds are enforced strictly.
-    use_obs = not args.no_telemetry or args.strict_bounds
+    # Wire capture needs live instrumentation sites too, so it also
+    # forces the switch on (it records regardless of --no-telemetry).
+    use_obs = not args.no_telemetry or args.strict_bounds or args.capture_wire
     sink = None
     if not args.no_telemetry:
         try:
@@ -434,6 +455,28 @@ def main(argv: List[str] = None) -> int:
         reset_metrics()
         OBS_STATE.sink = sink  # None drops events; metrics still record
         obs_enable()
+
+    capture = None
+    capture_sink = None
+    if args.capture_wire:
+        try:
+            capture_sink = JsonlSink(args.capture_path)
+        except OSError as exc:
+            print(
+                f"error: cannot open wire capture "
+                f"{os.path.abspath(args.capture_path)}: {exc}",
+                file=sys.stderr,
+            )
+            if sink is not None:
+                sink.close()
+                OBS_STATE.sink = None
+            return EXIT_TELEMETRY_FAILURE
+        capture = obs_capture.WireCapture(
+            meta={"run": "run_all", "experiments": chosen},
+            sink=capture_sink,
+        )
+        obs_capture.install(capture)
+        print(f"wire capture: {os.path.abspath(capture_sink.path)}")
 
     monitor = obs_bounds.BoundMonitor()
     obs_bounds.install(monitor)
@@ -457,6 +500,10 @@ def main(argv: List[str] = None) -> int:
             obs_event("summary", metrics=OBS_REGISTRY.as_dict())
     finally:
         obs_bounds.uninstall(monitor)
+        if capture is not None:
+            obs_capture.uninstall(capture)
+        if capture_sink is not None:
+            capture_sink.close()
         if use_obs:
             obs_disable()
         if sink is not None:
@@ -470,6 +517,22 @@ def main(argv: List[str] = None) -> int:
         print(
             f"bounds: {len(monitor.checks)} checks, "
             f"{len(monitor.violations)} violations"
+        )
+
+    if capture is not None:
+        if capture_sink.error is not None:
+            print(
+                f"error: wire capture writing to "
+                f"{os.path.abspath(capture_sink.path)} failed: "
+                f"{capture_sink.error}",
+                file=sys.stderr,
+            )
+            return EXIT_TELEMETRY_FAILURE
+        parties = len(capture.parties())
+        print(
+            f"\nwire capture written to {args.capture_path}: "
+            f"{len(capture)} messages, {capture.total_bits} bits, "
+            f"{parties} parties"
         )
 
     if sink is not None:

@@ -22,6 +22,7 @@ from repro.forall_lb.encoder import ForAllEncoder
 from repro.forall_lb.params import ForAllParams
 from repro.graphs.digraph import DiGraph
 from repro.obs import STATE as _OBS
+from repro.obs import capture as _capture
 from repro.obs import count as _obs_count
 from repro.obs import span as _obs_span
 from repro.sketch.base import CutSketch
@@ -85,7 +86,14 @@ def run_gap_hamming_game(
             with _obs_span("forall.encode"):
                 encoded = encoder.encode(instance.strings)
             sketch = sketch_factory(encoded.graph, round_rng)
-            total_bits += sketch.size_bits()
+            sketch_bits = sketch.size_bits()
+            total_bits += sketch_bits
+            if _OBS.enabled:
+                # Alice's one-way message: the sketch of her encoding.
+                _capture.record(
+                    "alice", "bob", "forall.sketch", int(sketch_bits),
+                    payload=encoded.graph,
+                )
             decoder = ForAllDecoder(
                 params, enumeration_limit=enumeration_limit, rng=round_rng
             )
@@ -95,6 +103,11 @@ def run_gap_hamming_game(
             if decision.case is instance.case:
                 successes += 1
             if _OBS.enabled:
+                # Bob's HIGH/LOW declaration is output, not charged bits.
+                _capture.record(
+                    "bob", "referee", "forall.decision", 0,
+                    payload=str(decision.case),
+                )
                 _obs_count("game.forall.rounds")
     return GapHammingGameResult(
         params=params,

@@ -26,6 +26,7 @@ from repro.foreach_lb.encoder import EncodedGraph, ForEachEncoder
 from repro.foreach_lb.params import ForEachParams
 from repro.graphs.digraph import DiGraph
 from repro.obs import STATE as _OBS
+from repro.obs import capture as _capture
 from repro.obs import count as _obs_count
 from repro.obs import span as _obs_span
 from repro.sketch.base import CutSketch
@@ -94,12 +95,24 @@ def run_index_game(
             if block in encoded.failed_blocks:
                 failed_rounds += 1
             sketch = sketch_factory(encoded.graph, round_rng)
-            total_bits += sketch.size_bits()
+            sketch_bits = sketch.size_bits()
+            total_bits += sketch_bits
+            if _OBS.enabled:
+                # Alice's one-way message: the sketch of her encoding.
+                _capture.record(
+                    "alice", "bob", "foreach.sketch", int(sketch_bits),
+                    payload=encoded.graph,
+                )
             with _obs_span("foreach.decode", q=q):
                 guess = decoder.decode_bit(sketch, q, boost=boost)
             if guess == int(s[q]):
                 successes += 1
             if _OBS.enabled:
+                # Bob's answer is output, not charged communication.
+                _capture.record(
+                    "bob", "referee", "foreach.answer", 0,
+                    payload=(int(q), int(guess)),
+                )
                 _obs_count("game.foreach.rounds")
     return IndexGameResult(
         params=params,

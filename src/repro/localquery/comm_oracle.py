@@ -90,7 +90,9 @@ class CommOracle(LocalQueryOracle):
         """Exchange (and remember) ``x_{i,j}, y_{i,j}``; return intersection."""
         key = (i, j)
         if key not in self._known:
-            self.ledger.charge(2)
+            self.ledger.charge(
+                2, kind="localquery.reveal", payload=(int(i), int(j))
+            )
             self._known.add(key)
         pos = i * self._side + j
         return bool(self._x[pos] and self._y[pos])

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.errors import BudgetExceededError, OracleError
 from repro.graphs.ugraph import Node, UGraph
 from repro.obs import STATE as _OBS
+from repro.obs import capture as _capture
 from repro.obs import count as _obs_count
 from repro.obs.metrics import Counter, MetricsRegistry
 
@@ -112,6 +113,11 @@ class LocalQueryOracle(ABC):
 
     def _charge(self, kind: str) -> None:
         self.counter.charge(kind)
+        if _OBS.enabled:
+            # Queries are free in Theorem 1.3's bit accounting (only the
+            # Lemma 5.6 ledger charges cost bits), but each one is still
+            # a wire event so transcripts replay query-by-query.
+            _capture.record("algorithm", "oracle", f"oracle.{kind}", 0)
         if self.budget is not None and self.counter.total > self.budget:
             if _OBS.enabled:
                 _obs_count("oracle.budget_overrun")

@@ -18,7 +18,14 @@ round trips).  Three pieces:
   events;
 * :mod:`repro.obs.profile` — a span-attributed profiler (deterministic
   or sampling) whose ``profile`` events feed per-span hot-function
-  tables.
+  tables;
+* :mod:`repro.obs.capture` — wire-level protocol capture: every
+  message of the comm / game / distributed / local-query layers as a
+  causally-sequenced ``wire`` event with a canonical payload digest;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto) and
+  collapsed-stack flamegraph exporters over recorded events;
+* :mod:`repro.obs.replay` — deterministic re-execution of captured
+  games, diffed message-by-message against the recorded transcript.
 
 Everything is gated by one switch (:func:`enable` / :func:`disable`,
 default **off**) whose disabled path is a near-zero-cost branch; see
@@ -27,8 +34,21 @@ Aggregation lives in :mod:`repro.obs.report` (imported lazily — it
 depends on the experiment harness).
 """
 
+from repro.obs import capture
 from repro.obs.bounds import BoundCheck, BoundMonitor, BoundSpec
+from repro.obs.capture import (
+    WireCapture,
+    WireMessage,
+    capturing,
+    first_divergence,
+    payload_digest,
+)
 from repro.obs.core import STATE, disable, enable, enabled, is_enabled
+from repro.obs.export import (
+    chrome_trace,
+    collapsed_stacks,
+    validate_chrome_trace,
+)
 from repro.obs.metrics import (
     REGISTRY,
     Counter,
@@ -60,9 +80,17 @@ __all__ = [
     "STATE",
     "Span",
     "SpanProfiler",
+    "WireCapture",
+    "WireMessage",
     "active_span",
+    "capturing",
+    "chrome_trace",
+    "collapsed_stacks",
     "count",
     "current_path",
+    "first_divergence",
+    "payload_digest",
+    "validate_chrome_trace",
     "delta_since",
     "disable",
     "emit",

@@ -1,0 +1,294 @@
+"""Trace export: Chrome trace-event JSON and collapsed-stack flamegraphs.
+
+Two renderings of a recorded run, both loadable by standard tooling:
+
+* :func:`chrome_trace` — the Chrome trace-event format (open in Perfetto
+  or ``chrome://tracing``).  Obs spans become duration (``"X"``) events
+  on the main lane; wire messages become instant events on per-party
+  lanes joined by flow arrows (``"s"``/``"f"`` pairs), so a protocol
+  round renders as arrows hopping between Alice's and Bob's timelines
+  with the enclosing spans stacked above them.
+* :func:`collapsed_stacks` — Brendan Gregg's collapsed-stack text format
+  (one ``frame;frame;frame count`` line per aggregate) built from the
+  ``profile`` events of :class:`repro.obs.profile.SpanProfiler`, ready
+  for ``flamegraph.pl`` or any compatible renderer.  The span path
+  supplies the outer frames, the profiled function the leaf.
+
+Both consume plain event dictionaries — either live from a
+:class:`~repro.obs.sink.ListSink`, or parsed back from ``telemetry.jsonl``
+/ ``*.capture.jsonl`` files — so exporting never requires re-running the
+experiment.  :func:`validate_chrome_trace` checks the structural rules
+of the trace-event schema (used by the test suite and by
+``scripts/wire_report.py`` before writing).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import ObsError
+
+#: Process id used for every emitted trace event (one simulated process).
+TRACE_PID = 1
+
+#: Thread id of the span lane; party lanes are numbered from 2.
+SPAN_LANE_TID = 1
+
+#: Phase values the validator accepts (the subset this module emits).
+_EMITTED_PHASES = ("X", "i", "s", "f", "M")
+
+
+def _events_of(events: Iterable[Dict[str, Any]], kind: str):
+    return (e for e in events if e.get("event") == kind)
+
+
+def chrome_trace(
+    events: Iterable[Dict[str, Any]],
+    trace_name: str = "repro",
+) -> Dict[str, Any]:
+    """Convert span + wire telemetry events into a trace-event document.
+
+    Timestamps: telemetry stamps wall-clock seconds at *emit* time; a
+    span emits when it closes, so its begin is ``ts - wall_s``.  The
+    whole trace is rebased so the earliest instant is microsecond 0
+    (the trace-event format wants non-negative microseconds).
+    """
+    events = list(events)
+    spans = list(_events_of(events, "span"))
+    wires = list(_events_of(events, "wire"))
+    if not spans and not wires:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    begins: List[float] = []
+    for record in spans:
+        ts = float(record.get("ts", 0.0))
+        begins.append(ts - float(record.get("wall_s", 0.0)))
+    for record in wires:
+        begins.append(float(record.get("ts", record.get("seq", 0))))
+    base = min(begins)
+
+    def us(seconds: float) -> float:
+        return max(0.0, (seconds - base) * 1e6)
+
+    trace: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": trace_name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": SPAN_LANE_TID,
+            "ts": 0,
+            "args": {"name": "spans"},
+        },
+    ]
+
+    for record in spans:
+        ts = float(record.get("ts", 0.0))
+        wall = float(record.get("wall_s", 0.0))
+        args: Dict[str, Any] = {"path": record.get("path", "")}
+        if record.get("attrs"):
+            args.update(record["attrs"])
+        if record.get("metrics"):
+            args["metrics"] = record["metrics"]
+        trace.append(
+            {
+                "name": str(record.get("name", "span")),
+                "cat": "span",
+                "ph": "X",
+                "pid": TRACE_PID,
+                "tid": SPAN_LANE_TID,
+                "ts": us(ts - wall),
+                "dur": max(wall * 1e6, 0.001),
+                "args": args,
+            }
+        )
+
+    lanes: Dict[str, int] = {}
+
+    def lane(party: str) -> int:
+        tid = lanes.get(party)
+        if tid is None:
+            tid = len(lanes) + SPAN_LANE_TID + 1
+            lanes[party] = tid
+            trace.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "ts": 0,
+                    "args": {"name": party},
+                }
+            )
+        return tid
+
+    for record in wires:
+        ts = us(float(record.get("ts", record.get("seq", 0))))
+        seq = int(record.get("seq", 0))
+        name = str(record.get("kind", "message"))
+        args = {
+            "bits": record.get("bits", 0),
+            "digest": str(record.get("digest", ""))[:16],
+            "span": record.get("span", ""),
+            "seq": seq,
+        }
+        sender_tid = lane(str(record.get("sender", "?")))
+        receiver_tid = lane(str(record.get("receiver", "?")))
+        common = {"cat": "wire", "pid": TRACE_PID, "id": seq}
+        trace.append(
+            {
+                "name": name,
+                "ph": "i",
+                "tid": sender_tid,
+                "ts": ts,
+                "s": "t",
+                "args": args,
+                "cat": "wire",
+                "pid": TRACE_PID,
+            }
+        )
+        # Flow arrow: start on the sender lane, finish on the receiver
+        # lane one microsecond later (the simulator's wire is instant;
+        # the offset only keeps the arrow visible in Perfetto).
+        trace.append(
+            {**common, "name": name, "ph": "s", "tid": sender_tid, "ts": ts}
+        )
+        trace.append(
+            {
+                **common,
+                "name": name,
+                "ph": "f",
+                "bp": "e",
+                "tid": receiver_tid,
+                "ts": ts + 1.0,
+            }
+        )
+        trace.append(
+            {
+                "name": name,
+                "ph": "i",
+                "tid": receiver_tid,
+                "ts": ts + 1.0,
+                "s": "t",
+                "args": args,
+                "cat": "wire",
+                "pid": TRACE_PID,
+            }
+        )
+
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(trace: Dict[str, Any]) -> List[str]:
+    """Structural problems of a trace-event document (empty = valid).
+
+    Checks the rules Perfetto's importer enforces: a ``traceEvents``
+    array of objects, required ``name``/``ph``/``pid``/``tid``/``ts``
+    fields, numeric non-negative timestamps, known phases, ``dur`` on
+    complete events, matched ``id`` on flow start/finish pairs, and
+    JSON-serialisability of the whole document.
+    """
+    problems: List[str] = []
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        return ["document must be an object with a 'traceEvents' array"]
+    entries = trace["traceEvents"]
+    if not isinstance(entries, list):
+        return ["'traceEvents' must be an array"]
+    flow_starts: Dict[Any, int] = {}
+    flow_ends: Dict[Any, int] = {}
+    for index, entry in enumerate(entries):
+        where = f"traceEvents[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in entry:
+                problems.append(f"{where}: missing required field {key!r}")
+        ph = entry.get("ph")
+        if ph not in _EMITTED_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+        ts = entry.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = entry.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"{where}: complete event needs non-negative 'dur'"
+                )
+        if ph == "M" and "name" not in entry.get("args", {}):
+            problems.append(f"{where}: metadata event needs args.name")
+        if ph == "s":
+            flow_starts[entry.get("id")] = index
+        if ph == "f":
+            flow_ends[entry.get("id")] = index
+    for flow_id in flow_starts:
+        if flow_id not in flow_ends:
+            problems.append(f"flow id {flow_id!r} starts but never finishes")
+    for flow_id in flow_ends:
+        if flow_id not in flow_starts:
+            problems.append(f"flow id {flow_id!r} finishes but never starts")
+    try:
+        json.dumps(trace)
+    except (TypeError, ValueError) as exc:
+        problems.append(f"document is not JSON-serialisable: {exc}")
+    return problems
+
+
+def write_chrome_trace(events: Iterable[Dict[str, Any]], path) -> Dict[str, Any]:
+    """Render and write a trace file; raises :class:`ObsError` if invalid."""
+    trace = chrome_trace(events)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        raise ObsError(
+            "refusing to write an invalid trace: " + "; ".join(problems[:3])
+        )
+    with open(path, "w") as fh:
+        json.dump(trace, fh)
+    return trace
+
+
+def collapsed_stacks(
+    events: Iterable[Dict[str, Any]],
+    scale: float = 1e6,
+) -> str:
+    """Collapsed-stack flamegraph text from ``profile`` telemetry events.
+
+    Each ``profile`` event is one ``(span path, function)`` aggregate
+    from the PR 3 :class:`~repro.obs.profile.SpanProfiler`; the output
+    line is ``span;components;func value`` with the value in integer
+    microseconds (``scale`` seconds→units).  Aggregates from repeated
+    runs in one file merge; zero-duration aggregates are dropped
+    (flamegraph renderers reject zero-weight frames).
+    """
+    merged: Dict[str, float] = {}
+    for record in _events_of(events, "profile"):
+        span = str(record.get("span", "")) or "(no span)"
+        func = str(record.get("func", "?"))
+        frames = span.split("/") + [func]
+        stack = ";".join(frame.replace(";", ":") for frame in frames)
+        merged[stack] = merged.get(stack, 0.0) + float(
+            record.get("total_s", 0.0)
+        )
+    lines = [
+        f"{stack} {int(round(seconds * scale))}"
+        for stack, seconds in sorted(merged.items())
+        if int(round(seconds * scale)) > 0
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_collapsed_stacks(events: Iterable[Dict[str, Any]], path) -> str:
+    """Render and write the collapsed-stack text; returns the text."""
+    text = collapsed_stacks(events)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text

@@ -126,9 +126,14 @@ class Histogram:
         return self._samples[rank - 1]
 
     def summary(self) -> Dict[str, float]:
-        """count/sum/mean/min/p50/p90/max in one JSON-friendly dict."""
+        """count/sum/mean/min/p50/p90/max in one JSON-friendly dict.
+
+        A registered-but-never-observed histogram summarises to a marked
+        empty record instead of raising — end-of-run reporting must not
+        crash on an instrument that never fired.
+        """
         if not self._samples:
-            return {"count": 0, "sum": 0.0}
+            return {"count": 0, "sum": 0.0, "empty": True}
         return {
             "count": self.count,
             "sum": self.sum,

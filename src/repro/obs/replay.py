@@ -1,0 +1,237 @@
+"""Deterministic replay of captured protocol games.
+
+The replay contract: a capture whose header carries ``family``, ``seed``,
+and ``params`` can be re-executed bit-for-bit.  :func:`run_captured_game`
+plays one game of a family under a fresh :class:`~repro.obs.capture.
+WireCapture`; :func:`replay_capture` re-runs a recorded capture from its
+own header and diffs the two transcripts with
+:func:`~repro.obs.capture.first_divergence`.  Agreement means every
+message — sender, receiver, kind, bit size, and payload digest — was
+reproduced; the first disagreement is pinpointed by message index.
+
+Determinism rests on what the library already guarantees: seeded
+``np.random.default_rng`` / ``spawn_rngs`` drive all sampling, neighbor
+orders are sorted at construction, and payload digests canonicalise
+container ordering (see :func:`repro.obs.capture.payload_digest`).  The
+replay families deliberately use the :class:`~repro.sketch.exact.
+ExactCutSketch` — the deterministic sketch — so a transcript depends
+only on the seed, never on sampling noise inside the sketch itself.
+
+Four families cover every instrumented wire:
+
+* ``foreach`` — the Theorem 1.1 INDEX game (Alice→Bob sketch messages);
+* ``forall``  — the Theorem 1.2 Gap-Hamming game;
+* ``localquery`` — Lemma 5.6's 2-SUM-via-min-cut reduction (oracle
+  queries + 2-bit ledger reveals);
+* ``distributed`` — the [ACK+16] hybrid min-cut (server ships +
+  coordinator queries + quantized responses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import ObsError
+from repro.obs import core as _core
+from repro.obs.capture import WireCapture, capturing, first_divergence
+
+#: Per-family default parameters: small enough for test matrices, large
+#: enough that every message kind of the family appears on the wire.
+DEFAULT_PARAMS: Dict[str, Dict[str, Any]] = {
+    "foreach": {"inv_eps": 4, "sqrt_beta": 2, "rounds": 2},
+    "forall": {"inv_eps_sq": 4, "beta": 1, "rounds": 2},
+    "localquery": {
+        "num_pairs": 4,
+        "length": 9,
+        "alpha": 1,
+        "intersecting_fraction": 0.25,
+        "eps": 0.5,
+    },
+    "distributed": {
+        "nodes": 12,
+        "servers": 3,
+        "epsilon": 0.5,
+        "contraction_attempts": 20,
+    },
+}
+
+GAME_FAMILIES = tuple(DEFAULT_PARAMS)
+
+
+def _run_foreach(seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.foreach_lb.game import run_index_game
+    from repro.foreach_lb.params import ForEachParams
+    from repro.sketch.exact import ExactCutSketch
+
+    game_params = ForEachParams(
+        inv_eps=int(params["inv_eps"]),
+        sqrt_beta=int(params["sqrt_beta"]),
+        num_groups=int(params.get("num_groups", 2)),
+    )
+    result = run_index_game(
+        game_params,
+        lambda graph, _rng: ExactCutSketch(graph),
+        rounds=int(params["rounds"]),
+        rng=np.random.default_rng(seed),
+    )
+    return {
+        "success_rate": result.success_rate,
+        "reported_bits": int(
+            round(result.mean_sketch_bits * result.summary.trials)
+        ),
+    }
+
+
+def _run_forall(seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.forall_lb.game import run_gap_hamming_game
+    from repro.forall_lb.params import ForAllParams
+    from repro.sketch.exact import ExactCutSketch
+
+    game_params = ForAllParams(
+        inv_eps_sq=int(params["inv_eps_sq"]),
+        beta=int(params["beta"]),
+        num_groups=int(params.get("num_groups", 2)),
+    )
+    result = run_gap_hamming_game(
+        game_params,
+        lambda graph, _rng: ExactCutSketch(graph),
+        rounds=int(params["rounds"]),
+        rng=np.random.default_rng(seed),
+    )
+    return {
+        "success_rate": result.success_rate,
+        "reported_bits": int(
+            round(result.mean_sketch_bits * result.summary.trials)
+        ),
+    }
+
+
+def _run_localquery(seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.comm.twosum import sample_twosum_instance
+    from repro.localquery.mincut_query import estimate_min_cut
+    from repro.localquery.reduction import solve_twosum_via_mincut
+
+    rng = np.random.default_rng(seed)
+    instance = sample_twosum_instance(
+        num_pairs=int(params["num_pairs"]),
+        length=int(params["length"]),
+        alpha=int(params["alpha"]),
+        intersecting_fraction=float(params["intersecting_fraction"]),
+        rng=rng,
+    )
+    eps = float(params["eps"])
+    result = solve_twosum_via_mincut(
+        instance,
+        lambda oracle, gen: estimate_min_cut(oracle, eps, rng=gen).value,
+        rng=rng,
+    )
+    return {
+        "disj_estimate": result.disj_estimate,
+        "queries": result.queries,
+        "reported_bits": int(result.bits_exchanged),
+    }
+
+
+def _run_distributed(seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.distributed.coordinator import distributed_min_cut
+    from repro.distributed.server import partition_edges
+    from repro.graphs.generators import random_connected_ugraph
+
+    rng = np.random.default_rng(seed)
+    graph = random_connected_ugraph(
+        int(params["nodes"]), extra_edge_prob=0.3, rng=rng
+    )
+    servers = partition_edges(graph, int(params["servers"]), rng=rng)
+    result = distributed_min_cut(
+        servers,
+        epsilon=float(params["epsilon"]),
+        strategy=str(params.get("strategy", "hybrid")),
+        rng=rng,
+        contraction_attempts=int(params["contraction_attempts"]),
+    )
+    return {
+        "value": result.value,
+        "reported_bits": int(result.total_bits),
+    }
+
+
+_RUNNERS: Dict[str, Callable[[int, Dict[str, Any]], Dict[str, Any]]] = {
+    "foreach": _run_foreach,
+    "forall": _run_forall,
+    "localquery": _run_localquery,
+    "distributed": _run_distributed,
+}
+
+
+def run_captured_game(
+    family: str,
+    seed: int,
+    params: Optional[Dict[str, Any]] = None,
+    sink=None,
+) -> WireCapture:
+    """Play one game under a fresh capture; returns the transcript.
+
+    The capture header records ``family``/``seed``/``params`` — exactly
+    what :func:`replay_capture` needs — plus the game's result summary
+    (whose ``reported_bits`` is the quantity the reconciliation tests
+    compare against the transcript's :attr:`~repro.obs.capture.
+    WireCapture.total_bits`).  Runs with the obs switch forced on; the
+    caller's enabled/sink state is restored on exit.
+    """
+    runner = _RUNNERS.get(family)
+    if runner is None:
+        raise ObsError(
+            f"unknown game family {family!r}; expected one of {GAME_FAMILIES}"
+        )
+    merged = dict(DEFAULT_PARAMS[family])
+    merged.update(params or {})
+    cap = WireCapture(
+        meta={"family": family, "seed": int(seed), "params": merged},
+        sink=sink,
+    )
+    with _core.enabled():
+        with capturing(cap):
+            result = runner(int(seed), merged)
+    cap.meta["result"] = result
+    return cap
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of a capture→replay byte-diff."""
+
+    family: str
+    seed: int
+    recorded_messages: int
+    replayed_messages: int
+    divergence: Optional[Dict[str, Any]]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the replayed transcript matched message-for-message."""
+        return self.divergence is None
+
+
+def replay_capture(recorded: WireCapture) -> ReplayResult:
+    """Re-run a captured game from its header and diff the transcripts."""
+    meta = recorded.meta
+    family = meta.get("family")
+    if family not in _RUNNERS:
+        raise ObsError(
+            "capture is not replayable: header lacks a known 'family' "
+            f"(got {family!r})"
+        )
+    if "seed" not in meta:
+        raise ObsError("capture is not replayable: header lacks 'seed'")
+    seed = int(meta["seed"])
+    replayed = run_captured_game(family, seed, params=meta.get("params"))
+    return ReplayResult(
+        family=family,
+        seed=seed,
+        recorded_messages=len(recorded),
+        replayed_messages=len(replayed),
+        divergence=first_divergence(recorded, replayed),
+    )

@@ -3,13 +3,16 @@
 import pytest
 
 from repro import obs
+from repro.obs import capture as obs_capture
 
 
 @pytest.fixture(autouse=True)
 def clean_obs_state():
     obs.disable()
     obs.reset_metrics()
+    obs_capture._ACTIVE.clear()
     yield
     obs.disable()
     obs.STATE.sink = None
     obs.reset_metrics()
+    obs_capture._ACTIVE.clear()

@@ -1,0 +1,178 @@
+"""Tests for repro.obs.capture: recording, digests, diffing, persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+from repro.obs import capture
+from repro.obs.capture import (
+    WireCapture,
+    WireMessage,
+    capturing,
+    first_divergence,
+    payload_digest,
+)
+from repro.obs.sink import ListSink
+
+
+class TestPayloadDigest:
+    def test_none_and_bytes_and_str(self):
+        assert payload_digest(None) == payload_digest(b"")
+        assert payload_digest(b"abc") == payload_digest("abc")
+        assert payload_digest(b"abc") != payload_digest(b"abd")
+
+    def test_numpy_scalars_normalise(self):
+        assert payload_digest(np.int64(7)) == payload_digest(7)
+        assert payload_digest(np.float64(1.5)) == payload_digest(1.5)
+
+    def test_container_order_is_canonical(self):
+        assert payload_digest({1, 2, 3}) == payload_digest({3, 1, 2})
+        assert payload_digest({"a": 1, "b": 2}) == payload_digest(
+            {"b": 2, "a": 1}
+        )
+        # Lists are ordered: different orders are different payloads.
+        assert payload_digest([1, 2]) != payload_digest([2, 1])
+
+    def test_graph_digest_is_edge_set_equality(self):
+        from repro.graphs.digraph import DiGraph
+
+        a = DiGraph(edges=[(0, 1, 1.0), (1, 2, 2.0)])
+        b = DiGraph(edges=[(1, 2, 2.0), (0, 1, 1.0)])
+        c = DiGraph(edges=[(0, 1, 1.0), (1, 2, 3.0)])
+        assert payload_digest(a) == payload_digest(b)
+        assert payload_digest(a) != payload_digest(c)
+
+
+class TestWireCapture:
+    def test_record_sequences_and_totals(self):
+        cap = WireCapture()
+        cap.record("alice", "bob", "k1", 8, payload=b"x")
+        cap.record("bob", "alice", "k2", 2)
+        assert [m.seq for m in cap.messages] == [0, 1]
+        assert cap.total_bits == 10
+        assert cap.parties() == ["alice", "bob"]
+        assert cap.bits_by_party()["alice"] == {"sent": 8, "received": 2}
+        assert cap.bits_by_kind() == {"k1": 8, "k2": 2}
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ObsError):
+            WireCapture().record("a", "b", "k", -1)
+
+    def test_span_path_stamped(self):
+        cap = WireCapture()
+        with obs.enabled():
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    cap.record("a", "b", "k", 1)
+        assert cap.messages[0].span == "outer/inner"
+
+    def test_streaming_sink_gets_header_then_messages(self):
+        sink = ListSink()
+        cap = WireCapture(meta={"family": "t"}, sink=sink)
+        cap.record("a", "b", "k", 4)
+        kinds = [r.get("event") for r in sink.records]
+        assert kinds == ["wire_capture", "wire"]
+        assert sink.records[0]["meta"]["family"] == "t"
+
+    def test_save_load_round_trip(self, tmp_path):
+        cap = WireCapture(meta={"family": "t", "seed": 3})
+        cap.record("a", "b", "k", 4, payload=b"zz")
+        path = tmp_path / "c.jsonl"
+        cap.save(path)
+        loaded = WireCapture.load(path)
+        assert loaded.meta["family"] == "t"
+        assert loaded.meta["seed"] == 3
+        assert len(loaded) == 1
+        assert loaded.messages[0] == cap.messages[0]
+
+    def test_load_tolerates_foreign_events(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        records = [
+            {"event": "wire_capture", "meta": {"run": "x"}},
+            {"event": "span", "name": "noise"},
+            WireMessage(0, "a", "b", "k", 4, "d").as_record(),
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        loaded = WireCapture.load(path)
+        assert len(loaded) == 1
+        assert loaded.meta == {"run": "x", "capture_version": 1}
+
+    def test_load_rejects_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ObsError):
+            WireCapture.load(path)
+
+
+class TestModuleHook:
+    def test_record_noop_without_install_or_switch(self):
+        cap = WireCapture()
+        capture.record("a", "b", "k", 1)  # nothing installed
+        capture.install(cap)
+        try:
+            capture.record("a", "b", "k", 1)  # obs disabled
+        finally:
+            capture.uninstall(cap)
+        assert len(cap) == 0
+
+    def test_record_reaches_all_installed_captures(self):
+        first, second = WireCapture(), WireCapture()
+        with obs.enabled():
+            with capturing(first):
+                with capturing(second):
+                    capture.record("a", "b", "k", 3, payload=b"p")
+        assert len(first) == len(second) == 1
+        assert first.messages[0].digest == second.messages[0].digest
+
+    def test_capturing_installs_the_passed_empty_capture(self):
+        # Regression: an empty WireCapture is falsy (len 0); capturing()
+        # must still install the object it was handed, not a fresh one.
+        cap = WireCapture(meta={"family": "t"})
+        with obs.enabled():
+            with capturing(cap) as yielded:
+                assert yielded is cap
+                assert capture.active() is cap
+                capture.record("a", "b", "k", 1)
+        assert len(cap) == 1
+
+    def test_wire_counters_mirrored(self):
+        with obs.enabled():
+            with capturing() as cap:
+                capture.record("a", "b", "k", 5)
+                capture.record("a", "b", "k", 7)
+        assert len(cap) == 2
+        assert obs.REGISTRY.counter("wire.messages").value == 2
+        assert obs.REGISTRY.counter("wire.bits").value == 12
+
+
+class TestFirstDivergence:
+    def _pair(self):
+        a, b = WireCapture(), WireCapture()
+        for cap in (a, b):
+            cap.record("alice", "bob", "k", 4, payload=b"one")
+            cap.record("bob", "alice", "r", 2, payload=b"two")
+        return a, b
+
+    def test_identical_transcripts_match(self):
+        a, b = self._pair()
+        assert first_divergence(a, b) is None
+
+    def test_field_divergence_pinpointed(self):
+        a, b = self._pair()
+        b.messages[1] = WireMessage(1, "bob", "alice", "r", 3, "odd")
+        d = first_divergence(a, b)
+        assert d["index"] == 1
+        assert d["field"] == "bits"
+        assert d["expected"] == 2
+        assert d["actual"] == 3
+
+    def test_length_divergence(self):
+        a, b = self._pair()
+        b.record("alice", "bob", "extra", 1)
+        d = first_divergence(a, b)
+        assert d == {
+            "index": 2, "field": "length", "expected": 2, "actual": 3
+        }

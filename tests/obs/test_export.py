@@ -1,0 +1,121 @@
+"""Tests for repro.obs.export: Chrome traces and collapsed stacks."""
+
+import json
+
+from repro import obs
+from repro.obs.capture import capturing
+from repro.obs.export import (
+    chrome_trace,
+    collapsed_stacks,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.sink import ListSink
+
+
+def _recorded_events():
+    """Spans + wire messages from one real instrumented region."""
+    sink = ListSink()
+    with obs.enabled(sink):
+        with capturing() as cap:
+            with obs.span("game"):
+                from repro.obs import capture
+
+                capture.record("alice", "bob", "sketch", 128, payload=b"g")
+                capture.record("bob", "referee", "answer", 0)
+    return sink.records + [m.as_record() for m in cap.messages]
+
+
+class TestChromeTrace:
+    def test_empty_events_give_empty_valid_trace(self):
+        trace = chrome_trace([])
+        assert trace["traceEvents"] == []
+        assert validate_chrome_trace(trace) == []
+
+    def test_real_run_exports_valid_trace(self):
+        trace = chrome_trace(_recorded_events())
+        assert validate_chrome_trace(trace) == []
+        phases = [e["ph"] for e in trace["traceEvents"]]
+        assert "X" in phases  # the span as a duration event
+        assert "s" in phases and "f" in phases  # flow arrows
+        assert "i" in phases  # per-lane instants
+
+    def test_party_lanes_are_named(self):
+        trace = chrome_trace(_recorded_events())
+        lane_names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"spans", "alice", "bob", "referee"} <= lane_names
+
+    def test_flow_ids_pair_start_and_finish(self):
+        trace = chrome_trace(_recorded_events())
+        starts = {e["id"] for e in trace["traceEvents"] if e["ph"] == "s"}
+        ends = {e["id"] for e in trace["traceEvents"] if e["ph"] == "f"}
+        assert starts == ends
+        assert len(starts) == 2  # one flow per wire message
+
+    def test_timestamps_non_negative_microseconds(self):
+        trace = chrome_trace(_recorded_events())
+        assert all(e["ts"] >= 0 for e in trace["traceEvents"])
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(_recorded_events(), path)
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+
+
+class TestValidator:
+    def test_rejects_non_document(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": 3}) != []
+
+    def test_flags_missing_fields_and_bad_phase(self):
+        doc = {"traceEvents": [{"name": "x", "ph": "Z", "ts": -1.0}]}
+        problems = validate_chrome_trace(doc)
+        assert any("missing required field" in p for p in problems)
+        assert any("unknown phase" in p for p in problems)
+        assert any("non-negative" in p for p in problems)
+
+    def test_flags_unmatched_flow(self):
+        doc = {
+            "traceEvents": [
+                {"name": "m", "ph": "s", "pid": 1, "tid": 1, "ts": 0, "id": 9}
+            ]
+        }
+        assert any(
+            "never finishes" in p for p in validate_chrome_trace(doc)
+        )
+
+
+class TestCollapsedStacks:
+    def test_profile_events_become_stack_lines(self):
+        events = [
+            {"event": "profile", "span": "run/game", "func": "encode",
+             "total_s": 0.25, "calls": 3},
+            {"event": "profile", "span": "run/game", "func": "decode",
+             "total_s": 0.5, "calls": 3},
+        ]
+        text = collapsed_stacks(events)
+        lines = dict(
+            line.rsplit(" ", 1) for line in text.strip().splitlines()
+        )
+        assert lines["run;game;encode"] == "250000"
+        assert lines["run;game;decode"] == "500000"
+
+    def test_duplicate_aggregates_merge(self):
+        events = [
+            {"event": "profile", "span": "s", "func": "f", "total_s": 0.1},
+            {"event": "profile", "span": "s", "func": "f", "total_s": 0.2},
+        ]
+        text = collapsed_stacks(events)
+        assert text.strip() == f"s;f {round(0.3 * 1e6)}"
+
+    def test_zero_weight_frames_dropped_and_empty_ok(self):
+        assert collapsed_stacks([]) == ""
+        events = [
+            {"event": "profile", "span": "s", "func": "f", "total_s": 0.0}
+        ]
+        assert collapsed_stacks(events) == ""

@@ -88,7 +88,7 @@ class TestHistogramQuantiles:
 
     def test_summary_empty_and_filled(self):
         h = Histogram("h")
-        assert h.summary() == {"count": 0, "sum": 0.0}
+        assert h.summary() == {"count": 0, "sum": 0.0, "empty": True}
         for v in (1.0, 2.0, 3.0):
             h.observe(v)
         s = h.summary()

@@ -1,0 +1,87 @@
+"""Replay determinism: capture → replay across seeds and families.
+
+The executable form of the claim "a transcript IS the game": for every
+replayable family and several seeds, re-running from the capture header
+reproduces every message (sender, receiver, kind, bits, payload digest).
+"""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.capture import WireCapture, WireMessage
+from repro.obs.replay import (
+    DEFAULT_PARAMS,
+    GAME_FAMILIES,
+    replay_capture,
+    run_captured_game,
+)
+
+SEEDS = (0, 7, 123)
+
+
+class TestReplayMatrix:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("family", ["foreach", "forall", "localquery"])
+    def test_capture_replays_identically(self, family, seed):
+        recorded = run_captured_game(family, seed)
+        assert len(recorded) > 0
+        result = replay_capture(recorded)
+        assert result.ok, f"diverged: {result.divergence}"
+        assert result.recorded_messages == result.replayed_messages
+
+    def test_distributed_capture_replays_identically(self):
+        recorded = run_captured_game("distributed", 7)
+        assert len(recorded) > 0
+        result = replay_capture(recorded)
+        assert result.ok, f"diverged: {result.divergence}"
+
+    def test_replay_survives_save_load(self, tmp_path):
+        recorded = run_captured_game("foreach", 11)
+        path = tmp_path / "c.jsonl"
+        recorded.save(path)
+        result = replay_capture(WireCapture.load(path))
+        assert result.ok
+
+    @pytest.mark.parametrize("family", GAME_FAMILIES)
+    def test_header_carries_replay_inputs(self, family):
+        cap = run_captured_game(family, 1)
+        assert cap.meta["family"] == family
+        assert cap.meta["seed"] == 1
+        assert cap.meta["params"] == DEFAULT_PARAMS[family]
+        assert "reported_bits" in cap.meta["result"]
+
+    def test_different_seeds_give_different_transcripts(self):
+        a = run_captured_game("foreach", 0)
+        b = run_captured_game("foreach", 1)
+        digests = lambda c: [m.digest for m in c.messages]  # noqa: E731
+        assert digests(a) != digests(b)
+
+
+class TestReplayErrors:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ObsError):
+            run_captured_game("tictactoe", 0)
+
+    def test_unreplayable_header_rejected(self):
+        with pytest.raises(ObsError):
+            replay_capture(WireCapture(meta={"run": "run_all"}))
+        with pytest.raises(ObsError):
+            replay_capture(WireCapture(meta={"family": "foreach"}))
+
+    def test_perturbed_transcript_diverges_at_right_index(self):
+        recorded = run_captured_game("forall", 5)
+        target = len(recorded) // 2
+        original = recorded.messages[target]
+        recorded.messages[target] = WireMessage(
+            seq=original.seq,
+            sender=original.sender,
+            receiver=original.receiver,
+            kind=original.kind,
+            bits=original.bits + 1,
+            digest=original.digest,
+            span=original.span,
+        )
+        result = replay_capture(recorded)
+        assert not result.ok
+        assert result.divergence["index"] == target
+        assert result.divergence["field"] == "bits"

@@ -94,6 +94,19 @@ class TestMetricTotals:
         assert totals["h.count"] == 3
         assert totals["h.sum"] == 12.0
 
+    def test_empty_histogram_summary_does_not_crash_totals(self):
+        # End to end: an instrument that is registered but never fires
+        # must flow through summary() -> metric_totals without raising.
+        from repro import obs
+
+        obs.REGISTRY.histogram("never.observed")
+        events = [
+            {"event": "summary", "metrics": obs.REGISTRY.as_dict()}
+        ]
+        totals = metric_totals(events)
+        assert totals["never.observed.count"] == 0
+        assert totals["never.observed.sum"] == 0.0
+
     def test_fallback_sums_only_depth_zero(self):
         # Without a summary, a/b's delta is already inside a's; only
         # depth-0 spans count, so c totals 3, not 4.

@@ -1,0 +1,141 @@
+"""End-to-end tests for scripts/wire_replay.py and scripts/wire_report.py.
+
+These run the scripts as subprocesses — the exit codes are part of the
+contract (0 match, 1 divergence, 2 unusable input) and only a real
+process exercises them.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent.parent
+REPLAY = REPO / "scripts" / "wire_replay.py"
+REPORT = REPO / "scripts" / "wire_report.py"
+
+
+def _run(*argv):
+    return subprocess.run(
+        [sys.executable, *map(str, argv)],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+
+
+def _record(tmp_path, family="foreach", seed=3):
+    out = tmp_path / f"{family}.capture.jsonl"
+    proc = _run(REPLAY, "record", family, "--seed", str(seed), "--out", out)
+    assert proc.returncode == 0, proc.stderr
+    return out
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("family", ["foreach", "forall", "localquery"])
+    def test_record_then_verify_exits_zero(self, tmp_path, family):
+        out = _record(tmp_path, family=family, seed=7)
+        proc = _run(REPLAY, "verify", out)
+        assert proc.returncode == 0, proc.stderr
+        assert "replay OK" in proc.stdout
+
+    def test_record_reports_messages_and_bits(self, tmp_path):
+        out = tmp_path / "c.jsonl"
+        proc = _run(REPLAY, "record", "foreach", "--seed", "1", "--out", out)
+        assert proc.returncode == 0, proc.stderr
+        assert "recorded" in proc.stdout and "bits" in proc.stdout
+        lines = out.read_text().strip().splitlines()
+        header = json.loads(lines[0])
+        assert header["event"] == "wire_capture"
+        assert header["meta"]["family"] == "foreach"
+        assert all(
+            json.loads(line)["event"] == "wire" for line in lines[1:]
+        )
+
+    def test_params_override_is_replayable(self, tmp_path):
+        out = tmp_path / "c.jsonl"
+        params = json.dumps({"rounds": 3})
+        proc = _run(
+            REPLAY, "record", "forall", "--seed", "2",
+            "--params", params, "--out", out,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert _run(REPLAY, "verify", out).returncode == 0
+
+
+class TestDivergence:
+    def test_perturbed_bits_diverge_at_right_index(self, tmp_path):
+        out = _record(tmp_path, family="foreach", seed=5)
+        lines = out.read_text().strip().splitlines()
+        # Line 0 is the header; perturb the bits of the second message.
+        target = 1
+        record = json.loads(lines[1 + target])
+        record["bits"] += 1
+        lines[1 + target] = json.dumps(record)
+        out.write_text("\n".join(lines) + "\n")
+        proc = _run(REPLAY, "verify", out)
+        assert proc.returncode == 1
+        assert f"DIVERGED at message {target}" in proc.stderr
+        assert "'bits'" in proc.stderr
+
+    def test_perturbed_digest_diverges(self, tmp_path):
+        out = _record(tmp_path, family="localquery", seed=0)
+        lines = out.read_text().strip().splitlines()
+        record = json.loads(lines[-1])
+        record["digest"] = "0" * 64
+        lines[-1] = json.dumps(record)
+        out.write_text("\n".join(lines) + "\n")
+        proc = _run(REPLAY, "verify", out)
+        assert proc.returncode == 1
+        assert f"DIVERGED at message {record['seq']}" in proc.stderr
+        assert "'digest'" in proc.stderr
+
+    def test_truncated_transcript_diverges(self, tmp_path):
+        out = _record(tmp_path, family="forall", seed=9)
+        lines = out.read_text().strip().splitlines()
+        out.write_text("\n".join(lines[:-1]) + "\n")
+        proc = _run(REPLAY, "verify", out)
+        assert proc.returncode == 1
+        assert "'length'" in proc.stderr
+
+
+class TestBadInput:
+    def test_missing_file_exits_two(self, tmp_path):
+        proc = _run(REPLAY, "verify", tmp_path / "nope.jsonl")
+        assert proc.returncode == 2
+
+    def test_corrupt_json_exits_two(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        proc = _run(REPLAY, "verify", path)
+        assert proc.returncode == 2
+
+    def test_unreplayable_header_exits_two(self, tmp_path):
+        path = tmp_path / "headerless.jsonl"
+        path.write_text(
+            json.dumps({"event": "wire_capture", "meta": {"run": "x"}}) + "\n"
+        )
+        proc = _run(REPLAY, "verify", path)
+        assert proc.returncode == 2
+
+
+class TestWireReport:
+    def test_report_renders_lanes_and_reconciliation(self, tmp_path):
+        out = _record(tmp_path, family="foreach", seed=4)
+        proc = _run(REPORT, out)
+        assert proc.returncode == 0, proc.stderr
+        assert "--(" in proc.stdout  # message-lane arrows
+        assert "alice" in proc.stdout and "bob" in proc.stdout
+        assert "reconciliation OK" in proc.stdout
+
+    def test_report_exports_trace_and_flame(self, tmp_path):
+        out = _record(tmp_path, family="forall", seed=4)
+        trace = tmp_path / "trace.json"
+        flame = tmp_path / "flame.txt"
+        proc = _run(REPORT, out, "--trace", trace, "--flame", flame)
+        assert proc.returncode == 0, proc.stderr
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        assert flame.exists()
