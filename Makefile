@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-report tables trace-report api all \
-	bounds-check dashboard wire-check
+.PHONY: install test bench bench-report bench-parallel tables \
+	trace-report api all bounds-check dashboard wire-check
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,6 +14,9 @@ bench:
 
 bench-report:
 	PYTHONPATH=src python scripts/bench_report.py
+
+bench-parallel:
+	PYTHONPATH=src python scripts/bench_report.py --pr5-only
 
 tables:
 	python -m repro.experiments.run_all

@@ -19,24 +19,23 @@ from repro.graphs.generators import planted_min_cut_ugraph
 from repro.localquery.mincut_query import estimate_min_cut
 from repro.localquery.oracle import GraphOracle
 from repro.localquery.reduction import solve_twosum_via_mincut
-from repro.localquery.verify_guess import fetch_degrees, verify_guess
+from repro.localquery.verify_guess import verify_guess_trials
 
 #: A small oversampling constant keeps the un-clamped regime reachable
 #: at simulator scale (the default is tuned for estimator reliability).
 BENCH_CONSTANT = 0.5
 
 
-def _verify_queries(graph, k, eps, seeds=(0, 1, 2)):
-    total_q = 0.0
-    for seed in seeds:
-        oracle = GraphOracle(graph)
-        degrees = fetch_degrees(oracle)
-        result = verify_guess(
-            oracle, degrees, t=float(k), eps=eps, rng=seed,
-            constant=BENCH_CONSTANT,
-        )
-        total_q += result.neighbor_queries
-    return total_q / len(seeds)
+def _verify_queries(graph, k, eps, seeds=(0, 1, 2), jobs=None):
+    results = verify_guess_trials(
+        lambda: GraphOracle(graph),
+        t=float(k),
+        eps=eps,
+        seeds=seeds,
+        constant=BENCH_CONSTANT,
+        jobs=jobs,
+    )
+    return sum(float(r.neighbor_queries) for r in results) / len(results)
 
 
 def test_query_scaling_in_eps_and_k(benchmark, emit_table):

@@ -30,6 +30,15 @@ path within the same 5% envelope.
 ``--pr4-only`` does the same for the PR4 additions (wire capture,
 replay, and trace export) imported with no capture installed, and
 writes BENCH_PR4.json.
+
+``--pr5-only`` gates the parallel trial-execution engine and writes
+BENCH_PR5.json: the full E1-E9 table output must be byte-identical at
+every worker count (sha256 digests at jobs 1/2/4), and a blocking
+multi-trial workload must reach >= 3x throughput on 4 workers.  A
+CPU-bound speedup is recorded alongside when the machine has >= 4
+cores, and marked skipped otherwise — fan-out cannot beat physics on a
+single-core box, and the digest gate is the determinism evidence that
+transfers across machines.
 """
 
 import argparse
@@ -307,6 +316,145 @@ def write_pr4_report():
     )
 
 
+def _run_all_digest(jobs):
+    """Sha256 of the complete E1-E9 stdout at a given worker count."""
+    import contextlib
+    import hashlib
+    import io
+
+    from repro.experiments.run_all import main as run_all_main
+
+    argv = ["--no-telemetry"]
+    if jobs is not None:
+        argv += ["--jobs", str(jobs)]
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        rc = run_all_main(argv)
+    if rc != 0:
+        raise RuntimeError(f"run_all failed with jobs={jobs} (rc={rc})")
+    text = buf.getvalue()
+    return {
+        "jobs": 1 if jobs is None else jobs,
+        "bytes": len(text),
+        "sha256": hashlib.sha256(text.encode()).hexdigest(),
+    }
+
+
+def _blocking_trial_pr5(rng):
+    time.sleep(0.35)
+    return float(rng.random())
+
+
+def _cpu_trial_pr5(rng):
+    total = 0
+    for value in rng.integers(0, 1 << 16, size=20000).tolist():
+        total = (total * 31 + value) % 1000003
+    return total
+
+
+def write_pr5_report():
+    """The PR5 gate: parallel fan-out is fast AND invisible in results."""
+    import os
+
+    from repro.parallel import fork_available, run_trials
+
+    report = {}
+
+    # Determinism gate: byte-identical E1-E9 output at every worker count.
+    digests = [_run_all_digest(jobs) for jobs in (None, 2, 4)]
+    identical = len({d["sha256"] for d in digests}) == 1
+    report["run_all_digests"] = digests
+    report["digest_gate"] = {
+        "requirement": "full E1-E9 stdout byte-identical at jobs 1/2/4",
+        "passed": identical,
+    }
+
+    # Throughput gate: a blocking multi-trial workload (the distributed
+    # experiment shape — trials dominated by waiting) on 4 workers.
+    def timed(jobs):
+        start = time.perf_counter()
+        results = run_trials(
+            _blocking_trial_pr5, 16, np.random.default_rng(1), jobs=jobs
+        )
+        return time.perf_counter() - start, results
+
+    if fork_available():
+        serial_s, serial_results = timed(1)
+        parallel_s, parallel_results = timed(4)
+        speedup = serial_s / parallel_s
+        report["blocking_workload"] = {
+            "trials": 16,
+            "sleep_per_trial_s": 0.35,
+            "serial_median_s": serial_s,
+            "jobs4_median_s": parallel_s,
+            "speedup": speedup,
+            "results_identical": parallel_results == serial_results,
+        }
+        report["throughput_gate"] = {
+            "requirement": "16 blocking trials >= 3x faster on 4 workers",
+            "speedup": speedup,
+            "passed": speedup >= 3.0 and parallel_results == serial_results,
+        }
+    else:
+        report["throughput_gate"] = {
+            "requirement": "16 blocking trials >= 3x faster on 4 workers",
+            "skipped": "fork start method unavailable",
+            "passed": True,
+        }
+
+    # CPU-bound scaling: informative on >= 4 physical cores, marked
+    # skipped (not failed) below that — single-core fan-out cannot beat
+    # physics, and the digest gate carries the determinism evidence.
+    cores = os.cpu_count() or 1
+    if fork_available() and cores >= 4:
+        def timed_cpu(jobs):
+            start = time.perf_counter()
+            run_trials(
+                _cpu_trial_pr5, 16, np.random.default_rng(2), jobs=jobs
+            )
+            return time.perf_counter() - start
+
+        cpu_serial = min(timed_cpu(1) for _ in range(3))
+        cpu_parallel = min(timed_cpu(4) for _ in range(3))
+        report["cpu_workload"] = {
+            "cores": cores,
+            "serial_best_s": cpu_serial,
+            "jobs4_best_s": cpu_parallel,
+            "speedup": cpu_serial / cpu_parallel,
+        }
+    else:
+        report["cpu_workload"] = {
+            "cores": cores,
+            "skipped": "skipped_insufficient_cores"
+            if fork_available()
+            else "fork start method unavailable",
+        }
+
+    passed = (
+        report["digest_gate"]["passed"]
+        and report["throughput_gate"]["passed"]
+    )
+    report["gate"] = {
+        "requirement": (
+            "byte-identical E1-E9 digests at jobs 1/2/4 AND >= 3x on the "
+            "blocking 4-worker workload"
+        ),
+        "passed": passed,
+    }
+    out_path = REPO / "BENCH_PR5.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    print(
+        "digest gate: %s; throughput gate: %s"
+        % (
+            "PASS" if report["digest_gate"]["passed"] else "FAIL",
+            "PASS" if report["throughput_gate"]["passed"] else "FAIL",
+        )
+    )
+    if not passed:
+        sys.exit(1)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -329,7 +477,16 @@ def main():
         action="store_true",
         help="only run the capture-imported guard and write BENCH_PR4.json",
     )
+    parser.add_argument(
+        "--pr5-only",
+        action="store_true",
+        help="only run the parallel-engine gates and write BENCH_PR5.json",
+    )
     args = parser.parse_args()
+
+    if args.pr5_only:
+        write_pr5_report()
+        return
 
     if args.pr4_only:
         write_pr4_report()

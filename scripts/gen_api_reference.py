@@ -154,6 +154,31 @@ events into collapsed-stack lines (`span;path;func microseconds`) for
 standard flamegraph tooling.  `scripts/wire_report.py` drives both
 (`--trace`, `--flame`) plus a terminal message-lane diagram.
 """,
+    "repro.parallel": """\
+### Parallel trial execution
+
+`TrialPool(jobs, timeout, chunk_factor)` fans a list of independent
+trials out over a fork-start process pool; `run_trials(fn, n_trials,
+rng, jobs)` is the seeded form every multi-trial loop uses (foreach /
+forall game rounds, local-query seed sweeps, `harness.sweep`, E1–E9).
+Worker count resolves explicit argument → `set_default_jobs` (what
+`run_all --jobs N` installs) → the `REPRO_JOBS` environment variable →
+serial; `jobs <= 0` means all cores, and `resolve_jobs` returns 1
+inside a worker so pools never nest.
+
+The engine's contract is **bit-identity with the serial path for any
+worker count**: trial seeds are drawn up front via
+`utils.rng.spawn_seeds` (advancing the parent generator exactly as
+`spawn_rngs` would), closures travel to workers by fork inheritance
+(no pickling), and chunk results plus per-worker observability deltas
+merge back in trial order (`repro.parallel.obsmerge`), so counters,
+histogram sample sequences, wire transcripts, and even non-associative
+float reductions reproduce the serial run byte for byte.  Crashed or
+hung workers get one retry on a fresh process with the same spawned
+seed; a second failure raises `ParallelError` naming the trial index —
+never a silent partial table.  Gates: `BENCH_PR5.json`
+(`python scripts/bench_report.py --pr5-only`).
+""",
 }
 
 PACKAGES = [
@@ -168,6 +193,7 @@ PACKAGES = [
     "repro.localquery",
     "repro.distributed",
     "repro.experiments",
+    "repro.parallel",
     "repro.utils",
 ]
 

@@ -21,6 +21,7 @@ from its header alone.
 import argparse
 import json
 import sys
+from typing import List, Optional
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -79,7 +80,7 @@ def cmd_verify(args) -> int:
     return EXIT_DIVERGED
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -25,6 +25,7 @@ flamegraph text from any ``profile`` events in the file.
 
 import argparse
 import sys
+from typing import List, Optional
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -98,7 +99,7 @@ def reconciliation_line(capture: WireCapture) -> str:
     )
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("capture", help="capture (or telemetry) JSONL file")
     parser.add_argument(

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import FrozenSet, List, Sequence
+from typing import FrozenSet, List, Optional, Sequence
 
 from repro.distributed.server import Server
 from repro.errors import ParameterError
@@ -57,7 +57,7 @@ class DistributedMinCutResult:
 
 
 def _union_of_sketches(
-    servers: Sequence[Server], epsilon: float, rng, sampling_constant: float = None
+    servers: Sequence[Server], epsilon: float, rng, sampling_constant: Optional[float] = None
 ) -> UGraph:
     """Ship one sparsifier per server and union them (bits counted by caller)."""
     union = UGraph()
@@ -82,7 +82,7 @@ def _union_of_sketches(
 
 
 def _shipped_bits(
-    servers: Sequence[Server], epsilon: float, rng, sampling_constant: float = None
+    servers: Sequence[Server], epsilon: float, rng, sampling_constant: Optional[float] = None
 ) -> int:
     bits = 0
     for server, child in zip(servers, spawn_rngs(rng, len(servers))):
@@ -108,7 +108,7 @@ def distributed_min_cut(
     strategy: str = "hybrid",
     rng: RngLike = None,
     contraction_attempts: int = 200,
-    sampling_constant: float = None,
+    sampling_constant: Optional[float] = None,
 ) -> DistributedMinCutResult:
     """Compute an approximate global min cut of the union of all shards."""
     if not servers:

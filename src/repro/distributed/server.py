@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import AbstractSet, List, Sequence, Tuple
+from typing import AbstractSet, List, Optional, Sequence, Tuple
 
 from repro.errors import ParameterError
 from repro.graphs.digraph import DiGraph
@@ -72,7 +72,7 @@ class Server:
         epsilon: float,
         rng: RngLike = None,
         connectivity: str = "mincut",
-        sampling_constant: float = None,
+        sampling_constant: Optional[float] = None,
     ) -> "ShardSketch":
         """A for-all sketch (sparsifier) of the local shard.
 

@@ -44,5 +44,21 @@ class ObsError(ReproError):
     (unknown metric kind, quantile of an empty histogram, ...)."""
 
 
+class ParallelError(ReproError):
+    """A parallel trial execution failed after exhausting its retries.
+
+    Raised by :mod:`repro.parallel` when a worker process crashed (or
+    hung past the configured timeout) re-running the same trial on a
+    fresh process, or when a trial function raised.  ``trial`` names
+    the 0-based trial index that failed so a partial table can never
+    masquerade as a complete one.
+    """
+
+    def __init__(self, message: str, trial=None):
+        super().__init__(message)
+        #: 0-based index of the failing trial (None when unattributable).
+        self.trial = trial
+
+
 class BudgetExceededError(OracleError):
     """A query-limited oracle ran past its allowed budget."""

@@ -184,12 +184,26 @@ def geometric_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:
 def sweep(
     configurations: Iterable[Mapping[str, Any]],
     runner: Callable[..., Mapping[str, Any]],
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, Any]]:
-    """Run ``runner(**config)`` per configuration, merging config + result."""
-    results: List[Dict[str, Any]] = []
-    for config in configurations:
+    """Run ``runner(**config)`` per configuration, merging config + result.
+
+    ``jobs`` fans configurations out over worker processes via
+    :class:`repro.parallel.TrialPool`; results return in configuration
+    order and worker telemetry merges deterministically, so any worker
+    count produces the same merged list a serial sweep does.  Callers
+    whose runner draws from a shared generator must keep the default
+    serial path (a forked runner would advance a *copy* of the
+    generator) — the repo's sweeps pass explicit per-config seeds.
+    """
+    from repro.parallel import TrialPool
+
+    configurations = [dict(config) for config in configurations]
+
+    def run_one(config: Dict[str, Any]) -> Dict[str, Any]:
         outcome = runner(**config)
         merged = dict(config)
         merged.update(outcome)
-        results.append(merged)
-    return results
+        return merged
+
+    return TrialPool(jobs=jobs).map(run_one, configurations)

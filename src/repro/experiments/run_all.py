@@ -38,9 +38,10 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
-from repro.experiments.harness import Table
+from repro.experiments.harness import Table, sweep
+from repro.parallel import set_default_jobs
 from repro.obs import (
     REGISTRY as OBS_REGISTRY,
     STATE as OBS_STATE,
@@ -158,31 +159,32 @@ def _e3_localquery() -> List[Table]:
 
     graph, k = planted_min_cut_ugraph(40, 20, rng=20)
     m = graph.num_edges
+
+    def run_eps(eps: float) -> Dict[str, float]:
+        oracle = GraphOracle(graph)
+        degrees = fetch_degrees(oracle)
+        result = verify_guess(
+            oracle, degrees, t=float(k), eps=eps, rng=0, constant=0.5
+        )
+        return {
+            "queries": result.neighbor_queries,
+            "bound": min(2 * m, m / (eps * eps * k)),
+        }
+
     table = Table(
         title="E3 / Theorem 1.3 - VERIFY-GUESS queries vs min{2m, m/(eps^2 k)}",
         columns=["eps", "queries", "bound"],
         meta={"m": m, "k": k, "n": graph.num_nodes},
         bounds=["thm13.queries"],
     )
-    for eps in (0.6, 0.45, 0.3, 0.2):
-        oracle = GraphOracle(graph)
-        degrees = fetch_degrees(oracle)
-        result = verify_guess(
-            oracle, degrees, t=float(k), eps=eps, rng=0, constant=0.5
-        )
+    for row in sweep([{"eps": e} for e in (0.6, 0.45, 0.3, 0.2)], run_eps):
         table.add_row(
-            eps=eps,
-            queries=result.neighbor_queries,
-            bound=min(2 * m, m / (eps * eps * k)),
+            eps=row["eps"], queries=row["queries"], bound=row["bound"]
         )
+
     # Same certification over the cut-size sweep: the min{2m, m/(eps^2 k)}
     # curve crosses over from the 2m clamp to the 1/k regime as k grows.
-    sweep_table = Table(
-        title="E3b / Theorem 1.3 - VERIFY-GUESS queries vs k (eps = 0.45)",
-        columns=["k", "m", "eps", "queries", "bound"],
-        bounds=[("thm13.queries", {"sweep": "k"})],
-    )
-    for cut_size in (5, 10, 20, 38):
+    def run_cut(cut_size: int) -> Dict[str, float]:
         g, planted_k = planted_min_cut_ugraph(40, cut_size, rng=cut_size)
         m_k, eps = g.num_edges, 0.45
         oracle = GraphOracle(g)
@@ -190,12 +192,26 @@ def _e3_localquery() -> List[Table]:
         result = verify_guess(
             oracle, degrees, t=float(planted_k), eps=eps, rng=0, constant=0.5
         )
+        return {
+            "k": planted_k,
+            "m": m_k,
+            "eps": eps,
+            "queries": result.neighbor_queries,
+            "bound": min(2 * m_k, m_k / (eps * eps * planted_k)),
+        }
+
+    sweep_table = Table(
+        title="E3b / Theorem 1.3 - VERIFY-GUESS queries vs k (eps = 0.45)",
+        columns=["k", "m", "eps", "queries", "bound"],
+        bounds=[("thm13.queries", {"sweep": "k"})],
+    )
+    for row in sweep([{"cut_size": c} for c in (5, 10, 20, 38)], run_cut):
         sweep_table.add_row(
-            k=planted_k,
-            m=m_k,
-            eps=eps,
-            queries=result.neighbor_queries,
-            bound=min(2 * m_k, m_k / (eps * eps * planted_k)),
+            k=row["k"],
+            m=row["m"],
+            eps=row["eps"],
+            queries=row["queries"],
+            bound=row["bound"],
         )
     return [table, sweep_table]
 
@@ -206,13 +222,8 @@ def _e4_upperbound() -> List[Table]:
     from repro.localquery.oracle import GraphOracle
 
     graph, k = planted_min_cut_ugraph(40, 20, rng=0)
-    table = Table(
-        title="E4 / Theorem 5.7 - naive vs modified search queries",
-        columns=["eps", "naive_search", "modified_search"],
-        meta={"m": graph.num_edges, "k": k, "n": graph.num_nodes},
-        bounds=["thm57.search_queries"],
-    )
-    for eps in (0.6, 0.45, 0.3):
+
+    def run_eps(eps: float) -> Dict[str, float]:
         row = {}
         for variant in ("naive", "modified"):
             oracle = GraphOracle(graph)
@@ -220,9 +231,20 @@ def _e4_upperbound() -> List[Table]:
                 oracle, eps=eps, rng=1, variant=variant,
                 constant=0.5, search_accuracy=0.5,
             )
-            row[variant] = estimate.search_queries
+            row[f"{variant}_search"] = estimate.search_queries
+        return row
+
+    table = Table(
+        title="E4 / Theorem 5.7 - naive vs modified search queries",
+        columns=["eps", "naive_search", "modified_search"],
+        meta={"m": graph.num_edges, "k": k, "n": graph.num_nodes},
+        bounds=["thm57.search_queries"],
+    )
+    for row in sweep([{"eps": e} for e in (0.6, 0.45, 0.3)], run_eps):
         table.add_row(
-            eps=eps, naive_search=row["naive"], modified_search=row["modified"]
+            eps=row["eps"],
+            naive_search=row["naive_search"],
+            modified_search=row["modified_search"],
         )
     return [table]
 
@@ -233,22 +255,31 @@ def _e5_figure1() -> List[Table]:
     from repro.foreach_lb.params import ForEachParams
     from repro.utils.bitstrings import random_signstring
 
-    table = Table(
-        title="E5 / Figure 1 - decoder cut decomposition",
-        columns=["inv_eps", "sqrt_beta", "forward_w", "backward_w"],
-    )
-    for inv_eps, sqrt_beta in ((4, 1), (8, 1), (8, 2)):
+    def run_config(inv_eps: int, sqrt_beta: int) -> Dict[str, float]:
         params = ForEachParams(inv_eps=inv_eps, sqrt_beta=sqrt_beta)
         encoder = ForEachEncoder(params)
         s = random_signstring(params.string_length, rng=3)
         encoded = encoder.encode(s)
         plan = ForEachDecoder(params).query_plans(0)[0]
         total = encoded.graph.cut_weight(plan.side)
+        return {
+            "forward_w": total - plan.fixed_backward,
+            "backward_w": plan.fixed_backward,
+        }
+
+    table = Table(
+        title="E5 / Figure 1 - decoder cut decomposition",
+        columns=["inv_eps", "sqrt_beta", "forward_w", "backward_w"],
+    )
+    configs = [
+        {"inv_eps": a, "sqrt_beta": b} for a, b in ((4, 1), (8, 1), (8, 2))
+    ]
+    for row in sweep(configs, run_config):
         table.add_row(
-            inv_eps=inv_eps,
-            sqrt_beta=sqrt_beta,
-            forward_w=total - plan.fixed_backward,
-            backward_w=plan.fixed_backward,
+            inv_eps=row["inv_eps"],
+            sqrt_beta=row["sqrt_beta"],
+            forward_w=row["forward_w"],
+            backward_w=row["backward_w"],
         )
     return [table]
 
@@ -260,11 +291,7 @@ def _e6_figure2() -> List[Table]:
     from repro.localquery.gxy import build_gxy
     from repro.utils.rng import ensure_rng
 
-    table = Table(
-        title="E6 / Figure 2 + Lemma 5.5 - MINCUT = 2*INT",
-        columns=["sqrt_N", "INT", "mincut", "witness"],
-    )
-    for side, gamma, seed in ((6, 1, 0), (9, 2, 1), (12, 4, 2)):
+    def run_config(side: int, gamma: int, seed: int) -> Dict[str, float]:
         gen = ensure_rng(seed)
         x = gen.integers(0, 2, size=side * side).astype(np.int8)
         y = np.zeros(side * side, dtype=np.int8)
@@ -272,11 +299,26 @@ def _e6_figure2() -> List[Table]:
         x[planted] = 1
         y[planted] = 1
         gxy = build_gxy(x, y)
+        return {
+            "INT": gxy.intersection(),
+            "mincut": stoer_wagner(gxy.graph)[0],
+            "witness": gxy.part_cut_value(),
+        }
+
+    table = Table(
+        title="E6 / Figure 2 + Lemma 5.5 - MINCUT = 2*INT",
+        columns=["sqrt_N", "INT", "mincut", "witness"],
+    )
+    configs = [
+        {"side": side, "gamma": gamma, "seed": seed}
+        for side, gamma, seed in ((6, 1, 0), (9, 2, 1), (12, 4, 2))
+    ]
+    for row in sweep(configs, run_config):
         table.add_row(
-            sqrt_N=side,
-            INT=gxy.intersection(),
-            mincut=stoer_wagner(gxy.graph)[0],
-            witness=gxy.part_cut_value(),
+            sqrt_N=row["side"],
+            INT=row["INT"],
+            mincut=row["mincut"],
+            witness=row["witness"],
         )
     return [table]
 
@@ -296,15 +338,25 @@ def _e7_figures36() -> List[Table]:
     x[planted] = 1
     y[planted] = 1
     gxy = build_gxy(x, y)
+    pairs = list(representative_figure_pairs(gxy))
+
+    def run_pair(index: int) -> Dict[str, float]:
+        u, v, figure = pairs[index]
+        return {
+            "figure": figure,
+            "paths": edge_disjoint_path_count(gxy.graph, u, v),
+            "2gamma": 2 * gxy.intersection(),
+        }
+
     table = Table(
         title="E7 / Figures 3-6 - edge-disjoint paths per representative pair",
         columns=["figure", "paths", "2gamma"],
     )
-    for u, v, figure in representative_figure_pairs(gxy):
+    for row in sweep([{"index": i} for i in range(len(pairs))], run_pair):
         table.add_row(
-            figure=figure,
-            paths=edge_disjoint_path_count(gxy.graph, u, v),
-            **{"2gamma": 2 * gxy.intersection()},
+            figure=row["figure"],
+            paths=row["paths"],
+            **{"2gamma": row["2gamma"]},
         )
     return [table]
 
@@ -317,15 +369,18 @@ def _e8_sparsifier() -> List[Table]:
     for u in range(16):
         for v in range(u + 1, 16):
             g.add_edge(u, v, 1.0)
+    def run_eps(eps: float) -> Dict[str, float]:
+        sketch = SparsifierSketch.from_undirected(
+            g, epsilon=eps, rng=17, constant=0.4
+        )
+        return {"kept_edges": sketch.sparse_graph.num_edges // 2}
+
     table = Table(
         title="E8 - sparsifier kept edges vs eps (K16)",
         columns=["eps", "kept_edges"],
     )
-    for eps in (0.9, 0.6, 0.4, 0.25):
-        sketch = SparsifierSketch.from_undirected(
-            g, epsilon=eps, rng=17, constant=0.4
-        )
-        table.add_row(eps=eps, kept_edges=sketch.sparse_graph.num_edges // 2)
+    for row in sweep([{"eps": e} for e in (0.9, 0.6, 0.4, 0.25)], run_eps):
+        table.add_row(eps=row["eps"], kept_edges=row["kept_edges"])
     return [table]
 
 
@@ -339,22 +394,30 @@ def _e9_distributed() -> List[Table]:
         for v in range(u + 1, 36):
             g.add_edge(u, v, 1.0)
     servers = partition_edges(g, 2, rng=1)
+
+    def run_config(eps: float, strategy: str) -> Dict[str, float]:
+        result = distributed_min_cut(
+            servers, epsilon=eps, strategy=strategy, rng=7,
+            sampling_constant=0.3,
+        )
+        return {"total_bits": result.total_bits, "estimate": result.value}
+
     table = Table(
         title="E9 - distributed min-cut communication vs eps",
         columns=["eps", "strategy", "total_bits", "estimate"],
     )
-    for eps in (0.4, 0.2):
-        for strategy in ("forall_only", "hybrid"):
-            result = distributed_min_cut(
-                servers, epsilon=eps, strategy=strategy, rng=7,
-                sampling_constant=0.3,
-            )
-            table.add_row(
-                eps=eps,
-                strategy=strategy,
-                total_bits=result.total_bits,
-                estimate=result.value,
-            )
+    configs = [
+        {"eps": eps, "strategy": strategy}
+        for eps in (0.4, 0.2)
+        for strategy in ("forall_only", "hybrid")
+    ]
+    for row in sweep(configs, run_config):
+        table.add_row(
+            eps=row["eps"],
+            strategy=row["strategy"],
+            total_bits=row["total_bits"],
+            estimate=row["estimate"],
+        )
     return [table]
 
 
@@ -371,7 +434,7 @@ REGISTRY: Dict[str, Callable[[], List[Table]]] = {
 }
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.run_all",
@@ -384,6 +447,16 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for parallel trial execution (0 = all "
+        "cores, 1 = serial; default: $REPRO_JOBS or serial).  Any value "
+        "produces bit-identical tables — see EXPERIMENTS.md, 'Parallel "
+        "execution'",
     )
     parser.add_argument(
         "--telemetry",
@@ -481,6 +554,9 @@ def main(argv: List[str] = None) -> int:
     monitor = obs_bounds.BoundMonitor()
     obs_bounds.install(monitor)
     profiler = SpanProfiler() if args.profile else None
+    # Every sweep and game round below resolves its worker count through
+    # this process-wide default (argument > default > $REPRO_JOBS > 1).
+    set_default_jobs(args.jobs)
     try:
         if profiler is not None:
             profiler.start()
@@ -499,6 +575,7 @@ def main(argv: List[str] = None) -> int:
             # The authoritative cumulative totals for trace_report.
             obs_event("summary", metrics=OBS_REGISTRY.as_dict())
     finally:
+        set_default_jobs(None)
         obs_bounds.uninstall(monitor)
         if capture is not None:
             obs_capture.uninstall(capture)

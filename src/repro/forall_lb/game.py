@@ -11,7 +11,7 @@ so the sketch must carry ``Omega(h/eps^2) = Omega(n beta/eps^2)`` bits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -25,8 +25,9 @@ from repro.obs import STATE as _OBS
 from repro.obs import capture as _capture
 from repro.obs import count as _obs_count
 from repro.obs import span as _obs_span
+from repro.parallel import run_trials
 from repro.sketch.base import CutSketch
-from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.stats import TrialSummary
 
 SketchFactory = Callable[[DiGraph, np.random.Generator], CutSketch]
@@ -66,17 +67,20 @@ def run_gap_hamming_game(
     rounds: int,
     rng: RngLike = None,
     enumeration_limit: int = DEFAULT_ENUMERATION_LIMIT,
+    jobs: Optional[int] = None,
 ) -> GapHammingGameResult:
-    """Play ``rounds`` independent rounds of the Gap-Hamming game."""
+    """Play ``rounds`` independent rounds of the Gap-Hamming game.
+
+    ``jobs`` fans rounds out over worker processes (see
+    :mod:`repro.parallel`) with results and telemetry bit-identical to
+    the serial path for any worker count.
+    """
     if rounds < 1:
         raise ParameterError("rounds must be positive")
     gen = ensure_rng(rng)
     encoder = ForAllEncoder(params)
 
-    successes = 0
-    total_bits = 0.0
-    total_queries = 0.0
-    for round_rng in spawn_rngs(gen, rounds):
+    def play_round(round_rng: np.random.Generator) -> Tuple[int, float, float]:
         with _obs_span("forall.round"):
             instance = sample_gap_hamming_instance(
                 num_strings=params.num_strings,
@@ -86,8 +90,7 @@ def run_gap_hamming_game(
             with _obs_span("forall.encode"):
                 encoded = encoder.encode(instance.strings)
             sketch = sketch_factory(encoded.graph, round_rng)
-            sketch_bits = sketch.size_bits()
-            total_bits += sketch_bits
+            sketch_bits = float(sketch.size_bits())
             if _OBS.enabled:
                 # Alice's one-way message: the sketch of her encoding.
                 _capture.record(
@@ -99,9 +102,7 @@ def run_gap_hamming_game(
             )
             with _obs_span("forall.decode"):
                 decision = decoder.decide(sketch, instance.index, instance.query)
-            total_queries += decision.queries_made
-            if decision.case is instance.case:
-                successes += 1
+            success = int(decision.case is instance.case)
             if _OBS.enabled:
                 # Bob's HIGH/LOW declaration is output, not charged bits.
                 _capture.record(
@@ -109,6 +110,12 @@ def run_gap_hamming_game(
                     payload=str(decision.case),
                 )
                 _obs_count("game.forall.rounds")
+        return success, sketch_bits, float(decision.queries_made)
+
+    outcomes = run_trials(play_round, rounds, gen, jobs=jobs)
+    successes = sum(success for success, _, _ in outcomes)
+    total_bits = sum(bits for _, bits, _ in outcomes)
+    total_queries = sum(queries for _, _, queries in outcomes)
     return GapHammingGameResult(
         params=params,
         summary=TrialSummary(successes=successes, trials=rounds),

@@ -16,7 +16,7 @@ accuracy degrades (the operational content of the lower bound).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -29,9 +29,10 @@ from repro.obs import STATE as _OBS
 from repro.obs import capture as _capture
 from repro.obs import count as _obs_count
 from repro.obs import span as _obs_span
+from repro.parallel import run_trials
 from repro.sketch.base import CutSketch
 from repro.utils.bitstrings import random_signstring
-from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.stats import TrialSummary
 
 #: A sketch factory receives the encoded graph and an RNG and returns the
@@ -74,29 +75,32 @@ def run_index_game(
     rounds: int,
     rng: RngLike = None,
     boost: int = 1,
+    jobs: Optional[int] = None,
 ) -> IndexGameResult:
-    """Play ``rounds`` independent rounds of the Index game."""
+    """Play ``rounds`` independent rounds of the Index game.
+
+    ``jobs`` fans rounds out over worker processes (see
+    :mod:`repro.parallel`); every value — including the default serial
+    resolution — produces bit-identical results and telemetry, because
+    each round's randomness is split from ``rng`` by trial index before
+    scheduling.
+    """
     if rounds < 1:
         raise ParameterError("rounds must be positive")
     gen = ensure_rng(rng)
     encoder = ForEachEncoder(params)
     decoder = ForEachDecoder(params)
 
-    successes = 0
-    failed_rounds = 0
-    total_bits = 0.0
-    for round_rng in spawn_rngs(gen, rounds):
+    def play_round(round_rng: np.random.Generator) -> Tuple[int, int, float]:
         with _obs_span("foreach.round"):
             s = random_signstring(params.string_length, rng=round_rng)
             q = int(round_rng.integers(0, params.string_length))
             with _obs_span("foreach.encode"):
                 encoded = encoder.encode(s)
             block = params.locate_bit(q)[:3]
-            if block in encoded.failed_blocks:
-                failed_rounds += 1
+            failed = int(block in encoded.failed_blocks)
             sketch = sketch_factory(encoded.graph, round_rng)
-            sketch_bits = sketch.size_bits()
-            total_bits += sketch_bits
+            sketch_bits = float(sketch.size_bits())
             if _OBS.enabled:
                 # Alice's one-way message: the sketch of her encoding.
                 _capture.record(
@@ -105,8 +109,7 @@ def run_index_game(
                 )
             with _obs_span("foreach.decode", q=q):
                 guess = decoder.decode_bit(sketch, q, boost=boost)
-            if guess == int(s[q]):
-                successes += 1
+            success = int(guess == int(s[q]))
             if _OBS.enabled:
                 # Bob's answer is output, not charged communication.
                 _capture.record(
@@ -114,6 +117,12 @@ def run_index_game(
                     payload=(int(q), int(guess)),
                 )
                 _obs_count("game.foreach.rounds")
+        return success, failed, sketch_bits
+
+    outcomes = run_trials(play_round, rounds, gen, jobs=jobs)
+    successes = sum(success for success, _, _ in outcomes)
+    failed_rounds = sum(failed for _, failed, _ in outcomes)
+    total_bits = sum(bits for _, _, bits in outcomes)
     return IndexGameResult(
         params=params,
         summary=TrialSummary(successes=successes, trials=rounds),

@@ -20,11 +20,22 @@ These rows are the query masks of the for-each lower bound: row
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
 from repro.errors import ParameterError
+
+#: Memoized Sylvester matrices, keyed by order.  Entries are read-only
+#: (``writeable=False``) and shared by every caller; the doubling
+#: construction is O(order^2) work and every encoder of the same
+#: ``1/eps`` rebuilt it before this cache existed.
+_HADAMARD_CACHE: Dict[int, np.ndarray] = {}
+
+#: Memoized Lemma 3.2 row lists, keyed by side.  Rows hold read-only
+#: views into the cached Hadamard matrix, so all
+#: :class:`Lemma32Matrix` instances of one side share storage.
+_ROWS_CACHE: Dict[int, List["TensorRow"]] = {}
 
 
 def is_power_of_two(value: int) -> bool:
@@ -32,18 +43,27 @@ def is_power_of_two(value: int) -> bool:
     return value >= 1 and (value & (value - 1)) == 0
 
 
-def sylvester_hadamard(order: int) -> np.ndarray:
+def sylvester_hadamard(order: int, copy: bool = False) -> np.ndarray:
     """The Sylvester Hadamard matrix of the given power-of-two ``order``.
 
     ``H_1 = [1]``; ``H_{2n} = [[H, H], [H, -H]]``.  Rows are mutually
     orthogonal; row 0 is all ones; rows >= 1 are balanced (sum to 0).
+
+    Matrices are memoized by order: the default return value is a
+    shared *read-only* array (attempting to write raises), which every
+    encoder of the same ``1/eps`` reuses.  Pass ``copy=True`` for a
+    private writable copy.
     """
     if not is_power_of_two(order):
         raise ParameterError(f"Hadamard order must be a power of two, got {order}")
-    h = np.array([[1]], dtype=np.int8)
-    while h.shape[0] < order:
-        h = np.block([[h, h], [h, -h]]).astype(np.int8)
-    return h
+    cached = _HADAMARD_CACHE.get(order)
+    if cached is None:
+        h = np.array([[1]], dtype=np.int8)
+        while h.shape[0] < order:
+            h = np.block([[h, h], [h, -h]]).astype(np.int8)
+        h.setflags(write=False)
+        cached = _HADAMARD_CACHE[order] = h
+    return cached.copy() if copy else cached
 
 
 @dataclass(frozen=True)
@@ -91,11 +111,17 @@ class Lemma32Matrix:
             )
         self.side = side
         self._hadamard = sylvester_hadamard(side)
-        self._rows: List[TensorRow] = [
-            TensorRow(u=self._hadamard[i].copy(), v=self._hadamard[j].copy())
-            for i in range(1, side)
-            for j in range(1, side)
-        ]
+        rows = _ROWS_CACHE.get(side)
+        if rows is None:
+            # Views into the read-only cached matrix: rows of every
+            # instance of this side share one backing buffer and stay
+            # immutable (writes to a view of a frozen array raise).
+            rows = _ROWS_CACHE[side] = [
+                TensorRow(u=self._hadamard[i], v=self._hadamard[j])
+                for i in range(1, side)
+                for j in range(1, side)
+            ]
+        self._rows: List[TensorRow] = rows
 
     @property
     def num_rows(self) -> int:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ParameterError
 from repro.graphs.mincut import stoer_wagner
@@ -115,3 +115,34 @@ def verify_guess(
         sampled_edges=len(edges),
         neighbor_queries=neighbor_queries,
     )
+
+
+def verify_guess_trials(
+    oracle_factory: Callable[[], LocalQueryOracle],
+    t: float,
+    eps: float,
+    seeds: Sequence[int],
+    constant: float = DEFAULT_SAMPLING_CONSTANT,
+    jobs: Optional[int] = None,
+) -> List[VerifyGuessResult]:
+    """Independent VERIFY-GUESS(t, eps) trials, one per seed.
+
+    Each trial builds a fresh oracle from ``oracle_factory`` (so query
+    counters never bleed between trials), fetches its degree map, and
+    runs :func:`verify_guess` seeded by its own entry of ``seeds``.
+    Because every trial carries its full randomness in that explicit
+    seed, the trials are independent and ``jobs`` may fan them out over
+    worker processes (:class:`repro.parallel.TrialPool`) with results
+    identical to the serial loop for any worker count.  Results return
+    in seed order.
+    """
+    from repro.parallel import TrialPool
+
+    def run_one(seed: int) -> VerifyGuessResult:
+        oracle = oracle_factory()
+        degrees = fetch_degrees(oracle)
+        return verify_guess(
+            oracle, degrees, t=t, eps=eps, rng=seed, constant=constant
+        )
+
+    return TrialPool(jobs=jobs).map(run_one, list(seeds))

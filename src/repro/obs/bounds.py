@@ -449,6 +449,34 @@ class BoundMonitor:
             )
         return check
 
+    def absorb(
+        self,
+        checks: Sequence[BoundCheck],
+        sweeps: Optional[Mapping[Tuple, Sequence[Tuple]]] = None,
+    ) -> None:
+        """Fold another monitor's recorded state into this one.
+
+        The merge half of parallel execution: a worker process collects
+        bound observations into its own monitor and ships
+        ``(checks, sweep points)`` back; the parent absorbs them here in
+        deterministic chunk order.  Checks are appended *without*
+        re-emitting ``bound_check`` events (the worker's events ride
+        along in its telemetry-event delta and are re-emitted there);
+        sweep fit points extend so :meth:`finish` fits over the union.
+        """
+        self.checks.extend(checks)
+        for key, points in (sweeps or {}).items():
+            self._sweeps.setdefault(tuple(key), []).extend(
+                tuple(point) for point in points
+            )
+
+    def dump_state(self) -> Dict[str, Any]:
+        """The picklable ``(checks, sweeps)`` payload for :meth:`absorb`."""
+        return {
+            "checks": list(self.checks),
+            "sweeps": {key: list(points) for key, points in self._sweeps.items()},
+        }
+
     # -- finishing ------------------------------------------------------
 
     def finish(self) -> List[BoundCheck]:

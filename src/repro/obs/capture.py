@@ -35,8 +35,8 @@ import hashlib
 import json
 import numbers
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field, replace as _dc_replace
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ObsError
 from repro.obs import metrics as _metrics
@@ -204,6 +204,23 @@ class WireCapture:
         _metrics.count("wire.bits", int(bits))
         return message
 
+    def append(self, message: WireMessage) -> WireMessage:
+        """Append an already-recorded message, re-sequencing its ``seq``.
+
+        The merge half of parallel execution: a worker ships the
+        messages its chunk recorded and the parent appends them here in
+        deterministic chunk order.  Unlike :meth:`record` this does
+        *not* mirror into the ``wire.*`` counters — the worker already
+        counted the message in its own registry delta, and that delta
+        merges separately; double counting would break the
+        capture-bits == counter-meters reconciliation invariant.
+        """
+        merged = _dc_replace(message, seq=len(self.messages))
+        self.messages.append(merged)
+        if self.sink is not None:
+            self.sink.write(merged.as_record())
+        return merged
+
     # -- aggregate views ------------------------------------------------
 
     def __len__(self) -> int:
@@ -366,6 +383,26 @@ def record(
         capture.record(
             sender, receiver, kind, bits, digest=digest, **meta
         )
+
+
+def merge_records(records: Iterable[Dict[str, Any]]) -> int:
+    """Append shipped ``wire`` records to every active capture.
+
+    ``records`` are :meth:`WireMessage.as_record` payloads from a
+    worker-process transcript; each is appended (re-sequenced) to every
+    installed capture via :meth:`WireCapture.append`, preserving the
+    shipped order.  Returns the number of messages merged; a no-op
+    (returning 0) when no capture is installed.
+    """
+    if not _ACTIVE:
+        return 0
+    merged = 0
+    for record in records:
+        message = WireMessage.from_record(dict(record))
+        for capture in _ACTIVE:
+            capture.append(message)
+        merged += 1
+    return merged
 
 
 @contextmanager

@@ -144,6 +144,17 @@ class Histogram:
             "max": self.quantile(1.0),
         }
 
+    def samples(self) -> List[float]:
+        """A copy of the recorded samples.
+
+        In insertion order unless a quantile has been taken since the
+        last :meth:`observe` (quantiles sort the backing list in
+        place); the *multiset* of samples — what every quantile and sum
+        is computed from — is always exact.  This is the shipping
+        format of the parallel telemetry merge.
+        """
+        return list(self._samples)
+
     def reset(self) -> None:
         """Drop all samples."""
         self._samples.clear()
@@ -241,6 +252,53 @@ class MetricsRegistry:
                 for name, hist in sorted(self._histograms.items())
             },
         }
+
+    def dump_state(self) -> Dict[str, Dict]:
+        """A picklable snapshot of every metric's full state.
+
+        Unlike :meth:`snapshot` (flat cumulative counters), this keeps
+        histogram *samples* verbatim and includes gauges, so a worker
+        process can ship its registry across a process boundary and the
+        parent can fold it in with :meth:`merge_state` without losing
+        quantile inputs.  Only non-empty metrics are included.
+        """
+        return {
+            "counters": {
+                name: metric.value
+                for name, metric in self._counters.items()
+                if metric.value
+            },
+            "gauges": {
+                name: metric.value
+                for name, metric in self._gauges.items()
+                if metric.value is not None
+            },
+            "histograms": {
+                name: hist.samples()
+                for name, hist in self._histograms.items()
+                if hist.count
+            },
+        }
+
+    def merge_state(self, state: Dict[str, Dict]) -> None:
+        """Fold a :meth:`dump_state` snapshot into this registry.
+
+        Counters add (commutative: merging worker snapshots in any
+        order yields the same totals), histogram samples extend in the
+        shipped order (so the merged quantile inputs are the exact
+        union of the parts; callers wanting a deterministic sample
+        *order* must merge snapshots in a deterministic order, as the
+        parallel engine does — sorted by chunk start index), and
+        gauges are last-write-wins in merge order.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, samples in state.get("histograms", {}).items():
+            hist = self.histogram(name)
+            for sample in samples:
+                hist.observe(sample)
 
     def reset(self) -> None:
         """Zero every metric (the objects stay registered)."""

@@ -1,0 +1,147 @@
+"""Worker-side telemetry collection and parent-side deterministic merge.
+
+The observability layer (:mod:`repro.obs`) is built around
+process-global singletons: the metrics ``REGISTRY``, the active span
+stack, the installed wire captures, and the installed bound monitors.
+Under :mod:`repro.parallel` a trial chunk executes in a forked worker
+whose copies of those singletons diverge from the parent's — and whose
+inherited *file-backed* sinks share file descriptors with the parent,
+so letting a worker write to them would interleave bytes mid-line.
+
+The contract here keeps the PR 2/PR 4 reconciliation invariants
+(capture bits == BitLedger == counter meters; histogram quantile inputs
+exact) intact under any worker count:
+
+* :func:`worker_begin` runs in the forked child at chunk start.  It
+  swaps the inherited telemetry sink for an in-memory
+  :class:`~repro.obs.sink.ListSink`, replaces any inherited wire
+  captures with one fresh sink-less :class:`~repro.obs.capture.
+  WireCapture`, replaces any inherited bound monitors with a fresh
+  non-emitting monitor, and zeroes the child's copy of the global
+  registry so the chunk's tally *is* its delta.
+* :func:`worker_end` packages everything the chunk produced — metric
+  registry delta (with verbatim histogram samples), telemetry events
+  (spans, rows), wire messages, bound checks — into one picklable dict
+  that rides back with the chunk's results.
+* :func:`merge_delta` runs in the parent, once per chunk, **in chunk
+  start-index order** regardless of completion order.  Counters add,
+  histogram samples extend, wire messages append (re-sequenced, without
+  re-mirroring ``wire.*`` counters), telemetry events re-emit through
+  the parent sink stamped with ``worker`` (worker pid) and ``chunk``
+  (first trial index of the chunk), and bound checks are absorbed by
+  the parent's monitors without double-emitting events.
+
+Because chunks cover contiguous trial ranges and merge in start order,
+the merged message transcript and histogram sample sequence are
+byte-identical to what the serial path would have produced.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from repro.obs import bounds as _bounds
+from repro.obs import capture as _capture
+from repro.obs import sink as _sink
+from repro.obs.core import STATE
+from repro.obs.metrics import REGISTRY
+from repro.obs.sink import ListSink
+
+
+class WorkerObs:
+    """Handle returned by :func:`worker_begin`, consumed by :func:`worker_end`."""
+
+    __slots__ = ("sink", "capture", "monitor")
+
+    def __init__(
+        self,
+        sink: ListSink,
+        capture: Optional[_capture.WireCapture],
+        monitor: Optional[_bounds.BoundMonitor],
+    ):
+        self.sink = sink
+        self.capture = capture
+        self.monitor = monitor
+
+
+def worker_begin() -> Optional[WorkerObs]:
+    """Divert the forked child's observability state into local buffers.
+
+    Returns ``None`` (nothing to collect, zero overhead) when telemetry
+    is disabled and nothing is installed.  Otherwise the child's sink,
+    captures, and monitors are replaced — the inherited objects may hold
+    file descriptors shared with the parent and must never be written
+    from the worker.
+    """
+    if not STATE.enabled and not _capture._ACTIVE and not _bounds._MONITORS:
+        return None
+    sink = ListSink()
+    STATE.sink = sink
+    capture = None
+    if _capture._ACTIVE:
+        capture = _capture.WireCapture(meta={"worker": os.getpid()})
+        _capture._ACTIVE[:] = [capture]
+    monitor = None
+    if _bounds._MONITORS:
+        monitor = _bounds.BoundMonitor(emit_events=True)
+        _bounds._MONITORS[:] = [monitor]
+    REGISTRY.reset()
+    return WorkerObs(sink, capture, monitor)
+
+
+def worker_end(handle: Optional[WorkerObs]) -> Optional[Dict[str, Any]]:
+    """Package the chunk's collected observability state for shipping."""
+    if handle is None:
+        return None
+    delta: Dict[str, Any] = {}
+    metrics_state = REGISTRY.dump_state()
+    if any(metrics_state.values()):
+        delta["metrics"] = metrics_state
+    if handle.sink.records:
+        delta["events"] = handle.sink.records
+    if handle.capture is not None and handle.capture.messages:
+        delta["wire"] = [m.as_record() for m in handle.capture.messages]
+    if handle.monitor is not None and (
+        handle.monitor.checks or handle.monitor._sweeps
+    ):
+        delta["bounds"] = handle.monitor.dump_state()
+    return delta or None
+
+
+def merge_delta(
+    delta: Optional[Dict[str, Any]],
+    worker: Optional[int] = None,
+    chunk: Optional[int] = None,
+) -> None:
+    """Fold one worker chunk's shipped delta into the parent's state.
+
+    Callers must invoke this in chunk start-index order — that ordering
+    is what makes the merged transcript and histogram sample sequence
+    identical to a serial run.  Counter merging itself is commutative;
+    the ordering contract exists for histograms, events, and wire
+    messages (see ``tests/obs/test_merge.py``).
+    """
+    if not delta:
+        return
+    metrics_state = delta.get("metrics")
+    if metrics_state:
+        REGISTRY.merge_state(metrics_state)
+    for record in delta.get("events", ()):
+        stamped = dict(record)
+        stamped.pop("seq", None)  # the parent sink re-stamps sequence
+        if worker is not None:
+            stamped.setdefault("worker", worker)
+        if chunk is not None:
+            stamped.setdefault("chunk", chunk)
+        _sink.emit(stamped)
+    wire = delta.get("wire")
+    if wire:
+        _capture.merge_records(wire)
+    bounds_state = delta.get("bounds")
+    if bounds_state:
+        for monitor in _bounds._MONITORS:
+            monitor.absorb(
+                bounds_state.get("checks", ()),
+                bounds_state.get("sweeps"),
+            )

@@ -1,0 +1,378 @@
+"""Process-pool trial execution with deterministic results and telemetry.
+
+The repository's experiments are embarrassingly parallel at the *trial*
+level — lower-bound game rounds, sweep configurations, benchmark
+repetitions — but every hot loop ran serially before this module.  The
+engine here fans trials out over a forked
+:class:`~concurrent.futures.ProcessPoolExecutor` while keeping two
+promises the rest of the repo depends on:
+
+**Bit-identical results.**  :func:`run_trials` draws one canonical seed
+per trial from the caller's generator via
+:func:`repro.utils.rng.spawn_seeds` *before* any scheduling decision, so
+the randomness a trial sees depends only on ``(parent seed, trial
+index)`` — never on the worker count, chunking, or completion order.
+The serial path (``jobs=1``, no ``fork``, or one item) runs the exact
+code a pre-parallel caller ran; any ``jobs`` produces byte-identical
+tables and transcripts.
+
+**Reconciled telemetry.**  Each chunk runs between
+:func:`~repro.parallel.obsmerge.worker_begin` and
+:func:`~repro.parallel.obsmerge.worker_end`, shipping its metric
+registry delta, telemetry events, wire messages, and bound checks back
+with its results.  The parent merges the shipped deltas in chunk
+start-index order — regardless of completion order — so histogram
+sample sequences, wire transcripts, and float summation order match a
+serial run exactly (the PR 2/PR 4 reconciliation invariants hold for
+any worker count).
+
+Failure protocol: an exception raised *by the trial function* aborts
+the run immediately with a :class:`~repro.errors.ParallelError` naming
+the trial index (the worker ships the traceback text).  A *crashed or
+hung worker* (``BrokenProcessPool`` / timeout) triggers an isolation
+pass: every not-yet-finished chunk re-runs one trial at a time on a
+fresh single-worker pool, each trial retried once with the same spawned
+seed; a trial that kills its process twice raises ``ParallelError``
+naming it.  There is no code path that returns a silent partial table.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import traceback as _tb
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as _FutTimeout
+from concurrent.futures.process import BrokenProcessPool
+from itertools import count as _itercount
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParallelError
+from repro.utils.rng import RngLike, spawn_seeds
+
+#: Environment variable consulted when no explicit ``jobs`` is given.
+JOBS_ENV = "REPRO_JOBS"
+
+#: Process-wide default installed by :func:`set_default_jobs` (None =
+#: fall through to the environment).
+_DEFAULT_JOBS: Optional[int] = None
+
+#: True inside a pool worker: nested ``run_trials`` calls stay serial
+#: there (forking from a pool worker would oversubscribe and deadlock).
+_IN_WORKER = False
+
+#: Work-unit table, keyed by token.  Entries are installed *before* the
+#: executor is created so forked workers inherit them — this is what
+#: lets ``map`` accept closures and lambdas that pickle cannot ship.
+_WORK: Dict[int, Tuple[Callable[[Any], Any], Sequence[Any]]] = {}
+_TOKENS = _itercount()
+
+
+def fork_available() -> bool:
+    """Whether the platform supports the ``fork`` start method.
+
+    The engine requires ``fork`` (work units travel by inheritance, not
+    pickling); without it every pool degrades to the serial path.
+    """
+    return "fork" in mp.get_all_start_methods()
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Install a process-wide default worker count (None clears it).
+
+    Sits between an explicit ``jobs=`` argument and the ``REPRO_JOBS``
+    environment variable in the resolution chain; ``run_all --jobs N``
+    calls this once so every sweep and game it triggers inherits N.
+    """
+    global _DEFAULT_JOBS
+    _DEFAULT_JOBS = jobs
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """The effective worker count for a pool.
+
+    Resolution order: explicit argument → :func:`set_default_jobs` →
+    ``REPRO_JOBS`` → 1 (serial).  A value ``<= 0`` means "all cores".
+    Inside a pool worker the answer is always 1, whatever was asked —
+    nested parallelism would oversubscribe the machine.
+    """
+    if _IN_WORKER:
+        return 1
+    if jobs is None:
+        jobs = _DEFAULT_JOBS
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ParallelError(
+                    f"{JOBS_ENV} must be an integer, got {raw!r}"
+                ) from None
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def chunk_plan(
+    n_items: int, jobs: int, chunk_factor: int = 4
+) -> List[Tuple[int, int]]:
+    """Contiguous ``(start, stop)`` ranges covering ``range(n_items)``.
+
+    Aims for ``jobs * chunk_factor`` chunks so slow trials are balanced
+    by work stealing (idle workers pull the next chunk) while keeping
+    per-chunk dispatch overhead amortised.  The plan depends only on
+    ``(n_items, jobs, chunk_factor)`` — never on timing — and chunks
+    are contiguous, which is what makes merge-by-start-index reproduce
+    serial ordering.
+    """
+    if n_items < 0:
+        raise ParallelError("n_items must be non-negative")
+    if n_items == 0:
+        return []
+    target = max(1, min(n_items, jobs * max(1, chunk_factor)))
+    size = -(-n_items // target)  # ceil division
+    return [
+        (start, min(start + size, n_items))
+        for start in range(0, n_items, size)
+    ]
+
+
+def _run_chunk(token: int, start: int, stop: int) -> Dict[str, Any]:
+    """Worker entry point: run trials ``[start, stop)`` of work ``token``.
+
+    Runs in the forked child.  Returns a picklable payload —
+    ``{"start", "results", "delta", "pid"}`` on success, with
+    ``"failure"`` describing the first trial whose function raised
+    (results stop there).  Worker crashes never return at all; the
+    parent sees ``BrokenProcessPool`` instead.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    from repro.parallel import obsmerge
+
+    fn, items = _WORK[token]
+    handle = obsmerge.worker_begin()
+    results: List[Any] = []
+    failure: Optional[Dict[str, Any]] = None
+    for index in range(start, stop):
+        try:
+            results.append(fn(items[index]))
+        except Exception as exc:
+            failure = {
+                "index": index,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": _tb.format_exc(),
+            }
+            break
+    return {
+        "start": start,
+        "results": results,
+        "failure": failure,
+        "delta": obsmerge.worker_end(handle),
+        "pid": os.getpid(),
+    }
+
+
+class TrialPool:
+    """Chunked fan-out of independent trials over forked workers.
+
+    ``jobs`` resolves through :func:`resolve_jobs`; ``timeout`` (seconds
+    per in-flight chunk, None = wait forever) guards against hung
+    workers; ``chunk_factor`` tunes the work-stealing granularity of
+    :func:`chunk_plan`.  A pool object is cheap — the executor lives
+    only for the duration of each :meth:`map` call, so the work table
+    installed just before forking is always current.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        timeout: Optional[float] = None,
+        chunk_factor: int = 4,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self.timeout = timeout
+        self.chunk_factor = chunk_factor
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """``[fn(item) for item in items]``, fanned out when it pays.
+
+        Falls back to the literal serial comprehension — same code a
+        pre-parallel caller ran, exceptions propagating untouched —
+        when the pool resolves to one worker, the platform lacks
+        ``fork``, or there are fewer than two items.  The parallel path
+        returns results in item order and merges worker telemetry in
+        chunk start order; see the module docstring for the failure
+        protocol.
+        """
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1 or not fork_available():
+            return [fn(item) for item in items]
+        token = next(_TOKENS)
+        _WORK[token] = (fn, items)
+        try:
+            payloads = self._run_parallel(token, len(items))
+        finally:
+            del _WORK[token]
+        from repro.parallel import obsmerge
+
+        results: List[Any] = []
+        for payload in sorted(payloads, key=lambda p: p["start"]):
+            obsmerge.merge_delta(
+                payload.get("delta"),
+                worker=payload.get("pid"),
+                chunk=payload["start"],
+            )
+            results.extend(payload["results"])
+        return results
+
+    # -- the two passes -------------------------------------------------
+
+    def _run_parallel(self, token: int, n_items: int) -> List[Dict[str, Any]]:
+        chunks = chunk_plan(n_items, self.jobs, self.chunk_factor)
+        payloads, pending = self._first_pass(token, chunks)
+        if pending:
+            payloads.extend(self._isolation_pass(token, pending))
+        return payloads
+
+    def _first_pass(
+        self, token: int, chunks: List[Tuple[int, int]]
+    ) -> Tuple[List[Dict[str, Any]], List[Tuple[int, int]]]:
+        """Submit every chunk at once; work stealing balances the load.
+
+        Returns ``(completed payloads, chunks needing the isolation
+        pass)``.  A trial-function failure raises immediately; a crash
+        or hang demotes every unfinished chunk to the isolation pass.
+        """
+        ctx = mp.get_context("fork")
+        executor = ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx)
+        futures = {
+            executor.submit(_run_chunk, token, start, stop): (start, stop)
+            for start, stop in chunks
+        }
+        payloads: List[Dict[str, Any]] = []
+        pending: List[Tuple[int, int]] = []
+        broken = False
+        try:
+            for future, chunk in futures.items():
+                if broken:
+                    pending.append(chunk)
+                    continue
+                try:
+                    payload = future.result(timeout=self.timeout)
+                except BrokenProcessPool:
+                    broken = True
+                    pending.append(chunk)
+                    continue
+                except _FutTimeout:
+                    self._kill_workers(executor)
+                    broken = True
+                    pending.append(chunk)
+                    continue
+                if payload["failure"] is not None:
+                    self._raise_trial_failure(payload["failure"])
+                payloads.append(payload)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return payloads, pending
+
+    def _isolation_pass(
+        self, token: int, chunks: List[Tuple[int, int]]
+    ) -> List[Dict[str, Any]]:
+        """Re-run unfinished chunks one trial at a time, retrying once.
+
+        A fresh single-worker pool per attempt makes crash attribution
+        unambiguous: exactly one trial is ever in flight, so a broken
+        pool names its trial.  Each trial re-runs with the same spawned
+        seed (the work table still holds it); a second crash raises
+        :class:`ParallelError` carrying the trial index.
+        """
+        ctx = mp.get_context("fork")
+        payloads: List[Dict[str, Any]] = []
+        for start, stop in chunks:
+            for index in range(start, stop):
+                payloads.append(self._run_isolated(ctx, token, index))
+        return payloads
+
+    def _run_isolated(self, ctx, token: int, index: int) -> Dict[str, Any]:
+        last_error = "worker process died"
+        for _attempt in range(2):
+            executor = ProcessPoolExecutor(max_workers=1, mp_context=ctx)
+            try:
+                future = executor.submit(_run_chunk, token, index, index + 1)
+                try:
+                    payload = future.result(timeout=self.timeout)
+                except BrokenProcessPool:
+                    last_error = "worker process died"
+                    continue
+                except _FutTimeout:
+                    self._kill_workers(executor)
+                    last_error = (
+                        f"worker exceeded the {self.timeout}s timeout"
+                    )
+                    continue
+                if payload["failure"] is not None:
+                    self._raise_trial_failure(payload["failure"])
+                return payload
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+        raise ParallelError(
+            f"trial {index} failed after a retry on a fresh worker "
+            f"({last_error}); no partial results were returned",
+            trial=index,
+        )
+
+    # -- failure plumbing ----------------------------------------------
+
+    @staticmethod
+    def _raise_trial_failure(failure: Dict[str, Any]) -> None:
+        raise ParallelError(
+            f"trial {failure['index']} raised {failure['error']}\n"
+            f"{failure['traceback']}",
+            trial=failure["index"],
+        )
+
+    @staticmethod
+    def _kill_workers(executor: ProcessPoolExecutor) -> None:
+        """Terminate a hung pool's processes (forces ``BrokenProcessPool``).
+
+        Reaches into executor internals — there is no public kill switch
+        on :class:`ProcessPoolExecutor` — guarded so a future stdlib
+        that renames the attribute degrades to waiting, not crashing.
+        """
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
+
+
+def run_trials(
+    fn: Callable[[np.random.Generator], Any],
+    n_trials: int,
+    rng: RngLike,
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    chunk_factor: int = 4,
+) -> List[Any]:
+    """Run ``fn`` once per trial with split randomness, optionally parallel.
+
+    The deterministic heart of the engine: one seed per trial is drawn
+    from ``rng`` up front via :func:`~repro.utils.rng.spawn_seeds` —
+    advancing ``rng`` exactly as the serial ``spawn_rngs`` loop always
+    did — and trial ``i`` runs ``fn(np.random.default_rng(seeds[i]))``
+    wherever the scheduler places it.  Results come back in trial
+    order, so for any ``jobs`` the return value is bit-identical to::
+
+        [fn(g) for g in spawn_rngs(rng, n_trials)]
+
+    ``fn`` and its results must be picklable-or-fork-inheritable for the
+    parallel path (any callable works — closures and lambdas travel by
+    fork inheritance; results must pickle).  Trial failures follow the
+    :class:`TrialPool` protocol.
+    """
+    seeds = spawn_seeds(rng, n_trials)
+    pool = TrialPool(jobs=jobs, timeout=timeout, chunk_factor=chunk_factor)
+    return pool.map(lambda seed: fn(np.random.default_rng(seed)), seeds)

@@ -22,7 +22,7 @@ pin down, is identical.)
 
 from __future__ import annotations
 
-from typing import AbstractSet
+from typing import AbstractSet, Optional
 
 from repro.errors import SketchError
 from repro.graphs.balance import edgewise_balance_bound
@@ -52,7 +52,7 @@ class BalancedDigraphSparsifier(CutSketch):
         self,
         graph: DiGraph,
         epsilon: float,
-        beta: float = None,
+        beta: Optional[float] = None,
         rng: RngLike = None,
         constant: float = DEFAULT_SAMPLING_CONSTANT,
         connectivity: str = "exact",

@@ -1,6 +1,6 @@
 """Shared utilities: seeded randomness, bit strings, and statistics."""
 
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import ensure_rng, spawn_rngs, spawn_seeds
 from repro.utils.bitstrings import (
     BitString,
     SignString,
@@ -40,5 +40,6 @@ __all__ = [
     "random_fixed_weight_bitstring",
     "random_signstring",
     "spawn_rngs",
+    "spawn_seeds",
     "unpack_bits",
 ]

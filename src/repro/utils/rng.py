@@ -34,14 +34,29 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
 
 
+def spawn_seeds(rng: RngLike, count: int) -> List[int]:
+    """Split ``rng`` into ``count`` integer child seeds.
+
+    This is the seed-splitting contract of the parallel trial engine
+    (:mod:`repro.parallel`): the seed for trial ``i`` depends only on
+    the parent generator's state and ``i`` — never on how the trials
+    are later chunked across worker processes — so
+    ``default_rng(spawn_seeds(seed, n)[i])`` draws identical streams
+    whether the ``n`` trials run serially or split over any number of
+    workers.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    parent = ensure_rng(rng)
+    return [int(seed) for seed in parent.integers(0, 2**63 - 1, size=count)]
+
+
 def spawn_rngs(rng: RngLike, count: int) -> List[np.random.Generator]:
     """Split ``rng`` into ``count`` independent child generators.
 
     Used when a game hands separate randomness to Alice, Bob, and the
     sketching algorithm so that each party's choices are independent.
+    Equivalent to seeding a generator from each :func:`spawn_seeds`
+    entry (the two functions consume the parent stream identically).
     """
-    if count < 0:
-        raise ValueError("count must be non-negative")
-    parent = ensure_rng(rng)
-    seeds = parent.integers(0, 2**63 - 1, size=count)
-    return [np.random.default_rng(int(seed)) for seed in seeds]
+    return [np.random.default_rng(seed) for seed in spawn_seeds(rng, count)]

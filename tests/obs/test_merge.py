@@ -1,0 +1,241 @@
+"""Merge semantics of the parallel telemetry shipping layer.
+
+The parallel engine's reconciliation guarantee rests on three merge
+primitives: ``MetricsRegistry.dump_state``/``merge_state``,
+``WireCapture.append``/``merge_records``, and
+``BoundMonitor.dump_state``/``absorb``.  These tests pin down exactly
+what is order-independent (counter totals, histogram multisets, bit
+sums) and what is ordering-contracted (histogram sample sequences, wire
+transcripts, gauge last-write) — the documented ordering is "merge in
+chunk start-index order".
+"""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs import capture as obs_capture
+from repro.obs.bounds import BoundMonitor
+from repro.obs.capture import WireCapture, WireMessage, payload_digest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import ListSink
+
+
+def _registry_with(counters=(), samples=(), gauges=()):
+    reg = MetricsRegistry()
+    for name, value in counters:
+        reg.counter(name).inc(value)
+    for name, value in samples:
+        reg.histogram(name).observe(value)
+    for name, value in gauges:
+        reg.gauge(name).set(value)
+    return reg
+
+
+class TestMetricsMerge:
+    def test_counters_add_commutatively(self):
+        a = _registry_with(counters=[("x", 3), ("y", 1)]).dump_state()
+        b = _registry_with(counters=[("x", 4), ("z", 2)]).dump_state()
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge_state(a)
+        ab.merge_state(b)
+        ba.merge_state(b)
+        ba.merge_state(a)
+        for reg in (ab, ba):
+            assert reg.counter("x").value == 7
+            assert reg.counter("y").value == 1
+            assert reg.counter("z").value == 2
+
+    def test_histogram_bit_totals_exact(self):
+        # Exact totals: sum/count of the merged histogram equal the
+        # arithmetic union of the parts — no aggregation-by-summary.
+        a = _registry_with(samples=[("h", 1.5), ("h", 2.5)]).dump_state()
+        b = _registry_with(samples=[("h", 4.0)]).dump_state()
+        merged = MetricsRegistry()
+        merged.merge_state(a)
+        merged.merge_state(b)
+        hist = merged.histogram("h")
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(8.0)
+
+    def test_histogram_quantile_inputs_preserved(self):
+        # Quantiles of the merged histogram are computed from the exact
+        # union multiset, indistinguishable from a serial registry that
+        # observed every sample itself.
+        parts = [
+            [0.1, 0.9, 0.5],
+            [0.3],
+            [0.7, 0.2],
+        ]
+        serial = MetricsRegistry()
+        merged = MetricsRegistry()
+        for part in parts:
+            worker = MetricsRegistry()
+            for sample in part:
+                serial.histogram("h").observe(sample)
+                worker.histogram("h").observe(sample)
+            merged.merge_state(worker.dump_state())
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert merged.histogram("h").quantile(q) == serial.histogram(
+                "h"
+            ).quantile(q)
+
+    def test_histogram_sample_order_follows_merge_order(self):
+        # The *sequence* is ordering-contracted, not order-independent:
+        # merging in chunk order reproduces the serial insertion order.
+        a = _registry_with(samples=[("h", 1.0), ("h", 2.0)]).dump_state()
+        b = _registry_with(samples=[("h", 3.0)]).dump_state()
+        merged = MetricsRegistry()
+        merged.merge_state(a)
+        merged.merge_state(b)
+        assert merged.histogram("h").samples() == [1.0, 2.0, 3.0]
+
+    def test_gauges_last_write_wins_in_merge_order(self):
+        a = _registry_with(gauges=[("g", 1.0)]).dump_state()
+        b = _registry_with(gauges=[("g", 2.0)]).dump_state()
+        merged = MetricsRegistry()
+        merged.merge_state(a)
+        merged.merge_state(b)
+        assert merged.gauge("g").value == 2.0
+
+    def test_dump_state_excludes_empty_metrics(self):
+        reg = _registry_with(counters=[("x", 1)])
+        reg.counter("zero")  # registered, never incremented
+        reg.histogram("empty")
+        state = reg.dump_state()
+        assert state["counters"] == {"x": 1}
+        assert state["histograms"] == {}
+
+    def test_dump_state_is_a_snapshot(self):
+        reg = _registry_with(samples=[("h", 1.0)])
+        state = reg.dump_state()
+        reg.histogram("h").observe(9.0)
+        assert state["histograms"]["h"] == [1.0]
+
+
+def _message(seq, bits, payload):
+    return WireMessage(
+        seq=seq,
+        sender="alice",
+        receiver="bob",
+        kind="test",
+        bits=bits,
+        digest=payload_digest(payload),
+    )
+
+
+class TestWireMerge:
+    def test_append_resequences_and_keeps_bits(self):
+        capture = WireCapture()
+        capture.append(_message(seq=17, bits=5, payload="a"))
+        capture.append(_message(seq=3, bits=7, payload="b"))
+        assert [m.seq for m in capture.messages] == [0, 1]
+        assert capture.total_bits == 12
+
+    def test_append_does_not_mirror_wire_counters(self):
+        # Worker registries already counted their messages; appending
+        # them again in the parent must not double the wire.* meters.
+        obs.enable(ListSink())
+        from repro.obs.metrics import REGISTRY
+
+        capture = WireCapture()
+        capture.append(_message(seq=0, bits=64, payload="x"))
+        assert REGISTRY.counter("wire.bits").value == 0
+        assert REGISTRY.counter("wire.messages").value == 0
+
+    def test_merge_records_preserves_shipped_order(self):
+        capture = WireCapture()
+        obs_capture.install(capture)
+        records = [
+            _message(seq=0, bits=2, payload="m0").as_record(),
+            _message(seq=1, bits=3, payload="m1").as_record(),
+        ]
+        assert obs_capture.merge_records(records) == 2
+        assert [m.digest for m in capture.messages] == [
+            payload_digest("m0"),
+            payload_digest("m1"),
+        ]
+        assert capture.total_bits == 5
+
+    def test_merge_records_noop_without_capture(self):
+        assert obs_capture.merge_records(
+            [_message(seq=0, bits=2, payload="x").as_record()]
+        ) == 0
+
+    def test_two_transcripts_merge_bit_exact(self):
+        # A serial capture that recorded all messages equals two worker
+        # transcripts merged in chunk order, field for field.
+        serial = WireCapture()
+        for i in range(5):
+            serial.append(_message(seq=i, bits=i + 1, payload=f"m{i}"))
+        merged = WireCapture()
+        obs_capture.install(merged)
+        part_a = [m.as_record() for m in serial.messages[:2]]
+        part_b = [m.as_record() for m in serial.messages[2:]]
+        obs_capture.merge_records(part_a)
+        obs_capture.merge_records(part_b)
+        assert obs_capture.first_divergence(serial, merged) is None
+        assert merged.total_bits == serial.total_bits
+
+
+class TestBoundMerge:
+    def test_absorb_extends_checks_without_reemitting(self):
+        sink = ListSink()
+        obs.enable(sink)
+        worker = BoundMonitor(emit_events=True)
+        worker.record("thm13.queries", 5000.0, m=100, k=5, eps=0.3)
+        emitted_in_worker = len(sink.of_kind("bound_check"))
+        parent = BoundMonitor(emit_events=True)
+        parent.absorb(**{
+            "checks": worker.dump_state()["checks"],
+            "sweeps": worker.dump_state()["sweeps"],
+        })
+        assert len(parent.checks) == 1
+        assert parent.checks[0].spec == "thm13.queries"
+        # absorb must not emit again: the worker's events ship in its
+        # telemetry delta and re-emit there exactly once.
+        assert len(sink.of_kind("bound_check")) == emitted_in_worker
+
+    def test_absorbed_sweep_points_feed_the_fit(self):
+        worker_a = BoundMonitor(emit_events=False)
+        worker_b = BoundMonitor(emit_events=False)
+        for monitor, eps in ((worker_a, 0.6), (worker_a, 0.45),
+                             (worker_b, 0.3), (worker_b, 0.2)):
+            monitor.record(
+                "thm13.queries",
+                min(200.0, 100.0 / (eps * eps * 5.0)),
+                m=100,
+                k=5,
+                eps=eps,
+            )
+        parent = BoundMonitor(emit_events=False)
+        for worker in (worker_a, worker_b):
+            state = worker.dump_state()
+            parent.absorb(state["checks"], state["sweeps"])
+        serial = BoundMonitor(emit_events=False)
+        for eps in (0.6, 0.45, 0.3, 0.2):
+            serial.record(
+                "thm13.queries",
+                min(200.0, 100.0 / (eps * eps * 5.0)),
+                m=100,
+                k=5,
+                eps=eps,
+            )
+        parent_fits = [c for c in parent.finish() if c.kind == "fit"]
+        serial_fits = [c for c in serial.finish() if c.kind == "fit"]
+        assert len(parent_fits) == len(serial_fits) == 1
+        assert parent_fits[0].status == serial_fits[0].status
+        assert math.isclose(
+            parent_fits[0].detail["empirical_exponent"],
+            serial_fits[0].detail["empirical_exponent"],
+        )
+
+    def test_dump_state_roundtrips_sweep_keys(self):
+        worker = BoundMonitor(emit_events=False)
+        worker.record("thm13.queries", 500.0, m=100, k=5, eps=0.3)
+        state = worker.dump_state()
+        parent = BoundMonitor(emit_events=False)
+        parent.absorb(state["checks"], state["sweeps"])
+        assert set(parent._sweeps) == set(worker._sweeps)
+        assert list(parent._sweeps.values()) == list(worker._sweeps.values())

@@ -1,0 +1,135 @@
+"""Bit-identity: any worker count reproduces the serial path exactly."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import TrialPool, fork_available, run_trials
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+
+class TestEngineDeterminism:
+    def test_run_trials_identical_across_worker_counts(self):
+        def trial(rng):
+            # Mix draw kinds so any stream divergence would surface.
+            return (
+                float(rng.random()),
+                int(rng.integers(0, 1 << 20)),
+                rng.normal(size=3).tolist(),
+            )
+
+        baseline = run_trials(trial, 16, np.random.default_rng(11), jobs=1)
+        for jobs in (2, 3, 7):
+            assert (
+                run_trials(trial, 16, np.random.default_rng(11), jobs=jobs)
+                == baseline
+            )
+
+    def test_float_summation_order_preserved(self):
+        # Chunks merge in start order, so a non-associative reduction
+        # over the results is bit-identical, not merely close.
+        def trial(rng):
+            return float(rng.random()) * 1e-17 + float(rng.random())
+
+        serial = sum(run_trials(trial, 31, np.random.default_rng(2), jobs=1))
+        parallel = sum(
+            run_trials(trial, 31, np.random.default_rng(2), jobs=4)
+        )
+        assert serial == parallel  # exact equality, no approx
+
+
+class TestGameDeterminism:
+    def test_foreach_game_bit_identical(self):
+        from repro.foreach_lb.game import run_index_game
+        from repro.foreach_lb.params import ForEachParams
+        from repro.sketch.noisy import NoisyForEachSketch
+
+        params = ForEachParams(inv_eps=4, sqrt_beta=1, num_groups=2)
+
+        def play(jobs):
+            return run_index_game(
+                params,
+                lambda g, r: NoisyForEachSketch(g, epsilon=0.1, rng=r),
+                rounds=8,
+                rng=21,
+                jobs=jobs,
+            )
+
+        serial = play(1)
+        for jobs in (2, 5):
+            result = play(jobs)
+            assert result.summary == serial.summary
+            assert result.mean_sketch_bits == serial.mean_sketch_bits
+            assert (
+                result.encoding_failure_rate == serial.encoding_failure_rate
+            )
+
+    def test_forall_game_bit_identical(self):
+        from repro.forall_lb.game import run_gap_hamming_game
+        from repro.forall_lb.params import ForAllParams
+        from repro.sketch.exact import ExactCutSketch
+
+        params = ForAllParams(inv_eps_sq=4, beta=2, num_groups=2)
+
+        def play(jobs):
+            return run_gap_hamming_game(
+                params,
+                lambda g, r: ExactCutSketch(g),
+                rounds=6,
+                rng=4,
+                jobs=jobs,
+            )
+
+        serial = play(1)
+        parallel = play(3)
+        assert parallel.summary == serial.summary
+        assert parallel.mean_sketch_bits == serial.mean_sketch_bits
+        assert parallel.mean_queries == serial.mean_queries
+
+
+class TestSweepDeterminism:
+    def test_harness_sweep_matches_serial(self):
+        from repro.experiments.harness import sweep
+
+        configs = [{"x": x, "seed": x + 10} for x in range(7)]
+
+        def runner(x, seed):
+            gen = np.random.default_rng(seed)
+            return {"y": x * 2, "noise": float(gen.random())}
+
+        serial = sweep(configs, runner, jobs=1)
+        parallel = sweep(configs, runner, jobs=3)
+        assert serial == parallel
+        assert [row["x"] for row in parallel] == list(range(7))
+
+    def test_verify_guess_trials_match_serial(self):
+        from repro.graphs.generators import planted_min_cut_ugraph
+        from repro.localquery.oracle import GraphOracle
+        from repro.localquery.verify_guess import verify_guess_trials
+
+        graph, k = planted_min_cut_ugraph(20, 6, rng=6)
+
+        def run(jobs):
+            return verify_guess_trials(
+                lambda: GraphOracle(graph),
+                t=float(k),
+                eps=0.4,
+                seeds=(0, 1, 2, 3),
+                constant=0.5,
+                jobs=jobs,
+            )
+
+        assert run(1) == run(2)
+
+
+class TestRunAllDeterminism:
+    def test_tables_identical_serial_vs_parallel(self, capsys):
+        from repro.experiments.run_all import main
+
+        assert main(["e3", "e5", "--no-telemetry"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["e3", "e5", "--no-telemetry", "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out

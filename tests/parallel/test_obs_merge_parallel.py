@@ -1,0 +1,144 @@
+"""End-to-end telemetry reconciliation under parallel execution.
+
+A fully instrumented trial function (counters, histograms, events, wire
+capture, bound monitor) is run serially and with several worker counts;
+the merged parent-side observability state must be indistinguishable
+from the serial run — same counter totals, same histogram sample
+sequences, bit-exact wire transcript, same bound checks — with worker
+events additionally stamped with their origin worker pid and chunk.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import bounds as obs_bounds
+from repro.obs import capture as obs_capture
+from repro.obs.bounds import BoundMonitor
+from repro.obs.capture import WireCapture
+from repro.obs.metrics import REGISTRY
+from repro.obs.sink import ListSink
+from repro.parallel import fork_available, run_trials
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+
+def _instrumented_trial(rng):
+    value = float(rng.random())
+    obs.count("par.trials")
+    obs.count("par.bits", int(rng.integers(1, 100)))
+    obs.observe("par.value", value)
+    obs.event("trial_done", value=round(value, 9))
+    obs_capture.record(
+        "worker", "parent", "trial_msg", bits=32, payload=round(value, 9)
+    )
+    for monitor in obs_bounds._MONITORS:
+        monitor.record("thm13.queries", 120.0, m=100, k=5, eps=0.5)
+    return value
+
+
+def _run_instrumented(jobs, n_trials=11, seed=9):
+    sink = ListSink()
+    capture = WireCapture()
+    monitor = BoundMonitor(emit_events=True)
+    obs.enable(sink)
+    obs_capture.install(capture)
+    obs_bounds.install(monitor)
+    try:
+        results = run_trials(
+            _instrumented_trial,
+            n_trials,
+            np.random.default_rng(seed),
+            jobs=jobs,
+        )
+    finally:
+        obs_bounds.uninstall(monitor)
+        obs_capture.uninstall(capture)
+        obs.disable()
+    state = REGISTRY.dump_state()
+    obs.reset_metrics()
+    return {
+        "results": results,
+        "metrics": state,
+        "events": sink.records,
+        "capture": capture,
+        "monitor": monitor,
+    }
+
+
+def _stripped(records):
+    drop = {"seq", "ts", "worker", "chunk"}
+    return [
+        {k: v for k, v in r.items() if k not in drop} for r in records
+    ]
+
+
+class TestParallelObsReconciliation:
+    def test_metrics_identical_to_serial(self):
+        serial = _run_instrumented(jobs=1)
+        for jobs in (2, 3):
+            parallel = _run_instrumented(jobs=jobs)
+            assert parallel["results"] == serial["results"]
+            assert parallel["metrics"] == serial["metrics"]
+
+    def test_histogram_sample_sequence_matches_serial(self):
+        serial = _run_instrumented(jobs=1)
+        parallel = _run_instrumented(jobs=3)
+        assert (
+            parallel["metrics"]["histograms"]["par.value"]
+            == serial["metrics"]["histograms"]["par.value"]
+        )
+
+    def test_wire_transcript_bit_exact(self):
+        serial = _run_instrumented(jobs=1)
+        parallel = _run_instrumented(jobs=3)
+        assert (
+            obs_capture.first_divergence(
+                serial["capture"], parallel["capture"]
+            )
+            is None
+        )
+        assert parallel["capture"].total_bits == serial["capture"].total_bits
+
+    def test_wire_counters_reconcile_with_capture(self):
+        # The capture reconciliation invariant: what the transcript
+        # holds equals what the counters metered, merged or not.
+        parallel = _run_instrumented(jobs=3)
+        counters = parallel["metrics"]["counters"]
+        assert counters["wire.bits"] == parallel["capture"].total_bits
+        assert counters["wire.messages"] == len(
+            parallel["capture"].messages
+        )
+
+    def test_events_match_serial_modulo_worker_stamps(self):
+        serial = _run_instrumented(jobs=1)
+        parallel = _run_instrumented(jobs=3)
+        assert _stripped(parallel["events"]) == _stripped(serial["events"])
+
+    def test_parallel_events_carry_worker_and_chunk(self):
+        parallel = _run_instrumented(jobs=3)
+        trial_events = [
+            r for r in parallel["events"] if r.get("event") == "trial_done"
+        ]
+        assert trial_events
+        assert all("worker" in r and "chunk" in r for r in trial_events)
+        assert len({r["worker"] for r in trial_events}) >= 2
+
+    def test_serial_events_have_no_worker_stamps(self):
+        serial = _run_instrumented(jobs=1)
+        assert all("worker" not in r for r in serial["events"])
+
+    def test_bound_checks_absorbed_into_parent_monitor(self):
+        serial = _run_instrumented(jobs=1)
+        parallel = _run_instrumented(jobs=3)
+        assert len(parallel["monitor"].checks) == len(
+            serial["monitor"].checks
+        )
+        assert [c.spec for c in parallel["monitor"].checks] == [
+            c.spec for c in serial["monitor"].checks
+        ]
+        assert [c.status for c in parallel["monitor"].checks] == [
+            c.status for c in serial["monitor"].checks
+        ]

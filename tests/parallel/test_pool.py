@@ -1,0 +1,165 @@
+"""TrialPool scheduling mechanics: jobs resolution, chunking, mapping."""
+
+import os
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel import (
+    JOBS_ENV,
+    TrialPool,
+    chunk_plan,
+    fork_available,
+    resolve_jobs,
+    run_trials,
+    set_default_jobs,
+)
+from repro.parallel import pool as pool_mod
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self):
+        assert resolve_jobs() == 1
+
+    def test_explicit_argument_wins(self):
+        set_default_jobs(8)
+        try:
+            assert resolve_jobs(3) == 3
+        finally:
+            set_default_jobs(None)
+
+    def test_process_default(self):
+        set_default_jobs(5)
+        try:
+            assert resolve_jobs() == 5
+        finally:
+            set_default_jobs(None)
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "4")
+        assert resolve_jobs() == 4
+
+    def test_default_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "4")
+        set_default_jobs(2)
+        try:
+            assert resolve_jobs() == 2
+        finally:
+            set_default_jobs(None)
+
+    def test_bad_environment_value_raises(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        with pytest.raises(ParallelError):
+            resolve_jobs()
+
+    def test_nonpositive_means_all_cores(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+    def test_worker_guard_forces_serial(self):
+        pool_mod._IN_WORKER = True
+        try:
+            assert resolve_jobs(16) == 1
+        finally:
+            pool_mod._IN_WORKER = False
+
+
+class TestChunkPlan:
+    def test_covers_range_contiguously(self):
+        for n in (0, 1, 5, 17, 100):
+            for jobs in (1, 2, 4, 7):
+                chunks = chunk_plan(n, jobs)
+                covered = [
+                    i for start, stop in chunks for i in range(start, stop)
+                ]
+                assert covered == list(range(n))
+
+    def test_chunk_count_tracks_jobs_and_factor(self):
+        chunks = chunk_plan(100, 4, chunk_factor=4)
+        assert 8 <= len(chunks) <= 16  # ~jobs*factor, ceil rounding
+
+    def test_never_more_chunks_than_items(self):
+        assert len(chunk_plan(3, 8)) <= 3
+
+    def test_negative_raises(self):
+        with pytest.raises(ParallelError):
+            chunk_plan(-1, 2)
+
+
+class TestMapSerialFallback:
+    def test_jobs_one_runs_inline(self):
+        # The serial path never forks: side effects land in-process.
+        seen = []
+
+        def fn(item):
+            seen.append(item)
+            return item * 2
+
+        assert TrialPool(jobs=1).map(fn, [1, 2, 3]) == [2, 4, 6]
+        assert seen == [1, 2, 3]
+
+    def test_single_item_runs_inline_even_with_jobs(self):
+        seen = []
+        assert TrialPool(jobs=4).map(lambda x: seen.append(x) or x, [7]) == [7]
+        assert seen == [7]
+
+    def test_serial_exceptions_propagate_untouched(self):
+        with pytest.raises(ZeroDivisionError):
+            TrialPool(jobs=1).map(lambda x: 1 // x, [1, 0])
+
+
+@needs_fork
+class TestMapParallel:
+    def test_results_in_item_order(self):
+        items = list(range(23))
+        assert TrialPool(jobs=3).map(lambda x: x * x, items) == [
+            x * x for x in items
+        ]
+
+    def test_lambdas_travel_by_fork(self):
+        # Closures capture local state; pickling would reject them, the
+        # fork-inherited work table must not.
+        base = 100
+        assert TrialPool(jobs=2).map(lambda x: x + base, [1, 2]) == [101, 102]
+
+    def test_chunk_factor_does_not_change_results(self):
+        items = list(range(17))
+        coarse = TrialPool(jobs=2, chunk_factor=1).map(lambda x: x + 1, items)
+        fine = TrialPool(jobs=2, chunk_factor=8).map(lambda x: x + 1, items)
+        assert coarse == fine == [x + 1 for x in items]
+
+    def test_nested_map_stays_serial(self):
+        # A worker asking for parallelism must run serially in-process
+        # (resolve_jobs is 1 inside workers), not fork grandchildren.
+        def outer(x):
+            return sum(TrialPool(jobs=4).map(lambda y: y + x, [1, 2, 3]))
+
+        assert TrialPool(jobs=2).map(outer, [10, 20]) == [36, 66]
+
+
+@needs_fork
+class TestRunTrials:
+    def test_trial_rng_streams_match_serial(self):
+        import numpy as np
+
+        def trial(rng):
+            return float(rng.random())
+
+        serial = run_trials(trial, 9, np.random.default_rng(5), jobs=1)
+        parallel = run_trials(trial, 9, np.random.default_rng(5), jobs=3)
+        assert serial == parallel
+
+    def test_advances_parent_generator_like_spawn_rngs(self):
+        import numpy as np
+
+        from repro.utils.rng import spawn_rngs
+
+        gen_a = np.random.default_rng(3)
+        run_trials(lambda rng: None, 4, gen_a, jobs=1)
+        gen_b = np.random.default_rng(3)
+        spawn_rngs(gen_b, 4)
+        assert gen_a.integers(0, 1 << 30) == gen_b.integers(0, 1 << 30)

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.utils.rng import ensure_rng, spawn_rngs
 
@@ -55,3 +57,81 @@ class TestSpawnRngs:
     def test_negative_count_raises(self):
         with pytest.raises(ValueError):
             spawn_rngs(0, -1)
+
+
+class TestSpawnSeeds:
+    """The seed-splitting contract of the parallel trial engine."""
+
+    def test_matches_spawn_rngs_streams(self):
+        from repro.utils.rng import spawn_seeds
+
+        seeds = spawn_seeds(11, 4)
+        via_seeds = [
+            np.random.default_rng(s).integers(0, 1 << 30, size=8)
+            for s in seeds
+        ]
+        via_rngs = [
+            g.integers(0, 1 << 30, size=8) for g in spawn_rngs(11, 4)
+        ]
+        for a, b in zip(via_seeds, via_rngs):
+            assert np.array_equal(a, b)
+
+    def test_plain_ints(self):
+        from repro.utils.rng import spawn_seeds
+
+        for seed in spawn_seeds(3, 6):
+            assert type(seed) is int
+            assert 0 <= seed < 2**63
+
+    def test_negative_count_raises(self):
+        from repro.utils.rng import spawn_seeds
+
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestSplitInvariance:
+    """Property: per-trial streams are independent of how trials are
+    later split across workers — the bit-identity guarantee of
+    repro.parallel rests on this.
+    """
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n_trials=st.integers(min_value=0, max_value=24),
+        splits=st.sampled_from([1, 2, 3, 7]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_draws_independent_of_split_count(self, seed, n_trials, splits):
+        from repro.utils.rng import spawn_seeds
+
+        # Canonical: split all trials in one call.
+        canonical = spawn_seeds(seed, n_trials)
+        draws = [
+            np.random.default_rng(s).random(4).tolist() for s in canonical
+        ]
+
+        # Chunked: the same seeds partitioned into `splits` contiguous
+        # chunks (what the pool's chunk plan does) must replay the same
+        # per-trial streams regardless of the chunk boundaries.
+        size = max(1, -(-n_trials // splits))
+        chunked = []
+        for start in range(0, n_trials, size):
+            chunk = canonical[start : start + size]
+            chunked.extend(
+                np.random.default_rng(s).random(4).tolist() for s in chunk
+            )
+        assert chunked == draws
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_prefix_stability(self, seed):
+        from repro.utils.rng import spawn_seeds
+
+        # Seeds are drawn in one vectorized call; a shorter split of the
+        # same parent must be a prefix of a longer one only when the
+        # parent state is identical — verify the documented behaviour
+        # that each call consumes the parent stream deterministically.
+        a = spawn_seeds(seed, 7)
+        b = spawn_seeds(seed, 7)
+        assert a == b
