@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-report bench-parallel tables \
-	trace-report api all bounds-check dashboard wire-check
+.PHONY: install test bench bench-report bench-parallel bench-kernels \
+	tables trace-report api all bounds-check dashboard wire-check
 
 install:
 	pip install -e . || python setup.py develop
@@ -17,6 +17,9 @@ bench-report:
 
 bench-parallel:
 	PYTHONPATH=src python scripts/bench_report.py --pr5-only
+
+bench-kernels:
+	PYTHONPATH=src python scripts/bench_report.py --pr6-only
 
 tables:
 	python -m repro.experiments.run_all

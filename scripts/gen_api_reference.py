@@ -154,6 +154,31 @@ events into collapsed-stack lines (`span;path;func microseconds`) for
 standard flamegraph tooling.  `scripts/wire_report.py` drives both
 (`--trace`, `--flame`) plus a terminal message-lane diagram.
 """,
+    "repro.kernels": """\
+### Kernel backends
+
+Runtime-selected compute backends for the three hot kernels — Dinic
+max-flow over flat arc arrays, Karger–Stein edge contraction over an
+array union-find, and Lemma 3.2 Hadamard row products / decoding.
+Selection order is `--kernels {auto,python,native}` on
+`run_all` (installed via `select_backend`) → the `REPRO_KERNELS`
+environment variable → `auto`.  `auto` probes the native chain (numba
+JIT first, then a C library compiled on demand into
+`REPRO_KERNELS_CACHE`, default `~/.cache/repro-kernels`; pin one stage
+with `REPRO_KERNELS_NATIVE={numba,cc}`) and **degrades silently to the
+python reference** when no toolchain exists; an *explicit* `native`
+selection raises `KernelUnavailableError` instead (`run_all` exits 4).
+
+The parity guarantee is bit-identity, not approximation: native
+kernels mirror the reference operation for operation — same traversal
+order, same float accumulation order, same consumption of pre-drawn
+uniform streams — so flows, cuts, and codewords are equal at the
+`==`/`array_equal` level (`tests/kernels/test_parity.py`, pinned seeds
+in `tests/graphs/test_karger_kernel_regression.py`).  The backend in
+use is reported through the `kernels.backend.<name>` obs counter and
+on `run_all`'s stderr.  Gates: `BENCH_PR6.json`
+(`python scripts/bench_report.py --pr6-only`).
+""",
     "repro.parallel": """\
 ### Parallel trial execution
 
@@ -178,11 +203,21 @@ hung workers get one retry on a fresh process with the same spawned
 seed; a second failure raises `ParallelError` naming the trial index —
 never a silent partial table.  Gates: `BENCH_PR5.json`
 (`python scripts/bench_report.py --pr5-only`).
+
+Numeric result tables (uniform floats, ints, or same-shape ndarrays)
+travel back through a preallocated `multiprocessing.shared_memory`
+arena (`repro.parallel.shmipc`) instead of the executor's pickle pipe
+— only a small descriptor crosses the pipe; anything non-numeric
+falls back to pickle per chunk, and `REPRO_SHM=0` disables the arena
+entirely (`REPRO_SHM_SLOT_BYTES` sizes the per-chunk slots).  Either
+transport returns value-identical lists; the last `map`'s split is on
+`TrialPool.last_transport_stats`.
 """,
 }
 
 PACKAGES = [
     "repro.graphs",
+    "repro.kernels",
     "repro.obs",
     "repro.linalg",
     "repro.comm",

@@ -29,8 +29,15 @@ ships, ledger charges, oracle queries) to ``--capture-path`` as a
 wire-level transcript; render it with ``scripts/wire_report.py`` or
 diff-replay individual games with ``scripts/wire_replay.py``.
 
+``--kernels {auto,python,native}`` selects the compiled-kernel backend
+for the hot loops (Dinic, contraction, Lemma 3.2 products); see
+:mod:`repro.kernels`.  The resolved backend is reported on *stderr* so
+stdout — and therefore any digest of the tables — is identical across
+backends.
+
 Exit codes: 0 success; 2 bound violation under ``--strict-bounds``;
-3 telemetry sink failure (could not open, or writing failed mid-run).
+3 telemetry sink failure (could not open, or writing failed mid-run);
+4 explicitly requested kernel backend unavailable.
 """
 
 from __future__ import annotations
@@ -60,6 +67,8 @@ from repro.obs import capture as obs_capture
 EXIT_BOUND_VIOLATION = 2
 #: Exit code for a telemetry sink failure.
 EXIT_TELEMETRY_FAILURE = 3
+#: Exit code for an explicitly requested kernel backend that cannot load.
+EXIT_KERNELS_UNAVAILABLE = 4
 
 
 def _e1_foreach() -> List[Table]:
@@ -459,6 +468,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "execution'",
     )
     parser.add_argument(
+        "--kernels",
+        choices=("auto", "python", "native"),
+        default=None,
+        metavar="{auto,python,native}",
+        help="kernel backend for the hot loops (default: $REPRO_KERNELS "
+        "or auto).  'auto' uses compiled kernels when a toolchain is "
+        "available and silently degrades to the python reference; "
+        "'native' fails fast when no toolchain loads.  Tables are "
+        "identical for every backend — see docs/API.md, 'Kernel "
+        "backends'",
+    )
+    parser.add_argument(
         "--telemetry",
         metavar="PATH",
         default="telemetry.jsonl",
@@ -506,6 +527,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {unknown}; use --list")
 
+    # Resolve the kernel backend eagerly — an explicit 'native' on a
+    # machine with no toolchain must fail here, not mid-experiment.  The
+    # report goes to stderr: stdout carries only the tables, so digests
+    # stay comparable across backends.
+    from repro import kernels as _kernels
+
+    previous_kernels = _kernels.select_backend(args.kernels)
+    try:
+        backend = _kernels.get_backend()
+    except _kernels.KernelUnavailableError as exc:
+        _kernels.select_backend(previous_kernels)
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_KERNELS_UNAVAILABLE
+    name, origin = _kernels.selection_order()
+    print(
+        f"kernels: {backend.name} ({backend.source}), "
+        f"selection {name!r} via {origin}",
+        file=sys.stderr,
+    )
+
     # Metric mirroring must be on for bound certification (the sketch-size
     # specs read per-row metric deltas), so --no-telemetry only drops the
     # sink, not the switch, when bounds are enforced strictly.
@@ -522,6 +563,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{os.path.abspath(args.telemetry)}: {exc}",
                 file=sys.stderr,
             )
+            _kernels.select_backend(previous_kernels)
             return EXIT_TELEMETRY_FAILURE
         print(f"telemetry sink: {os.path.abspath(sink.path)}")
     if use_obs:
@@ -543,6 +585,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             if sink is not None:
                 sink.close()
                 OBS_STATE.sink = None
+            _kernels.select_backend(previous_kernels)
             return EXIT_TELEMETRY_FAILURE
         capture = obs_capture.WireCapture(
             meta={"run": "run_all", "experiments": chosen},
@@ -576,6 +619,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             obs_event("summary", metrics=OBS_REGISTRY.as_dict())
     finally:
         set_default_jobs(None)
+        _kernels.select_backend(previous_kernels)
         obs_bounds.uninstall(monitor)
         if capture is not None:
             obs_capture.uninstall(capture)

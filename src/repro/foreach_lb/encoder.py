@@ -132,14 +132,20 @@ class ForEachEncoder:
         base = self.base_weight()
         eps = params.epsilon
 
-        cursor = 0
+        # All blocks superpose against the same Lemma 3.2 matrix, so the
+        # whole string encodes in one batched kernel dispatch instead of
+        # one combine per block.
+        num_blocks = (params.num_groups - 1) * params.sqrt_beta * params.sqrt_beta
+        codewords = self._matrix.combine_many(
+            s.reshape(num_blocks, params.bits_per_block)
+        )
+
+        block = 0
         for pair in range(params.num_groups - 1):
             for cluster_i in range(params.sqrt_beta):
                 for cluster_j in range(params.sqrt_beta):
-                    z = s[cursor : cursor + params.bits_per_block]
-                    cursor += params.bits_per_block
-                    signs = z.astype(np.int8)
-                    x = self._matrix.combine(signs)
+                    x = codewords[block]
+                    block += 1
                     if np.max(np.abs(x)) <= cap:
                         weights = eps * x.astype(np.float64) + base
                     else:

@@ -2,7 +2,12 @@
 
 from repro.graphs.digraph import DiGraph
 from repro.graphs.ugraph import UGraph, symmetrize
-from repro.graphs.csr import CSRFlowResult, CSRGraph, batched_cut_weights
+from repro.graphs.csr import (
+    CSRFlowResult,
+    CSRGraph,
+    ResidualNetwork,
+    batched_cut_weights,
+)
 from repro.graphs.cuts import (
     all_directed_cut_values,
     all_undirected_cut_values,
@@ -65,6 +70,7 @@ from repro.graphs.generators import (
 __all__ = [
     "CSRFlowResult",
     "CSRGraph",
+    "ResidualNetwork",
     "DiGraph",
     "FlowResult",
     "batched_cut_weights",

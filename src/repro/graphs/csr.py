@@ -17,9 +17,11 @@ that shape is exactly what NumPy batch kernels excel at.
   loop), :meth:`cut_weights_both` returns both orientations for balance
   scans, :meth:`weights_between` handles ``w(S, T)`` block queries;
 * degree/weight vectors for :mod:`repro.graphs.balance`;
-* an integer-indexed Dinic fast path (:meth:`max_flow`) that builds its
-  residual arc arrays straight from the snapshot instead of copying
-  neighbor dicts.
+* an integer-indexed Dinic fast path (:meth:`max_flow`) over a cached
+  :class:`ResidualNetwork` — flat residual arc arrays built once from
+  the snapshot, reset (not rebuilt) across the repeated flow calls of
+  global min-cut / Gomory–Hu, and executed by the runtime-selected
+  kernel backend (:mod:`repro.kernels`).
 
 Obtain snapshots through :meth:`DiGraph.freeze` /
 :meth:`UGraph.freeze`, which cache them behind a mutation counter; the
@@ -29,7 +31,6 @@ hypothesis equivalence suite checks the kernels against.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import (
     AbstractSet,
@@ -52,8 +53,6 @@ from repro.obs import observe as _obs_observe
 
 Node = Hashable
 
-_EPS = 1e-12
-
 #: Bool cells (rows x edges) processed per kernel chunk; bounds peak
 #: memory of a batched call to a few tens of megabytes regardless of K.
 _BATCH_CELL_BUDGET = 1 << 23
@@ -72,6 +71,81 @@ class CSRFlowResult:
     source_side: FrozenSet[int]
     #: Flow per snapshot edge, aligned with ``tails``/``heads``.
     edge_flows: List[float]
+
+
+class ResidualNetwork:
+    """Reusable flat residual arc arrays for Dinic over one snapshot.
+
+    Snapshot edge ``e`` owns forward arc ``2e`` and reverse arc
+    ``2e + 1`` (the reverse of arc ``a`` is always ``a ^ 1``);
+    ``indptr``/``adj`` flatten the per-node arc lists in the order the
+    pre-kernel implementation appended them (edge by edge: forward arc
+    to the tail's list, reverse arc to the head's), so kernel traversal
+    order — and therefore every flow value and residual cut — is
+    bit-identical to the original per-call construction.
+
+    The arrays are allocated once per snapshot and cached on the
+    :class:`CSRGraph`; :meth:`reset` zeroes the flow vector so the
+    ``n - 1`` flow calls of global min-cut and the Gomory–Hu sweep reuse
+    one allocation instead of rebuilding adjacency every call.
+    """
+
+    __slots__ = (
+        "indptr",
+        "adj",
+        "arc_head",
+        "arc_cap",
+        "arc_flow",
+        "level",
+        "iters",
+        "stack",
+        "path",
+        "queue",
+        "seen",
+        "solves",
+    )
+
+    def __init__(
+        self,
+        tails: np.ndarray,
+        heads: np.ndarray,
+        weights: np.ndarray,
+        num_nodes: int,
+    ):
+        n = num_nodes
+        m = int(tails.size)
+        self.arc_head = np.empty(2 * m, dtype=np.int64)
+        self.arc_head[0::2] = heads
+        self.arc_head[1::2] = tails
+        self.arc_cap = np.zeros(2 * m, dtype=np.float64)
+        self.arc_cap[0::2] = weights
+        self.arc_flow = np.zeros(2 * m, dtype=np.float64)
+        # Arc ids increase in append order per owner, so a stable sort
+        # of arc ids by owning node reproduces the per-node arc lists.
+        owners = np.empty(2 * m, dtype=np.int64)
+        owners[0::2] = tails
+        owners[1::2] = heads
+        self.adj = np.ascontiguousarray(
+            np.argsort(owners, kind="stable"), dtype=np.int64
+        )
+        counts = np.bincount(owners, minlength=n)
+        self.indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        # Kernel scratch, reused across calls: a blocking-flow DFS walks
+        # a simple path (levels strictly increase), so n-sized vectors
+        # bound every stack/queue/path the kernels touch.
+        self.level = np.zeros(n, dtype=np.int64)
+        self.iters = np.zeros(n, dtype=np.int64)
+        self.queue = np.zeros(n, dtype=np.int64)
+        self.stack = np.zeros(n + 1, dtype=np.int64)
+        self.path = np.zeros(max(n, 1), dtype=np.int64)
+        self.seen = np.zeros(n, dtype=np.uint8)
+        #: Number of :meth:`reset` cycles served (telemetry / tests).
+        self.solves = 0
+
+    def reset(self) -> None:
+        """Zero the flow vector, readying the network for another solve."""
+        self.arc_flow[:] = 0.0
+        self.solves += 1
 
 
 class CSRGraph:
@@ -95,6 +169,7 @@ class CSRGraph:
         "_rweights",
         "_total_weight",
         "_dense",
+        "_residual",
     )
 
     def __init__(
@@ -134,6 +209,7 @@ class CSRGraph:
         self._rweights = self._weights[order]
         self._total_weight = float(self._weights.sum())
         self._dense: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._residual: Optional[ResidualNetwork] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -466,126 +542,68 @@ class CSRGraph:
     # ------------------------------------------------------------------
     # max flow (integer-indexed Dinic fast path)
     # ------------------------------------------------------------------
-    def max_flow(self, source: int, sink: int) -> CSRFlowResult:
-        """Dinic's algorithm on residual arc arrays built from the snapshot.
+    def residual_network(self) -> ResidualNetwork:
+        """The cached :class:`ResidualNetwork` for this snapshot.
 
-        ``source``/``sink`` are interned indices.  Arc ``2e`` is the
-        forward residual arc of snapshot edge ``e`` and ``2e + 1`` its
-        reverse, so the reverse of arc ``a`` is always ``a ^ 1``.
+        Built lazily on first flow call; subsequent calls reuse the same
+        arc arrays through :meth:`ResidualNetwork.reset`.
         """
+        if self._residual is None:
+            self._residual = ResidualNetwork(
+                self._tails, self._heads, self._weights, self.num_nodes
+            )
+        return self._residual
+
+    def max_flow(self, source: int, sink: int) -> CSRFlowResult:
+        """Dinic's algorithm over the cached residual network.
+
+        ``source``/``sink`` are interned indices.  The solve dispatches
+        through the selected kernel backend (:mod:`repro.kernels`);
+        python and native backends produce bit-identical flows.
+        """
+        from repro.kernels import get_backend, mark_use
+
         n = self.num_nodes
         if not (0 <= source < n and 0 <= sink < n):
             raise GraphError("source and sink must be interned indices")
         if source == sink:
             raise GraphError("source and sink must differ")
-        tails = self._tails.tolist()
-        heads = self._heads.tolist()
-        caps_in = self._weights.tolist()
-        m = len(tails)
-        arc_head: List[int] = [0] * (2 * m)
-        arc_cap: List[float] = [0.0] * (2 * m)
-        arc_flow: List[float] = [0.0] * (2 * m)
-        adj: List[List[int]] = [[] for _ in range(n)]
-        for e in range(m):
-            u = tails[e]
-            v = heads[e]
-            a = 2 * e
-            arc_head[a] = v
-            arc_cap[a] = caps_in[e]
-            arc_head[a + 1] = u
-            adj[u].append(a)
-            adj[v].append(a + 1)
-
-        total = 0.0
-        phases = 0
-        while True:
-            level = self._bfs_levels(adj, arc_head, arc_cap, arc_flow, source)
-            if level[sink] < 0:
-                break
-            phases += 1
-            total += self._blocking_flow(
-                adj, arc_head, arc_cap, arc_flow, level, source, sink
-            )
+        net = self.residual_network()
+        net.reset()
+        backend = get_backend()
+        mark_use(backend)
+        total, phases = backend.dinic_solve(
+            net.indptr,
+            net.adj,
+            net.arc_head,
+            net.arc_cap,
+            net.arc_flow,
+            net.level,
+            net.iters,
+            net.stack,
+            net.path,
+            net.queue,
+            source,
+            sink,
+        )
         if _OBS.enabled:
             _obs_count("csr.maxflow.calls")
             _obs_observe("csr.maxflow.phases", phases)
-        side = self._residual_reachable(adj, arc_head, arc_cap, arc_flow, source)
-        flows = [max(0.0, arc_flow[2 * e]) for e in range(m)]
+        backend.residual_reachable(
+            net.indptr,
+            net.adj,
+            net.arc_head,
+            net.arc_cap,
+            net.arc_flow,
+            net.seen,
+            net.stack,
+            source,
+        )
+        side = np.flatnonzero(net.seen).tolist()
+        flows = np.maximum(net.arc_flow[0::2], 0.0).tolist()
         return CSRFlowResult(
             value=total, source_side=frozenset(side), edge_flows=flows
         )
-
-    @staticmethod
-    def _bfs_levels(adj, arc_head, arc_cap, arc_flow, source) -> List[int]:
-        level = [-1] * len(adj)
-        level[source] = 0
-        queue = deque([source])
-        while queue:
-            cur = queue.popleft()
-            for a in adj[cur]:
-                head = arc_head[a]
-                if level[head] < 0 and arc_cap[a] - arc_flow[a] > _EPS:
-                    level[head] = level[cur] + 1
-                    queue.append(head)
-        return level
-
-    @staticmethod
-    def _blocking_flow(adj, arc_head, arc_cap, arc_flow, level, source, sink) -> float:
-        """Iterative blocking flow for one Dinic phase."""
-        iters = [0] * len(adj)
-        total = 0.0
-        stack = [source]
-        path: List[int] = []
-        while stack:
-            u = stack[-1]
-            if u == sink:
-                push = min(arc_cap[a] - arc_flow[a] for a in path)
-                total += push
-                for a in path:
-                    arc_flow[a] += push
-                    arc_flow[a ^ 1] -= push
-                # Retreat to just past the first arc this push saturated.
-                cut = 0
-                for i, a in enumerate(path):
-                    if arc_cap[a] - arc_flow[a] <= _EPS:
-                        cut = i
-                        break
-                del stack[cut + 1 :]
-                del path[cut:]
-                continue
-            advanced = False
-            while iters[u] < len(adj[u]):
-                a = adj[u][iters[u]]
-                head = arc_head[a]
-                if arc_cap[a] - arc_flow[a] > _EPS and level[head] == level[u] + 1:
-                    stack.append(head)
-                    path.append(a)
-                    advanced = True
-                    break
-                iters[u] += 1
-            if not advanced:
-                level[u] = -1  # dead end for the rest of this phase
-                stack.pop()
-                if path:
-                    path.pop()
-                    iters[stack[-1]] += 1
-        return total
-
-    @staticmethod
-    def _residual_reachable(adj, arc_head, arc_cap, arc_flow, source) -> List[int]:
-        seen = [False] * len(adj)
-        seen[source] = True
-        stack = [source]
-        out = [source]
-        while stack:
-            cur = stack.pop()
-            for a in adj[cur]:
-                head = arc_head[a]
-                if not seen[head] and arc_cap[a] - arc_flow[a] > _EPS:
-                    seen[head] = True
-                    stack.append(head)
-                    out.append(head)
-        return out
 
     def __repr__(self) -> str:
         return f"CSRGraph(n={self.num_nodes}, m={self.num_edges})"

@@ -8,109 +8,108 @@ probability of one tree to ``Omega(1/log n)`` and the total work to
 (the suite cross-checks it against Stoer–Wagner and enumeration) and as
 the candidate-cut sampler the distributed coordinator can use at larger
 scales than repeated plain contraction.
+
+Implementation: the graph is flattened once into immutable edge arrays
+(``tails``/``heads``/``weights``); a contraction state is nothing but a
+union-find ``parent`` vector, so cloning a branch is one ``ndarray.copy``
+instead of the deep adjacency-dict copy the original implementation
+paid per branch, and no per-step edge-list materialization happens at
+all.  The contraction pass itself runs through the runtime-selected
+kernel backend (:mod:`repro.kernels`): uniforms are pre-drawn on the
+Python side — one per contraction step — so python and native backends
+consume an identical RNG stream and produce identical cuts per seed
+(pinned by ``tests/graphs/test_karger_kernel_regression.py``).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import GraphError
 from repro.graphs.ugraph import Node, UGraph
 from repro.utils.rng import RngLike, ensure_rng
 
 
-class _ContractState:
-    """Adjacency + merged-group bookkeeping for contraction runs."""
+@dataclass(frozen=True)
+class _EdgeArrays:
+    """Flattened immutable edge list shared by every contraction branch."""
 
-    def __init__(self, graph: UGraph):
-        self.adj: Dict[Node, Dict[Node, float]] = {
-            u: dict(graph.neighbors(u)) for u in graph.nodes()
-        }
-        self.groups: Dict[Node, Set[Node]] = {u: {u} for u in graph.nodes()}
+    labels: Tuple[Node, ...]
+    tails: np.ndarray
+    heads: np.ndarray
+    weights: np.ndarray
 
-    def clone(self) -> "_ContractState":
-        out = _ContractState.__new__(_ContractState)
-        out.adj = {u: dict(nbrs) for u, nbrs in self.adj.items()}
-        out.groups = {u: set(g) for u, g in self.groups.items()}
-        return out
-
-    @property
-    def size(self) -> int:
-        return len(self.adj)
-
-    def edges(self) -> List[Tuple[Node, Node, float]]:
-        out: List[Tuple[Node, Node, float]] = []
-        seen: Set[FrozenSet[Node]] = set()
-        for u, nbrs in self.adj.items():
-            for v, w in nbrs.items():
-                key = frozenset((u, v))
-                if key not in seen:
-                    seen.add(key)
-                    out.append((u, v, w))
-        return out
-
-    def contract_random_edge(self, gen) -> None:
-        edges = self.edges()
-        if not edges:
-            raise GraphError("cannot contract a graph with no edges")
-        total = sum(w for _, _, w in edges)
-        pick = gen.uniform(0.0, total)
-        acc = 0.0
-        chosen = edges[-1]
-        for edge in edges:
-            acc += edge[2]
-            if pick <= acc:
-                chosen = edge
-                break
-        u, v, _ = chosen
-        self.groups[u] |= self.groups[v]
-        for nbr, w in self.adj[v].items():
-            if nbr == u:
-                continue
-            self.adj[u][nbr] = self.adj[u].get(nbr, 0.0) + w
-            self.adj[nbr][u] = self.adj[u][nbr]
-            del self.adj[nbr][v]
-        if v in self.adj[u]:
-            del self.adj[u][v]
-        del self.adj[v]
-
-    def contract_to(self, target: int, gen) -> bool:
-        """Contract until ``target`` super-nodes remain; False if stuck."""
-        while self.size > target:
-            if not any(self.adj[u] for u in self.adj):
-                return False
-            self.contract_random_edge(gen)
-        return True
-
-    def cut_of_two(self) -> Tuple[float, FrozenSet[Node]]:
-        if self.size != 2:
-            raise GraphError("state must have exactly two super-nodes")
-        (a, nbrs_a) = next(iter(self.adj.items()))
-        return sum(nbrs_a.values()), frozenset(self.groups[a])
+    @classmethod
+    def from_graph(cls, graph: UGraph) -> "_EdgeArrays":
+        labels = tuple(graph.nodes())
+        index = {label: i for i, label in enumerate(labels)}
+        edges = list(graph.edges())
+        m = len(edges)
+        tails = np.empty(m, dtype=np.int64)
+        heads = np.empty(m, dtype=np.int64)
+        weights = np.empty(m, dtype=np.float64)
+        for e, (u, v, w) in enumerate(edges):
+            tails[e] = index[u]
+            heads[e] = index[v]
+            weights[e] = w
+        return cls(labels=labels, tails=tails, heads=heads, weights=weights)
 
 
-def _recurse(state: _ContractState, gen) -> Tuple[float, FrozenSet[Node]]:
-    n = state.size
-    if n <= 6:
+def _contract(
+    parent: np.ndarray, size: int, target: int, arrays: _EdgeArrays, gen, backend
+) -> int:
+    """Contract ``parent`` toward ``target`` super-nodes; returns reached size.
+
+    Uniforms are always drawn ``size - target`` at a time regardless of
+    how many the kernel consumes, so the RNG stream advances identically
+    on every backend (and on every failure mode).
+    """
+    draws = size - target
+    uniforms = gen.random(draws) if draws > 0 else np.empty(0, dtype=np.float64)
+    reached, _used = backend.contract_to(
+        arrays.tails, arrays.heads, arrays.weights, parent, size, target, uniforms
+    )
+    return reached
+
+
+def _cut_of_two(
+    parent: np.ndarray, arrays: _EdgeArrays
+) -> Tuple[float, FrozenSet[Node]]:
+    """Cut value and side for a fully contracted (2 super-node) state."""
+    crossing = parent[arrays.tails] != parent[arrays.heads]
+    value = float(arrays.weights[crossing].sum())
+    side = frozenset(
+        arrays.labels[i] for i in np.flatnonzero(parent == parent[0]).tolist()
+    )
+    return value, side
+
+
+def _recurse(
+    parent: np.ndarray, size: int, arrays: _EdgeArrays, gen, backend
+) -> Tuple[float, FrozenSet[Node]]:
+    if size <= 6:
         # Base case: finish with repeated plain contraction.
         best: Optional[Tuple[float, FrozenSet[Node]]] = None
-        for _ in range(n * n):
-            trial = state.clone()
-            if not trial.contract_to(2, gen):
+        for _ in range(size * size):
+            trial = parent.copy()
+            if _contract(trial, size, 2, arrays, gen, backend) != 2:
                 continue
-            candidate = trial.cut_of_two()
+            candidate = _cut_of_two(trial, arrays)
             if best is None or candidate[0] < best[0]:
                 best = candidate
         if best is None:
             raise GraphError("graph is disconnected")
         return best
-    target = max(2, int(math.ceil(n / math.sqrt(2.0))) + 1)
-    results = []
+    target = max(2, int(math.ceil(size / math.sqrt(2.0))) + 1)
+    results: List[Tuple[float, FrozenSet[Node]]] = []
     for _ in range(2):
-        branch = state.clone()
-        if branch.contract_to(target, gen):
-            results.append(_recurse(branch, gen))
+        branch = parent.copy()
+        if _contract(branch, size, target, arrays, gen, backend) == target:
+            results.append(_recurse(branch, target, arrays, gen, backend))
     if not results:
         raise GraphError("graph is disconnected")
     return min(results, key=lambda item: item[0])
@@ -125,6 +124,8 @@ def karger_stein_min_cut(
     ``ceil(log^2 n) + 2``), each succeeding with probability
     ``Omega(1/log n)``; the best cut over all trees is returned.
     """
+    from repro.kernels import get_backend, mark_use
+
     n = graph.num_nodes
     if n < 2:
         raise GraphError("min cut needs at least two nodes")
@@ -134,9 +135,13 @@ def karger_stein_min_cut(
         log_n = max(1.0, math.log(n))
         repetitions = int(math.ceil(log_n * log_n)) + 2
     gen = ensure_rng(rng)
+    arrays = _EdgeArrays.from_graph(graph)
+    backend = get_backend()
+    mark_use(backend)
     best: Optional[Tuple[float, FrozenSet[Node]]] = None
     for _ in range(repetitions):
-        candidate = _recurse(_ContractState(graph), gen)
+        parent = np.arange(n, dtype=np.int64)
+        candidate = _recurse(parent, n, arrays, gen, backend)
         if best is None or candidate[0] < best[0]:
             best = candidate
     assert best is not None

@@ -1,0 +1,72 @@
+"""Native-backend loader chain.
+
+``load_native()`` walks the candidate toolchains in preference order
+and returns the first backend that loads:
+
+1. **numba** (:mod:`repro.kernels.native_numba`) — ``@njit`` kernels,
+   preferred when numba is importable because they avoid the compile
+   step and share numpy memory directly;
+2. **cc** (:mod:`repro.kernels.native_cc`) — a small C library compiled
+   on demand with the system compiler and bound through ctypes.
+
+A future Cython or prebuilt C-extension backend slots in as another
+``(name, loader)`` pair here; no call site changes.
+
+When every candidate fails, the combined failure messages are raised as
+one :class:`~repro.kernels.registry.KernelUnavailableError` — the
+registry memoizes it so ``auto`` degrades to python exactly once per
+process.  Set ``REPRO_KERNELS_NATIVE`` to ``numba`` or ``cc`` to pin a
+specific toolchain (used by the parity tests to exercise both).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Tuple
+
+from repro.kernels.registry import KernelBackend, KernelUnavailableError
+
+#: Pins the native toolchain (``numba`` / ``cc``); empty = first that loads.
+NATIVE_ENV = "REPRO_KERNELS_NATIVE"
+
+
+def _load_numba() -> KernelBackend:
+    try:
+        from repro.kernels import native_numba
+    except ImportError as exc:
+        raise KernelUnavailableError(f"numba backend: {exc}") from None
+    return native_numba.load()
+
+
+def _load_cc() -> KernelBackend:
+    from repro.kernels import native_cc
+
+    return native_cc.load()
+
+
+_CANDIDATES: Tuple[Tuple[str, Callable[[], KernelBackend]], ...] = (
+    ("numba", _load_numba),
+    ("cc", _load_cc),
+)
+
+
+def load_native() -> KernelBackend:
+    """First native backend that loads, in preference order."""
+    pin = os.environ.get(NATIVE_ENV, "").strip().lower()
+    candidates = _CANDIDATES
+    if pin:
+        candidates = tuple(c for c in _CANDIDATES if c[0] == pin)
+        if not candidates:
+            names = tuple(c[0] for c in _CANDIDATES)
+            raise KernelUnavailableError(
+                f"{NATIVE_ENV} must be one of {names}, got {pin!r}"
+            )
+    failures: List[str] = []
+    for name, loader in candidates:
+        try:
+            return loader()
+        except KernelUnavailableError as exc:
+            failures.append(f"{name}: {exc}")
+    raise KernelUnavailableError(
+        "no native kernel toolchain available (" + "; ".join(failures) + ")"
+    )

@@ -1,0 +1,324 @@
+"""numba backend: ``@njit``-compiled renderings of the reference kernels.
+
+Importing this module requires numba — on machines without it the
+``import numba`` below raises ``ImportError``, which
+:mod:`repro.kernels.native` catches before falling through to the
+cc/ctypes backend.  Compilation is lazy (first call per signature) and
+cached on disk (``cache=True``) under numba's cache directory, which CI
+persists between runs.
+
+Each kernel is a line-for-line transcription of
+:mod:`repro.kernels.reference`: identical traversal order, identical
+float accumulation order, identical union-find rule.  The parity suite
+holds every backend to bit-identical outputs on the integer-weighted
+constructions the reproduction runs, so edits here must be made in
+lockstep with reference.py and _kernels.c.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numba  # noqa: F401  (absence must raise ImportError here)
+import numpy as np
+from numba import njit
+
+_EPS = 1e-12
+
+
+@njit(cache=True)
+def _bfs_levels(n, indptr, adj, arc_head, arc_cap, arc_flow, source, level, queue):
+    for i in range(n):
+        level[i] = -1
+    level[source] = 0
+    qhead = 0
+    qtail = 0
+    queue[qtail] = source
+    qtail += 1
+    while qhead < qtail:
+        cur = queue[qhead]
+        qhead += 1
+        for k in range(indptr[cur], indptr[cur + 1]):
+            a = adj[k]
+            head = arc_head[a]
+            if level[head] < 0 and arc_cap[a] - arc_flow[a] > _EPS:
+                level[head] = level[cur] + 1
+                queue[qtail] = head
+                qtail += 1
+
+
+@njit(cache=True)
+def _blocking_flow(
+    n, indptr, adj, arc_head, arc_cap, arc_flow, level, iters, stack, path, source, sink
+):
+    for i in range(n):
+        iters[i] = 0
+    total = 0.0
+    stack_len = 0
+    path_len = 0
+    stack[stack_len] = source
+    stack_len += 1
+    while stack_len > 0:
+        u = stack[stack_len - 1]
+        if u == sink:
+            push = np.inf
+            for k in range(path_len):
+                residual = arc_cap[path[k]] - arc_flow[path[k]]
+                if residual < push:
+                    push = residual
+            total += push
+            for k in range(path_len):
+                a = path[k]
+                arc_flow[a] += push
+                arc_flow[a ^ 1] -= push
+            # Retreat to just past the first arc this push saturated.
+            cut = 0
+            for k in range(path_len):
+                if arc_cap[path[k]] - arc_flow[path[k]] <= _EPS:
+                    cut = k
+                    break
+            stack_len = cut + 1
+            path_len = cut
+            continue
+        advanced = False
+        while iters[u] < indptr[u + 1] - indptr[u]:
+            a = adj[indptr[u] + iters[u]]
+            head = arc_head[a]
+            if arc_cap[a] - arc_flow[a] > _EPS and level[head] == level[u] + 1:
+                stack[stack_len] = head
+                stack_len += 1
+                path[path_len] = a
+                path_len += 1
+                advanced = True
+                break
+            iters[u] += 1
+        if not advanced:
+            level[u] = -1  # dead end for the rest of this phase
+            stack_len -= 1
+            if path_len > 0:
+                path_len -= 1
+                iters[stack[stack_len - 1]] += 1
+    return total
+
+
+@njit(cache=True)
+def _dinic_solve_jit(
+    indptr, adj, arc_head, arc_cap, arc_flow, level, iters, stack, path, queue,
+    source, sink,
+):
+    n = indptr.shape[0] - 1
+    total = 0.0
+    phases = 0
+    while True:
+        _bfs_levels(n, indptr, adj, arc_head, arc_cap, arc_flow, source, level, queue)
+        if level[sink] < 0:
+            break
+        phases += 1
+        total += _blocking_flow(
+            n, indptr, adj, arc_head, arc_cap, arc_flow, level, iters, stack, path,
+            source, sink,
+        )
+    return total, phases
+
+
+def dinic_solve(
+    indptr, adj, arc_head, arc_cap, arc_flow, level, iters, stack, path, queue,
+    source, sink,
+) -> Tuple[float, int]:
+    total, phases = _dinic_solve_jit(
+        indptr, adj, arc_head, arc_cap, arc_flow, level, iters, stack, path, queue,
+        np.int64(source), np.int64(sink),
+    )
+    return float(total), int(phases)
+
+
+@njit(cache=True)
+def _residual_reachable_jit(indptr, adj, arc_head, arc_cap, arc_flow, seen, stack, source):
+    n = indptr.shape[0] - 1
+    for i in range(n):
+        seen[i] = 0
+    seen[source] = 1
+    stack_len = 0
+    stack[stack_len] = source
+    stack_len += 1
+    while stack_len > 0:
+        stack_len -= 1
+        cur = stack[stack_len]
+        for k in range(indptr[cur], indptr[cur + 1]):
+            a = adj[k]
+            head = arc_head[a]
+            if seen[head] == 0 and arc_cap[a] - arc_flow[a] > _EPS:
+                seen[head] = 1
+                stack[stack_len] = head
+                stack_len += 1
+
+
+def residual_reachable(indptr, adj, arc_head, arc_cap, arc_flow, seen, stack, source):
+    _residual_reachable_jit(
+        indptr, adj, arc_head, arc_cap, arc_flow, seen, stack, np.int64(source)
+    )
+
+
+@njit(cache=True)
+def _uf_find(parent, i):
+    while parent[i] != i:
+        parent[i] = parent[parent[i]]
+        i = parent[i]
+    return i
+
+
+@njit(cache=True)
+def _contract_to_jit(tails, heads, weights, parent, size, target, uniforms):
+    m = tails.shape[0]
+    used = 0
+    current = size
+    while current > target:
+        total = 0.0
+        for e in range(m):
+            if _uf_find(parent, tails[e]) != _uf_find(parent, heads[e]):
+                total += weights[e]
+        if total <= 0.0:
+            break
+        pick = uniforms[used] * total
+        used += 1
+        acc = 0.0
+        chosen = -1
+        for e in range(m):
+            ra = _uf_find(parent, tails[e])
+            rb = _uf_find(parent, heads[e])
+            if ra == rb:
+                continue
+            chosen = e
+            acc += weights[e]
+            if pick <= acc:
+                break
+        ra = _uf_find(parent, tails[chosen])
+        rb = _uf_find(parent, heads[chosen])
+        parent[rb] = ra
+        current -= 1
+    for i in range(parent.shape[0]):
+        parent[i] = _uf_find(parent, i)
+    return current, used
+
+
+def contract_to(tails, heads, weights, parent, size, target, uniforms) -> Tuple[int, int]:
+    uniforms = np.ascontiguousarray(uniforms, dtype=np.float64)
+    current, used = _contract_to_jit(
+        tails, heads, weights, parent, np.int64(size), np.int64(target), uniforms
+    )
+    return int(current), int(used)
+
+
+@njit(cache=True)
+def _had_combine_many_jit(h, coeff, out):
+    batch = coeff.shape[0]
+    side = h.shape[0]
+    tmp = np.empty((side, side), dtype=np.int64)
+    for b in range(batch):
+        # tmp = C H  (H entries are ±1: adds and subtracts only)
+        for i in range(side):
+            for j in range(side):
+                acc = np.int64(0)
+                for k in range(side):
+                    v = coeff[b, i, k]
+                    if h[k, j] > 0:
+                        acc += v
+                    else:
+                        acc -= v
+                tmp[i, j] = acc
+        # out = H^T tmp
+        for i in range(side):
+            for j in range(side):
+                acc = np.int64(0)
+                for k in range(side):
+                    v = tmp[k, j]
+                    if h[k, i] > 0:
+                        acc += v
+                    else:
+                        acc -= v
+                out[b, i * side + j] = acc
+
+
+def had_combine_many(h, coeff) -> np.ndarray:
+    coeff = np.ascontiguousarray(coeff, dtype=np.int64)
+    side = h.shape[0]
+    out = np.empty((coeff.shape[0], side * side), dtype=np.int64)
+    _had_combine_many_jit(h, coeff, out)
+    return out
+
+
+@njit(cache=True)
+def _had_row_products_jit(h, x, out):
+    side = h.shape[0]
+    tmp = np.empty((side, side), dtype=np.float64)
+    # tmp = X H^T : tmp[i][j] = sum_k X[i][k] * H[j][k]
+    for i in range(side):
+        for j in range(side):
+            acc = 0.0
+            for k in range(side):
+                v = x[i * side + k]
+                if h[j, k] > 0:
+                    acc += v
+                else:
+                    acc -= v
+            tmp[i, j] = acc
+    # out = H tmp : out[i][j] = sum_k H[i][k] * tmp[k][j]
+    for i in range(side):
+        for j in range(side):
+            acc = 0.0
+            for k in range(side):
+                v = tmp[k, j]
+                if h[i, k] > 0:
+                    acc += v
+                else:
+                    acc -= v
+            out[i, j] = acc
+
+
+def had_row_products(h, x) -> np.ndarray:
+    x = np.ascontiguousarray(x, dtype=np.float64)
+    side = h.shape[0]
+    out = np.empty((side, side), dtype=np.float64)
+    _had_row_products_jit(h, x, out)
+    return out
+
+
+@njit(cache=True)
+def _had_decode_one_jit(h, x, i, j):
+    side = h.shape[0]
+    acc = 0.0
+    for k in range(side):
+        inner = 0.0
+        for l in range(side):
+            v = x[k * side + l]
+            if h[j, l] > 0:
+                inner += v
+            else:
+                inner -= v
+        if h[i, k] > 0:
+            acc += inner
+        else:
+            acc -= inner
+    return acc
+
+
+def had_decode_one(h, x, i, j) -> float:
+    x = np.ascontiguousarray(x, dtype=np.float64)
+    return float(_had_decode_one_jit(h, x, np.int64(i), np.int64(j)))
+
+
+def load():
+    """The numba :class:`~repro.kernels.registry.KernelBackend`."""
+    from repro.kernels.registry import KernelBackend
+
+    return KernelBackend(
+        name="native",
+        source="numba",
+        dinic_solve=dinic_solve,
+        residual_reachable=residual_reachable,
+        contract_to=contract_to,
+        had_combine_many=had_combine_many,
+        had_row_products=had_row_products,
+        had_decode_one=had_decode_one,
+        meta={"numba": numba.__version__},
+    )

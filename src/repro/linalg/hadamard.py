@@ -147,6 +147,17 @@ class Lemma32Matrix:
         """The dense ``(2^k - 1)^2 x 2^{2k}`` matrix (for tests/benches)."""
         return np.vstack([row.dense() for row in self._rows])
 
+    def _check_signs(self, signs: np.ndarray, batch: bool) -> np.ndarray:
+        signs = np.asarray(signs)
+        expected = ((-1, self.num_rows) if batch else (self.num_rows,))
+        if (signs.ndim != len(expected)) or signs.shape[-1] != self.num_rows:
+            raise ParameterError(
+                f"expected {self.num_rows} signs, got shape {signs.shape}"
+            )
+        if not np.all(np.abs(signs) == 1):
+            raise ParameterError("signs must be +-1")
+        return signs
+
     def combine(self, signs: np.ndarray) -> np.ndarray:
         """``x = sum_t signs[t] * M_t`` — the encoder's superposition.
 
@@ -154,28 +165,60 @@ class Lemma32Matrix:
         factored basis: ``sum_{i,j} z_{ij} H_i (x) H_j =
         (H^T Z H) reshaped``, which is O(side^3) instead of O(side^4).
         """
-        signs = np.asarray(signs)
-        if signs.shape != (self.num_rows,):
-            raise ParameterError(
-                f"expected {self.num_rows} signs, got shape {signs.shape}"
-            )
-        if not np.all(np.abs(signs) == 1):
-            raise ParameterError("signs must be +-1")
-        z = signs.reshape(self.side - 1, self.side - 1).astype(np.int64)
+        self._check_signs(signs, batch=False)
+        return self.combine_many(np.asarray(signs)[None, :])[0]
+
+    def combine_many(self, signs: np.ndarray) -> np.ndarray:
+        """Batched :meth:`combine`: ``(B, num_rows)`` -> ``(B, row_length)``.
+
+        One kernel dispatch covers the whole batch — the encoder calls
+        this once per string instead of once per block.  All arithmetic
+        is exact ``int64``; every backend returns identical codewords.
+        """
+        from repro.kernels import get_backend, mark_use
+
+        signs = self._check_signs(signs, batch=True)
+        z = signs.reshape(-1, self.side - 1, self.side - 1).astype(np.int64)
         # Row t = (i, j) uses H_{i+1} (x) H_{j+1}; assemble coefficient
-        # matrix C with C[i+1, j+1] = z[i, j] and compute H^T C H.
-        coeff = np.zeros((self.side, self.side), dtype=np.int64)
-        coeff[1:, 1:] = z
-        h = self._hadamard.astype(np.int64)
-        dense = h.T @ coeff @ h
-        return dense.reshape(-1)
+        # blocks C_b with C_b[i+1, j+1] = z_b[i, j] and compute H^T C_b H.
+        coeff = np.zeros((z.shape[0], self.side, self.side), dtype=np.int64)
+        coeff[:, 1:, 1:] = z
+        backend = get_backend()
+        mark_use(backend)
+        return backend.had_combine_many(self._hadamard, coeff)
 
     def decode_coefficient(self, x: np.ndarray, t: int) -> float:
         """``<x, M_t> / ||M_t||^2`` — recovers ``signs[t]`` from combine."""
+        from repro.kernels import get_backend, mark_use
+
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.row_length,):
             raise ParameterError(
                 f"expected vector of length {self.row_length}, got {x.shape}"
             )
-        row = self.row(t).dense().astype(np.float64)
-        return float(np.dot(x, row) / self.row_length)
+        if not 0 <= t < self.num_rows:
+            raise ParameterError(f"row index {t} out of range [0, {self.num_rows})")
+        i = t // (self.side - 1) + 1
+        j = t % (self.side - 1) + 1
+        backend = get_backend()
+        mark_use(backend)
+        return backend.had_decode_one(self._hadamard, x, i, j) / self.row_length
+
+    def decode_coefficients(self, x: np.ndarray) -> np.ndarray:
+        """All ``num_rows`` coefficients of ``x`` in one kernel dispatch.
+
+        Equivalent to ``[decode_coefficient(x, t) for t in range(num_rows)]``
+        but computed as the blocked product table ``H X H^T`` (rows
+        ``i, j >= 1``) instead of materializing dense tensor rows.
+        """
+        from repro.kernels import get_backend, mark_use
+
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.row_length,):
+            raise ParameterError(
+                f"expected vector of length {self.row_length}, got {x.shape}"
+            )
+        backend = get_backend()
+        mark_use(backend)
+        table = backend.had_row_products(self._hadamard, x)
+        return table[1:, 1:].reshape(-1) / self.row_length

@@ -11,7 +11,9 @@ Public surface:
   :func:`~repro.parallel.pool.set_default_jobs` — the ``jobs``
   resolution chain (argument → process default → ``REPRO_JOBS`` → 1);
 * :mod:`~repro.parallel.obsmerge` — worker-side telemetry collection
-  and the parent-side order-deterministic merge.
+  and the parent-side order-deterministic merge;
+* :mod:`~repro.parallel.shmipc` — zero-copy shared-memory result
+  transport for numeric result tables (``REPRO_SHM=0`` disables).
 
 See EXPERIMENTS.md, "Parallel execution", for the determinism and
 telemetry-merge contracts.
@@ -28,6 +30,7 @@ from repro.parallel.pool import (
     set_default_jobs,
 )
 from repro.parallel import obsmerge  # noqa: F401  (submodule re-export)
+from repro.parallel import shmipc  # noqa: F401  (submodule re-export)
 
 __all__ = [
     "JOBS_ENV",

@@ -49,6 +49,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ParallelError
+from repro.parallel import shmipc
 from repro.utils.rng import RngLike, spawn_seeds
 
 #: Environment variable consulted when no explicit ``jobs`` is given.
@@ -67,6 +68,10 @@ _IN_WORKER = False
 #: lets ``map`` accept closures and lambdas that pickle cannot ship.
 _WORK: Dict[int, Tuple[Callable[[Any], Any], Sequence[Any]]] = {}
 _TOKENS = _itercount()
+
+#: Shared-memory result arena for the in-flight ``map`` call, installed
+#: before the executor forks so workers inherit the open mapping.
+_ARENA: Optional[shmipc.ResultArena] = None
 
 
 def fork_available() -> bool:
@@ -141,7 +146,7 @@ def chunk_plan(
     ]
 
 
-def _run_chunk(token: int, start: int, stop: int) -> Dict[str, Any]:
+def _run_chunk(token: int, start: int, stop: int, slot: int = -1) -> Dict[str, Any]:
     """Worker entry point: run trials ``[start, stop)`` of work ``token``.
 
     Runs in the forked child.  Returns a picklable payload —
@@ -149,6 +154,12 @@ def _run_chunk(token: int, start: int, stop: int) -> Dict[str, Any]:
     ``"failure"`` describing the first trial whose function raised
     (results stop there).  Worker crashes never return at all; the
     parent sees ``BrokenProcessPool`` instead.
+
+    ``slot >= 0`` points at this chunk's slot in the fork-inherited
+    shared-memory arena: uniformly numeric results are written there in
+    place and only a descriptor travels back over the pickle pipe
+    (``"shm"`` in the payload).  ``slot = -1`` — the isolation pass, or
+    the transport disabled — always ships results by pickle.
     """
     global _IN_WORKER
     _IN_WORKER = True
@@ -168,9 +179,19 @@ def _run_chunk(token: int, start: int, stop: int) -> Dict[str, Any]:
                 "traceback": _tb.format_exc(),
             }
             break
+    shm_descriptor: Optional[Dict[str, Any]] = None
+    if slot >= 0 and failure is None and _ARENA is not None:
+        try:
+            shm_descriptor = _ARENA.write(slot, results)
+        except Exception:
+            shm_descriptor = None  # any arena trouble -> pickle fallback
+    if shm_descriptor is not None:
+        shm_descriptor["slot"] = slot
+        results = []
     return {
         "start": start,
         "results": results,
+        "shm": shm_descriptor,
         "failure": failure,
         "delta": obsmerge.worker_end(handle),
         "pid": os.getpid(),
@@ -197,6 +218,14 @@ class TrialPool:
         self.jobs = resolve_jobs(jobs)
         self.timeout = timeout
         self.chunk_factor = chunk_factor
+        #: Transport statistics of the most recent parallel ``map``:
+        #: chunks shipped via shared memory vs. the pickle pipe.  Plain
+        #: attributes, not obs counters — serial and parallel telemetry
+        #: must stay identical.
+        self.last_transport_stats: Dict[str, int] = {
+            "shm_chunks": 0,
+            "pickle_chunks": 0,
+        }
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """``[fn(item) for item in items]``, fanned out when it pays.
@@ -208,32 +237,58 @@ class TrialPool:
         returns results in item order and merges worker telemetry in
         chunk start order; see the module docstring for the failure
         protocol.
+
+        Numeric result tables travel back through a preallocated
+        shared-memory arena (:mod:`repro.parallel.shmipc`) instead of
+        the executor's pickle pipe; everything else falls back to
+        pickle.  Either transport returns value-identical lists.
         """
+        global _ARENA
         items = list(items)
         if self.jobs <= 1 or len(items) <= 1 or not fork_available():
             return [fn(item) for item in items]
+        chunks = chunk_plan(len(items), self.jobs, self.chunk_factor)
         token = next(_TOKENS)
         _WORK[token] = (fn, items)
+        arena: Optional[shmipc.ResultArena] = None
+        if shmipc.shm_enabled():
+            try:
+                arena = shmipc.ResultArena(slots=len(chunks))
+            except OSError:
+                arena = None  # no /dev/shm room -> pickle transport
+        _ARENA = arena
         try:
-            payloads = self._run_parallel(token, len(items))
+            payloads = self._run_parallel(token, chunks)
+            from repro.parallel import obsmerge
+
+            stats = {"shm_chunks": 0, "pickle_chunks": 0}
+            results: List[Any] = []
+            for payload in sorted(payloads, key=lambda p: p["start"]):
+                obsmerge.merge_delta(
+                    payload.get("delta"),
+                    worker=payload.get("pid"),
+                    chunk=payload["start"],
+                )
+                descriptor = payload.get("shm")
+                if descriptor is not None and arena is not None:
+                    stats["shm_chunks"] += 1
+                    results.extend(arena.read(descriptor["slot"], descriptor))
+                else:
+                    stats["pickle_chunks"] += 1
+                    results.extend(payload["results"])
+            self.last_transport_stats = stats
+            return results
         finally:
             del _WORK[token]
-        from repro.parallel import obsmerge
-
-        results: List[Any] = []
-        for payload in sorted(payloads, key=lambda p: p["start"]):
-            obsmerge.merge_delta(
-                payload.get("delta"),
-                worker=payload.get("pid"),
-                chunk=payload["start"],
-            )
-            results.extend(payload["results"])
-        return results
+            _ARENA = None
+            if arena is not None:
+                arena.close()
 
     # -- the two passes -------------------------------------------------
 
-    def _run_parallel(self, token: int, n_items: int) -> List[Dict[str, Any]]:
-        chunks = chunk_plan(n_items, self.jobs, self.chunk_factor)
+    def _run_parallel(
+        self, token: int, chunks: List[Tuple[int, int]]
+    ) -> List[Dict[str, Any]]:
         payloads, pending = self._first_pass(token, chunks)
         if pending:
             payloads.extend(self._isolation_pass(token, pending))
@@ -247,12 +302,15 @@ class TrialPool:
         Returns ``(completed payloads, chunks needing the isolation
         pass)``.  A trial-function failure raises immediately; a crash
         or hang demotes every unfinished chunk to the isolation pass.
+        Chunk ``i`` owns arena slot ``i``; isolation-pass re-runs ship
+        by pickle (``slot = -1``), so a crashed chunk's half-written
+        slot is never read.
         """
         ctx = mp.get_context("fork")
         executor = ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx)
         futures = {
-            executor.submit(_run_chunk, token, start, stop): (start, stop)
-            for start, stop in chunks
+            executor.submit(_run_chunk, token, start, stop, slot): (start, stop)
+            for slot, (start, stop) in enumerate(chunks)
         }
         payloads: List[Dict[str, Any]] = []
         pending: List[Tuple[int, int]] = []

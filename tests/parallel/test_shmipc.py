@@ -1,0 +1,177 @@
+"""Shared-memory result transport: packing, arena, and pool integration."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import TrialPool, fork_available, run_trials, shmipc
+
+
+class TestPackResults:
+    def test_floats_roundtrip(self):
+        values = [0.0, -1.5, 3.25, 1e300]
+        packed = shmipc.pack_results(values)
+        assert packed is not None and packed["kind"] == "floats"
+        raw = packed["data"].view(np.uint8)
+        assert shmipc.unpack_results(packed, raw) == values
+
+    def test_ints_roundtrip(self):
+        values = [0, -7, 2**62, -(2**62)]
+        packed = shmipc.pack_results(values)
+        assert packed is not None and packed["kind"] == "ints"
+        raw = packed["data"].view(np.uint8)
+        out = shmipc.unpack_results(packed, raw)
+        assert out == values
+        assert all(type(v) is int for v in out)
+
+    def test_uniform_arrays_roundtrip(self):
+        gen = np.random.default_rng(0)
+        values = [gen.random((3, 4)) for _ in range(5)]
+        packed = shmipc.pack_results(values)
+        assert packed is not None and packed["kind"] == "arrays"
+        raw = packed["data"].view(np.uint8)
+        out = shmipc.unpack_results(packed, raw)
+        assert len(out) == 5
+        for got, want in zip(out, values):
+            assert got.dtype == want.dtype and np.array_equal(got, want)
+
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [],
+            [1.0, 2],  # mixed float/int
+            [True, False],  # bools are not ints here
+            [1, 2**63],  # beyond int64
+            [{"a": 1}],  # non-numeric
+            ["x", "y"],
+            [np.zeros(3), np.zeros(4)],  # ragged shapes
+            [np.zeros(3), np.zeros(3, dtype=np.int32)],  # mixed dtypes
+            [np.array(["a", "b"])],  # non-numeric dtype
+        ],
+    )
+    def test_unpackable_lists_return_none(self, values):
+        assert shmipc.pack_results(values) is None
+
+    def test_unknown_kind_rejected(self):
+        packed = shmipc.pack_results([1.0, 2.0])
+        raw = packed["data"].view(np.uint8)
+        bad = dict(packed, kind="frobs")
+        with pytest.raises(ValueError):
+            shmipc.unpack_results(bad, raw)
+
+
+class TestKnobs:
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(shmipc.SHM_ENV, raising=False)
+        assert shmipc.shm_enabled()
+
+    def test_disabled_by_zero(self, monkeypatch):
+        monkeypatch.setenv(shmipc.SHM_ENV, "0")
+        assert not shmipc.shm_enabled()
+
+    def test_slot_bytes_env_override(self, monkeypatch):
+        monkeypatch.delenv(shmipc.SHM_SLOT_ENV, raising=False)
+        assert shmipc.slot_bytes() == shmipc.DEFAULT_SLOT_BYTES
+        monkeypatch.setenv(shmipc.SHM_SLOT_ENV, "4096")
+        assert shmipc.slot_bytes() == 4096
+
+
+class TestResultArena:
+    def test_write_read_roundtrip_across_slots(self):
+        arena = shmipc.ResultArena(slots=3, slot_size=4096)
+        try:
+            payloads = [[1.0, 2.0], [7, 8, 9], [np.arange(6).reshape(2, 3)]]
+            descriptors = [
+                arena.write(slot, results)
+                for slot, results in enumerate(payloads)
+            ]
+            assert all(d is not None for d in descriptors)
+            assert arena.read(0, descriptors[0]) == payloads[0]
+            assert arena.read(1, descriptors[1]) == payloads[1]
+            [arr] = arena.read(2, descriptors[2])
+            assert np.array_equal(arr, payloads[2][0])
+        finally:
+            arena.close()
+
+    def test_oversized_payload_returns_none(self):
+        arena = shmipc.ResultArena(slots=1, slot_size=16)
+        try:
+            assert arena.write(0, [1.0, 2.0]) is not None  # 16 bytes fits
+            assert arena.write(0, [1.0, 2.0, 3.0]) is None  # 24 does not
+        finally:
+            arena.close()
+
+    def test_non_numeric_payload_returns_none(self):
+        arena = shmipc.ResultArena(slots=1, slot_size=4096)
+        try:
+            assert arena.write(0, [{"value": 1}]) is None
+        finally:
+            arena.close()
+
+    def test_read_copies_out_of_the_segment(self):
+        arena = shmipc.ResultArena(slots=1, slot_size=4096)
+        descriptor = arena.write(0, [np.arange(4)])
+        [arr] = arena.read(0, descriptor)
+        arena.close()
+        assert np.array_equal(arr, np.arange(4))  # survives the unlink
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method required")
+class TestPoolTransport:
+    def test_numeric_results_travel_via_shm(self):
+        pool = TrialPool(jobs=2)
+        items = list(range(40))
+        assert pool.map(lambda x: x * 0.5, items) == [x * 0.5 for x in items]
+        stats = pool.last_transport_stats
+        assert stats["shm_chunks"] > 0
+        assert stats["pickle_chunks"] == 0
+
+    def test_non_numeric_results_fall_back_to_pickle(self):
+        pool = TrialPool(jobs=2)
+        items = list(range(12))
+        want = [{"v": x} for x in items]
+        assert pool.map(lambda x: {"v": x}, items) == want
+        stats = pool.last_transport_stats
+        assert stats["pickle_chunks"] > 0
+        assert stats["shm_chunks"] == 0
+
+    def test_env_kill_switch_forces_pickle(self, monkeypatch):
+        monkeypatch.setenv(shmipc.SHM_ENV, "0")
+        pool = TrialPool(jobs=2)
+        items = list(range(12))
+        assert pool.map(lambda x: float(x), items) == [float(x) for x in items]
+        assert pool.last_transport_stats["shm_chunks"] == 0
+        assert pool.last_transport_stats["pickle_chunks"] > 0
+
+    def test_tiny_slots_degrade_to_pickle_with_equal_results(
+        self, monkeypatch
+    ):
+        items = list(range(64))
+        want = [float(x) for x in items]
+        pool = TrialPool(jobs=2, chunk_factor=1)
+        assert pool.map(lambda x: float(x), items) == want
+        monkeypatch.setenv(shmipc.SHM_SLOT_ENV, "8")  # one float per slot
+        small = TrialPool(jobs=2, chunk_factor=1)
+        assert small.map(lambda x: float(x), items) == want
+        assert small.last_transport_stats["shm_chunks"] == 0
+        assert small.last_transport_stats["pickle_chunks"] > 0
+
+    def test_array_results_value_identical_to_serial(self):
+        def fn(x):
+            gen = np.random.default_rng(x)
+            return gen.random(8)
+
+        items = list(range(20))
+        serial = TrialPool(jobs=1).map(fn, items)
+        parallel = TrialPool(jobs=4).map(fn, items)
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert a.dtype == b.dtype and np.array_equal(a, b)
+
+    def test_run_trials_unchanged_by_transport(self, monkeypatch):
+        def trial(gen):
+            return float(gen.random())
+
+        baseline = run_trials(trial, 30, rng=7, jobs=1)
+        assert run_trials(trial, 30, rng=7, jobs=3) == baseline
+        monkeypatch.setenv(shmipc.SHM_ENV, "0")
+        assert run_trials(trial, 30, rng=7, jobs=3) == baseline
