@@ -1,7 +1,8 @@
 # Convenience targets for the reproduction repository.
 
 .PHONY: install test bench bench-report bench-parallel bench-kernels \
-	tables trace-report api all bounds-check dashboard wire-check
+	tables trace-report api all bounds-check dashboard wire-check \
+	obs-commit obs-diff obs-fsck
 
 install:
 	pip install -e . || python setup.py develop
@@ -39,6 +40,16 @@ wire-check:
 dashboard:
 	PYTHONPATH=src python scripts/obs_db.py ingest --telemetry telemetry.jsonl
 	PYTHONPATH=src python scripts/obs_dashboard.py
+
+obs-commit:
+	PYTHONPATH=src python -m repro.experiments.run_all \
+		--telemetry telemetry.jsonl --capture-wire --commit-run
+
+obs-diff:
+	PYTHONPATH=src python scripts/obs_store.py diff HEAD~1 HEAD
+
+obs-fsck:
+	PYTHONPATH=src python scripts/obs_store.py fsck
 
 api:
 	python scripts/gen_api_reference.py

@@ -82,6 +82,48 @@ BENCH_FILES = [
 ]
 
 
+def artifact_header():
+    """Provenance stamp carried by every BENCH_*.json report.
+
+    Records which kernel backend produced the numbers and — when the
+    versioned experiment store exists — the store commit and branch the
+    repository was at, so any gate number can be traced back to the run
+    lineage it belongs to (and ``obs_store.py bisect --gate`` can trace
+    it forward again).
+    """
+    header = {"generated_at": time.strftime("%Y-%m-%dT%H:%M:%S")}
+    try:
+        from repro.kernels import get_backend
+
+        backend = get_backend()
+        header["kernels"] = {"name": backend.name, "source": backend.source}
+    except Exception as exc:  # an unavailable backend must not kill a report
+        header["kernels"] = {"error": str(exc)}
+    try:
+        from repro.obs.store import DEFAULT_STORE, ExperimentStore, StoreError
+
+        store_root = REPO / DEFAULT_STORE
+        if ExperimentStore.is_store(store_root):
+            store = ExperimentStore.open(store_root)
+            kind, value = store.refs.head()
+            header["store"] = {
+                "commit": store.refs.resolve_head(),
+                "branch": value if kind == "branch" else None,
+            }
+    except StoreError as exc:
+        header["store"] = {"error": str(exc)}
+    return header
+
+
+def _write_report(name, report):
+    """Stamp the provenance header and write one BENCH_*.json report."""
+    report["header"] = artifact_header()
+    out_path = REPO / name
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return out_path
+
+
 def _median_time(fn, repeats=5):
     samples = []
     for _ in range(repeats):
@@ -248,9 +290,7 @@ def write_pr2_report():
             "passed": ratio <= 1.05,
         },
     }
-    out_path = REPO / "BENCH_PR2.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out_path}")
+    _write_report("BENCH_PR2.json", report)
     print(
         f"obs guard ratio: {ratio:.3f}x "
         f"({'PASS' if report['gate']['passed'] else 'FAIL'})"
@@ -284,9 +324,7 @@ def write_pr3_report():
             "passed": ratio <= 1.05,
         },
     }
-    out_path = REPO / "BENCH_PR3.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out_path}")
+    _write_report("BENCH_PR3.json", report)
     print(
         f"obs guard ratio (profiler imported): {ratio:.3f}x "
         f"({'PASS' if report['gate']['passed'] else 'FAIL'})"
@@ -319,9 +357,7 @@ def write_pr4_report():
             "passed": ratio <= 1.05,
         },
     }
-    out_path = REPO / "BENCH_PR4.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out_path}")
+    _write_report("BENCH_PR4.json", report)
     print(
         f"obs guard ratio (capture imported): {ratio:.3f}x "
         f"({'PASS' if report['gate']['passed'] else 'FAIL'})"
@@ -460,9 +496,7 @@ def write_pr5_report():
         ),
         "passed": passed,
     }
-    out_path = REPO / "BENCH_PR5.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out_path}")
+    _write_report("BENCH_PR5.json", report)
     print(
         "digest gate: %s; throughput gate: %s"
         % (
@@ -696,9 +730,7 @@ def write_pr6_report():
         ),
         "passed": passed,
     }
-    out_path = REPO / "BENCH_PR6.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out_path}")
+    _write_report("BENCH_PR6.json", report)
     print(
         "kernel gate: %s; transport gate: %s; digest gate: %s"
         % (
@@ -777,9 +809,7 @@ def main():
             "passed": gate >= 5.0,
         }
 
-        out_path = REPO / "BENCH_PR1.json"
-        out_path.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"wrote {out_path}")
+        _write_report("BENCH_PR1.json", report)
         print(f"gate speedup: {gate:.1f}x ({'PASS' if gate >= 5.0 else 'FAIL'})")
 
     write_pr2_report()

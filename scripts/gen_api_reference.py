@@ -154,6 +154,54 @@ events into collapsed-stack lines (`span;path;func microseconds`) for
 standard flamegraph tooling.  `scripts/wire_report.py` drives both
 (`--trace`, `--flame`) plus a terminal message-lane diagram.
 """,
+    "repro.obs.store": """\
+### Content-addressed experiment store
+
+A git-like store (default root `.obs/store`, `scripts/obs_store.py
+init`) that versions whole experiment runs instead of source files.
+
+**Object model.**  Every artifact is an immutable zlib-compressed
+object at `objects/<2-hex>/<62-hex>`, addressed by the SHA-256 of a
+`"<kind> <size>\\0" + body` framing — identical content always
+deduplicates to one object.  Three kinds: *blobs* (raw artifact bytes:
+`telemetry.jsonl`, `wire.capture.jsonl`, `BENCH_*.json`, the derived
+`bounds.json` summary), *trees* (a sorted name → (blob, role) listing;
+roles are `telemetry` / `capture` / `bench` / `bounds` / `legacy` /
+`artifact`), and *commits* (tree + parent oids + message, author,
+timestamp, and a free-form `meta` dict — `run_all` stamps the
+experiment list, kernel backend, and bound-check tally there).  Tree
+and commit bodies are canonical JSON, so logically equal snapshots
+hash identically.
+
+**Ref layout.**  `refs/heads/<branch>` and `refs/tags/<tag>` hold one
+commit oid each; `HEAD` is either symbolic (`ref: refs/heads/main`) or
+a detached oid; every ref move appends to a JSONL `reflog`.  Branches
+name experiment lines (`lines/kernels`, `lines/legacy`, ...) — a
+commit onto a new branch starts an independent, parentless line.
+Revisions resolve as `HEAD`, `HEAD~N`, branch, tag, or a unique hex
+prefix (≥ 4 chars).
+
+**Producing commits.**  `run_all --commit-run[=BRANCH]` snapshots the
+run it just finished (exit 5 if the store write fails);
+`obs_store.py commit` snapshots artifact files after the fact;
+`obs_store.py migrate` replays the flat `.obs/history.jsonl` era onto
+`lines/legacy` and round-trip-verifies every record.
+
+**Consuming commits.**  `diff_commits` classifies every metric total
+(IMPROVED / REGRESSED / NEUTRAL around a relative threshold), flags
+span wall-time ratios, compares bench gates, and pinpoints the first
+diverging wire message; `fsck` re-hashes every object and validates
+trees, refs, and the reflog; `ExperimentStore.checkout` extracts a
+commit's artifacts for ad-hoc tooling.
+
+**Bisect workflow.**  `obs_store.py bisect --good REV --bad REV
+--metric NAME` (or `--gate BENCH_X.json`) binary-searches the
+first-parent chain for the first commit whose value regressed past the
+threshold, after sanity-checking both endpoints.  Each probed commit's
+cached wire transcript is replayed first (`repro.obs.replay`) and the
+bisection aborts loudly if a recorded transcript no longer reproduces
+— a bisection over lying evidence would point at the wrong commit.
+""",
     "repro.kernels": """\
 ### Kernel backends
 
@@ -219,6 +267,7 @@ PACKAGES = [
     "repro.graphs",
     "repro.kernels",
     "repro.obs",
+    "repro.obs.store",
     "repro.linalg",
     "repro.comm",
     "repro.sketch",

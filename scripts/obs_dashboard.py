@@ -1,8 +1,12 @@
 #!/usr/bin/env python
-"""Render the cross-run observability dashboard from .obs/history.jsonl.
+"""Render the cross-run observability dashboard.
 
-Reads the run history accumulated by ``scripts/obs_db.py`` and writes a
-static dashboard (``.obs/dashboard.md`` + ``.obs/dashboard.html``):
+Reads run history — preferring the versioned experiment store at
+``--store`` (commits made by ``run_all --commit-run`` or
+``scripts/obs_store.py commit``) and falling back to the flat
+``.obs/history.jsonl`` accumulated by ``scripts/obs_db.py`` — and
+writes a static dashboard (``.obs/dashboard.md`` +
+``.obs/dashboard.html``):
 
 * **Measured-vs-theory curves** for the latest run — sketch bits vs ε
   against the Ω̃(n·√β/ε) / Ω(n·β/ε²) envelopes, and VERIFY-GUESS
@@ -12,17 +16,22 @@ static dashboard (``.obs/dashboard.md`` + ``.obs/dashboard.html``):
   ``bound_check`` verdict);
 * **Span wall-time trends** across all ingested runs — how long each
   experiment region takes per PR;
-* **Regression verdict** comparing the two most recent runs: the
-  metric diff (via :func:`repro.obs.report.diff_table`) plus span
-  wall-time ratios, with a headline OK / REGRESSION line.
+* **Regression verdict** comparing the two most recent runs: per-metric
+  IMPROVED / REGRESSED / NEUTRAL verdicts (via
+  :func:`repro.obs.store.diff.metric_deltas`, the same classifier
+  ``obs_store.py diff`` uses) plus span wall-time ratios, with a
+  headline OK / REGRESSION line.
 
 Usage::
 
-    PYTHONPATH=src python scripts/obs_dashboard.py [--db .obs/history.jsonl]
+    PYTHONPATH=src python scripts/obs_dashboard.py                  # store, else JSONL
+    PYTHONPATH=src python scripts/obs_dashboard.py --branch lines/kernels
+    PYTHONPATH=src python scripts/obs_dashboard.py --db .obs/history.jsonl --no-store
 """
 
 import argparse
 import html
+import json
 import math
 import sys
 import time
@@ -32,8 +41,18 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
 from repro.experiments.harness import Table  # noqa: E402
-from repro.obs.report import diff_table  # noqa: E402
-from obs_db import DEFAULT_DB, load_history  # noqa: E402
+from repro.obs.store import (  # noqa: E402
+    DEFAULT_STORE,
+    ExperimentStore,
+    events_from_bytes,
+    metric_deltas,
+    short_oid,
+)
+from repro.obs.store.migrate import RECORD_NAME  # noqa: E402
+from obs_db import DEFAULT_DB, condense_run, load_history  # noqa: E402
+
+#: Relative change below which a metric delta is NEUTRAL.
+METRIC_THRESHOLD = 0.05
 
 #: Span whose wall time grows by more than this factor between the two
 #: latest runs counts as a timing regression.
@@ -275,6 +294,22 @@ def regression_section(runs):
     if slow.rows:
         problems.append(f"{len(slow.rows)} span timing regression(s)")
 
+    # Per-metric verdicts through the same classifier obs_store.py diff
+    # uses, so the dashboard and the store agree on what "regressed"
+    # means.  Missing metrics are NEUTRAL with a note — a counter that
+    # vanished is a schema change, not a performance win.
+    deltas = metric_deltas(
+        base.get("metrics", {}),
+        other.get("metrics", {}),
+        threshold=METRIC_THRESHOLD,
+    )
+    regressed = [d for d in deltas if d.verdict == "REGRESSED"]
+    if regressed:
+        problems.append(
+            f"{len(regressed)} metric regression(s): "
+            + ", ".join(d.name for d in regressed)
+        )
+
     verdict = "OK" if not problems else "REGRESSION: " + "; ".join(problems)
     lines.append(f"**{base_name} -> {other_name}: {verdict}**")
     lines.append("")
@@ -283,19 +318,63 @@ def regression_section(runs):
         lines.append(slow.render())
         lines.append("```")
         lines.append("")
-    metric_diff = diff_table(
-        base.get("metrics", {}),
-        other.get("metrics", {}),
-        title=f"metric diff · {other_name} - {base_name}",
-    )
-    if metric_diff.rows:
+    if deltas:
+        metric_table = Table(
+            title=f"metric verdicts · {other_name} vs {base_name}",
+            columns=["metric", base_name, other_name, "verdict", "note"],
+        )
+        for delta in deltas:
+            metric_table.add_row(
+                **{
+                    "metric": delta.name,
+                    base_name: delta.base if delta.base is not None else "-",
+                    other_name: delta.other if delta.other is not None else "-",
+                    "verdict": delta.verdict,
+                    "note": delta.note,
+                }
+            )
         lines.append("```")
-        lines.append(metric_diff.render())
+        lines.append(metric_table.render())
         lines.append("```")
     else:
         lines.append("_Metric totals identical across the two runs._")
     lines.append("")
     return lines
+
+
+def runs_from_store(store_path, branch=None):
+    """Condensed run records from an experiment-store branch, oldest first.
+
+    Regular commits contribute their telemetry blob, condensed exactly
+    the way ``obs_db.py ingest`` condenses a telemetry file (so store
+    and JSONL trends are directly comparable); commits migrated from
+    the legacy flat history carry their original record verbatim and
+    contribute it unchanged.
+    """
+    store = ExperimentStore.open(store_path)
+    runs = []
+    for oid, commit in store.history(branch or "HEAD"):
+        files = store.tree_files(oid)
+        if RECORD_NAME in files and files[RECORD_NAME][1] == "legacy":
+            record = json.loads(store.artifact_bytes(oid, RECORD_NAME))
+            runs.append(record)
+            continue
+        telemetry = [
+            name for name, (_oid, role) in files.items() if role == "telemetry"
+        ]
+        if not telemetry:
+            continue
+        events = []
+        for name in sorted(telemetry):
+            events.extend(events_from_bytes(store.artifact_bytes(oid, name)))
+        record = condense_run(
+            events,
+            label=short_oid(oid),
+            source=f"store:{commit.message}",
+        )
+        record["ingested_at"] = commit.timestamp
+        runs.append(record)
+    return runs
 
 
 def render_markdown(runs):
@@ -350,16 +429,40 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--db", default=DEFAULT_DB, help="history database path")
     parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help="experiment store to read trends from when it exists "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="ignore the experiment store and read --db directly",
+    )
+    parser.add_argument(
+        "--branch",
+        default=None,
+        help="store branch to trend over (default: the checked-out branch)",
+    )
+    parser.add_argument(
         "--out-dir",
         default=None,
         help="output directory (default: the database's directory)",
     )
     args = parser.parse_args()
 
-    runs = load_history(args.db)
+    if not args.no_store and ExperimentStore.is_store(args.store):
+        runs = runs_from_store(args.store, branch=args.branch)
+        source = f"store {args.store}" + (
+            f" branch {args.branch}" if args.branch else ""
+        )
+    else:
+        runs = load_history(args.db)
+        source = str(args.db)
     if not runs:
         print(
-            f"error: no runs in {args.db}; ingest one with scripts/obs_db.py",
+            f"error: no runs in {source}; commit one with "
+            "run_all --commit-run or ingest one with scripts/obs_db.py",
             file=sys.stderr,
         )
         return 1

@@ -115,6 +115,22 @@ def load_history(db_path):
 
 
 def ingest(args):
+    # A label identifies a run in the dashboard's trend axis; silently
+    # appending a second record under the same one used to double every
+    # curve point.  Re-ingesting a label now needs an explicit --force.
+    if args.label is not None and not args.force:
+        clashes = [
+            run for run in load_history(args.db)
+            if run.get("label") == args.label
+        ]
+        if clashes:
+            print(
+                f"error: label {args.label!r} is already ingested in "
+                f"{args.db} ({len(clashes)} record(s)); pick a distinct "
+                "label or pass --force to append anyway",
+                file=sys.stderr,
+            )
+            return 1
     events = load_events(args.telemetry)
     record = condense_run(events, label=args.label, source=str(args.telemetry))
     bench_paths = (
@@ -172,6 +188,11 @@ def main():
     p_ingest.add_argument("--db", default=DEFAULT_DB, help="history database path")
     p_ingest.add_argument(
         "--label", default=None, help="run label (e.g. the PR or commit)"
+    )
+    p_ingest.add_argument(
+        "--force",
+        action="store_true",
+        help="append even when the label already exists in the database",
     )
     p_ingest.set_defaults(func=ingest)
 

@@ -35,9 +35,19 @@ for the hot loops (Dinic, contraction, Lemma 3.2 products); see
 stdout — and therefore any digest of the tables — is identical across
 backends.
 
+``--commit-run`` snapshots the run's artifacts (telemetry, wire
+capture when ``--capture-wire`` is on, any ``BENCH_*.json`` in the
+working directory, and a bound-check summary) into the versioned
+experiment store at ``--store`` (default ``.obs/store``) after the run
+completes.  The bare flag commits to the store's checked-out branch;
+``--commit-run=lines/kernels`` names one (the ``=`` form is required
+when experiment ids follow on the command line).  Inspect history with
+``scripts/obs_store.py`` (log / diff / bisect / fsck).
+
 Exit codes: 0 success; 2 bound violation under ``--strict-bounds``;
 3 telemetry sink failure (could not open, or writing failed mid-run);
-4 explicitly requested kernel backend unavailable.
+4 explicitly requested kernel backend unavailable; 5 ``--commit-run``
+could not commit the run into the experiment store.
 """
 
 from __future__ import annotations
@@ -69,6 +79,8 @@ EXIT_BOUND_VIOLATION = 2
 EXIT_TELEMETRY_FAILURE = 3
 #: Exit code for an explicitly requested kernel backend that cannot load.
 EXIT_KERNELS_UNAVAILABLE = 4
+#: Exit code for a failed --commit-run store commit.
+EXIT_STORE_FAILURE = 5
 
 
 def _e1_foreach() -> List[Table]:
@@ -515,7 +527,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="where --capture-wire writes the transcript "
         "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--commit-run",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="BRANCH",
+        help="after the run, commit its artifacts (telemetry, wire "
+        "capture, BENCH_*.json reports, bound summary) into the "
+        "experiment store; the bare flag uses the checked-out branch, "
+        "--commit-run=BRANCH names one (use the '=' form when "
+        "experiment ids follow)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="experiment store root for --commit-run "
+        "(default: .obs/store)",
+    )
     args = parser.parse_args(argv)
+
+    if args.commit_run is not None and args.no_telemetry:
+        parser.error(
+            "--commit-run needs the telemetry stream; "
+            "drop --no-telemetry"
+        )
 
     if args.list:
         for key in sorted(REGISTRY):
@@ -665,6 +702,57 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return EXIT_TELEMETRY_FAILURE
         print(f"\ntelemetry written to {args.telemetry}")
+
+    if args.commit_run is not None:
+        # Imported here, not at module scope: the store package pulls in
+        # repro.obs.report, which imports the harness, which imports
+        # repro.obs — fine at call time, a cycle at import time.
+        from pathlib import Path
+
+        from repro.obs.store import (
+            DEFAULT_STORE,
+            ExperimentStore,
+            StoreError,
+            collect_run_files,
+            short_oid,
+        )
+
+        store_root = args.store or DEFAULT_STORE
+        try:
+            store = ExperimentStore.init(store_root)
+            files = collect_run_files(
+                telemetry_path=args.telemetry,
+                capture_path=(
+                    args.capture_path if capture is not None else None
+                ),
+                bench_paths=sorted(Path.cwd().glob("BENCH_*.json")),
+            )
+            oid = store.commit_artifacts(
+                files,
+                message=f"run_all {' '.join(chosen)}",
+                branch=args.commit_run or None,
+                meta={
+                    "run": "run_all",
+                    "experiments": chosen,
+                    "kernels": f"{backend.name} ({backend.source})",
+                    "jobs": args.jobs,
+                    "bound_checks": len(monitor.checks),
+                    "bound_violations": len(monitor.violations),
+                },
+            )
+        except (StoreError, OSError) as exc:
+            print(
+                f"error: could not commit the run into the experiment "
+                f"store at {os.path.abspath(store_root)}: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_STORE_FAILURE
+        branch = args.commit_run or store.refs.current_branch()
+        print(
+            f"run committed to {store_root}: "
+            f"[{branch} {short_oid(oid)}] {len(files)} artifact(s)"
+        )
+
     if args.strict_bounds and monitor.violations:
         print(
             f"error: {len(monitor.violations)} bound violation(s) under "

@@ -1,0 +1,281 @@
+"""Automated regression bisection over the experiment store's history.
+
+"Which change moved this metric?" is a binary search: given a known-good
+and a known-bad commit on one line, :func:`bisect_commits` walks the
+first-parent chain between them and evaluates O(log n) midpoints until
+the *first bad commit* is pinned down.  Two target kinds are supported:
+
+* ``metric=<name>`` — the metric's total (from the commit's telemetry
+  blob) is compared against the good commit's value with
+  :func:`repro.obs.store.diff.classify`; a ``REGRESSED`` verdict marks
+  the commit bad.  Metrics are resource totals (bits, queries, kernel
+  rows), so they are deterministic and the good→bad transition is
+  sharp.
+* ``gate=<BENCH_*.json>`` — the named bench report's ``gate.passed``
+  flag; ``False`` marks the commit bad.
+
+**Replay verification.**  Numbers are only as trustworthy as the
+artifacts they came from.  Before using a commit's value, the bisector
+looks for a cached wire transcript (a ``capture`` blob): transcripts
+whose header carries a replayable ``family``/``seed`` (the
+:mod:`repro.obs.replay` contract) are re-executed with
+:func:`repro.obs.replay.replay_capture` and must reproduce
+message-for-message — a divergence means the committed transcript does
+not match what the current code produces for that seed, and the
+bisection *fails loudly* (:class:`BisectError`) rather than blame the
+wrong commit.  Transcripts without a replayable header (e.g. a full
+``run_all`` capture) and commits without transcripts are used as-is
+and marked accordingly in the per-commit evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.store.diff import (
+    REGRESSED,
+    capture_from_events,
+    classify,
+    commit_gate_status,
+    commit_metric_value,
+    _commit_events,
+)
+from repro.obs.store.objects import StoreError, short_oid
+from repro.obs.store.repo import ExperimentStore
+
+#: Replay-verification outcomes recorded per evaluated commit.
+REPLAY_VERIFIED = "verified"
+REPLAY_NOT_REPLAYABLE = "not-replayable"
+REPLAY_NO_TRANSCRIPT = "no-transcript"
+
+
+class BisectError(StoreError):
+    """The bisection cannot produce a trustworthy answer
+    (endpoints disagree with their labels, a value is missing, or a
+    committed transcript fails replay verification)."""
+
+
+@dataclass(frozen=True)
+class BisectEval:
+    """One evaluated commit: its value, label, and transcript status."""
+
+    oid: str
+    value: Optional[float]
+    status: str  # "good" | "bad"
+    replay: str  # REPLAY_VERIFIED | REPLAY_NOT_REPLAYABLE | REPLAY_NO_TRANSCRIPT
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "oid": self.oid,
+            "value": self.value,
+            "status": self.status,
+            "replay": self.replay,
+        }
+
+
+@dataclass
+class BisectResult:
+    """The pinned-down regression."""
+
+    target: str
+    first_bad: str
+    last_good: str
+    chain_length: int
+    evaluations: List[BisectEval] = field(default_factory=list)
+
+    @property
+    def steps(self) -> int:
+        return len(self.evaluations)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "first_bad": self.first_bad,
+            "last_good": self.last_good,
+            "chain_length": self.chain_length,
+            "steps": self.steps,
+            "evaluations": [e.as_dict() for e in self.evaluations],
+        }
+
+    def summary(self) -> str:
+        return (
+            f"bisect({self.target}): first bad commit is "
+            f"{short_oid(self.first_bad)} (last good "
+            f"{short_oid(self.last_good)}; {self.steps} commits evaluated "
+            f"over a {self.chain_length}-commit range)"
+        )
+
+
+def commit_chain(
+    store: ExperimentStore, good_oid: str, bad_oid: str
+) -> List[str]:
+    """First-parent chain from ``good_oid`` to ``bad_oid``, oldest first.
+
+    ``good_oid`` must be a first-parent ancestor of ``bad_oid`` —
+    bisection is defined over one line's linear history.
+    """
+    chain: List[str] = []
+    for oid, _commit in store.walk(bad_oid):
+        chain.append(oid)
+        if oid == good_oid:
+            chain.reverse()
+            return chain
+    raise BisectError(
+        f"{short_oid(good_oid)} is not a first-parent ancestor of "
+        f"{short_oid(bad_oid)}; bisect needs a linear range on one branch"
+    )
+
+
+def verify_transcript(store: ExperimentStore, oid: str) -> str:
+    """Replay-verify a commit's cached wire transcript, if it has one.
+
+    Returns one of the ``REPLAY_*`` markers; raises :class:`BisectError`
+    when a replayable transcript fails to reproduce.
+    """
+    events = _commit_events(store, oid, "capture")
+    if events is None:
+        return REPLAY_NO_TRANSCRIPT
+    capture = capture_from_events(events)
+    # Imported lazily: replay pulls in the game modules, which the
+    # metric-only paths of the store never need.
+    from repro.obs.replay import GAME_FAMILIES, replay_capture
+
+    meta = capture.meta
+    if meta.get("family") not in GAME_FAMILIES or "seed" not in meta:
+        return REPLAY_NOT_REPLAYABLE
+    result = replay_capture(capture)
+    if not result.ok:
+        d = result.divergence
+        raise BisectError(
+            f"commit {short_oid(oid)}: cached wire transcript failed replay "
+            f"verification at message {d['index']} ({d['field']}: recorded "
+            f"{d['expected']!r}, replayed {d['actual']!r}); its numbers "
+            "cannot be trusted"
+        )
+    return REPLAY_VERIFIED
+
+
+def bisect_commits(
+    store: ExperimentStore,
+    good_rev: str,
+    bad_rev: str,
+    metric: Optional[str] = None,
+    gate: Optional[str] = None,
+    threshold: float = 0.05,
+    lower_is_better: bool = True,
+    verify_replay: bool = True,
+) -> BisectResult:
+    """Find the first commit where ``metric`` (or ``gate``) went bad."""
+    if (metric is None) == (gate is None):
+        raise BisectError("name exactly one target: metric=... or gate=...")
+    target = f"metric:{metric}" if metric else f"gate:{gate}"
+    good_oid = store.resolve(good_rev)
+    bad_oid = store.resolve(bad_rev)
+    if good_oid == bad_oid:
+        raise BisectError("good and bad resolve to the same commit")
+    chain = commit_chain(store, good_oid, bad_oid)
+
+    evaluations: List[BisectEval] = []
+    baseline: Dict[str, Optional[float]] = {"value": None}
+
+    def value_of(oid: str) -> Optional[float]:
+        if metric is not None:
+            return commit_metric_value(store, oid, metric)
+        ratio, passed = commit_gate_status(store, oid, gate)
+        if passed is not None:
+            return 1.0 if passed else 0.0
+        return ratio
+
+    def is_bad(oid: str) -> bool:
+        replay = (
+            verify_transcript(store, oid)
+            if verify_replay
+            else REPLAY_NO_TRANSCRIPT
+        )
+        value = value_of(oid)
+        if value is None:
+            raise BisectError(
+                f"commit {short_oid(oid)} carries no value for {target}; "
+                "cannot bisect through it"
+            )
+        if gate is not None:
+            bad = value == 0.0
+        else:
+            verdict, _note = classify(
+                baseline["value"],
+                value,
+                threshold=threshold,
+                lower_is_better=lower_is_better,
+            )
+            bad = verdict == REGRESSED
+        evaluations.append(
+            BisectEval(
+                oid=oid,
+                value=value,
+                status="bad" if bad else "good",
+                replay=replay,
+            )
+        )
+        return bad
+
+    # Establish the baseline from the good endpoint, then sanity-check
+    # both endpoints against their labels before searching.
+    if metric is not None:
+        replay = (
+            verify_transcript(store, good_oid)
+            if verify_replay
+            else REPLAY_NO_TRANSCRIPT
+        )
+        baseline["value"] = value_of(good_oid)
+        if baseline["value"] is None:
+            raise BisectError(
+                f"good commit {short_oid(good_oid)} carries no value for "
+                f"{target}"
+            )
+        evaluations.append(
+            BisectEval(
+                oid=good_oid,
+                value=baseline["value"],
+                status="good",
+                replay=replay,
+            )
+        )
+    else:
+        if is_bad(good_oid):
+            raise BisectError(
+                f"good commit {short_oid(good_oid)} already fails {target}"
+            )
+    if not is_bad(bad_oid):
+        raise BisectError(
+            f"bad commit {short_oid(bad_oid)} does not show a regression "
+            f"for {target} (nothing to bisect)"
+        )
+
+    lo, hi = 0, len(chain) - 1  # chain[lo] good, chain[hi] bad — invariant
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if is_bad(chain[mid]):
+            hi = mid
+        else:
+            lo = mid
+    return BisectResult(
+        target=target,
+        first_bad=chain[hi],
+        last_good=chain[lo],
+        chain_length=len(chain),
+        evaluations=evaluations,
+    )
+
+
+__all__ = [
+    "BisectError",
+    "BisectEval",
+    "BisectResult",
+    "REPLAY_NOT_REPLAYABLE",
+    "REPLAY_NO_TRANSCRIPT",
+    "REPLAY_VERIFIED",
+    "bisect_commits",
+    "commit_chain",
+    "verify_transcript",
+]

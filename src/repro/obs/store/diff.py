@@ -1,0 +1,466 @@
+"""Structural diff of two committed runs, with a machine-readable verdict.
+
+Comparing two runs is not one comparison but four, each reusing the
+layer that owns the data:
+
+* **metric totals** — final counter/histogram values via
+  :func:`repro.obs.report.metric_totals` on each commit's telemetry
+  blob.  Deterministic across re-runs of the same code, so any delta is
+  a real behavioural change.  Each changed metric gets a verdict
+  against a relative threshold: ``REGRESSED`` / ``IMPROVED`` /
+  ``NEUTRAL`` (metrics are resource costs — bits, queries, kernel rows
+  — so lower is better unless the caller says otherwise).  A metric
+  present in only one run is ``NEUTRAL`` with a note: structural
+  changes must never masquerade as performance wins.
+* **span wall times** — per-region totals via
+  :func:`repro.obs.report.aggregate_spans`; timing is noisy, so spans
+  get their own (much looser) ratio threshold and a minimum-seconds
+  floor below which deltas are ignored.
+* **wire transcripts** — when both commits carry a capture blob, the
+  transcripts are diffed with the existing
+  :func:`repro.obs.capture.first_divergence` engine, pinpointing the
+  first message where the protocols disagreed.
+* **bench gates** — per-``BENCH_*.json`` gate ratio deltas and
+  pass/fail transitions (a gate flipping to failed is ``REGRESSED``
+  regardless of the ratio's direction, which differs per gate).
+
+:meth:`RunDiff.verdict` folds everything into one word — ``REGRESSED``
+if any metric or gate regressed or a span blew past its ratio,
+``IMPROVED`` if something improved and nothing regressed, else
+``NEUTRAL`` — which is what CI and the bisector branch on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.capture import WireCapture, WireMessage, first_divergence
+from repro.obs.report import aggregate_spans, metric_totals
+from repro.obs.store.objects import short_oid
+from repro.obs.store.repo import ExperimentStore, events_from_bytes
+
+IMPROVED = "IMPROVED"
+REGRESSED = "REGRESSED"
+NEUTRAL = "NEUTRAL"
+
+VERDICTS = (IMPROVED, REGRESSED, NEUTRAL)
+
+
+@dataclass(frozen=True)
+class DiffThresholds:
+    """Knobs deciding when a delta counts as a verdict.
+
+    ``metric`` is the relative neutral band for metric totals (0.05 =
+    deltas within 5% are NEUTRAL).  ``span_ratio`` is the wall-time
+    ratio above which a span is flagged, and ``span_min_s`` the floor
+    under which timings are interpreter noise (both match the
+    long-standing dashboard defaults).
+    """
+
+    metric: float = 0.05
+    span_ratio: float = 1.5
+    span_min_s: float = 0.005
+
+
+def classify(
+    base: Optional[float],
+    other: Optional[float],
+    threshold: float = 0.05,
+    lower_is_better: bool = True,
+) -> Tuple[str, str]:
+    """``(verdict, note)`` for one metric's before/after pair.
+
+    Missing values (``None``) are NEUTRAL with an explanatory note.  A
+    zero baseline cannot support a relative threshold, so any change
+    away from zero is classified by direction alone.
+    """
+    if base is None and other is None:
+        return NEUTRAL, "missing in both runs"
+    if base is None:
+        return NEUTRAL, "new metric (missing in base)"
+    if other is None:
+        return NEUTRAL, "metric gone (missing in other)"
+    if not (math.isfinite(base) and math.isfinite(other)):
+        return NEUTRAL, "non-finite value"
+    if base == other:
+        return NEUTRAL, ""
+    if base == 0.0:
+        worse = (other > 0.0) == lower_is_better
+        return (REGRESSED if worse else IMPROVED), "zero baseline"
+    rel = (other - base) / abs(base)
+    if abs(rel) <= threshold:
+        return NEUTRAL, ""
+    worse = (rel > 0.0) == lower_is_better
+    return (REGRESSED if worse else IMPROVED), ""
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's comparison row."""
+
+    name: str
+    base: Optional[float]
+    other: Optional[float]
+    verdict: str
+    note: str = ""
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.base is None or self.other is None:
+            return None
+        return self.other - self.base
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "base": self.base,
+            "other": self.other,
+            "delta": self.delta,
+            "verdict": self.verdict,
+            "note": self.note,
+        }
+
+
+def metric_deltas(
+    base: Dict[str, float],
+    other: Dict[str, float],
+    threshold: float = 0.05,
+    include_unchanged: bool = False,
+) -> List[MetricDelta]:
+    """Classified per-metric comparison of two total maps."""
+    deltas = []
+    for name in sorted(set(base) | set(other)):
+        a = base.get(name)
+        b = other.get(name)
+        if a == b and not include_unchanged:
+            continue
+        verdict, note = classify(a, b, threshold=threshold)
+        deltas.append(MetricDelta(name=name, base=a, other=b, verdict=verdict, note=note))
+    return deltas
+
+
+@dataclass(frozen=True)
+class SpanDelta:
+    """One span path's wall-time comparison row."""
+
+    path: str
+    base_s: float
+    other_s: float
+    ratio: float
+    flagged: bool
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "base_s": self.base_s,
+            "other_s": self.other_s,
+            "ratio": self.ratio,
+            "flagged": self.flagged,
+        }
+
+
+@dataclass(frozen=True)
+class GateDelta:
+    """One bench report's gate comparison row."""
+
+    report: str
+    base_ratio: Optional[float]
+    other_ratio: Optional[float]
+    base_passed: Optional[bool]
+    other_passed: Optional[bool]
+    verdict: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "report": self.report,
+            "base_ratio": self.base_ratio,
+            "other_ratio": self.other_ratio,
+            "base_passed": self.base_passed,
+            "other_passed": self.other_passed,
+            "verdict": self.verdict,
+        }
+
+
+@dataclass
+class RunDiff:
+    """Everything that changed between two committed runs."""
+
+    base_oid: str
+    other_oid: str
+    metrics: List[MetricDelta] = field(default_factory=list)
+    spans: List[SpanDelta] = field(default_factory=list)
+    gates: List[GateDelta] = field(default_factory=list)
+    wire: Optional[Dict[str, Any]] = None
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[str]:
+        items = [m.name for m in self.metrics if m.verdict == REGRESSED]
+        items += [s.path for s in self.spans if s.flagged and s.ratio > 1.0]
+        items += [g.report for g in self.gates if g.verdict == REGRESSED]
+        return items
+
+    @property
+    def improvements(self) -> List[str]:
+        items = [m.name for m in self.metrics if m.verdict == IMPROVED]
+        items += [g.report for g in self.gates if g.verdict == IMPROVED]
+        return items
+
+    @property
+    def verdict(self) -> str:
+        if self.regressions:
+            return REGRESSED
+        if self.improvements:
+            return IMPROVED
+        return NEUTRAL
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "base": self.base_oid,
+            "other": self.other_oid,
+            "verdict": self.verdict,
+            "regressions": self.regressions,
+            "improvements": self.improvements,
+            "metrics": [m.as_dict() for m in self.metrics],
+            "spans": [s.as_dict() for s in self.spans],
+            "gates": [g.as_dict() for g in self.gates],
+            "wire": self.wire,
+            "notes": self.notes,
+        }
+
+    def render(self) -> str:
+        """Human-readable report (the CLI's ``diff`` output)."""
+        from repro.experiments.harness import Table
+
+        pieces = [
+            f"diff {short_oid(self.base_oid)} -> {short_oid(self.other_oid)}: "
+            f"{self.verdict}"
+        ]
+        if self.regressions:
+            pieces.append("regressed: " + ", ".join(self.regressions))
+        if self.improvements:
+            pieces.append("improved: " + ", ".join(self.improvements))
+        for note in self.notes:
+            pieces.append(f"note: {note}")
+        if self.metrics:
+            table = Table(
+                title="metric deltas",
+                columns=["metric", "base", "other", "delta", "verdict", "note"],
+            )
+            for m in self.metrics:
+                table.add_row(
+                    metric=m.name,
+                    base="" if m.base is None else m.base,
+                    other="" if m.other is None else m.other,
+                    delta="" if m.delta is None else m.delta,
+                    verdict=m.verdict,
+                    note=m.note,
+                )
+            pieces.append(table.render())
+        flagged = [s for s in self.spans if s.flagged]
+        if flagged:
+            table = Table(
+                title="span timing deltas (flagged)",
+                columns=["span", "base_s", "other_s", "ratio"],
+            )
+            for s in flagged:
+                table.add_row(
+                    span=s.path,
+                    base_s=round(s.base_s, 4),
+                    other_s=round(s.other_s, 4),
+                    ratio=round(s.ratio, 2),
+                )
+            pieces.append(table.render())
+        if self.gates:
+            table = Table(
+                title="bench gate deltas",
+                columns=["report", "base_ratio", "other_ratio",
+                         "base_passed", "other_passed", "verdict"],
+            )
+            for g in self.gates:
+                table.add_row(
+                    report=g.report,
+                    base_ratio="" if g.base_ratio is None else g.base_ratio,
+                    other_ratio="" if g.other_ratio is None else g.other_ratio,
+                    base_passed="" if g.base_passed is None else g.base_passed,
+                    other_passed="" if g.other_passed is None else g.other_passed,
+                    verdict=g.verdict,
+                )
+            pieces.append(table.render())
+        if self.wire is not None:
+            if self.wire.get("divergence") is None:
+                pieces.append(
+                    f"wire transcripts identical "
+                    f"({self.wire['base_messages']} messages, "
+                    f"{self.wire['base_bits']} bits)"
+                )
+            else:
+                d = self.wire["divergence"]
+                pieces.append(
+                    f"wire transcripts diverge at message {d['index']} "
+                    f"({d['field']}: {d['expected']!r} -> {d['actual']!r})"
+                )
+        return "\n\n".join(pieces)
+
+
+def capture_from_events(events: List[Dict[str, Any]]) -> WireCapture:
+    """A :class:`WireCapture` from parsed capture-blob events."""
+    meta: Dict[str, Any] = {}
+    messages: List[WireMessage] = []
+    for record in events:
+        kind = record.get("event")
+        if kind == "wire_capture":
+            meta = dict(record.get("meta", {}))
+        elif kind == "wire":
+            messages.append(WireMessage.from_record(record))
+    capture = WireCapture(meta=meta)
+    capture.messages = messages
+    return capture
+
+
+def _commit_events(
+    store: ExperimentStore, oid: str, role: str
+) -> Optional[List[Dict[str, Any]]]:
+    blobs = store.artifacts_by_role(oid, role)
+    if not blobs:
+        return None
+    merged: List[Dict[str, Any]] = []
+    for _name, data in blobs:
+        merged.extend(events_from_bytes(data))
+    return merged
+
+
+def _gate_payload(data: bytes) -> Tuple[Optional[float], Optional[bool]]:
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None, None
+    gate = payload.get("gate", {})
+    ratio = gate.get("ratio")
+    return (
+        float(ratio) if isinstance(ratio, (int, float)) else None,
+        gate.get("passed"),
+    )
+
+
+def diff_commits(
+    store: ExperimentStore,
+    base_rev: str,
+    other_rev: str,
+    thresholds: Optional[DiffThresholds] = None,
+) -> RunDiff:
+    """The structural diff between two revisions of the store."""
+    thresholds = thresholds or DiffThresholds()
+    base_oid = store.resolve(base_rev)
+    other_oid = store.resolve(other_rev)
+    diff = RunDiff(base_oid=base_oid, other_oid=other_oid)
+
+    # Metric totals + span aggregates from the telemetry blobs.
+    base_events = _commit_events(store, base_oid, "telemetry")
+    other_events = _commit_events(store, other_oid, "telemetry")
+    if base_events is not None and other_events is not None:
+        diff.metrics = metric_deltas(
+            metric_totals(base_events),
+            metric_totals(other_events),
+            threshold=thresholds.metric,
+        )
+        base_spans = aggregate_spans(base_events)
+        other_spans = aggregate_spans(other_events)
+        for path in sorted(set(base_spans) & set(other_spans)):
+            a = base_spans[path]["total_s"]
+            b = other_spans[path]["total_s"]
+            if max(a, b) < thresholds.span_min_s or a <= 0:
+                continue
+            ratio = b / a
+            flagged = ratio > thresholds.span_ratio or ratio < 1 / thresholds.span_ratio
+            if flagged:
+                diff.spans.append(
+                    SpanDelta(path=path, base_s=a, other_s=b, ratio=ratio, flagged=True)
+                )
+    else:
+        diff.notes.append(
+            "metric diff skipped: telemetry blob missing in "
+            + ("both commits" if base_events is None and other_events is None
+               else "base commit" if base_events is None else "other commit")
+        )
+
+    # Wire transcripts via the existing first_divergence engine.
+    base_wire = _commit_events(store, base_oid, "capture")
+    other_wire = _commit_events(store, other_oid, "capture")
+    if base_wire is not None and other_wire is not None:
+        a_cap = capture_from_events(base_wire)
+        b_cap = capture_from_events(other_wire)
+        diff.wire = {
+            "base_messages": len(a_cap),
+            "other_messages": len(b_cap),
+            "base_bits": a_cap.total_bits,
+            "other_bits": b_cap.total_bits,
+            "divergence": first_divergence(a_cap, b_cap),
+        }
+
+    # Bench gates: ratio deltas + pass/fail transitions.
+    base_bench = dict(store.artifacts_by_role(base_oid, "bench"))
+    other_bench = dict(store.artifacts_by_role(other_oid, "bench"))
+    for name in sorted(set(base_bench) & set(other_bench)):
+        a_ratio, a_passed = _gate_payload(base_bench[name])
+        b_ratio, b_passed = _gate_payload(other_bench[name])
+        if a_passed is True and b_passed is False:
+            verdict = REGRESSED
+        elif a_passed is False and b_passed is True:
+            verdict = IMPROVED
+        else:
+            verdict = NEUTRAL
+        if (a_ratio, a_passed) != (b_ratio, b_passed):
+            diff.gates.append(
+                GateDelta(
+                    report=name,
+                    base_ratio=a_ratio,
+                    other_ratio=b_ratio,
+                    base_passed=a_passed,
+                    other_passed=b_passed,
+                    verdict=verdict,
+                )
+            )
+    return diff
+
+
+def commit_metric_value(
+    store: ExperimentStore, oid: str, metric: str
+) -> Optional[float]:
+    """One metric's total in one commit's telemetry (``None`` if absent)."""
+    events = _commit_events(store, oid, "telemetry")
+    if events is None:
+        return None
+    return metric_totals(events).get(metric)
+
+
+def commit_gate_status(
+    store: ExperimentStore, oid: str, report: str
+) -> Tuple[Optional[float], Optional[bool]]:
+    """``(ratio, passed)`` of one named bench report in one commit."""
+    for name, data in store.artifacts_by_role(oid, "bench"):
+        if name == report:
+            return _gate_payload(data)
+    return None, None
+
+
+__all__ = [
+    "DiffThresholds",
+    "GateDelta",
+    "IMPROVED",
+    "MetricDelta",
+    "NEUTRAL",
+    "REGRESSED",
+    "RunDiff",
+    "SpanDelta",
+    "VERDICTS",
+    "capture_from_events",
+    "classify",
+    "commit_gate_status",
+    "commit_metric_value",
+    "diff_commits",
+    "metric_deltas",
+]

@@ -1,0 +1,252 @@
+"""Integrity verification for the experiment store.
+
+Content addressing makes corruption *detectable*; fsck makes it
+*detected*.  :func:`fsck` runs four passes over a store:
+
+1. **Object integrity** — every file under ``objects/`` is
+   decompressed, its framing parsed, and its content re-hashed; the
+   recomputed SHA-256 must equal the address the object lives at.  A
+   single flipped bit fails either the zlib stream, the framing, or
+   the hash comparison — all loudly.
+2. **Reachability + structure** — every ref (branches, tags, HEAD) is
+   walked: commits must reference existing trees and parent commits,
+   trees must reference existing blobs, and the object kinds must
+   match.  Objects no ref reaches are reported as *dangling* warnings
+   (harmless — an aborted commit leaves them — but worth knowing).
+3. **Ref validity** — ref files must hold well-formed commit ids that
+   resolve to commit objects; HEAD must be symbolic to an existing
+   branch (an unborn default branch on a fresh store is fine) or
+   detached at an existing commit.
+4. **Reflog** — every line must parse as a JSON record.
+
+The result is a :class:`FsckReport` whose ``ok`` property is what the
+CLI (and CI's ``obs-store`` job) turns into an exit code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.obs.store.objects import Commit, StoreError, Tree
+from repro.obs.store.repo import ExperimentStore
+
+
+@dataclass(frozen=True)
+class FsckIssue:
+    """One problem (or oddity) found during verification."""
+
+    severity: str  # "error" | "warning"
+    subject: str  # object id or ref name
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.subject}: {self.message}"
+
+
+@dataclass
+class FsckReport:
+    """The outcome of one :func:`fsck` pass."""
+
+    objects_checked: int = 0
+    commits: int = 0
+    trees: int = 0
+    blobs: int = 0
+    reachable: int = 0
+    issues: List[FsckIssue] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[FsckIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> List[FsckIssue]:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def error(self, subject: str, message: str) -> None:
+        self.issues.append(FsckIssue("error", subject, message))
+
+    def warning(self, subject: str, message: str) -> None:
+        self.issues.append(FsckIssue("warning", subject, message))
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "CORRUPT"
+        return (
+            f"fsck: {status} — {self.objects_checked} objects checked "
+            f"({self.commits} commits, {self.trees} trees, {self.blobs} "
+            f"blobs), {self.reachable} reachable, "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+
+
+def _check_object_files(store: ExperimentStore, report: FsckReport) -> Dict[str, str]:
+    """Pass 1: re-hash every stored object; returns ``{oid: kind}``."""
+    kinds: Dict[str, str] = {}
+    for oid in store.objects.iter_oids():
+        report.objects_checked += 1
+        path = store.objects.path_for(oid)
+        try:
+            decompressed = zlib.decompress(path.read_bytes())
+        except (OSError, zlib.error) as exc:
+            report.error(oid, f"unreadable object: {exc}")
+            continue
+        actual = hashlib.sha256(decompressed).hexdigest()
+        if actual != oid:
+            report.error(
+                oid, f"hash mismatch: content hashes to {actual[:10]}..."
+            )
+            continue
+        try:
+            header = decompressed.split(b"\x00", 1)[0].decode("ascii")
+            kind = header.split(" ", 1)[0]
+        except (UnicodeDecodeError, IndexError):
+            report.error(oid, "corrupt object header")
+            continue
+        kinds[oid] = kind
+        if kind == "commit":
+            report.commits += 1
+        elif kind == "tree":
+            report.trees += 1
+        elif kind == "blob":
+            report.blobs += 1
+        else:
+            report.error(oid, f"unknown object kind {kind!r}")
+    return kinds
+
+
+def _walk_commit(
+    store: ExperimentStore,
+    oid: str,
+    kinds: Dict[str, str],
+    reachable: Set[str],
+    report: FsckReport,
+) -> None:
+    """Pass 2 worker: validate one commit chain's structure."""
+    stack = [oid]
+    while stack:
+        commit_oid = stack.pop()
+        if commit_oid in reachable:
+            continue
+        if commit_oid not in kinds:
+            report.error(commit_oid, "referenced commit does not exist")
+            continue
+        if kinds[commit_oid] != "commit":
+            report.error(
+                commit_oid,
+                f"expected a commit, found a {kinds[commit_oid]}",
+            )
+            continue
+        reachable.add(commit_oid)
+        try:
+            commit = Commit.decode(store.objects.read_kind(commit_oid, "commit"))
+        except StoreError as exc:
+            report.error(commit_oid, str(exc))
+            continue
+        stack.extend(commit.parents)
+        tree_oid = commit.tree
+        if tree_oid not in kinds:
+            report.error(commit_oid, f"tree {tree_oid[:10]}... does not exist")
+            continue
+        if kinds[tree_oid] != "tree":
+            report.error(
+                commit_oid,
+                f"tree field points at a {kinds[tree_oid]}",
+            )
+            continue
+        if tree_oid in reachable:
+            continue
+        reachable.add(tree_oid)
+        try:
+            tree = Tree.decode(store.objects.read_kind(tree_oid, "tree"))
+        except StoreError as exc:
+            report.error(tree_oid, str(exc))
+            continue
+        for entry in tree.entries:
+            if entry.oid not in kinds:
+                report.error(
+                    tree_oid,
+                    f"entry {entry.name!r} references missing blob "
+                    f"{entry.oid[:10]}...",
+                )
+            elif kinds[entry.oid] != "blob":
+                report.error(
+                    tree_oid,
+                    f"entry {entry.name!r} references a "
+                    f"{kinds[entry.oid]}, not a blob",
+                )
+            else:
+                reachable.add(entry.oid)
+
+
+def fsck(store: ExperimentStore) -> FsckReport:
+    """Verify every object, ref, and reflog record of ``store``."""
+    report = FsckReport()
+    kinds = _check_object_files(store, report)
+
+    # Pass 2 + 3: refs resolve to commits, and everything they reach
+    # is structurally sound.
+    reachable: Set[str] = set()
+    tips: List[str] = []
+    for name in store.refs.list_branches():
+        try:
+            oid = store.refs.read_branch(name)
+        except StoreError as exc:
+            report.error(f"refs/heads/{name}", str(exc))
+            continue
+        if oid is not None:
+            tips.append(oid)
+            if oid not in kinds:
+                report.error(
+                    f"refs/heads/{name}", f"points at missing object {oid[:10]}..."
+                )
+    for name in store.refs.list_tags():
+        try:
+            oid = store.refs.read_tag(name)
+        except StoreError as exc:
+            report.error(f"refs/tags/{name}", str(exc))
+            continue
+        if oid is not None:
+            tips.append(oid)
+            if oid not in kinds:
+                report.error(
+                    f"refs/tags/{name}", f"points at missing object {oid[:10]}..."
+                )
+    try:
+        kind, value = store.refs.head()
+        if kind == "branch":
+            if value not in store.refs.list_branches() and store.refs.list_branches():
+                report.warning(
+                    "HEAD", f"symbolic ref to unborn branch {value!r}"
+                )
+        else:
+            tips.append(value)
+            if value not in kinds:
+                report.error("HEAD", f"detached at missing object {value[:10]}...")
+    except StoreError as exc:
+        report.error("HEAD", str(exc))
+
+    for tip in tips:
+        if tip in kinds:
+            _walk_commit(store, tip, kinds, reachable, report)
+    report.reachable = len(reachable)
+
+    for oid, kind in kinds.items():
+        if oid not in reachable:
+            report.warning(oid, f"dangling {kind} (no ref reaches it)")
+
+    # Pass 4: the reflog parses.
+    try:
+        store.refs.reflog()
+    except StoreError as exc:
+        report.error("reflog", str(exc))
+
+    return report
+
+
+__all__ = ["FsckIssue", "FsckReport", "fsck"]

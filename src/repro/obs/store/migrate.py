@@ -1,0 +1,144 @@
+"""Migrate the legacy flat observatory into the versioned store.
+
+``.obs/history.jsonl`` (built by ``scripts/obs_db.py`` since PR 3) is an
+append-only sequence of condensed run records.  :func:`migrate_history`
+replays that sequence as a linear commit chain — one commit per record,
+in ingestion order, each carrying the record verbatim as a
+``history_record.json`` blob (role ``legacy``) — onto a dedicated
+branch (default ``lines/legacy``), so no pre-store run is orphaned by
+the migration and the dashboard's trend window extends back through
+the flat era.
+
+:func:`verify_migration` is the round-trip check: it re-reads the
+branch and compares every committed record byte-for-byte (as parsed
+JSON) against the source database.  ``obs_store.py migrate`` runs it
+automatically and refuses to report success otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.store.objects import StoreError
+from repro.obs.store.repo import ExperimentStore
+
+#: Branch the legacy history lands on.
+LEGACY_BRANCH = "lines/legacy"
+
+#: Tree name of the migrated record inside each commit.
+RECORD_NAME = "history_record.json"
+
+
+def load_history_records(db_path) -> List[Dict[str, Any]]:
+    """All ``record == "run"`` entries of a history database, in order."""
+    path = Path(db_path)
+    if not path.exists():
+        raise StoreError(f"history database {db_path} does not exist")
+    records: List[Dict[str, Any]] = []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StoreError(
+                    f"{db_path}:{lineno}: not valid JSON ({exc})"
+                ) from exc
+            if isinstance(record, dict) and record.get("record") == "run":
+                records.append(record)
+    return records
+
+
+def _record_blob(record: Dict[str, Any]) -> bytes:
+    return json.dumps(record, sort_keys=True, indent=1).encode("utf-8")
+
+
+def migrate_history(
+    store: ExperimentStore,
+    db_path,
+    branch: str = LEGACY_BRANCH,
+) -> List[str]:
+    """Commit every legacy run record onto ``branch``; returns the oids.
+
+    Re-running a migration onto a branch that already holds commits is
+    refused — the legacy era is finite and its history linear, so a
+    second ingestion could only duplicate it.
+    """
+    if store.refs.read_branch(branch) is not None:
+        raise StoreError(
+            f"branch {branch!r} already exists; migrate onto a fresh branch "
+            "(or delete it first)"
+        )
+    records = load_history_records(db_path)
+    if not records:
+        raise StoreError(f"history database {db_path} holds no run records")
+    oids: List[str] = []
+    for index, record in enumerate(records):
+        label = record.get("label") or f"record {index}"
+        oid = store.commit_artifacts(
+            files={RECORD_NAME: (_record_blob(record), "legacy")},
+            message=f"legacy ingest: {label}",
+            branch=branch,
+            meta={
+                "migrated_from": str(db_path),
+                "legacy_index": index,
+                "label": record.get("label"),
+                "source": record.get("source"),
+                "ingested_at": record.get("ingested_at"),
+            },
+            # Preserve the original ingestion time as the commit time so
+            # trend windows over the migrated era stay truthful.
+            timestamp=record.get("ingested_at"),
+        )
+        oids.append(oid)
+    return oids
+
+
+def verify_migration(
+    store: ExperimentStore,
+    db_path,
+    branch: str = LEGACY_BRANCH,
+) -> Tuple[int, int]:
+    """Round-trip check: every source record survives, byte-equal.
+
+    Returns ``(source_records, migrated_records)``; raises
+    :class:`StoreError` on any count or content mismatch.
+    """
+    source = load_history_records(db_path)
+    history = store.history(branch)
+    migrated = [
+        (oid, commit)
+        for oid, commit in history
+        if commit.meta.get("migrated_from") == str(db_path)
+    ]
+    if len(source) != len(migrated):
+        raise StoreError(
+            f"migration lost records: {len(source)} in {db_path}, "
+            f"{len(migrated)} on {branch!r}"
+        )
+    for index, (record, (oid, commit)) in enumerate(zip(source, migrated)):
+        if commit.meta.get("legacy_index") != index:
+            raise StoreError(
+                f"migration out of order at {index}: commit {oid[:10]} "
+                f"claims index {commit.meta.get('legacy_index')}"
+            )
+        stored = json.loads(store.artifact_bytes(oid, RECORD_NAME))
+        if stored != record:
+            raise StoreError(
+                f"migration corrupted record {index} (commit {oid[:10]}): "
+                "stored blob differs from the source record"
+            )
+    return len(source), len(migrated)
+
+
+__all__ = [
+    "LEGACY_BRANCH",
+    "RECORD_NAME",
+    "load_history_records",
+    "migrate_history",
+    "verify_migration",
+]

@@ -1,0 +1,258 @@
+"""Tests for the replay-verified regression bisector."""
+
+import json
+
+import pytest
+
+from repro.obs.store.bisect import (
+    REPLAY_NOT_REPLAYABLE,
+    REPLAY_NO_TRANSCRIPT,
+    REPLAY_VERIFIED,
+    BisectError,
+    bisect_commits,
+    commit_chain,
+    verify_transcript,
+)
+from repro.obs.store.repo import ExperimentStore
+
+
+def telemetry_blob(value, metric="comm.bits"):
+    return (
+        json.dumps(
+            {"event": "summary",
+             "metrics": {"counters": {metric: value}, "gauges": {},
+                         "histograms": {}}}
+        ) + "\n"
+    ).encode()
+
+
+def bench_blob(passed):
+    return json.dumps({"gate": {"ratio": 1.0, "passed": passed}}).encode()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ExperimentStore.init(tmp_path / "store")
+
+
+def build_metric_history(store, values):
+    """One commit per metric value, linear on main; returns the oids."""
+    return [
+        store.commit_artifacts(
+            {"telemetry.jsonl": (telemetry_blob(value), "telemetry")},
+            message=f"run {i}: {value}",
+            timestamp=1000.0 + i,
+        )
+        for i, value in enumerate(values)
+    ]
+
+
+class TestCommitChain:
+    def test_linear_chain_oldest_first(self, store):
+        oids = build_metric_history(store, [1.0, 2.0, 3.0])
+        assert commit_chain(store, oids[0], oids[2]) == oids
+
+    def test_unrelated_commits_rejected(self, store):
+        build_metric_history(store, [1.0])
+        other = store.commit_artifacts(
+            {"telemetry.jsonl": (telemetry_blob(9.0), "telemetry")},
+            message="independent line",
+            branch="lines/other",
+        )
+        good = store.resolve("main")
+        with pytest.raises(BisectError, match="not a first-parent ancestor"):
+            commit_chain(store, other, good)
+
+
+class TestMetricBisect:
+    def test_finds_first_bad_commit_in_synthetic_history(self, store):
+        # 6 commits; the metric doubles at index 3 and stays bad.
+        values = [100.0, 100.0, 100.0, 200.0, 200.0, 200.0]
+        oids = build_metric_history(store, values)
+        result = bisect_commits(
+            store, good_rev=oids[0], bad_rev=oids[-1], metric="comm.bits"
+        )
+        assert result.first_bad == oids[3]
+        assert result.last_good == oids[2]
+        assert result.chain_length == 6
+        # Binary search beats linear scan: at most O(log n) + endpoints.
+        assert result.steps <= 5
+        assert all(e.replay == REPLAY_NO_TRANSCRIPT for e in result.evaluations)
+        assert "first bad commit" in result.summary()
+
+    def test_works_over_revision_syntax(self, store):
+        oids = build_metric_history(store, [100.0, 100.0, 200.0, 200.0])
+        result = bisect_commits(
+            store, good_rev="HEAD~3", bad_rev="HEAD", metric="comm.bits"
+        )
+        assert result.first_bad == oids[2]
+
+    def test_improvement_direction_respects_lower_is_better(self, store):
+        # The metric *drops*; with lower_is_better=False that is bad.
+        oids = build_metric_history(store, [100.0, 100.0, 40.0, 40.0])
+        result = bisect_commits(
+            store,
+            good_rev=oids[0],
+            bad_rev=oids[-1],
+            metric="comm.bits",
+            lower_is_better=False,
+        )
+        assert result.first_bad == oids[2]
+
+    def test_bad_endpoint_must_be_bad(self, store):
+        oids = build_metric_history(store, [100.0, 100.0, 100.0])
+        with pytest.raises(BisectError, match="does not show a regression"):
+            bisect_commits(
+                store, good_rev=oids[0], bad_rev=oids[-1], metric="comm.bits"
+            )
+
+    def test_same_endpoints_rejected(self, store):
+        oids = build_metric_history(store, [100.0, 200.0])
+        with pytest.raises(BisectError, match="same commit"):
+            bisect_commits(
+                store, good_rev=oids[0], bad_rev=oids[0], metric="comm.bits"
+            )
+
+    def test_exactly_one_target_required(self, store):
+        oids = build_metric_history(store, [100.0, 200.0])
+        with pytest.raises(BisectError, match="exactly one target"):
+            bisect_commits(store, good_rev=oids[0], bad_rev=oids[1])
+        with pytest.raises(BisectError, match="exactly one target"):
+            bisect_commits(
+                store, good_rev=oids[0], bad_rev=oids[1],
+                metric="x", gate="BENCH_X.json",
+            )
+
+    def test_commit_without_metric_fails_loudly(self, store):
+        first = store.commit_artifacts(
+            {"telemetry.jsonl": (telemetry_blob(100.0), "telemetry")},
+            message="good",
+        )
+        store.commit_artifacts(
+            {"telemetry.jsonl": (telemetry_blob(1.0, metric="other"), "telemetry")},
+            message="metric vanished",
+        )
+        last = store.commit_artifacts(
+            {"telemetry.jsonl": (telemetry_blob(200.0), "telemetry")},
+            message="bad",
+        )
+        with pytest.raises(BisectError, match="no value for metric:comm.bits"):
+            bisect_commits(
+                store, good_rev=first, bad_rev=last, metric="comm.bits"
+            )
+
+
+class TestGateBisect:
+    def test_finds_gate_flip(self, store):
+        oids = [
+            store.commit_artifacts(
+                {
+                    "BENCH_X.json": (bench_blob(passed), "bench"),
+                    "telemetry.jsonl": (telemetry_blob(1.0), "telemetry"),
+                },
+                message=f"run {i}",
+            )
+            for i, passed in enumerate([True, True, False, False])
+        ]
+        result = bisect_commits(
+            store, good_rev=oids[0], bad_rev=oids[-1], gate="BENCH_X.json"
+        )
+        assert result.first_bad == oids[2]
+        assert result.target == "gate:BENCH_X.json"
+
+    def test_good_endpoint_must_pass(self, store):
+        oids = [
+            store.commit_artifacts(
+                {
+                    "BENCH_X.json": (bench_blob(passed), "bench"),
+                    "telemetry.jsonl": (telemetry_blob(1.0), "telemetry"),
+                },
+                message=f"run {i}",
+            )
+            for i, passed in enumerate([False, False])
+        ]
+        with pytest.raises(BisectError, match="already fails"):
+            bisect_commits(
+                store, good_rev=oids[0], bad_rev=oids[-1], gate="BENCH_X.json"
+            )
+
+
+class TestReplayVerification:
+    def _capture_bytes(self, tmp_path, tamper=False, strip_header=False):
+        from repro.obs.replay import run_captured_game
+
+        cap = run_captured_game("foreach", seed=3)
+        path = tmp_path / "cap.jsonl"
+        cap.save(path)
+        lines = path.read_text().splitlines()
+        if strip_header:
+            header = json.loads(lines[0])
+            header["meta"] = {"run": "run_all"}  # not replayable
+            lines[0] = json.dumps(header)
+        if tamper:
+            record = json.loads(lines[-1])
+            record["digest"] = "0" * 16  # recorded transcript lies
+            lines[-1] = json.dumps(record)
+        return ("\n".join(lines) + "\n").encode()
+
+    def _commit_with_capture(self, store, tmp_path, value, **kwargs):
+        return store.commit_artifacts(
+            {
+                "telemetry.jsonl": (telemetry_blob(value), "telemetry"),
+                "wire.capture.jsonl": (
+                    self._capture_bytes(tmp_path, **kwargs), "capture"),
+            },
+            message=f"run {value}",
+        )
+
+    def test_intact_transcript_verifies(self, store, tmp_path):
+        oid = self._commit_with_capture(store, tmp_path, 100.0)
+        assert verify_transcript(store, oid) == REPLAY_VERIFIED
+
+    def test_unreplayable_header_marked(self, store, tmp_path):
+        oid = self._commit_with_capture(
+            store, tmp_path, 100.0, strip_header=True
+        )
+        assert verify_transcript(store, oid) == REPLAY_NOT_REPLAYABLE
+
+    def test_no_transcript_marked(self, store):
+        oid = store.commit_artifacts(
+            {"telemetry.jsonl": (telemetry_blob(100.0), "telemetry")},
+            message="bare",
+        )
+        assert verify_transcript(store, oid) == REPLAY_NO_TRANSCRIPT
+
+    def test_tampered_transcript_fails_bisect_loudly(self, store, tmp_path):
+        self._commit_with_capture(store, tmp_path, 100.0, tamper=True)
+        last = store.commit_artifacts(
+            {"telemetry.jsonl": (telemetry_blob(200.0), "telemetry")},
+            message="bad",
+        )
+        with pytest.raises(BisectError, match="failed replay verification"):
+            bisect_commits(
+                store, good_rev="HEAD~1", bad_rev=last, metric="comm.bits"
+            )
+
+    def test_bisect_records_verified_transcripts(self, store, tmp_path):
+        good = self._commit_with_capture(store, tmp_path, 100.0)
+        bad = self._commit_with_capture(store, tmp_path, 200.0)
+        result = bisect_commits(
+            store, good_rev=good, bad_rev=bad, metric="comm.bits"
+        )
+        assert result.first_bad == bad
+        assert {e.replay for e in result.evaluations} == {REPLAY_VERIFIED}
+
+    def test_verification_can_be_disabled(self, store, tmp_path):
+        self._commit_with_capture(store, tmp_path, 100.0, tamper=True)
+        last = store.commit_artifacts(
+            {"telemetry.jsonl": (telemetry_blob(200.0), "telemetry")},
+            message="bad",
+        )
+        result = bisect_commits(
+            store,
+            good_rev="HEAD~1",
+            bad_rev=last,
+            metric="comm.bits",
+            verify_replay=False,
+        )
+        assert result.first_bad == last

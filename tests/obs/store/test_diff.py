@@ -1,0 +1,299 @@
+"""Tests for classify() and the structural commit diff."""
+
+import json
+
+import pytest
+
+from repro.obs.store.diff import (
+    IMPROVED,
+    NEUTRAL,
+    REGRESSED,
+    DiffThresholds,
+    classify,
+    commit_gate_status,
+    commit_metric_value,
+    diff_commits,
+    metric_deltas,
+)
+from repro.obs.store.repo import ExperimentStore
+
+
+def telemetry_blob(counters, spans=None):
+    """Telemetry JSONL bytes with given summary counters and span times."""
+    events = []
+    for path, wall in (spans or {}).items():
+        events.append(
+            {"event": "span", "path": path, "depth": 0, "wall_s": wall,
+             "status": "ok"}
+        )
+    events.append(
+        {"event": "summary",
+         "metrics": {"counters": counters, "gauges": {}, "histograms": {}}}
+    )
+    return "".join(json.dumps(e) + "\n" for e in events).encode()
+
+
+def capture_blob(digests, family=None, seed=None):
+    """Capture JSONL bytes with one message per digest."""
+    meta = {}
+    if family is not None:
+        meta = {"family": family, "seed": seed}
+    events = [{"event": "wire_capture", "version": 1, "meta": meta}]
+    for seq, digest in enumerate(digests):
+        events.append(
+            {"event": "wire", "seq": seq, "sender": "alice", "receiver":
+             "bob", "kind": "sketch", "bits": 128, "digest": digest,
+             "span": ""}
+        )
+    return "".join(json.dumps(e) + "\n" for e in events).encode()
+
+
+def bench_blob(ratio, passed):
+    return json.dumps({"gate": {"ratio": ratio, "passed": passed}}).encode()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ExperimentStore.init(tmp_path / "store")
+
+
+def commit_run(store, files, message="run"):
+    return store.commit_artifacts(files, message=message)
+
+
+class TestClassify:
+    def test_identical_is_neutral(self):
+        assert classify(100.0, 100.0) == (NEUTRAL, "")
+
+    def test_within_threshold_is_neutral(self):
+        verdict, _ = classify(100.0, 104.9)
+        assert verdict == NEUTRAL
+
+    def test_exactly_at_threshold_is_neutral(self):
+        verdict, _ = classify(100.0, 105.0)
+        assert verdict == NEUTRAL
+
+    def test_above_threshold_regresses(self):
+        verdict, _ = classify(100.0, 105.1)
+        assert verdict == REGRESSED
+
+    def test_below_threshold_improves(self):
+        verdict, _ = classify(100.0, 90.0)
+        assert verdict == IMPROVED
+
+    def test_higher_is_better_flips_direction(self):
+        assert classify(100.0, 150.0, lower_is_better=False)[0] == IMPROVED
+        assert classify(100.0, 50.0, lower_is_better=False)[0] == REGRESSED
+
+    def test_missing_values_are_neutral_with_notes(self):
+        verdict, note = classify(None, 5.0)
+        assert verdict == NEUTRAL and "new metric" in note
+        verdict, note = classify(5.0, None)
+        assert verdict == NEUTRAL and "gone" in note
+
+    def test_zero_baseline_classified_by_direction(self):
+        verdict, note = classify(0.0, 10.0)
+        assert verdict == REGRESSED and note == "zero baseline"
+        assert classify(0.0, -1.0)[0] == IMPROVED
+
+    def test_non_finite_is_neutral(self):
+        assert classify(float("nan"), 1.0)[0] == NEUTRAL
+
+
+class TestMetricDeltas:
+    def test_unchanged_metrics_skipped_by_default(self):
+        deltas = metric_deltas({"a": 1.0, "b": 2.0}, {"a": 1.0, "b": 4.0})
+        assert [d.name for d in deltas] == ["b"]
+        assert deltas[0].verdict == REGRESSED
+        assert deltas[0].delta == 2.0
+
+    def test_include_unchanged(self):
+        deltas = metric_deltas({"a": 1.0}, {"a": 1.0}, include_unchanged=True)
+        assert [d.verdict for d in deltas] == [NEUTRAL]
+
+
+class TestDiffCommits:
+    def test_single_perturbed_metric_flags_exactly_that_metric(self, store):
+        base = commit_run(store, {
+            "telemetry.jsonl": (
+                telemetry_blob({"comm.bits": 1000.0, "oracle.calls": 50.0}),
+                "telemetry",
+            ),
+        })
+        other = commit_run(store, {
+            "telemetry.jsonl": (
+                telemetry_blob({"comm.bits": 2000.0, "oracle.calls": 50.0}),
+                "telemetry",
+            ),
+        })
+        diff = diff_commits(store, base, other)
+        assert diff.verdict == REGRESSED
+        assert diff.regressions == ["comm.bits"]
+        assert [m.name for m in diff.metrics] == ["comm.bits"]
+
+    def test_improvement_without_regression(self, store):
+        base = commit_run(store, {
+            "telemetry.jsonl": (telemetry_blob({"comm.bits": 1000.0}), "telemetry"),
+        })
+        other = commit_run(store, {
+            "telemetry.jsonl": (telemetry_blob({"comm.bits": 500.0}), "telemetry"),
+        })
+        diff = diff_commits(store, base, other)
+        assert diff.verdict == IMPROVED
+        assert diff.improvements == ["comm.bits"]
+
+    def test_identical_runs_are_neutral(self, store):
+        blob = telemetry_blob({"comm.bits": 1000.0})
+        base = commit_run(store, {"telemetry.jsonl": (blob, "telemetry")})
+        other = commit_run(store, {"telemetry.jsonl": (blob, "telemetry")})
+        diff = diff_commits(store, base, other)
+        assert diff.verdict == NEUTRAL
+        assert diff.metrics == []
+
+    def test_slow_span_flags_with_ratio(self, store):
+        base = commit_run(store, {
+            "telemetry.jsonl": (
+                telemetry_blob({}, spans={"experiment.e1": 0.1}), "telemetry"),
+        })
+        other = commit_run(store, {
+            "telemetry.jsonl": (
+                telemetry_blob({}, spans={"experiment.e1": 0.4}), "telemetry"),
+        })
+        diff = diff_commits(store, base, other)
+        (span,) = diff.spans
+        assert span.path == "experiment.e1"
+        assert span.ratio == pytest.approx(4.0)
+        assert diff.verdict == REGRESSED
+
+    def test_sub_floor_span_noise_ignored(self, store):
+        base = commit_run(store, {
+            "telemetry.jsonl": (
+                telemetry_blob({}, spans={"experiment.e1": 0.0001}), "telemetry"),
+        })
+        other = commit_run(store, {
+            "telemetry.jsonl": (
+                telemetry_blob({}, spans={"experiment.e1": 0.0004}), "telemetry"),
+        })
+        diff = diff_commits(store, base, other)
+        assert diff.spans == []
+        assert diff.verdict == NEUTRAL
+
+    def test_missing_telemetry_noted_not_crashed(self, store):
+        base = commit_run(store, {"BENCH_X.json": (bench_blob(1.0, True), "bench")})
+        other = commit_run(store, {
+            "telemetry.jsonl": (telemetry_blob({"a": 1.0}), "telemetry"),
+        })
+        diff = diff_commits(store, base, other)
+        assert any("telemetry blob missing" in note for note in diff.notes)
+        assert diff.metrics == []
+
+    def test_gate_flip_to_failed_regresses(self, store):
+        base = commit_run(store, {
+            "BENCH_X.json": (bench_blob(1.0, True), "bench"),
+            "telemetry.jsonl": (telemetry_blob({}), "telemetry"),
+        })
+        other = commit_run(store, {
+            "BENCH_X.json": (bench_blob(1.4, False), "bench"),
+            "telemetry.jsonl": (telemetry_blob({}), "telemetry"),
+        })
+        diff = diff_commits(store, base, other)
+        (gate,) = diff.gates
+        assert gate.verdict == REGRESSED
+        assert diff.verdict == REGRESSED
+        assert "BENCH_X.json" in diff.regressions
+
+    def test_gate_flip_to_passed_improves(self, store):
+        base = commit_run(store, {
+            "BENCH_X.json": (bench_blob(1.4, False), "bench"),
+            "telemetry.jsonl": (telemetry_blob({}), "telemetry"),
+        })
+        other = commit_run(store, {
+            "BENCH_X.json": (bench_blob(1.0, True), "bench"),
+            "telemetry.jsonl": (telemetry_blob({}), "telemetry"),
+        })
+        diff = diff_commits(store, base, other)
+        assert diff.gates[0].verdict == IMPROVED
+        assert diff.verdict == IMPROVED
+
+    def test_identical_wire_transcripts(self, store):
+        blob = capture_blob(["d1", "d2"])
+        base = commit_run(store, {
+            "wire.capture.jsonl": (blob, "capture"),
+            "telemetry.jsonl": (telemetry_blob({}), "telemetry"),
+        })
+        other = commit_run(store, {
+            "wire.capture.jsonl": (blob, "capture"),
+            "telemetry.jsonl": (telemetry_blob({}), "telemetry"),
+        })
+        diff = diff_commits(store, base, other)
+        assert diff.wire["divergence"] is None
+        assert diff.wire["base_messages"] == 2
+
+    def test_diverging_wire_transcripts_pinpointed(self, store):
+        base = commit_run(store, {
+            "wire.capture.jsonl": (capture_blob(["d1", "d2"]), "capture"),
+            "telemetry.jsonl": (telemetry_blob({}), "telemetry"),
+        })
+        other = commit_run(store, {
+            "wire.capture.jsonl": (capture_blob(["d1", "XX"]), "capture"),
+            "telemetry.jsonl": (telemetry_blob({}), "telemetry"),
+        })
+        diff = diff_commits(store, base, other)
+        divergence = diff.wire["divergence"]
+        assert divergence["index"] == 1
+        assert divergence["field"] == "digest"
+
+    def test_render_mentions_verdict_and_tables(self, store):
+        base = commit_run(store, {
+            "telemetry.jsonl": (telemetry_blob({"comm.bits": 100.0}), "telemetry"),
+        })
+        other = commit_run(store, {
+            "telemetry.jsonl": (telemetry_blob({"comm.bits": 300.0}), "telemetry"),
+        })
+        text = diff_commits(store, base, other).render()
+        assert "REGRESSED" in text
+        assert "comm.bits" in text
+        assert "metric deltas" in text
+
+    def test_as_dict_is_json_serialisable(self, store):
+        base = commit_run(store, {
+            "telemetry.jsonl": (telemetry_blob({"a": 1.0}), "telemetry"),
+        })
+        other = commit_run(store, {
+            "telemetry.jsonl": (telemetry_blob({"a": 3.0}), "telemetry"),
+        })
+        payload = json.loads(json.dumps(diff_commits(store, base, other).as_dict()))
+        assert payload["verdict"] == REGRESSED
+
+    def test_custom_thresholds(self, store):
+        base = commit_run(store, {
+            "telemetry.jsonl": (telemetry_blob({"a": 100.0}), "telemetry"),
+        })
+        other = commit_run(store, {
+            "telemetry.jsonl": (telemetry_blob({"a": 110.0}), "telemetry"),
+        })
+        loose = diff_commits(
+            store, base, other, thresholds=DiffThresholds(metric=0.5)
+        )
+        assert loose.verdict == NEUTRAL
+        tight = diff_commits(
+            store, base, other, thresholds=DiffThresholds(metric=0.01)
+        )
+        assert tight.verdict == REGRESSED
+
+
+class TestCommitValueHelpers:
+    def test_commit_metric_value(self, store):
+        oid = commit_run(store, {
+            "telemetry.jsonl": (telemetry_blob({"a": 42.0}), "telemetry"),
+        })
+        assert commit_metric_value(store, oid, "a") == 42.0
+        assert commit_metric_value(store, oid, "nope") is None
+
+    def test_commit_gate_status(self, store):
+        oid = commit_run(store, {
+            "BENCH_X.json": (bench_blob(1.2, True), "bench"),
+            "telemetry.jsonl": (telemetry_blob({}), "telemetry"),
+        })
+        assert commit_gate_status(store, oid, "BENCH_X.json") == (1.2, True)
+        assert commit_gate_status(store, oid, "BENCH_Y.json") == (None, None)

@@ -1,0 +1,101 @@
+"""Tests for store integrity verification (fsck)."""
+
+import json
+import zlib
+
+import pytest
+
+from repro.obs.store.fsck import fsck
+from repro.obs.store.repo import ExperimentStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = ExperimentStore.init(tmp_path / "store")
+    for n in (1, 2):
+        s.commit_artifacts(
+            {"telemetry.jsonl": (
+                json.dumps({"event": "summary", "n": n}).encode(), "telemetry")},
+            message=f"run {n}",
+        )
+    return s
+
+
+class TestCleanStore:
+    def test_ok_and_fully_reachable(self, store):
+        report = fsck(store)
+        assert report.ok
+        assert report.errors == []
+        assert report.commits == 2
+        assert report.trees == 2
+        assert report.blobs == 2
+        assert report.reachable == report.objects_checked
+        assert "OK" in report.summary()
+
+    def test_fresh_store_is_ok(self, tmp_path):
+        report = fsck(ExperimentStore.init(tmp_path / "fresh"))
+        assert report.ok
+        assert report.objects_checked == 0
+
+
+class TestCorruption:
+    def _some_blob_path(self, store):
+        for oid in store.objects.iter_oids():
+            kind, _ = store.objects.read(oid)
+            if kind == "blob":
+                return oid, store.objects.path_for(oid)
+        raise AssertionError("no blob in store")
+
+    def test_bit_flip_detected(self, store):
+        oid, path = self._some_blob_path(store)
+        decompressed = bytearray(zlib.decompress(path.read_bytes()))
+        decompressed[-1] ^= 0x01  # flip one bit of the body
+        path.write_bytes(zlib.compress(bytes(decompressed)))
+        report = fsck(store)
+        assert not report.ok
+        assert any(
+            i.subject == oid and "hash mismatch" in i.message
+            for i in report.errors
+        )
+
+    def test_unreadable_object_detected(self, store):
+        oid, path = self._some_blob_path(store)
+        path.write_bytes(b"this is not zlib data")
+        report = fsck(store)
+        assert not report.ok
+        assert any("unreadable object" in i.message for i in report.errors)
+
+    def test_missing_referenced_blob_detected(self, store):
+        oid, path = self._some_blob_path(store)
+        path.unlink()
+        report = fsck(store)
+        assert not report.ok
+        assert any("missing blob" in i.message for i in report.errors)
+
+    def test_branch_at_missing_commit_detected(self, store):
+        store.refs.update_branch("main", "0" * 64)
+        report = fsck(store)
+        assert not report.ok
+        assert any(
+            i.subject == "refs/heads/main" and "missing object" in i.message
+            for i in report.errors
+        )
+
+    def test_dangling_object_is_warning_not_error(self, store):
+        store.objects.write_blob(b"orphan: written but never committed")
+        report = fsck(store)
+        assert report.ok
+        assert any("dangling blob" in i.message for i in report.warnings)
+
+    def test_corrupt_reflog_detected(self, store):
+        with store.refs.reflog_path.open("a") as fh:
+            fh.write("{torn write\n")
+        report = fsck(store)
+        assert not report.ok
+        assert any(i.subject == "reflog" for i in report.errors)
+
+    def test_corrupt_head_detected(self, store):
+        store.refs.head_path.write_text("nonsense\n")
+        report = fsck(store)
+        assert not report.ok
+        assert any(i.subject == "HEAD" for i in report.errors)

@@ -1,0 +1,132 @@
+"""Tests for migrating the flat .obs/history.jsonl into the store."""
+
+import json
+
+import pytest
+
+from repro.obs.store.migrate import (
+    LEGACY_BRANCH,
+    RECORD_NAME,
+    load_history_records,
+    migrate_history,
+    verify_migration,
+)
+from repro.obs.store.objects import StoreError
+from repro.obs.store.repo import ExperimentStore
+
+
+def legacy_record(label, ingested_at, queries=100.0):
+    return {
+        "record": "run",
+        "label": label,
+        "source": "telemetry.jsonl",
+        "ingested_at": ingested_at,
+        "partial": False,
+        "spans": {"experiment.e1": {"count": 1, "total_s": 0.5}},
+        "metrics": {"oracle.queries": queries},
+        "rows": [],
+        "bound_checks": [],
+    }
+
+
+@pytest.fixture
+def db(tmp_path):
+    records = [
+        legacy_record("pr2", 1000.0, queries=100.0),
+        legacy_record("pr3", 2000.0, queries=110.0),
+        legacy_record(None, 3000.0, queries=120.0),
+    ]
+    path = tmp_path / "history.jsonl"
+    lines = [json.dumps(r) for r in records]
+    # Interleave a non-run record and a blank line: both must be ignored.
+    lines.insert(1, json.dumps({"record": "note", "text": "ignore me"}))
+    lines.insert(3, "")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ExperimentStore.init(tmp_path / "store")
+
+
+class TestLoadRecords:
+    def test_only_run_records_in_order(self, db):
+        records = load_history_records(db)
+        assert [r["label"] for r in records] == ["pr2", "pr3", None]
+
+    def test_missing_db_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="does not exist"):
+            load_history_records(tmp_path / "nope.jsonl")
+
+    def test_corrupt_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"record": "run"}\n{torn\n')
+        with pytest.raises(StoreError, match="bad.jsonl:2"):
+            load_history_records(path)
+
+
+class TestMigrate:
+    def test_round_trips_every_record(self, store, db):
+        oids = migrate_history(store, db)
+        assert len(oids) == 3
+        assert verify_migration(store, db) == (3, 3)
+        # The branch holds the chain oldest-first with parent links.
+        history = store.history(LEGACY_BRANCH)
+        assert [oid for oid, _ in history] == oids
+        assert store.read_commit(oids[1]).parents == (oids[0],)
+
+    def test_records_stored_verbatim(self, store, db):
+        oids = migrate_history(store, db)
+        stored = json.loads(store.artifact_bytes(oids[0], RECORD_NAME))
+        assert stored == load_history_records(db)[0]
+        (entry,) = store.read_tree_of(oids[0]).by_role("legacy")
+        assert entry.name == RECORD_NAME
+
+    def test_commit_timestamps_preserve_ingestion_time(self, store, db):
+        oids = migrate_history(store, db)
+        assert [store.read_commit(o).timestamp for o in oids] == [
+            1000.0, 2000.0, 3000.0,
+        ]
+
+    def test_meta_carries_provenance(self, store, db):
+        oids = migrate_history(store, db)
+        meta = store.read_commit(oids[1]).meta
+        assert meta["migrated_from"] == str(db)
+        assert meta["legacy_index"] == 1
+        assert meta["label"] == "pr3"
+
+    def test_main_branch_untouched(self, store, db):
+        migrate_history(store, db)
+        assert store.refs.read_branch("main") is None
+        assert store.refs.current_branch() == "main"
+
+    def test_refuses_existing_branch(self, store, db):
+        migrate_history(store, db)
+        with pytest.raises(StoreError, match="already exists"):
+            migrate_history(store, db)
+
+    def test_refuses_empty_history(self, store, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text(json.dumps({"record": "note"}) + "\n")
+        with pytest.raises(StoreError, match="no run records"):
+            migrate_history(store, path)
+
+
+class TestVerify:
+    def test_detects_lost_record(self, store, db):
+        migrate_history(store, db)
+        # Grow the *source* after migration: one record has no commit.
+        with db.open("a") as fh:
+            fh.write(json.dumps(legacy_record("pr4", 4000.0)) + "\n")
+        with pytest.raises(StoreError, match="lost records"):
+            verify_migration(store, db)
+
+    def test_detects_corrupted_record(self, store, db):
+        migrate_history(store, db)
+        # Rewrite the *source* after migration: record 0 no longer matches.
+        records = load_history_records(db)
+        records[0]["metrics"]["oracle.queries"] = 999.0
+        db.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        with pytest.raises(StoreError, match="corrupted record 0"):
+            verify_migration(store, db)

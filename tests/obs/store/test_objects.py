@@ -1,0 +1,167 @@
+"""Tests for the content-addressed object layer."""
+
+import pytest
+
+from repro.obs.store.objects import (
+    Commit,
+    ObjectStore,
+    StoreError,
+    Tree,
+    TreeEntry,
+    decode_object,
+    encode_object,
+    hash_object,
+    short_oid,
+    tree_from_files,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = ObjectStore(tmp_path / "store")
+    s.objects_dir.mkdir(parents=True)
+    return s
+
+
+class TestFraming:
+    def test_round_trip(self):
+        framed = encode_object("blob", b"hello")
+        assert framed == b"blob 5\x00hello"
+        assert decode_object(framed) == ("blob", b"hello")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StoreError, match="unknown object kind"):
+            encode_object("banana", b"")
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(StoreError, match="header claims"):
+            decode_object(b"blob 99\x00short")
+
+    def test_missing_separator_rejected(self):
+        with pytest.raises(StoreError, match="corrupt object header"):
+            decode_object(b"no separator at all")
+
+    def test_hash_is_stable(self):
+        # The address is a pure function of (kind, content); pin it so
+        # stores written by different sessions stay interoperable.
+        assert hash_object("blob", b"x") == hash_object("blob", b"x")
+        assert hash_object("blob", b"x") != hash_object("tree", b"x")
+
+
+class TestObjectStore:
+    def test_write_read_round_trip(self, store):
+        oid = store.write_blob(b"payload")
+        assert oid in store
+        assert store.read_blob(oid) == b"payload"
+
+    def test_write_is_idempotent_and_deduplicating(self, store):
+        a = store.write_blob(b"same")
+        b = store.write_blob(b"same")
+        assert a == b
+        assert sum(1 for _ in store.iter_oids()) == 1
+
+    def test_read_missing_raises(self, store):
+        with pytest.raises(StoreError, match="does not exist"):
+            store.read("f" * 64)
+
+    def test_read_kind_mismatch_raises(self, store):
+        oid = store.write_blob(b"data")
+        with pytest.raises(StoreError, match="is a blob, expected a tree"):
+            store.read_kind(oid, "tree")
+
+    def test_objects_are_sharded_by_prefix(self, store):
+        oid = store.write_blob(b"shard me")
+        path = store.path_for(oid)
+        assert path.parent.name == oid[:2]
+        assert path.name == oid[2:]
+
+    def test_resolve_prefix_unique(self, store):
+        oid = store.write_blob(b"only one")
+        assert store.resolve_prefix(oid[:8]) == oid
+
+    def test_resolve_prefix_too_short_or_nonhex(self, store):
+        store.write_blob(b"x")
+        assert store.resolve_prefix("ab") is None
+        assert store.resolve_prefix("nothex00") is None
+
+    def test_resolve_prefix_ambiguous_raises(self, store):
+        # Brute-force two blobs sharing their first four hex chars.
+        oids = {}
+        clash = None
+        for i in range(20000):
+            oid = hash_object("blob", str(i).encode())
+            if oid[:4] in oids:
+                clash = (oids[oid[:4]], i)
+                break
+            oids[oid[:4]] = i
+        assert clash is not None
+        store.write_blob(str(clash[0]).encode())
+        store.write_blob(str(clash[1]).encode())
+        prefix = hash_object("blob", str(clash[0]).encode())[:4]
+        with pytest.raises(StoreError, match="ambiguous"):
+            store.resolve_prefix(prefix)
+
+
+class TestTree:
+    def test_canonical_encoding_ignores_construction_order(self, store):
+        e1 = TreeEntry("a.json", "1" * 64, "bench")
+        e2 = TreeEntry("b.jsonl", "2" * 64, "telemetry")
+        assert Tree((e1, e2)).encode() == Tree((e2, e1)).encode()
+
+    def test_round_trip_preserves_roles(self, store):
+        tree = Tree((TreeEntry("t.jsonl", "3" * 64, "telemetry"),))
+        oid = store.write_tree(tree)
+        loaded = store.read_tree(oid)
+        assert loaded.by_name()["t.jsonl"].role == "telemetry"
+
+    def test_by_role_filters_and_sorts(self):
+        tree = Tree((
+            TreeEntry("z.json", "1" * 64, "bench"),
+            TreeEntry("a.json", "2" * 64, "bench"),
+            TreeEntry("t.jsonl", "3" * 64, "telemetry"),
+        ))
+        assert [e.name for e in tree.by_role("bench")] == ["a.json", "z.json"]
+
+    def test_corrupt_tree_rejected(self):
+        with pytest.raises(StoreError, match="corrupt tree"):
+            Tree.decode(b"not json")
+
+    def test_tree_from_files_blobs_everything(self, store):
+        tree_oid = tree_from_files(
+            store,
+            {"t.jsonl": (b"events", "telemetry"), "b.json": (b"{}", "bench")},
+        )
+        tree = store.read_tree(tree_oid)
+        assert {e.name for e in tree.entries} == {"t.jsonl", "b.json"}
+        for entry in tree.entries:
+            assert entry.oid in store
+
+
+class TestCommit:
+    def test_round_trip(self, store):
+        commit = Commit(
+            tree="4" * 64,
+            parents=("5" * 64,),
+            message="run_all e1",
+            author="tester",
+            timestamp=123.5,
+            meta={"experiments": ["e1"]},
+        )
+        oid = store.write_commit(commit)
+        loaded = store.read_commit(oid)
+        assert loaded == commit
+
+    def test_logically_equal_commits_hash_identically(self):
+        a = Commit(tree="6" * 64, meta={"b": 2, "a": 1})
+        b = Commit(tree="6" * 64, meta={"a": 1, "b": 2})
+        assert hash_object("commit", a.encode()) == hash_object(
+            "commit", b.encode()
+        )
+
+    def test_corrupt_commit_rejected(self):
+        with pytest.raises(StoreError, match="corrupt commit"):
+            Commit.decode(b"[]")
+
+
+def test_short_oid():
+    assert short_oid("abcdef0123456789" * 4) == "abcdef0123"

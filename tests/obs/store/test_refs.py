@@ -1,0 +1,131 @@
+"""Tests for branches, tags, HEAD, and the reflog."""
+
+import pytest
+
+from repro.obs.store.objects import StoreError
+from repro.obs.store.refs import RefStore, validate_ref_name
+
+OID_A = "a" * 64
+OID_B = "b" * 64
+
+
+@pytest.fixture
+def refs(tmp_path):
+    r = RefStore(tmp_path / "store")
+    r.heads_dir.mkdir(parents=True)
+    r.tags_dir.mkdir(parents=True)
+    r.set_head_branch("main", message="init")
+    return r
+
+
+class TestRefNames:
+    @pytest.mark.parametrize(
+        "name", ["main", "lines/kernels", "v1.0", "a_b-c.d", "deep/er/still"]
+    )
+    def test_valid(self, name):
+        assert validate_ref_name(name) == name
+
+    @pytest.mark.parametrize(
+        "name",
+        ["", "a//b", "../escape", "refs/../../etc", "a/.", "-flag", "sp ace",
+         "semi;colon"],
+    )
+    def test_invalid(self, name):
+        with pytest.raises(StoreError):
+            validate_ref_name(name)
+
+    def test_traversal_cannot_escape_refs_dir(self, refs):
+        with pytest.raises(StoreError):
+            refs.branch_path("../../outside")
+
+
+class TestBranches:
+    def test_update_creates_and_moves(self, refs):
+        refs.update_branch("main", OID_A)
+        assert refs.read_branch("main") == OID_A
+        refs.update_branch("main", OID_B)
+        assert refs.read_branch("main") == OID_B
+
+    def test_missing_branch_reads_none(self, refs):
+        assert refs.read_branch("nope") is None
+
+    def test_list_branches_includes_nested(self, refs):
+        refs.update_branch("main", OID_A)
+        refs.update_branch("lines/kernels", OID_B)
+        assert refs.list_branches() == ["lines/kernels", "main"]
+
+    def test_delete_refuses_checked_out(self, refs):
+        refs.update_branch("main", OID_A)
+        with pytest.raises(StoreError, match="checked-out"):
+            refs.delete_branch("main")
+
+    def test_delete_other_branch(self, refs):
+        refs.update_branch("scratch", OID_A)
+        refs.delete_branch("scratch")
+        assert refs.read_branch("scratch") is None
+
+    def test_corrupt_ref_file_raises(self, refs):
+        refs.update_branch("main", OID_A)
+        refs.branch_path("main").write_text("not a commit id\n")
+        with pytest.raises(StoreError, match="does not hold a commit id"):
+            refs.read_branch("main")
+
+
+class TestTags:
+    def test_create_and_read(self, refs):
+        refs.create_tag("baseline", OID_A)
+        assert refs.read_tag("baseline") == OID_A
+        assert refs.list_tags() == ["baseline"]
+
+    def test_tags_are_immutable(self, refs):
+        refs.create_tag("baseline", OID_A)
+        with pytest.raises(StoreError, match="already exists"):
+            refs.create_tag("baseline", OID_B)
+
+
+class TestHead:
+    def test_symbolic_head(self, refs):
+        assert refs.head() == ("branch", "main")
+        assert refs.current_branch() == "main"
+
+    def test_unborn_branch_resolves_none(self, refs):
+        assert refs.resolve_head() is None
+
+    def test_resolves_through_branch(self, refs):
+        refs.update_branch("main", OID_A)
+        assert refs.resolve_head() == OID_A
+
+    def test_detached_head(self, refs):
+        refs.set_head_detached(OID_B)
+        assert refs.head() == ("detached", OID_B)
+        assert refs.current_branch() is None
+        assert refs.resolve_head() == OID_B
+
+    def test_missing_head_means_not_a_store(self, tmp_path):
+        with pytest.raises(StoreError, match="not an experiment store"):
+            RefStore(tmp_path / "empty").head()
+
+    def test_corrupt_head_raises(self, refs):
+        refs.head_path.write_text("garbage\n")
+        with pytest.raises(StoreError, match="corrupt HEAD"):
+            refs.head()
+
+
+class TestReflog:
+    def test_moves_are_logged(self, refs):
+        refs.update_branch("main", OID_A, message="first commit")
+        refs.update_branch("main", OID_B, message="second commit")
+        log = refs.reflog()
+        moves = [r for r in log if r["ref"] == "refs/heads/main"]
+        assert [m["new"] for m in moves] == [OID_A, OID_B]
+        assert moves[1]["old"] == OID_A
+        assert moves[1]["message"] == "second commit"
+
+    def test_empty_reflog(self, tmp_path):
+        assert RefStore(tmp_path / "fresh").reflog() == []
+
+    def test_corrupt_reflog_raises(self, refs):
+        with refs.reflog_path.open("a") as fh:
+            fh.write("{broken\n")
+        with pytest.raises(StoreError, match="corrupt reflog"):
+            refs.reflog()

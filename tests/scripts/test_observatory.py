@@ -89,10 +89,71 @@ class TestIngestion:
         monkeypatch.setattr(sys, "argv", ["obs_db.py"] + args)
         assert obs_db.main() == 0
         _write_telemetry(telemetry, queries=600.0)
+        # Same label again needs --force (see TestIngestion duplicate tests).
+        monkeypatch.setattr(sys, "argv", ["obs_db.py"] + args + ["--force"])
         assert obs_db.main() == 0
         runs = obs_db.load_history(db)
         assert len(runs) == 2  # append-only: both ingests survive
         assert runs[1]["metrics"]["oracle.calls"] == 600.0
+
+    def _ingest(self, obs_db, monkeypatch, telemetry, db, *extra):
+        args = ["obs_db.py", "ingest", "--telemetry", str(telemetry),
+                "--db", str(db), "--bench", *extra]
+        monkeypatch.setattr(sys, "argv", args)
+        return obs_db.main()
+
+    def test_duplicate_label_rejected(
+        self, observatory, tmp_path, capsys, monkeypatch
+    ):
+        obs_db, _ = observatory
+        telemetry = tmp_path / "t.jsonl"
+        db = tmp_path / "h.jsonl"
+        _write_telemetry(telemetry)
+        assert self._ingest(obs_db, monkeypatch, telemetry, db,
+                            "--label", "pr4") == 0
+        assert self._ingest(obs_db, monkeypatch, telemetry, db,
+                            "--label", "pr4") == 1
+        err = capsys.readouterr().err
+        assert "'pr4' is already ingested" in err
+        assert "--force" in err
+        assert len(obs_db.load_history(db)) == 1  # nothing was appended
+
+    def test_duplicate_label_allowed_with_force(
+        self, observatory, tmp_path, monkeypatch
+    ):
+        obs_db, _ = observatory
+        telemetry = tmp_path / "t.jsonl"
+        db = tmp_path / "h.jsonl"
+        _write_telemetry(telemetry)
+        assert self._ingest(obs_db, monkeypatch, telemetry, db,
+                            "--label", "pr4") == 0
+        assert self._ingest(obs_db, monkeypatch, telemetry, db,
+                            "--label", "pr4", "--force") == 0
+        assert len(obs_db.load_history(db)) == 2
+
+    def test_distinct_labels_unaffected(
+        self, observatory, tmp_path, monkeypatch
+    ):
+        obs_db, _ = observatory
+        telemetry = tmp_path / "t.jsonl"
+        db = tmp_path / "h.jsonl"
+        _write_telemetry(telemetry)
+        assert self._ingest(obs_db, monkeypatch, telemetry, db,
+                            "--label", "pr4") == 0
+        assert self._ingest(obs_db, monkeypatch, telemetry, db,
+                            "--label", "pr5") == 0
+        assert len(obs_db.load_history(db)) == 2
+
+    def test_unlabelled_ingests_never_clash(
+        self, observatory, tmp_path, monkeypatch
+    ):
+        obs_db, _ = observatory
+        telemetry = tmp_path / "t.jsonl"
+        db = tmp_path / "h.jsonl"
+        _write_telemetry(telemetry)
+        assert self._ingest(obs_db, monkeypatch, telemetry, db) == 0
+        assert self._ingest(obs_db, monkeypatch, telemetry, db) == 0
+        assert len(obs_db.load_history(db)) == 2
 
     def test_collect_bench_extracts_gates(self, observatory, tmp_path):
         obs_db, _ = observatory
@@ -192,11 +253,46 @@ class TestDashboard:
         text = dash.render_markdown(self._runs(observatory))
         assert "pr2 -> pr3: OK" in text
 
-    def test_metric_diff_reused_from_report(self, observatory):
+    def test_metric_regression_flagged_above_threshold(self, observatory):
         _, dash = observatory
+        # 531 -> 600 queries is a +13% move, well past the 5% band.
         text = dash.render_markdown(self._runs(observatory, queries=600.0))
-        assert "metric diff" in text
-        assert "oracle.calls" in text
+        assert "REGRESSION" in text
+        assert "1 metric regression(s): oracle.calls" in text
+        assert "metric verdicts" in text
+        assert "REGRESSED" in text
+
+    def test_metric_within_threshold_is_neutral(self, observatory):
+        _, dash = observatory
+        text = dash.render_markdown(self._runs(observatory, queries=531.0 * 1.04))
+        assert "pr2 -> pr3: OK" in text
+        assert "NEUTRAL" in text
+
+    def test_metric_exactly_at_threshold_is_neutral(self, observatory):
+        _, dash = observatory
+        runs = self._runs(observatory)
+        # Pin exact values: (105 - 100) / 100 is the 5% band edge, which
+        # classify() keeps NEUTRAL.
+        runs[0]["metrics"]["oracle.calls"] = 100.0
+        runs[1]["metrics"]["oracle.calls"] = 105.0
+        text = dash.render_markdown(runs)
+        assert "pr2 -> pr3: OK" in text
+        assert "metric regression" not in text
+
+    def test_metric_improvement_is_not_a_problem(self, observatory):
+        _, dash = observatory
+        text = dash.render_markdown(self._runs(observatory, queries=400.0))
+        assert "pr2 -> pr3: OK" in text
+        assert "IMPROVED" in text
+
+    def test_missing_metric_is_neutral_with_note(self, observatory):
+        _, dash = observatory
+        runs = self._runs(observatory)
+        runs[0]["metrics"]["legacy.counter"] = 5.0
+        text = dash.render_markdown(runs)
+        assert "pr2 -> pr3: OK" in text
+        assert "legacy.counter" in text
+        assert "gone" in text
 
     def test_html_rendering(self, observatory):
         _, dash = observatory
@@ -221,7 +317,7 @@ class TestDashboard:
         )
         obs_db.main()
         monkeypatch.setattr(
-            sys, "argv", ["obs_dashboard.py", "--db", str(db)]
+            sys, "argv", ["obs_dashboard.py", "--db", str(db), "--no-store"]
         )
         assert dash.main() == 0
         assert (tmp_path / ".obs" / "dashboard.md").exists()
@@ -234,6 +330,77 @@ class TestDashboard:
         monkeypatch.setattr(
             sys, "argv",
             ["obs_dashboard.py", "--db", str(tmp_path / "none.jsonl")],
+        )
+        assert dash.main() == 1
+        assert "no runs" in capsys.readouterr().err
+
+
+class TestStoreBackedDashboard:
+    def _store_with_runs(self, tmp_path, queries=(531.0, 600.0)):
+        from repro.obs.store import ExperimentStore
+
+        store = ExperimentStore.init(tmp_path / "store")
+        for n, value in enumerate(queries):
+            events = _telemetry_events(queries=value)
+            blob = "".join(json.dumps(e) + "\n" for e in events).encode()
+            store.commit_artifacts(
+                {"telemetry.jsonl": (blob, "telemetry")},
+                message=f"run {n}",
+                timestamp=1000.0 + n,
+            )
+        return store
+
+    def test_runs_from_store_condenses_each_commit(self, observatory, tmp_path):
+        _, dash = observatory
+        store = self._store_with_runs(tmp_path)
+        runs = dash.runs_from_store(store.root)
+        assert len(runs) == 2
+        assert runs[0]["metrics"]["oracle.calls"] == 531.0
+        assert runs[1]["metrics"]["oracle.calls"] == 600.0
+        assert runs[0]["source"] == "store:run 0"
+        assert runs[0]["ingested_at"] == 1000.0
+
+    def test_legacy_commits_pass_through_verbatim(self, observatory, tmp_path):
+        _, dash = observatory
+        from repro.obs.store import ExperimentStore
+        from repro.obs.store.migrate import RECORD_NAME
+
+        store = ExperimentStore.init(tmp_path / "store")
+        record = {"record": "run", "label": "pr3", "ingested_at": 500.0,
+                  "metrics": {"oracle.calls": 9.0}, "spans": {}, "rows": [],
+                  "bound_checks": [], "partial": False}
+        store.commit_artifacts(
+            {RECORD_NAME: (json.dumps(record).encode(), "legacy")},
+            message="legacy ingest: pr3",
+            branch="lines/legacy",
+        )
+        runs = dash.runs_from_store(store.root, branch="lines/legacy")
+        assert runs == [record]
+
+    def test_main_prefers_store_when_present(
+        self, observatory, tmp_path, capsys, monkeypatch
+    ):
+        _, dash = observatory
+        store = self._store_with_runs(tmp_path)
+        monkeypatch.setattr(
+            sys, "argv",
+            ["obs_dashboard.py", "--store", str(store.root),
+             "--db", str(tmp_path / "absent.jsonl")],
+        )
+        assert dash.main() == 0
+        text = (tmp_path / "dashboard.md").read_text()
+        # 531 -> 600 queries across the two commits is a metric regression.
+        assert "1 metric regression(s): oracle.calls" in text
+
+    def test_no_store_flag_forces_the_flat_db(
+        self, observatory, tmp_path, capsys, monkeypatch
+    ):
+        _, dash = observatory
+        store = self._store_with_runs(tmp_path)
+        monkeypatch.setattr(
+            sys, "argv",
+            ["obs_dashboard.py", "--store", str(store.root),
+             "--db", str(tmp_path / "absent.jsonl"), "--no-store"],
         )
         assert dash.main() == 1
         assert "no runs" in capsys.readouterr().err
