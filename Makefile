@@ -1,8 +1,8 @@
 # Convenience targets for the reproduction repository.
 
 .PHONY: install test bench bench-report bench-parallel bench-kernels \
-	tables trace-report api all bounds-check dashboard wire-check \
-	obs-commit obs-diff obs-fsck
+	bench-live tables trace-report api all bounds-check dashboard \
+	wire-check obs-commit obs-diff obs-fsck obs-watch slo-check
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,6 +21,9 @@ bench-parallel:
 
 bench-kernels:
 	PYTHONPATH=src python scripts/bench_report.py --pr6-only
+
+bench-live:
+	PYTHONPATH=src python scripts/bench_report.py --pr8-only
 
 tables:
 	python -m repro.experiments.run_all
@@ -50,6 +53,13 @@ obs-diff:
 
 obs-fsck:
 	PYTHONPATH=src python scripts/obs_store.py fsck
+
+obs-watch:
+	PYTHONPATH=src python scripts/obs_watch.py --follow live.jsonl
+
+slo-check:
+	PYTHONPATH=src python -m repro.experiments.run_all --slo \
+		--telemetry telemetry.jsonl
 
 api:
 	python scripts/gen_api_reference.py

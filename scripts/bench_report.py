@@ -51,6 +51,14 @@ performance gates degrade to explicit skip markers (never silent
 passes pretending to have measured) when the machine lacks a native
 toolchain, the fork start method, or — for the transport gate, whose
 win is end-to-end pipe avoidance — a second core to run workers on.
+
+``--pr8-only`` gates the live-observability substrate and writes
+BENCH_PR8.json: the PR2 disabled-path guard must still hold with the
+live/slo/exporters modules imported, the guard workload with a live
+bus + aggregator + SLO engine subscribed must stay within 5% of plain
+enabled telemetry, ``run_all --slo`` must exit 6 on a seeded breach
+and 0 otherwise, and the full E1-E9 stdout must stay byte-identical
+with worker heartbeats streaming at jobs 1/2/4.
 """
 
 import argparse
@@ -364,13 +372,19 @@ def write_pr4_report():
     )
 
 
-def _run_all_digest(jobs, kernels=None):
-    """Sha256 of the complete E1-E9 stdout at a given worker count."""
+def _run_all_digest(jobs, kernels=None, live=False):
+    """Sha256 of the complete E1-E9 stdout at a given worker count.
+
+    ``live=True`` installs a live bus + aggregator around the run —
+    turning worker heartbeats and parent-side tick draining on — to
+    prove the live path never touches stdout (the PR8 digest gate).
+    """
     import contextlib
     import hashlib
     import io
 
     from repro.experiments.run_all import main as run_all_main
+    from repro.obs import live as live_mod
 
     argv = ["--no-telemetry"]
     if jobs is not None:
@@ -378,7 +392,14 @@ def _run_all_digest(jobs, kernels=None):
     if kernels is not None:
         argv += ["--kernels", kernels]
     buf = io.StringIO()
-    with contextlib.redirect_stdout(buf):
+    live_cm = (
+        live_mod.publishing(live_mod.LiveBus())
+        if live
+        else contextlib.nullcontext()
+    )
+    with live_cm as bus, contextlib.redirect_stdout(buf):
+        if bus is not None:
+            live_mod.LiveAggregator().attach(bus)
         rc = run_all_main(argv)
     if rc != 0:
         raise RuntimeError(
@@ -392,6 +413,8 @@ def _run_all_digest(jobs, kernels=None):
     }
     if kernels is not None:
         digest["kernels"] = kernels
+    if live:
+        digest["live"] = True
     return digest
 
 
@@ -747,6 +770,159 @@ def write_pr6_report():
         sys.exit(1)
 
 
+def write_pr8_report():
+    """The PR8 gates: the live-observability substrate must be free
+    when idle and near-free when watching.
+
+    1. Disabled path unchanged: the PR2 obs guard still holds with the
+       live/slo/exporters modules imported but no bus installed.
+    2. Live path <= 1.05x: the same workload, spans flowing, with a bus
+       + aggregator + SLO engine subscribed vs. plain enabled telemetry.
+    3. run_all --slo exits 6 on a seeded breach and 0 otherwise.
+    4. E1-E9 stdout digests stay byte-identical with heartbeats on at
+       jobs 1/2/4 (and equal to the no-live serial digest).
+    """
+    import contextlib
+    import io
+    import os
+    import tempfile
+
+    from repro.experiments.run_all import EXIT_SLO_BREACH
+    from repro.experiments.run_all import main as run_all_main
+    from repro.obs import exporters, live, slo  # noqa: F401
+
+    assert live.active() is None  # imported, nothing installed
+    guard = obs_guard()
+    ratio = guard.get("disabled_over_pr1", guard["enabled_over_disabled"])
+    report = {"obs_guard": guard}
+    report["disabled_gate"] = {
+        "requirement": (
+            "instrumented cut_weights on 4096 cuts, telemetry disabled, "
+            "live/slo/exporters modules imported but no bus installed, "
+            "within 5% of the BENCH_PR1 baseline"
+        ),
+        "ratio": ratio,
+        "passed": ratio <= 1.05,
+    }
+
+    # Live-enabled overhead: the guard workload wrapped in a span (so
+    # records actually flow through the sink.emit tee) with telemetry
+    # on — once bare, once with a bus + aggregator + default-rule SLO
+    # engine subscribed.
+    rng = np.random.default_rng(7)
+    g = random_balanced_digraph(
+        GATE_NODES, beta=2.0, density=0.3, rng=GATE_NODES
+    )
+    sides = _random_sides(g, GATE_CUTS, rng)
+    csr = g.freeze()
+    member = csr.membership_matrix(sides)
+    csr.cut_weights(member)  # warm the dense adjacency cache
+
+    def spanned():
+        with obs.span("bench.cut_weights"):
+            csr.cut_weights(member)
+
+    with obs.enabled():
+        plain_s = _median_time(spanned, repeats=9)
+        obs.reset_metrics()
+    bus = live.LiveBus()
+    aggregator = live.LiveAggregator().attach(bus)
+    slo.SloEngine(slo.default_rules(), aggregator=aggregator).attach(bus)
+    with obs.enabled(), live.publishing(bus):
+        live_s = _median_time(spanned, repeats=9)
+        obs.reset_metrics()
+    live_ratio = live_s / plain_s
+    report["live_path"] = {
+        "plain_enabled_median_s": plain_s,
+        "live_enabled_median_s": live_s,
+        "bus_records": bus.published,
+        "subscriber_errors": len(bus.errors),
+    }
+    report["live_gate"] = {
+        "requirement": (
+            "spanned cut_weights on 4096 cuts with a live bus, "
+            "aggregator, and SLO engine subscribed within 5% of plain "
+            "enabled telemetry"
+        ),
+        "ratio": live_ratio,
+        "passed": live_ratio <= 1.05 and not bus.errors,
+    }
+
+    # Seeded SLO breach: a deliberately tight metric threshold on E3
+    # must exit 6; a loose one must exit 0.
+    def slo_rc(spec):
+        buf = io.StringIO()
+        with tempfile.TemporaryDirectory() as tmp:
+            argv = [
+                "--telemetry",
+                os.path.join(tmp, "telemetry.jsonl"),
+                f"--slo={spec}",
+                "e3",
+            ]
+            with contextlib.redirect_stdout(buf):
+                return run_all_main(argv)
+
+    tight_rc = slo_rc("metric:oracle.query.neighbor<=10")
+    loose_rc = slo_rc("metric:oracle.query.neighbor<=1000000000")
+    report["slo_exit"] = {"tight_rc": tight_rc, "loose_rc": loose_rc}
+    report["slo_gate"] = {
+        "requirement": (
+            f"run_all --slo exits {EXIT_SLO_BREACH} on a seeded breach "
+            "and 0 otherwise"
+        ),
+        "passed": tight_rc == EXIT_SLO_BREACH and loose_rc == 0,
+    }
+
+    # Heartbeat digest gate: full E1-E9 stdout with a bus installed and
+    # every-trial heartbeats must stay byte-identical across worker
+    # counts — and identical to the no-live serial run.
+    os.environ["REPRO_HEARTBEAT_S"] = "0"  # beat on every trial
+    try:
+        baseline = _run_all_digest(None)
+        live_digests = [
+            _run_all_digest(jobs, live=True) for jobs in (None, 2, 4)
+        ]
+    finally:
+        os.environ.pop("REPRO_HEARTBEAT_S", None)
+    shas = {d["sha256"] for d in live_digests} | {baseline["sha256"]}
+    report["run_all_digests"] = [baseline] + live_digests
+    report["digest_gate"] = {
+        "requirement": (
+            "full E1-E9 stdout byte-identical with heartbeats on at "
+            "jobs 1/2/4 and equal to the no-live serial digest"
+        ),
+        "passed": len(shas) == 1,
+    }
+
+    passed = (
+        report["disabled_gate"]["passed"]
+        and report["live_gate"]["passed"]
+        and report["slo_gate"]["passed"]
+        and report["digest_gate"]["passed"]
+    )
+    report["gate"] = {
+        "requirement": (
+            "disabled path unchanged AND live bus + SLO <= 1.05x AND "
+            "seeded --slo exit codes AND heartbeat digests identical"
+        ),
+        "passed": passed,
+    }
+    _write_report("BENCH_PR8.json", report)
+    print(
+        "disabled gate: %s; live gate: %s (%.3fx); slo gate: %s; "
+        "digest gate: %s"
+        % (
+            "PASS" if report["disabled_gate"]["passed"] else "FAIL",
+            "PASS" if report["live_gate"]["passed"] else "FAIL",
+            live_ratio,
+            "PASS" if report["slo_gate"]["passed"] else "FAIL",
+            "PASS" if report["digest_gate"]["passed"] else "FAIL",
+        )
+    )
+    if not passed:
+        sys.exit(1)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -779,7 +955,17 @@ def main():
         action="store_true",
         help="only run the kernel-backend gates and write BENCH_PR6.json",
     )
+    parser.add_argument(
+        "--pr8-only",
+        action="store_true",
+        help="only run the live-observability gates and write "
+        "BENCH_PR8.json",
+    )
     args = parser.parse_args()
+
+    if args.pr8_only:
+        write_pr8_report()
+        return
 
     if args.pr6_only:
         write_pr6_report()

@@ -141,6 +141,53 @@ seeded games under capture and re-verify them from the header alone
 (CLI: `scripts/wire_replay.py`, `make wire-check`;
 `run_all --capture-wire` captures a full experiment run).
 
+### Live telemetry bus (`repro.obs.live`)
+
+`LiveBus` is a synchronous in-process pub/sub hub over the same record
+flow the sinks see.  While a bus is installed (`live.install(bus)` /
+the `live.publishing(...)` context manager), `sink.emit` tees every
+telemetry record onto it — even with no sink attached —
+`capture.record` tees wire messages, and `repro.parallel` streams
+worker `heartbeat` records plus `live.tick` clock pulses.  With no bus
+installed the tee is one attribute load and an `is None` branch; the
+enabled live path stays within 5% of plain telemetry (gate: `python
+scripts/bench_report.py --pr8-only`, `BENCH_PR8.json`).
+`SlidingWindow` keeps time-bounded `(ts, value)` samples with
+nearest-rank quantiles that match `Histogram.quantile` exactly, and
+`LiveAggregator` folds the stream into windowed span latencies, bound
+slack margins (`bound_margin`: ≥ 1 means inside the certified
+envelope), per-worker liveness, and counter rates.  Subscriber
+exceptions are contained on `bus.errors` — live observability never
+takes the experiment down.
+
+### SLO engine (`repro.obs.slo`)
+
+`SloRule` states one objective in measured terms; `parse_spec` reads a
+compact `;`-separated grammar (or a JSON rule file):
+`metric:NAME<=V`, `span:PATH:pNN<=SECONDS`, `bound:SPEC>=FLOOR`
+(`bound:*` expands over every registered bound spec),
+`baseline:metric:NAME<=FACTORx@REV` (threshold resolved from a commit
+in the experiment store), and `stall:SECONDS` (worker heartbeat age).
+`SloEngine` subscribes to the live bus, evaluates per window on every
+`live.tick`, emits one `slo.violation` event per breached
+`(rule, subject)`, and breaches immediately on an actual `bound_check`
+violation.  `run_all --slo[=SPEC]` wires this end to end and exits 6
+on any breach (`default_rules()` = margin floor 1.0 on every certified
+bound + a 30 s stall rule); `make slo-check` wraps it.
+
+### Live exporters (`repro.obs.exporters`)
+
+`prometheus_text` renders the metrics registry (counters as `_total`,
+histograms as summaries with `quantile` labels, plus worker/violation/
+margin gauges from an aggregator) in the Prometheus text exposition
+format, deterministically; `MetricsServer` serves it from a daemon
+thread (`GET /metrics`, `GET /snapshot`; `run_all --live-port N`).
+`JsonlExporter` streams every bus record to a JSONL file flushed per
+record, adding a full `live.snapshot` frame on each tick
+(`run_all --live-export[=PATH]`); `scripts/obs_watch.py --follow
+live.jsonl` (or `--url http://...`) renders either as a live ASCII
+dashboard (`make obs-watch`).
+
 ### Trace export (`repro.obs.export`)
 
 `chrome_trace(events)` converts telemetry/capture records into Chrome

@@ -1,0 +1,269 @@
+#!/usr/bin/env python
+"""Live ASCII dashboard over a running ``run_all`` experiment.
+
+Tails either output of the live exporters (:mod:`repro.obs.exporters`)
+and redraws a terminal dashboard — windowed span percentiles, bound
+slack margins, counter rates, worker liveness, and SLO violations —
+while the experiment is still going:
+
+* ``--follow PATH`` tails the ``--live-export`` JSONL stream, folding
+  records through a :class:`repro.obs.live.LiveAggregator` (and
+  preferring the exporter's own ``live.snapshot`` frames when present,
+  so worker state and counter rates match the producing process);
+* ``--url http://127.0.0.1:PORT`` polls the ``--live-port`` HTTP
+  endpoint instead (``/snapshot`` JSON; falls back to rendering the
+  raw ``/metrics`` Prometheus text when no aggregator is attached).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.experiments.run_all --slo \\
+        --live-export=live.jsonl &
+    PYTHONPATH=src python scripts/obs_watch.py --follow live.jsonl
+
+    PYTHONPATH=src python scripts/obs_watch.py \\
+        --url http://127.0.0.1:9464 --once
+
+``--once`` renders a single frame and exits (CI smoke tests);
+``--interval`` tunes the redraw cadence.  Exit code 0; interrupt with
+Ctrl-C.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.live import LiveAggregator  # noqa: E402
+
+
+def _fmt(value, width=9):
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.4g}".rjust(width)
+    return str(value).rjust(width)
+
+
+def render_frame(snapshot, violations):
+    """The snapshot dict as dashboard text (one string, no ANSI)."""
+    lines = []
+    ts = snapshot.get("ts")
+    stamp = (
+        time.strftime("%H:%M:%S", time.localtime(ts))
+        if isinstance(ts, (int, float))
+        else "?"
+    )
+    lines.append(
+        f"== live observability @ {stamp} "
+        f"(window {snapshot.get('window_s', '?')}s) =="
+    )
+
+    events = snapshot.get("events") or {}
+    if events:
+        shown = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(events.items())
+        )
+        lines.append(f"events: {shown}")
+
+    rates = snapshot.get("rates") or {}
+    if rates:
+        lines.append("")
+        lines.append("-- counter rates (per second) --")
+        top = sorted(rates.items(), key=lambda kv: -abs(kv[1]))[:8]
+        for name, rate in top:
+            lines.append(f"  {name:<40} {rate:>10.4g}/s")
+
+    spans = snapshot.get("spans") or {}
+    if spans:
+        lines.append("")
+        lines.append("-- span latency (windowed, seconds) --")
+        lines.append(
+            f"  {'span':<32}{'count':>7}{'p50':>10}{'p95':>10}"
+            f"{'p99':>10}{'max':>10}"
+        )
+        for path, summary in sorted(spans.items()):
+            if summary.get("empty"):
+                continue
+            lines.append(
+                f"  {path:<32}{summary.get('count', 0):>7}"
+                f"{_fmt(summary.get('p50'), 10)}{_fmt(summary.get('p95'), 10)}"
+                f"{_fmt(summary.get('p99'), 10)}{_fmt(summary.get('max'), 10)}"
+            )
+
+    bounds = snapshot.get("bounds") or {}
+    if bounds:
+        lines.append("")
+        lines.append("-- bound slack margins (>= 1 is inside the envelope) --")
+        for spec, summary in sorted(bounds.items()):
+            margin = summary.get("min_margin")
+            status = "??"
+            if isinstance(margin, (int, float)):
+                status = "OK" if margin >= 1.0 else "BREACH"
+            lines.append(
+                f"  {spec:<32} min margin {_fmt(margin)}  [{status}]"
+            )
+
+    workers = snapshot.get("workers") or {}
+    if workers:
+        lines.append("")
+        lines.append("-- workers --")
+        for pid, entry in sorted(workers.items()):
+            lines.append(
+                f"  pid {pid:<8} chunk {_fmt(entry.get('chunk'), 5)} "
+                f"trial {_fmt(entry.get('trial'), 5)} "
+                f"done {_fmt(entry.get('done'), 5)} "
+                f"beat {_fmt(entry.get('age_s'), 7)}s ago"
+            )
+
+    count = snapshot.get("violations", len(violations))
+    lines.append("")
+    if count:
+        lines.append(f"!! SLO violations: {count}")
+        for record in violations[-5:]:
+            lines.append(
+                f"  {record.get('rule', '?')} "
+                f"[{record.get('subject', '?')}] "
+                f"value {_fmt(record.get('value'))}"
+            )
+    else:
+        lines.append("slo: no violations")
+    return "\n".join(lines)
+
+
+class JsonlFollower:
+    """Incremental reader over a ``--live-export`` JSONL stream."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.offset = 0
+        self.aggregator = LiveAggregator()
+        self.snapshot_frame = None
+        self.violations = []
+
+    def poll(self):
+        """Consume newly appended lines; True if anything arrived."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return False
+        if size < self.offset:  # truncated / rewritten: start over
+            self.offset = 0
+            self.aggregator = LiveAggregator()
+            self.snapshot_frame = None
+            self.violations = []
+        if size == self.offset:
+            return False
+        with open(self.path) as fh:
+            fh.seek(self.offset)
+            chunk = fh.read()
+            self.offset = fh.tell()
+        fresh = False
+        for line in chunk.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a partially flushed trailing line
+            fresh = True
+            kind = record.get("event")
+            if kind == "live.snapshot":
+                self.snapshot_frame = record
+            elif kind == "slo.violation":
+                self.violations.append(record)
+                self.aggregator.on_record(record)
+            else:
+                self.aggregator.on_record(record)
+        return fresh
+
+    def frame(self):
+        # Prefer the producer's own snapshot frames (they carry worker
+        # state and counter rates measured in the producing process);
+        # fall back to locally re-aggregated records.
+        if self.snapshot_frame is not None:
+            return render_frame(self.snapshot_frame, self.violations)
+        return render_frame(
+            self.aggregator.snapshot(), self.aggregator.violations
+        )
+
+
+def fetch_url_frame(base_url):
+    """One dashboard frame from a ``--live-port`` endpoint."""
+    base = base_url.rstrip("/")
+    try:
+        with urllib.request.urlopen(base + "/snapshot", timeout=5) as resp:
+            snapshot = json.loads(resp.read().decode())
+        return render_frame(snapshot, [])
+    except (urllib.error.URLError, OSError, json.JSONDecodeError):
+        pass
+    with urllib.request.urlopen(base + "/metrics", timeout=5) as resp:
+        return resp.read().decode()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Live ASCII dashboard over run_all's exporters."
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--follow",
+        metavar="PATH",
+        help="tail a --live-export JSONL stream",
+    )
+    source.add_argument(
+        "--url",
+        metavar="URL",
+        help="poll a --live-port endpoint (e.g. http://127.0.0.1:9464)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="redraw cadence (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame and exit (CI smoke tests)",
+    )
+    parser.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+    args = parser.parse_args(argv)
+
+    follower = JsonlFollower(args.follow) if args.follow else None
+
+    def one_frame():
+        if follower is not None:
+            follower.poll()
+            return follower.frame()
+        return fetch_url_frame(args.url)
+
+    if args.once:
+        print(one_frame())
+        return 0
+
+    try:
+        while True:
+            frame = one_frame()
+            if not args.no_clear:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(frame, flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

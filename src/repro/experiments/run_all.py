@@ -44,10 +44,25 @@ completes.  The bare flag commits to the store's checked-out branch;
 when experiment ids follow on the command line).  Inspect history with
 ``scripts/obs_store.py`` (log / diff / bisect / fsck).
 
+``--slo[=SPEC]`` attaches the live SLO engine (:mod:`repro.obs.slo`):
+a :mod:`repro.obs.live` bus is installed for the run, every telemetry
+event is teed onto it, parallel workers stream heartbeat delta
+snapshots mid-run, and the rules in SPEC (default: a slack-margin
+floor of 1.0 on every registered bound plus a 30 s worker-stall rule)
+are evaluated per window; any breach emits an ``slo.violation`` event
+and turns into exit code 6.  ``--live-export[=PATH]`` streams every
+bus record (plus periodic ``live.snapshot`` frames) to a JSONL file,
+and ``--live-port N`` serves Prometheus text at
+``http://127.0.0.1:N/metrics`` (0 = ephemeral) — both are what
+``scripts/obs_watch.py`` tails.  All live status output goes to
+stderr, so stdout digests are unaffected.
+
 Exit codes: 0 success; 2 bound violation under ``--strict-bounds``;
 3 telemetry sink failure (could not open, or writing failed mid-run);
 4 explicitly requested kernel backend unavailable; 5 ``--commit-run``
-could not commit the run into the experiment store.
+could not commit the run into the experiment store (or a baseline SLO
+rule could not resolve its reference from the store); 6 an SLO rule
+breached under ``--slo``.
 """
 
 from __future__ import annotations
@@ -72,6 +87,9 @@ from repro.obs import (
 )
 from repro.obs import bounds as obs_bounds
 from repro.obs import capture as obs_capture
+from repro.obs import live as obs_live
+from repro.obs import slo as obs_slo
+from repro.obs.exporters import JsonlExporter, MetricsServer
 
 #: Exit code for a bound violation under ``--strict-bounds``.
 EXIT_BOUND_VIOLATION = 2
@@ -79,8 +97,11 @@ EXIT_BOUND_VIOLATION = 2
 EXIT_TELEMETRY_FAILURE = 3
 #: Exit code for an explicitly requested kernel backend that cannot load.
 EXIT_KERNELS_UNAVAILABLE = 4
-#: Exit code for a failed --commit-run store commit.
+#: Exit code for a failed --commit-run store commit (also: a baseline
+#: SLO rule whose reference could not resolve from the store).
 EXIT_STORE_FAILURE = 5
+#: Exit code for an SLO breach under ``--slo``.
+EXIT_SLO_BREACH = 6
 
 
 def _e1_foreach() -> List[Table]:
@@ -546,7 +567,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="experiment store root for --commit-run "
         "(default: .obs/store)",
     )
+    parser.add_argument(
+        "--slo",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="SPEC",
+        help="evaluate SLO rules live and exit "
+        f"{EXIT_SLO_BREACH} on breach.  SPEC is ';'-separated clauses "
+        "(metric:NAME<=V, span:PATH:p99<=SECONDS, bound:SPEC>=FLOOR, "
+        "baseline:metric:NAME<=FACTORx@REV, stall:SECONDS) or a JSON "
+        "rule file; the bare flag installs a margin floor of 1.0 on "
+        "every registered bound plus a 30s stall rule (use the '=' "
+        "form when experiment ids follow)",
+    )
+    parser.add_argument(
+        "--live-export",
+        nargs="?",
+        const="live.jsonl",
+        default=None,
+        metavar="PATH",
+        help="stream every live-bus record (plus periodic "
+        "live.snapshot frames) to a JSONL file for scripts/obs_watch.py "
+        "(bare flag: %(const)s; use the '=' form when experiment ids "
+        "follow)",
+    )
+    parser.add_argument(
+        "--live-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve Prometheus text at http://127.0.0.1:PORT/metrics "
+        "for the duration of the run (0 = ephemeral port; the bound "
+        "port is reported on stderr)",
+    )
+    parser.add_argument(
+        "--flush-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="flush the telemetry JSONL every N records so live tails "
+        "see events promptly (default: 1 when --slo/--live-export/"
+        "--live-port is active, else interpreter buffering)",
+    )
     args = parser.parse_args(argv)
+
+    if args.flush_every is not None and args.flush_every <= 0:
+        parser.error("--flush-every must be a positive record count")
 
     if args.commit_run is not None and args.no_telemetry:
         parser.error(
@@ -589,11 +656,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     # sink, not the switch, when bounds are enforced strictly.
     # Wire capture needs live instrumentation sites too, so it also
     # forces the switch on (it records regardless of --no-telemetry).
-    use_obs = not args.no_telemetry or args.strict_bounds or args.capture_wire
+    # The live bus tees off sink.emit, so --slo/--live-export/--live-port
+    # force the switch on the same way (they work under --no-telemetry).
+    live_on = (
+        args.slo is not None
+        or args.live_export is not None
+        or args.live_port is not None
+    )
+    use_obs = (
+        not args.no_telemetry
+        or args.strict_bounds
+        or args.capture_wire
+        or live_on
+    )
+    flush_every = args.flush_every
+    if flush_every is None and live_on:
+        flush_every = 1  # live tails must see events promptly
     sink = None
     if not args.no_telemetry:
         try:
-            sink = JsonlSink(args.telemetry)
+            sink = JsonlSink(args.telemetry, flush_every=flush_every)
         except OSError as exc:
             print(
                 f"error: cannot open telemetry sink "
@@ -608,6 +690,86 @@ def main(argv: Optional[List[str]] = None) -> int:
         OBS_STATE.sink = sink  # None drops events; metrics still record
         obs_enable()
 
+    # Live observability: the bus tees every emitted record; the
+    # aggregator folds them into windows; the SLO engine and the
+    # exporters subscribe.  All status output goes to stderr — stdout
+    # carries only the tables, so digests stay comparable.
+    bus: Optional[obs_live.LiveBus] = None
+    aggregator: Optional[obs_live.LiveAggregator] = None
+    engine: Optional[obs_slo.SloEngine] = None
+    exporter: Optional[JsonlExporter] = None
+    server: Optional[MetricsServer] = None
+
+    def _live_teardown() -> None:
+        if server is not None:
+            server.stop()
+        if exporter is not None:
+            exporter.close()
+        if bus is not None:
+            obs_live.uninstall(bus)
+
+    def _setup_abort() -> None:
+        """Unwind everything a failed live-setup step left behind."""
+        _live_teardown()
+        if sink is not None:
+            sink.close()
+            OBS_STATE.sink = None
+        if use_obs:
+            obs_disable()
+        _kernels.select_backend(previous_kernels)
+
+    if live_on:
+        bus = obs_live.install(obs_live.LiveBus())
+        aggregator = obs_live.LiveAggregator().attach(bus)
+        if args.slo is not None:
+            try:
+                rules = obs_slo.parse_spec(args.slo)
+            except obs_slo.SloError as exc:
+                _setup_abort()
+                parser.error(str(exc))
+            engine = obs_slo.SloEngine(
+                rules, aggregator=aggregator, store_root=args.store
+            ).attach(bus)
+            try:
+                engine.resolve_baselines()
+            except obs_slo.SloError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                _setup_abort()
+                return EXIT_STORE_FAILURE
+            for rule in engine.rules:
+                print(f"slo rule: {rule.describe()}", file=sys.stderr)
+        if args.live_export is not None:
+            try:
+                exporter = JsonlExporter(
+                    args.live_export, aggregator=aggregator
+                ).attach(bus)
+            except OSError as exc:
+                print(
+                    f"error: cannot open live export "
+                    f"{os.path.abspath(args.live_export)}: {exc}",
+                    file=sys.stderr,
+                )
+                _setup_abort()
+                return EXIT_TELEMETRY_FAILURE
+            print(
+                f"live export: {os.path.abspath(args.live_export)}",
+                file=sys.stderr,
+            )
+        if args.live_port is not None:
+            try:
+                server = MetricsServer(
+                    port=args.live_port, aggregator=aggregator
+                ).start()
+            except OSError as exc:
+                print(
+                    f"error: cannot bind the live metrics server on "
+                    f"port {args.live_port}: {exc}",
+                    file=sys.stderr,
+                )
+                _setup_abort()
+                return EXIT_TELEMETRY_FAILURE
+            print(f"live metrics: {server.url}", file=sys.stderr)
+
     capture = None
     capture_sink = None
     if args.capture_wire:
@@ -619,10 +781,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{os.path.abspath(args.capture_path)}: {exc}",
                 file=sys.stderr,
             )
-            if sink is not None:
-                sink.close()
-                OBS_STATE.sink = None
-            _kernels.select_backend(previous_kernels)
+            _setup_abort()
             return EXIT_TELEMETRY_FAILURE
         capture = obs_capture.WireCapture(
             meta={"run": "run_all", "experiments": chosen},
@@ -649,6 +808,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             if profiler is not None:
                 profiler.stop()
         monitor.finish()
+        if engine is not None:
+            # Final whole-window evaluation while the sink is still
+            # open, so late breaches land in the telemetry stream.
+            engine.finish()
         if profiler is not None:
             profiler.emit_events()
         if sink is not None:
@@ -658,6 +821,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         set_default_jobs(None)
         _kernels.select_backend(previous_kernels)
         obs_bounds.uninstall(monitor)
+        _live_teardown()
         if capture is not None:
             obs_capture.uninstall(capture)
         if capture_sink is not None:
@@ -676,6 +840,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"bounds: {len(monitor.checks)} checks, "
             f"{len(monitor.violations)} violations"
         )
+
+    if engine is not None:
+        print("\n== SLO ==")
+        for line in engine.summary_lines():
+            print(line)
+        print(
+            f"slo: {len(engine.rules)} rules, "
+            f"{len(engine.breaches)} breaches"
+        )
+
+    if exporter is not None and exporter.error is not None:
+        print(
+            f"error: live export writing to "
+            f"{os.path.abspath(exporter.path)} failed: {exporter.error}",
+            file=sys.stderr,
+        )
+        return EXIT_TELEMETRY_FAILURE
 
     if capture is not None:
         if capture_sink.error is not None:
@@ -760,6 +941,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return EXIT_BOUND_VIOLATION
+    if engine is not None and engine.breached:
+        print(
+            f"error: {len(engine.breaches)} SLO breach(es) under --slo",
+            file=sys.stderr,
+        )
+        return EXIT_SLO_BREACH
     return 0
 
 

@@ -25,7 +25,17 @@ round trips).  Three pieces:
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto) and
   collapsed-stack flamegraph exporters over recorded events;
 * :mod:`repro.obs.replay` — deterministic re-execution of captured
-  games, diffed message-by-message against the recorded transcript.
+  games, diffed message-by-message against the recorded transcript;
+* :mod:`repro.obs.live` — an in-process pub/sub bus tee'd into the
+  event flow, with sliding-window aggregation (rates, nearest-rank
+  percentiles, bound slack margins, worker liveness) readable while
+  the run is still going;
+* :mod:`repro.obs.slo` — declarative SLO rules (metric thresholds,
+  span-latency ceilings, bound-slack floors, baseline-relative rules
+  resolved from a store commit, worker-stall alerts) evaluated live,
+  emitting ``slo.violation`` events (``run_all --slo`` exits 6);
+* :mod:`repro.obs.exporters` — Prometheus-text HTTP endpoint and
+  streaming JSONL export feeding ``scripts/obs_watch.py``.
 
 Everything is gated by one switch (:func:`enable` / :func:`disable`,
 default **off**) whose disabled path is a near-zero-cost branch; see
@@ -49,6 +59,18 @@ from repro.obs.export import (
     collapsed_stacks,
     validate_chrome_trace,
 )
+from repro.obs.exporters import (
+    JsonlExporter,
+    MetricsServer,
+    prometheus_text,
+)
+from repro.obs.live import (
+    LiveAggregator,
+    LiveBus,
+    SlidingWindow,
+    bound_margin,
+    publishing,
+)
 from repro.obs.metrics import (
     REGISTRY,
     Counter,
@@ -64,6 +86,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.profile import SpanProfiler
 from repro.obs.sink import JsonlSink, ListSink, emit, event
+from repro.obs.slo import SloEngine, SloRule, default_rules, parse_spec
 from repro.obs.trace import Span, active_span, current_path, span
 
 __all__ = [
@@ -73,23 +96,35 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonlExporter",
     "JsonlSink",
     "ListSink",
+    "LiveAggregator",
+    "LiveBus",
     "MetricsRegistry",
+    "MetricsServer",
     "REGISTRY",
     "STATE",
+    "SlidingWindow",
+    "SloEngine",
+    "SloRule",
     "Span",
     "SpanProfiler",
     "WireCapture",
     "WireMessage",
     "active_span",
+    "bound_margin",
     "capturing",
     "chrome_trace",
     "collapsed_stacks",
     "count",
     "current_path",
+    "default_rules",
     "first_divergence",
+    "parse_spec",
     "payload_digest",
+    "prometheus_text",
+    "publishing",
     "validate_chrome_trace",
     "delta_since",
     "disable",

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ObsError
+from repro.obs import live as _live
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.obs.core import STATE
@@ -379,10 +380,17 @@ def record(
     if not _ACTIVE or not STATE.enabled:
         return
     digest = payload_digest(payload)
+    message = None
     for capture in _ACTIVE:
-        capture.record(
+        message = capture.record(
             sender, receiver, kind, bits, digest=digest, **meta
         )
+    # Tee the wire event onto the live bus (once, not per capture) so
+    # SLO rules and exporters see message flow mid-protocol.  Captures
+    # write to their sink directly rather than through sink.emit, so
+    # that tee never fires for wire records.
+    if message is not None:
+        _live.publish(message.as_record())
 
 
 def merge_records(records: Iterable[Dict[str, Any]]) -> int:

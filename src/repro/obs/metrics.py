@@ -212,6 +212,18 @@ class MetricsRegistry:
             metric = self._histograms[name] = Histogram(name)
         return metric
 
+    def counters(self) -> Dict[str, Counter]:
+        """Name-sorted read-only view of the registered counters."""
+        return dict(sorted(self._counters.items()))
+
+    def gauges(self) -> Dict[str, Gauge]:
+        """Name-sorted read-only view of the registered gauges."""
+        return dict(sorted(self._gauges.items()))
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Name-sorted read-only view of the registered histograms."""
+        return dict(sorted(self._histograms.items()))
+
     def snapshot(self) -> Dict[str, float]:
         """Flat cumulative view: counters plus histogram count/sum.
 

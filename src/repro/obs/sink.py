@@ -14,6 +14,7 @@ import time
 from itertools import count as _itercount
 from typing import Any, Dict, List, Optional, TextIO, Union
 
+from repro.obs import live as _live
 from repro.obs.core import STATE
 
 #: Monotonic sequence number shared by every record of a process.
@@ -41,11 +42,27 @@ class JsonlSink:
     :attr:`error`, the file is closed, and every later record is
     dropped — ``run_all`` inspects :attr:`error` at the end of the run
     and turns it into a distinct exit code.
+
+    ``flush_every=N`` flushes the file every N records so a live tail
+    (``scripts/obs_watch.py``, ``tail -f``) sees events promptly instead
+    of waiting on interpreter buffering; ``None`` (the default) leaves
+    flushing to the interpreter, ``1`` flushes every record.
     """
 
-    def __init__(self, path: Union[str, os.PathLike], mode: str = "w"):
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        mode: str = "w",
+        flush_every: Optional[int] = None,
+    ):
+        if flush_every is not None and flush_every <= 0:
+            raise ValueError(
+                f"flush_every must be positive or None, got {flush_every!r}"
+            )
         self.path = str(path)
+        self.flush_every = flush_every
         self.error: Optional[OSError] = None
+        self._unflushed = 0
         self._fh: Optional[TextIO] = open(self.path, mode)
 
     def write(self, record: Dict[str, Any]) -> None:
@@ -54,6 +71,11 @@ class JsonlSink:
             return
         try:
             self._fh.write(json.dumps(_jsonable(record)) + "\n")
+            if self.flush_every is not None:
+                self._unflushed += 1
+                if self._unflushed >= self.flush_every:
+                    self._fh.flush()
+                    self._unflushed = 0
         except OSError as exc:
             self._fail(exc)
 
@@ -61,6 +83,7 @@ class JsonlSink:
         if self._fh is not None:
             try:
                 self._fh.flush()
+                self._unflushed = 0
             except OSError as exc:
                 self._fail(exc)
 
@@ -113,15 +136,24 @@ class ListSink:
 def emit(record: Dict[str, Any]) -> None:
     """Send one record to the active sink, stamping ``seq`` and ``ts``.
 
-    A no-op while telemetry is disabled or no sink is installed; callers
-    never need to guard.
+    A no-op while telemetry is disabled, or while neither a sink nor a
+    live bus is installed; callers never need to guard.  While a
+    :mod:`repro.obs.live` bus is installed the stamped record is also
+    published to it (even with no sink — ``--slo --no-telemetry`` still
+    evaluates rules live).
     """
-    if not STATE.enabled or STATE.sink is None:
+    if not STATE.enabled:
+        return
+    bus = _live.active()
+    if STATE.sink is None and bus is None:
         return
     stamped = dict(record)
     stamped.setdefault("seq", next(_SEQ))
     stamped.setdefault("ts", time.time())
-    STATE.sink.write(stamped)
+    if STATE.sink is not None:
+        STATE.sink.write(stamped)
+    if bus is not None:
+        bus.publish(stamped)
 
 
 def event(kind: str, **fields: Any) -> None:

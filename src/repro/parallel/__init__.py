@@ -11,7 +11,9 @@ Public surface:
   :func:`~repro.parallel.pool.set_default_jobs` — the ``jobs``
   resolution chain (argument → process default → ``REPRO_JOBS`` → 1);
 * :mod:`~repro.parallel.obsmerge` — worker-side telemetry collection
-  and the parent-side order-deterministic merge;
+  and the parent-side order-deterministic merge, plus the
+  :class:`~repro.parallel.obsmerge.HeartbeatSender` that streams
+  mid-run liveness beats to the :mod:`repro.obs.live` bus;
 * :mod:`~repro.parallel.shmipc` — zero-copy shared-memory result
   transport for numeric result tables (``REPRO_SHM=0`` disables).
 

@@ -34,19 +34,35 @@ exact) intact under any worker count:
 Because chunks cover contiguous trial ranges and merge in start order,
 the merged message transcript and histogram sample sequence are
 byte-identical to what the serial path would have produced.
+
+Orthogonal to the merge, :class:`HeartbeatSender` ships periodic
+liveness beats (worker pid, trial progress, registry movement) onto a
+fork-inherited queue while the chunk is still running; the parent
+drains them onto the :mod:`repro.obs.live` bus for stall detection and
+dashboards.  Heartbeats never enter the telemetry delta, so the
+byte-identical contract above is untouched by whether anyone watches.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from typing import Any, Dict, Optional
 
 from repro.obs import bounds as _bounds
 from repro.obs import capture as _capture
+from repro.obs import live as _live
 from repro.obs import sink as _sink
 from repro.obs.core import STATE
 from repro.obs.metrics import REGISTRY
 from repro.obs.sink import ListSink
+
+#: Environment override for the heartbeat cadence (seconds between
+#: ``progress`` beats; ``0`` beats on every trial — tests use this).
+HEARTBEAT_ENV = "REPRO_HEARTBEAT_S"
+
+#: Default seconds between ``progress`` heartbeats from one worker.
+DEFAULT_HEARTBEAT_S = 0.2
 
 
 class WorkerObs:
@@ -74,6 +90,13 @@ def worker_begin() -> Optional[WorkerObs]:
     file descriptors shared with the parent and must never be written
     from the worker.
     """
+    # First thing, before any early return: drop the fork-inherited live
+    # bus.  Its subscribers (SLO engines, exporters) belong to the
+    # parent; running them in the child would emit slo.violation events
+    # into the worker's telemetry delta and break serial == parallel
+    # telemetry equality.  Workers reach the parent's bus through the
+    # heartbeat queue instead.
+    _live.clear_for_worker()
     if not STATE.enabled and not _capture._ACTIVE and not _bounds._MONITORS:
         return None
     sink = ListSink()
@@ -107,6 +130,66 @@ def worker_end(handle: Optional[WorkerObs]) -> Optional[Dict[str, Any]]:
     ):
         delta["bounds"] = handle.monitor.dump_state()
     return delta or None
+
+
+class HeartbeatSender:
+    """Ships periodic liveness + delta snapshots from a worker.
+
+    Created inside the forked child when the parent has a live bus
+    (:mod:`repro.obs.live`) installed; :meth:`beat` pushes one
+    ``heartbeat`` record onto the fork-inherited queue — worker pid,
+    chunk, current trial, completed-trial count, and the registry
+    movement since the previous beat.  ``progress`` beats are
+    time-gated (``REPRO_HEARTBEAT_S``, default 0.2 s; ``0`` beats every
+    trial); ``begin``/``end`` beats always ship.
+
+    Heartbeats travel **bus-only**: they never touch the worker's
+    telemetry delta or the parent's sink, so merged telemetry stays
+    byte-identical to a serial run whether or not anyone is watching.
+    A full queue drops the beat — liveness reporting must never block
+    the trial loop.
+    """
+
+    __slots__ = ("queue", "chunk", "pid", "interval_s", "_last", "_snapshot")
+
+    def __init__(self, queue, chunk: int, interval_s: Optional[float] = None):
+        self.queue = queue
+        self.chunk = chunk
+        self.pid = os.getpid()
+        if interval_s is None:
+            raw = os.environ.get(HEARTBEAT_ENV, "").strip()
+            interval_s = float(raw) if raw else DEFAULT_HEARTBEAT_S
+        self.interval_s = float(interval_s)
+        self._last = 0.0
+        self._snapshot: Dict[str, float] = {}
+
+    def beat(self, phase: str, trial: int, done: int) -> None:
+        """Ship one ``phase`` beat (``begin`` / ``progress`` / ``end``)."""
+        now = time.time()
+        if phase == "progress" and now - self._last < self.interval_s:
+            return
+        snap = REGISTRY.snapshot()
+        delta = {
+            name: value - self._snapshot.get(name, 0)
+            for name, value in snap.items()
+            if value != self._snapshot.get(name, 0)
+        }
+        self._snapshot = snap
+        record = {
+            "event": "heartbeat",
+            "ts": now,
+            "worker": self.pid,
+            "chunk": self.chunk,
+            "phase": phase,
+            "trial": trial,
+            "done": done,
+            "metrics": delta,
+        }
+        try:
+            self.queue.put_nowait(record)
+        except Exception:
+            return  # full/broken queue: drop the beat, keep computing
+        self._last = now
 
 
 def merge_delta(

@@ -40,6 +40,8 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import queue as _queue
+import time
 import traceback as _tb
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as _FutTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -49,6 +51,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ParallelError
+from repro.obs import live as _live
 from repro.parallel import shmipc
 from repro.utils.rng import RngLike, spawn_seeds
 
@@ -72,6 +75,17 @@ _TOKENS = _itercount()
 #: Shared-memory result arena for the in-flight ``map`` call, installed
 #: before the executor forks so workers inherit the open mapping.
 _ARENA: Optional[shmipc.ResultArena] = None
+
+#: Heartbeat queue for the in-flight ``map`` call, installed before the
+#: executor forks (workers inherit it) and only when the parent has a
+#: live bus (:mod:`repro.obs.live`) installed — no bus, no queue, no
+#: cost.  Workers push ``heartbeat`` records; the parent drains them
+#: onto the bus between result polls.
+_HEARTBEAT_Q: Optional[Any] = None
+
+#: Seconds per result-poll slice while heartbeats are flowing: the
+#: parent wakes this often to drain beats and publish ``live.tick``.
+_POLL_S = 0.1
 
 
 def fork_available() -> bool:
@@ -167,6 +181,13 @@ def _run_chunk(token: int, start: int, stop: int, slot: int = -1) -> Dict[str, A
 
     fn, items = _WORK[token]
     handle = obsmerge.worker_begin()
+    heartbeat = (
+        obsmerge.HeartbeatSender(_HEARTBEAT_Q, chunk=start)
+        if _HEARTBEAT_Q is not None
+        else None
+    )
+    if heartbeat is not None:
+        heartbeat.beat("begin", trial=start, done=0)
     results: List[Any] = []
     failure: Optional[Dict[str, Any]] = None
     for index in range(start, stop):
@@ -179,6 +200,10 @@ def _run_chunk(token: int, start: int, stop: int, slot: int = -1) -> Dict[str, A
                 "traceback": _tb.format_exc(),
             }
             break
+        if heartbeat is not None:
+            heartbeat.beat("progress", trial=index, done=len(results))
+    if heartbeat is not None:
+        heartbeat.beat("end", trial=stop - 1, done=len(results))
     shm_descriptor: Optional[Dict[str, Any]] = None
     if slot >= 0 and failure is None and _ARENA is not None:
         try:
@@ -243,7 +268,7 @@ class TrialPool:
         the executor's pickle pipe; everything else falls back to
         pickle.  Either transport returns value-identical lists.
         """
-        global _ARENA
+        global _ARENA, _HEARTBEAT_Q
         items = list(items)
         if self.jobs <= 1 or len(items) <= 1 or not fork_available():
             return [fn(item) for item in items]
@@ -257,6 +282,13 @@ class TrialPool:
             except OSError:
                 arena = None  # no /dev/shm room -> pickle transport
         _ARENA = arena
+        # The heartbeat queue exists only while a live bus is installed
+        # in this (parent) process; it must be created before the
+        # executor forks so workers inherit it.
+        hb_queue = None
+        if _live.active() is not None:
+            hb_queue = mp.get_context("fork").Queue()
+        _HEARTBEAT_Q = hb_queue
         try:
             payloads = self._run_parallel(token, chunks)
             from repro.parallel import obsmerge
@@ -279,6 +311,11 @@ class TrialPool:
             self.last_transport_stats = stats
             return results
         finally:
+            self._drain_heartbeats()  # late beats (workers' "end")
+            _HEARTBEAT_Q = None
+            if hb_queue is not None:
+                hb_queue.close()
+                hb_queue.cancel_join_thread()
             del _WORK[token]
             _ARENA = None
             if arena is not None:
@@ -321,7 +358,7 @@ class TrialPool:
                     pending.append(chunk)
                     continue
                 try:
-                    payload = future.result(timeout=self.timeout)
+                    payload = self._await(future)
                 except BrokenProcessPool:
                     broken = True
                     pending.append(chunk)
@@ -363,7 +400,7 @@ class TrialPool:
             try:
                 future = executor.submit(_run_chunk, token, index, index + 1)
                 try:
-                    payload = future.result(timeout=self.timeout)
+                    payload = self._await(future)
                 except BrokenProcessPool:
                     last_error = "worker process died"
                     continue
@@ -383,6 +420,49 @@ class TrialPool:
             f"({last_error}); no partial results were returned",
             trial=index,
         )
+
+    # -- heartbeat plumbing --------------------------------------------
+
+    def _await(self, future) -> Dict[str, Any]:
+        """``future.result`` with heartbeat draining while waiting.
+
+        With no heartbeat queue installed this is exactly the old
+        blocking call — identical behaviour, zero overhead.  With one,
+        the wait is sliced into ``_POLL_S`` polls; each slice drains
+        worker beats onto the live bus and publishes a ``live.tick``
+        (which drives windowed SLO evaluation — a worker whose beats
+        stop trips the stall rule *here*, while its future is still
+        pending, before any timeout/retry path runs).  The caller's
+        timeout semantics are preserved: :class:`_FutTimeout` is raised
+        once ``self.timeout`` has elapsed in total.
+        """
+        if _HEARTBEAT_Q is None:
+            return future.result(timeout=self.timeout)
+        deadline = (
+            None if self.timeout is None
+            else time.monotonic() + self.timeout
+        )
+        while True:
+            self._drain_heartbeats()
+            try:
+                return future.result(timeout=_POLL_S)
+            except _FutTimeout:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
+
+    @staticmethod
+    def _drain_heartbeats() -> None:
+        """Move queued worker beats onto the live bus, then tick it."""
+        hb_queue = _HEARTBEAT_Q
+        if hb_queue is None:
+            return
+        while True:
+            try:
+                record = hb_queue.get_nowait()
+            except (_queue.Empty, OSError, ValueError):
+                break
+            _live.publish(record)
+        _live.tick()
 
     # -- failure plumbing ----------------------------------------------
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro import obs
 from repro.obs import capture as obs_capture
+from repro.obs import live as obs_live
 
 
 @pytest.fixture(autouse=True)
@@ -11,8 +12,10 @@ def clean_obs_state():
     obs.disable()
     obs.reset_metrics()
     obs_capture._ACTIVE.clear()
+    obs_live.uninstall()
     yield
     obs.disable()
     obs.STATE.sink = None
     obs.reset_metrics()
     obs_capture._ACTIVE.clear()
+    obs_live.uninstall()

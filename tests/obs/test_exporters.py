@@ -1,0 +1,214 @@
+"""Tests for the Prometheus and JSONL live exporters."""
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.exporters import (
+    PROMETHEUS_CONTENT_TYPE,
+    JsonlExporter,
+    MetricsServer,
+    prometheus_text,
+    sanitize_metric_name,
+)
+from repro.obs.live import LiveAggregator, LiveBus
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestSanitizeMetricName:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("oracle.query.neighbor") == (
+            "oracle_query_neighbor"
+        )
+
+    def test_allowed_characters_pass_through(self):
+        assert sanitize_metric_name("a_b:c9") == "a_b:c9"
+
+    def test_leading_digit_gains_prefix(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_exotic_characters_collapse(self):
+        assert sanitize_metric_name("span/e3 (ms)") == "span_e3__ms_"
+
+    def test_empty_name_is_underscore(self):
+        assert sanitize_metric_name("") == "_"
+
+
+def seeded_registry():
+    registry = MetricsRegistry()
+    registry.counter("oracle.query.neighbor").inc(42)
+    registry.gauge("pool.workers").set(4)
+    for value in (1.0, 2.0, 3.0, 4.0):
+        registry.histogram("sketch.size_bits").observe(value)
+    return registry
+
+
+GOLDEN_EXPOSITION = """\
+# TYPE repro_oracle_query_neighbor_total counter
+repro_oracle_query_neighbor_total 42
+# TYPE repro_pool_workers gauge
+repro_pool_workers 4
+# TYPE repro_sketch_size_bits summary
+repro_sketch_size_bits{quantile="0.5"} 2
+repro_sketch_size_bits{quantile="0.95"} 4
+repro_sketch_size_bits{quantile="0.99"} 4
+repro_sketch_size_bits_count 4
+repro_sketch_size_bits_sum 10
+"""
+
+
+class TestPrometheusText:
+    def test_golden_exposition(self):
+        # The exposition of a fixed registry is a fixed string: sorted
+        # names, deterministic value formatting.  A rendering change
+        # must show up here.
+        assert prometheus_text(seeded_registry()) == GOLDEN_EXPOSITION
+
+    def test_rendering_is_deterministic(self):
+        registry = seeded_registry()
+        assert prometheus_text(registry) == prometheus_text(registry)
+
+    def test_unset_gauges_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.gauge("never.set")
+        assert "never_set" not in prometheus_text(registry)
+
+    def test_empty_histogram_renders_nan_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty.hist")
+        text = prometheus_text(registry)
+        assert 'repro_empty_hist{quantile="0.5"} NaN' in text
+        assert "repro_empty_hist_count 0" in text
+
+    def test_aggregator_adds_live_gauges(self):
+        # Real timestamps: prometheus_text reads the margin window at
+        # wall-clock now, so synthetic epochs would have aged out.
+        now = time.time()
+        aggregator = LiveAggregator()
+        aggregator.on_record({"event": "heartbeat", "worker": 7,
+                              "phase": "begin", "ts": now})
+        aggregator.on_record({"event": "slo.violation", "rule": "r",
+                              "subject": "s", "ts": now})
+        aggregator.on_record(
+            {"event": "bound_check", "kind": "row", "spec": "thm13.queries",
+             "direction": "lower", "measured": 150.0, "predicted": 100.0,
+             "slack": 1.0, "ts": now}
+        )
+        text = prometheus_text(MetricsRegistry(), aggregator)
+        assert "repro_live_workers 1" in text
+        assert "repro_live_slo_violations_total 1" in text
+        assert 'repro_live_bound_margin{spec="thm13_queries"}' in text
+
+
+class TestMetricsServer:
+    def test_serves_metrics_and_snapshot(self):
+        aggregator = LiveAggregator()
+        aggregator.on_record({"event": "span", "path": "p", "wall_s": 0.5,
+                              "ts": 100.0})
+        with MetricsServer(
+            aggregator=aggregator, registry=seeded_registry()
+        ) as server:
+            with urllib.request.urlopen(server.url, timeout=5) as resp:
+                assert resp.headers["Content-Type"] == (
+                    PROMETHEUS_CONTENT_TYPE
+                )
+                body = resp.read().decode()
+            assert body == GOLDEN_EXPOSITION + (
+                "# TYPE repro_live_workers gauge\n"
+                "repro_live_workers 0\n"
+                "# TYPE repro_live_slo_violations_total counter\n"
+                "repro_live_slo_violations_total 0\n"
+            )
+            base = server.url.rsplit("/", 1)[0]
+            with urllib.request.urlopen(
+                base + "/snapshot", timeout=5
+            ) as resp:
+                snapshot = json.loads(resp.read().decode())
+            assert "p" in snapshot["spans"]
+
+    def test_unknown_route_is_404(self):
+        with MetricsServer(registry=MetricsRegistry()) as server:
+            base = server.url.rsplit("/", 1)[0]
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(base + "/nope", timeout=5)
+            assert excinfo.value.code == 404
+
+    def test_snapshot_without_aggregator_is_404(self):
+        with MetricsServer(registry=MetricsRegistry()) as server:
+            base = server.url.rsplit("/", 1)[0]
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(base + "/snapshot", timeout=5)
+            assert excinfo.value.code == 404
+
+    def test_port_before_start_raises(self):
+        with pytest.raises(ObsError, match="not running"):
+            MetricsServer().port
+
+    def test_double_start_raises(self):
+        with MetricsServer(registry=MetricsRegistry()) as server:
+            with pytest.raises(ObsError, match="already running"):
+                server.start()
+
+    def test_stop_is_idempotent(self):
+        server = MetricsServer(registry=MetricsRegistry()).start()
+        server.stop()
+        server.stop()
+
+
+class TestJsonlExporter:
+    def test_streams_bus_records(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        bus = LiveBus()
+        exporter = JsonlExporter(str(path)).attach(bus)
+        bus.publish({"event": "span", "path": "p", "wall_s": 0.5})
+        bus.publish({"event": "metric", "name": "m", "value": 1})
+        exporter.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["event"] for r in records] == ["span", "metric"]
+
+    def test_tick_writes_snapshot_frame(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        bus = LiveBus()
+        aggregator = LiveAggregator().attach(bus)
+        exporter = JsonlExporter(str(path), aggregator=aggregator).attach(bus)
+        bus.publish({"event": "span", "path": "p", "wall_s": 0.5,
+                     "ts": 100.0})
+        bus.publish({"event": "live.tick", "ts": 101.0})
+        exporter.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        frames = [r for r in records if r["event"] == "live.snapshot"]
+        assert len(frames) == 1
+        assert frames[0]["spans"]["p"]["count"] == 1
+        assert frames[0]["ts"] == 101.0
+
+    def test_flushed_per_record_by_default(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        bus = LiveBus()
+        exporter = JsonlExporter(str(path)).attach(bus)
+        bus.publish({"event": "one"})
+        # Readable before close: a live tail must never lag the run.
+        assert json.loads(path.read_text())["event"] == "one"
+        exporter.close()
+
+    def test_detach_stops_streaming(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        bus = LiveBus()
+        exporter = JsonlExporter(str(path)).attach(bus)
+        bus.publish({"event": "kept"})
+        exporter.detach(bus)
+        bus.publish({"event": "dropped"})
+        exporter.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["event"] for r in records] == ["kept"]
+
+    def test_error_surfaces_write_failures(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        exporter = JsonlExporter(str(path))
+        assert exporter.error is None
+        exporter._sink._fail(OSError(28, "No space left on device"))
+        exporter.on_record({"event": "x"})  # dropped silently, like the sink
+        assert isinstance(exporter.error, OSError)
+        exporter.close()

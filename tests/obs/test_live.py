@@ -1,0 +1,339 @@
+"""Tests for the live telemetry bus and sliding-window aggregation."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+from repro.obs import capture as obs_capture
+from repro.obs import live
+from repro.obs.capture import WireCapture
+from repro.obs.live import (
+    LiveAggregator,
+    LiveBus,
+    SlidingWindow,
+    bound_margin,
+)
+from repro.obs.metrics import Histogram
+from repro.obs.sink import ListSink
+
+
+class TestLiveBus:
+    def test_publish_reaches_subscriber(self):
+        bus = LiveBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish({"event": "span", "wall_s": 1.0})
+        assert seen == [{"event": "span", "wall_s": 1.0}]
+        assert bus.published == 1
+
+    def test_subscribers_called_in_subscription_order(self):
+        bus = LiveBus()
+        order = []
+        bus.subscribe(lambda r: order.append("a"))
+        bus.subscribe(lambda r: order.append("b"))
+        bus.publish({"event": "x"})
+        assert order == ["a", "b"]
+
+    def test_kinds_filter_restricts_delivery(self):
+        bus = LiveBus()
+        seen = []
+        bus.subscribe(seen.append, kinds=["span"])
+        bus.publish({"event": "metric"})
+        bus.publish({"event": "span"})
+        assert [r["event"] for r in seen] == ["span"]
+
+    def test_duplicate_subscribe_raises(self):
+        bus = LiveBus()
+        fn = lambda r: None  # noqa: E731
+        bus.subscribe(fn)
+        with pytest.raises(ObsError, match="already registered"):
+            bus.subscribe(fn)
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = LiveBus()
+        seen = []
+        fn = bus.subscribe(seen.append)
+        bus.publish({"event": "a"})
+        bus.unsubscribe(fn)
+        bus.publish({"event": "b"})
+        assert [r["event"] for r in seen] == ["a"]
+        assert bus.subscriber_count == 0
+
+    def test_unsubscribe_absent_is_noop(self):
+        LiveBus().unsubscribe(lambda r: None)
+
+    def test_raising_subscriber_is_contained(self):
+        bus = LiveBus()
+        seen = []
+
+        def bad(record):
+            raise RuntimeError("boom")
+
+        bus.subscribe(bad)
+        bus.subscribe(seen.append)
+        bus.publish({"event": "x"})
+        # The record still reached the healthy subscriber and the error
+        # was recorded rather than raised into the experiment.
+        assert len(seen) == 1
+        assert len(bus.errors) == 1
+        assert isinstance(bus.errors[0][1], RuntimeError)
+
+
+class TestModuleBus:
+    def test_install_uninstall_roundtrip(self):
+        bus = LiveBus()
+        assert live.active() is None
+        live.install(bus)
+        assert live.active() is bus
+        live.uninstall(bus)
+        assert live.active() is None
+
+    def test_double_install_raises(self):
+        with live.publishing():
+            with pytest.raises(ObsError, match="already installed"):
+                live.install(LiveBus())
+
+    def test_uninstall_mismatched_is_noop(self):
+        with live.publishing() as bus:
+            live.uninstall(LiveBus())
+            assert live.active() is bus
+
+    def test_publish_without_bus_is_noop(self):
+        live.publish({"event": "x"})  # must not raise
+
+    def test_publishing_scopes_the_bus(self):
+        with live.publishing() as bus:
+            live.publish({"event": "x"})
+            assert bus.published == 1
+        assert live.active() is None
+
+    def test_clear_for_worker_drops_bus(self):
+        live.install(LiveBus())
+        live.clear_for_worker()
+        assert live.active() is None
+
+    def test_tick_publishes_clock_pulse(self):
+        with live.publishing() as bus:
+            seen = []
+            bus.subscribe(seen.append)
+            live.tick(ts=123.0)
+        assert seen == [{"event": "live.tick", "ts": 123.0}]
+
+
+class TestSinkTee:
+    def test_emit_tees_onto_bus_when_enabled(self):
+        sink = ListSink()
+        obs.enable(sink)
+        with live.publishing() as bus:
+            seen = []
+            bus.subscribe(seen.append)
+            obs.event("tee_check", value=1)
+        assert len(sink.records) == 1
+        assert len(seen) == 1
+        assert seen[0]["event"] == "tee_check"
+        assert "seq" in seen[0] and "ts" in seen[0]
+
+    def test_emit_publishes_even_without_a_sink(self):
+        # --slo --no-telemetry: the bus sees records the sink never will.
+        obs.STATE.enabled = True
+        obs.STATE.sink = None
+        with live.publishing() as bus:
+            obs.event("sinkless")
+        assert bus.published == 1
+
+    def test_disabled_emit_never_reaches_bus(self):
+        with live.publishing() as bus:
+            obs.event("dropped")
+        assert bus.published == 0
+
+    def test_wire_capture_tees_onto_bus(self):
+        capture = WireCapture()
+        obs.enable(ListSink())
+        obs_capture.install(capture)
+        try:
+            with live.publishing() as bus:
+                seen = []
+                bus.subscribe(seen.append, kinds=["wire"])
+                obs_capture.record("alice", "bob", "sketch", bits=64)
+        finally:
+            obs_capture.uninstall(capture)
+        assert len(seen) == 1
+        assert seen[0]["sender"] == "alice"
+
+
+class TestSlidingWindow:
+    def test_count_and_values_in_arrival_order(self):
+        window = SlidingWindow(window_s=10.0)
+        for i, value in enumerate([3.0, 1.0, 2.0]):
+            window.add(value, ts=100.0 + i)
+        assert window.values(now=103.0) == [3.0, 1.0, 2.0]
+        assert window.count(now=103.0) == 3
+        assert len(window) == 3
+
+    def test_samples_age_out_of_the_window(self):
+        window = SlidingWindow(window_s=5.0)
+        window.add(1.0, ts=100.0)
+        window.add(2.0, ts=104.0)
+        # At t=106 the cutoff is 101: the first sample is gone, and a
+        # sample exactly at the cutoff is still live (>= comparison).
+        assert window.values(now=106.0) == [2.0]
+        window.add(3.0, ts=101.0)
+        assert window.values(now=106.0) == [2.0, 3.0]
+
+    def test_capacity_evicts_oldest_first(self):
+        window = SlidingWindow(window_s=100.0, capacity=3)
+        for i in range(5):
+            window.add(float(i), ts=100.0 + i)
+        assert window.values(now=105.0) == [2.0, 3.0, 4.0]
+
+    def test_quantiles_match_histogram_nearest_rank(self):
+        samples = [5.0, 1.0, 4.0, 2.0, 3.0, 9.0, 7.0]
+        window = SlidingWindow(window_s=1e6)
+        histogram = Histogram("w")
+        for i, value in enumerate(samples):
+            window.add(value, ts=float(i))
+            histogram.observe(value)
+        for q in (0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0):
+            assert window.quantile(q, now=float(len(samples))) == (
+                histogram.quantile(q)
+            )
+
+    def test_quantile_on_empty_window_raises(self):
+        with pytest.raises(ObsError, match="no live samples"):
+            SlidingWindow().quantile(0.5)
+
+    def test_quantile_out_of_range_raises(self):
+        window = SlidingWindow()
+        window.add(1.0)
+        with pytest.raises(ObsError, match="quantile"):
+            window.quantile(1.5)
+
+    def test_rate_is_count_over_horizon(self):
+        window = SlidingWindow(window_s=4.0)
+        for i in range(8):
+            window.add(1.0, ts=100.0 + i * 0.25)
+        assert window.rate(now=101.75) == pytest.approx(2.0)
+
+    def test_summary_empty_and_populated(self):
+        window = SlidingWindow(window_s=10.0)
+        assert window.summary(now=0.0) == {"count": 0, "empty": True}
+        for value in (2.0, 1.0, 3.0):
+            window.add(value, ts=100.0)
+        summary = window.summary(now=100.0)
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0
+        assert summary["p50"] == 2.0
+        assert summary["max"] == 3.0
+        assert summary["sum"] == pytest.approx(6.0)
+
+    def test_invalid_construction_raises(self):
+        with pytest.raises(ObsError):
+            SlidingWindow(window_s=0)
+        with pytest.raises(ObsError):
+            SlidingWindow(capacity=0)
+
+
+class TestBoundMargin:
+    def test_lower_bound_margin(self):
+        record = {"event": "bound_check", "kind": "row", "direction": "lower",
+                  "measured": 120.0, "predicted": 100.0, "slack": 1.0}
+        assert bound_margin(record) == pytest.approx(1.2)
+
+    def test_upper_bound_margin(self):
+        record = {"event": "bound_check", "kind": "row", "direction": "upper",
+                  "measured": 80.0, "predicted": 100.0, "slack": 1.0}
+        assert bound_margin(record) == pytest.approx(1.25)
+
+    def test_band_is_min_of_both(self):
+        record = {"event": "bound_check", "kind": "row", "direction": "band",
+                  "measured": 120.0, "predicted": 100.0, "slack": 1.0}
+        assert bound_margin(record) == pytest.approx(100.0 / 120.0 * 1.0)
+
+    def test_non_row_and_degenerate_records_are_none(self):
+        assert bound_margin({"kind": "fit"}) is None
+        assert bound_margin({"kind": "row", "direction": "lower",
+                             "measured": 0.0, "predicted": 1.0,
+                             "slack": 1.0}) is None
+        assert bound_margin({"kind": "row"}) is None
+
+
+class TestLiveAggregator:
+    def test_span_records_fold_into_windows(self):
+        aggregator = LiveAggregator()
+        for wall in (0.1, 0.2, 0.3):
+            aggregator.on_record(
+                {"event": "span", "path": "experiment.e3", "wall_s": wall,
+                 "ts": 100.0}
+            )
+        assert aggregator.span_quantile("experiment.e3", 0.5, now=100.0) == 0.2
+        assert aggregator.events["span"] == 3
+
+    def test_span_quantile_pools_prefix_and_leaf_matches(self):
+        aggregator = LiveAggregator()
+        aggregator.on_record({"event": "span", "path": "a/b", "wall_s": 1.0,
+                              "ts": 100.0})
+        aggregator.on_record({"event": "span", "path": "a/c", "wall_s": 3.0,
+                              "ts": 100.0})
+        assert aggregator.span_quantile("a", 1.0, now=100.0) == 3.0
+        assert aggregator.span_quantile("b", 0.5, now=100.0) == 1.0
+        assert aggregator.span_quantile("missing", 0.5, now=100.0) is None
+
+    def test_bound_checks_fold_into_margin_windows(self):
+        aggregator = LiveAggregator()
+        aggregator.on_record(
+            {"event": "bound_check", "kind": "row", "spec": "thm13.queries",
+             "direction": "lower", "measured": 110.0, "predicted": 100.0,
+             "slack": 1.0, "ts": 100.0}
+        )
+        assert aggregator.bound_min_margin(
+            "thm13.queries", now=100.0
+        ) == pytest.approx(1.1)
+        assert aggregator.bound_min_margin("unseen") is None
+
+    def test_heartbeats_track_worker_liveness(self):
+        aggregator = LiveAggregator()
+        aggregator.on_record({"event": "heartbeat", "worker": 41,
+                              "phase": "begin", "ts": 100.0})
+        aggregator.on_record({"event": "heartbeat", "worker": 41,
+                              "phase": "progress", "trial": 3, "done": 3,
+                              "ts": 101.0})
+        assert 41 in aggregator.workers
+        assert aggregator.workers[41]["done"] == 3
+        assert aggregator.stalled_workers(5.0, now=102.0) == []
+        assert len(aggregator.stalled_workers(5.0, now=110.0)) == 1
+        aggregator.on_record({"event": "heartbeat", "worker": 41,
+                              "phase": "end", "ts": 103.0})
+        assert aggregator.workers == {}
+
+    def test_tick_computes_counter_rates(self):
+        aggregator = LiveAggregator()
+        obs.STATE.enabled = True
+        obs.count("live.rate.test", 10)
+        aggregator.on_record({"event": "live.tick", "ts": 100.0})
+        obs.count("live.rate.test", 30)
+        aggregator.on_record({"event": "live.tick", "ts": 102.0})
+        assert aggregator.rates["live.rate.test"] == pytest.approx(15.0)
+
+    def test_snapshot_shape(self):
+        aggregator = LiveAggregator()
+        aggregator.on_record({"event": "span", "path": "p", "wall_s": 0.5,
+                              "ts": 100.0})
+        aggregator.on_record({"event": "heartbeat", "worker": 7,
+                              "phase": "begin", "chunk": 0, "ts": 100.0})
+        aggregator.on_record({"event": "slo.violation", "rule": "r",
+                              "subject": "s", "ts": 100.0})
+        snapshot = aggregator.snapshot(now=101.0)
+        assert snapshot["spans"]["p"]["count"] == 1
+        assert snapshot["workers"]["7"]["age_s"] == pytest.approx(1.0)
+        assert snapshot["violations"] == 1
+        assert snapshot["events"]["span"] == 1
+
+    def test_attach_detach_roundtrip(self):
+        bus = LiveBus()
+        aggregator = LiveAggregator().attach(bus)
+        bus.publish({"event": "span", "path": "p", "wall_s": 1.0,
+                     "ts": 100.0})
+        aggregator.detach(bus)
+        bus.publish({"event": "span", "path": "p", "wall_s": 2.0,
+                     "ts": 100.0})
+        assert aggregator.spans["p"].count(now=100.0) == 1

@@ -31,6 +31,46 @@ class TestFileModes:
         assert [r["event"] for r in _lines(path)] == ["old", "new"]
 
 
+class TestFlushEvery:
+    def test_flushed_records_visible_before_close(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, flush_every=2)
+        sink.write({"event": "a"})
+        assert _lines(path) == []  # under the threshold: still buffered
+        sink.write({"event": "b"})
+        assert [r["event"] for r in _lines(path)] == ["a", "b"]
+        sink.write({"event": "c"})
+        assert len(_lines(path)) == 2  # counter reset after the flush
+        sink.close()
+
+    def test_explicit_flush_resets_the_counter(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, flush_every=3)
+        sink.write({"event": "a"})
+        sink.flush()
+        assert len(_lines(path)) == 1
+        sink.write({"event": "b"})
+        sink.write({"event": "c"})
+        assert len(_lines(path)) == 1  # two fresh unflushed, threshold 3
+        sink.close()
+
+    def test_non_positive_flush_every_rejected(self, tmp_path):
+        for bad in (0, -1):
+            try:
+                JsonlSink(tmp_path / "t.jsonl", flush_every=bad)
+            except ValueError:
+                continue
+            raise AssertionError(f"flush_every={bad} must be rejected")
+
+    def test_default_leaves_buffering_to_the_interpreter(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        assert sink.flush_every is None
+        sink.write({"event": "a"})
+        sink.close()
+        assert len(_lines(path)) == 1
+
+
 class TestAfterClose:
     def test_write_after_close_is_dropped(self, tmp_path):
         path = tmp_path / "t.jsonl"

@@ -5,6 +5,7 @@ import pytest
 from repro import obs
 from repro.obs import bounds as obs_bounds
 from repro.obs import capture as obs_capture
+from repro.obs import live as obs_live
 from repro.parallel import set_default_jobs
 
 
@@ -19,6 +20,7 @@ def clean_parallel_state(monkeypatch):
     obs.reset_metrics()
     obs_capture._ACTIVE.clear()
     obs_bounds._MONITORS.clear()
+    obs_live.uninstall()
     yield
     set_default_jobs(None)
     obs.disable()
@@ -26,3 +28,4 @@ def clean_parallel_state(monkeypatch):
     obs.reset_metrics()
     obs_capture._ACTIVE.clear()
     obs_bounds._MONITORS.clear()
+    obs_live.uninstall()
