@@ -1,8 +1,9 @@
 # Convenience targets for the reproduction repository.
 
 .PHONY: install test bench bench-report bench-parallel bench-kernels \
-	bench-live tables trace-report api all bounds-check dashboard \
-	wire-check obs-commit obs-diff obs-fsck obs-watch slo-check
+	bench-live bench-memory tables trace-report api all bounds-check \
+	dashboard wire-check obs-commit obs-diff obs-fsck obs-watch \
+	slo-check memory-check
 
 install:
 	pip install -e . || python setup.py develop
@@ -24,6 +25,9 @@ bench-kernels:
 
 bench-live:
 	PYTHONPATH=src python scripts/bench_report.py --pr8-only
+
+bench-memory:
+	PYTHONPATH=src python scripts/bench_report.py --pr9-only
 
 tables:
 	python -m repro.experiments.run_all
@@ -60,6 +64,10 @@ obs-watch:
 slo-check:
 	PYTHONPATH=src python -m repro.experiments.run_all --slo \
 		--telemetry telemetry.jsonl
+
+memory-check:
+	PYTHONPATH=src python -m repro.experiments.run_all --memory \
+		--strict-bounds --telemetry telemetry.jsonl
 
 api:
 	python scripts/gen_api_reference.py

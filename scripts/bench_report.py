@@ -372,12 +372,16 @@ def write_pr4_report():
     )
 
 
-def _run_all_digest(jobs, kernels=None, live=False):
+def _run_all_digest(jobs, kernels=None, live=False, memory=False):
     """Sha256 of the complete E1-E9 stdout at a given worker count.
 
     ``live=True`` installs a live bus + aggregator around the run —
     turning worker heartbeats and parent-side tick draining on — to
     prove the live path never touches stdout (the PR8 digest gate).
+    ``memory=True`` turns the measured-space profiler on, so footprint
+    sizes feed the ``*.space_bytes`` bound checks that print on stdout
+    — the PR9 digest gate proves those measurements are deterministic
+    across worker counts.
     """
     import contextlib
     import hashlib
@@ -391,6 +395,8 @@ def _run_all_digest(jobs, kernels=None, live=False):
         argv += ["--jobs", str(jobs)]
     if kernels is not None:
         argv += ["--kernels", kernels]
+    if memory:
+        argv += ["--memory"]
     buf = io.StringIO()
     live_cm = (
         live_mod.publishing(live_mod.LiveBus())
@@ -415,6 +421,8 @@ def _run_all_digest(jobs, kernels=None, live=False):
         digest["kernels"] = kernels
     if live:
         digest["live"] = True
+    if memory:
+        digest["memory"] = True
     return digest
 
 
@@ -923,6 +931,151 @@ def write_pr8_report():
         sys.exit(1)
 
 
+def write_pr9_report():
+    """The PR9 gates: measured-space observability must be free when
+    off and deterministic when on.
+
+    1. Disabled path unchanged: the PR2 obs guard still holds with the
+       memory module imported but no profiler active.
+    2. Sampling-mode overhead recorded: the spanned guard workload with
+       a sample-mode profiler running vs. plain enabled telemetry (the
+       RSS sampler lives on its own thread, so this is informational —
+       the hard gate is the disabled path).
+    3. run_all --memory --slo exits 6 on a seeded rss:/mem: breach and
+       0 on a loose one.
+    4. E1-E9 stdout digests — including every ``*.space_bytes`` bound
+       check printed from measured footprints — stay byte-identical
+       with --memory on at jobs 1/2/4.
+    """
+    import contextlib
+    import io
+    import os
+    import tempfile
+
+    from repro.experiments.run_all import EXIT_SLO_BREACH
+    from repro.experiments.run_all import main as run_all_main
+    from repro.obs import memory
+
+    assert memory.active() is None  # imported, nothing profiling
+    guard = obs_guard()
+    ratio = guard.get("disabled_over_pr1", guard["enabled_over_disabled"])
+    report = {"obs_guard": guard}
+    report["disabled_gate"] = {
+        "requirement": (
+            "instrumented cut_weights on 4096 cuts, telemetry disabled, "
+            "memory module imported but no profiler active, within 5% "
+            "of the BENCH_PR1 baseline"
+        ),
+        "ratio": ratio,
+        "passed": ratio <= 1.05,
+    }
+
+    # Sampling-mode overhead: the spanned guard workload with a
+    # sample-mode profiler (background RSS thread + span boundary
+    # checkpoints) vs. plain enabled telemetry.  Recorded, not gated.
+    rng = np.random.default_rng(7)
+    g = random_balanced_digraph(
+        GATE_NODES, beta=2.0, density=0.3, rng=GATE_NODES
+    )
+    sides = _random_sides(g, GATE_CUTS, rng)
+    csr = g.freeze()
+    member = csr.membership_matrix(sides)
+    csr.cut_weights(member)  # warm the dense adjacency cache
+
+    def spanned():
+        with obs.span("bench.cut_weights"):
+            csr.cut_weights(member)
+
+    with obs.enabled():
+        plain_s = _median_time(spanned, repeats=9)
+        obs.reset_metrics()
+    with obs.enabled(), memory.profiling(mode=memory.SAMPLE) as profiler:
+        sample_s = _median_time(spanned, repeats=9)
+        obs.reset_metrics()
+    sample_ratio = sample_s / plain_s
+    report["sampling_overhead"] = {
+        "plain_enabled_median_s": plain_s,
+        "sample_mode_median_s": sample_s,
+        "ratio": sample_ratio,
+        "rss_samples": profiler.rss_record()["samples"],
+    }
+
+    # Seeded SLO breach: an unreachably tight rss: ceiling (any live
+    # process has more than 1000 resident bytes) must exit 6; a loose
+    # one must exit 0.  Both run with --memory so the aggregator
+    # actually has RSS records to judge.
+    def slo_rc(spec):
+        buf = io.StringIO()
+        with tempfile.TemporaryDirectory() as tmp:
+            argv = [
+                "--telemetry",
+                os.path.join(tmp, "telemetry.jsonl"),
+                "--memory",
+                f"--slo={spec}",
+                "e1",
+            ]
+            with contextlib.redirect_stdout(buf):
+                return run_all_main(argv)
+
+    tight_rc = slo_rc("rss:<=1000")
+    loose_rc = slo_rc("rss:<=1000000000000")
+    report["slo_exit"] = {"tight_rc": tight_rc, "loose_rc": loose_rc}
+    report["slo_gate"] = {
+        "requirement": (
+            f"run_all --memory --slo exits {EXIT_SLO_BREACH} on a "
+            "seeded rss: breach and 0 otherwise"
+        ),
+        "passed": tight_rc == EXIT_SLO_BREACH and loose_rc == 0,
+    }
+
+    # Memory digest gate: full E1-E9 stdout with --memory on (footprint
+    # measurements feeding the *.space_bytes bound checks) must stay
+    # byte-identical across worker counts.  Compared among themselves:
+    # the extra bound-check lines mean the text legitimately differs
+    # from a no-memory run.
+    os.environ["REPRO_HEARTBEAT_S"] = "0"  # beat on every trial
+    try:
+        digests = [
+            _run_all_digest(jobs, memory=True) for jobs in (None, 2, 4)
+        ]
+    finally:
+        os.environ.pop("REPRO_HEARTBEAT_S", None)
+    report["run_all_digests"] = digests
+    report["digest_gate"] = {
+        "requirement": (
+            "full E1-E9 stdout (measured space_bytes bound checks "
+            "included) byte-identical with --memory at jobs 1/2/4"
+        ),
+        "passed": len({d["sha256"] for d in digests}) == 1,
+    }
+
+    passed = (
+        report["disabled_gate"]["passed"]
+        and report["slo_gate"]["passed"]
+        and report["digest_gate"]["passed"]
+    )
+    report["gate"] = {
+        "requirement": (
+            "disabled path unchanged AND seeded --memory --slo exit "
+            "codes AND memory digests identical at jobs 1/2/4"
+        ),
+        "passed": passed,
+    }
+    _write_report("BENCH_PR9.json", report)
+    print(
+        "disabled gate: %s; sampling overhead: %.3fx (recorded); "
+        "slo gate: %s; digest gate: %s"
+        % (
+            "PASS" if report["disabled_gate"]["passed"] else "FAIL",
+            sample_ratio,
+            "PASS" if report["slo_gate"]["passed"] else "FAIL",
+            "PASS" if report["digest_gate"]["passed"] else "FAIL",
+        )
+    )
+    if not passed:
+        sys.exit(1)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -961,7 +1114,17 @@ def main():
         help="only run the live-observability gates and write "
         "BENCH_PR8.json",
     )
+    parser.add_argument(
+        "--pr9-only",
+        action="store_true",
+        help="only run the measured-space observability gates and "
+        "write BENCH_PR9.json",
+    )
     args = parser.parse_args()
+
+    if args.pr9_only:
+        write_pr9_report()
+        return
 
     if args.pr8_only:
         write_pr8_report()

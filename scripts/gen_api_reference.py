@@ -107,6 +107,31 @@ statistical counts, near-zero overhead).  Nothing is installed until
 which `scripts/trace_report.py` renders as a per-span hot-function
 table; `run_all --profile` wires this end to end.
 
+### Measured-space profiler (`repro.obs.memory`)
+
+`MemoryProfiler` answers *how many bytes* the run actually held, next
+to the theoretical bit costs the theorems bound.  `mode="sample"`
+(default) runs a daemon thread reading `VmRSS`/`VmHWM` from
+`/proc/self/status` (getrusage fallback) every `interval` seconds;
+`mode="trace"` adds `tracemalloc` and, at every span boundary, charges
+the allocation interval's net/peak bytes to the active span path — the
+same self-time model `SpanProfiler` uses for wall time.  While a
+profiler is active, `deep_footprint()` walks core structures as they
+are built (sketches beside their `size_bits()`, CSR snapshots,
+shared-memory result arenas; `deep_sizeof` is id-memoised and prices
+instance dicts as materialised copies so measurements are
+deterministic across worker counts), so every sketch row carries a
+measured-bytes/theoretical-bits ratio.  Everything is emitted as
+`memory` telemetry events (`kind: rss | span | footprint`) that the
+live aggregator, `obs_watch`'s memory panel, the `repro_memory_*`
+Prometheus gauges, `trace_report --memory-top`, and the `mem:`/`rss:`
+SLO rules all consume; `SpaceBoundSpec` companions certify the
+measured bytes against the Thm 1.1/1.2/1.3 envelopes
+(`run_all --memory --strict-bounds`).  Nothing is installed until
+`start()` — the disabled path and the jobs-1/2/4 digest contract are
+gated by `python scripts/bench_report.py --pr9-only`
+(`BENCH_PR9.json`, `make bench-memory`).
+
 ### Cross-run observatory
 
 `scripts/obs_db.py ingest` condenses a `telemetry.jsonl` plus the

@@ -23,12 +23,18 @@ Usage::
     PYTHONPATH=src python scripts/obs_watch.py \\
         --url http://127.0.0.1:9464 --once
 
-``--once`` renders a single frame and exits (CI smoke tests);
-``--interval`` tunes the redraw cadence.  Exit code 0; interrupt with
-Ctrl-C.
+Runs producing ``memory`` events (``run_all --memory``) add a memory
+panel: peak RSS, a per-worker RSS sparkline built from the heartbeat
+``rss`` fields across frames, and the top span allocators.
+
+``--once`` renders a single frame and exits (CI smoke tests) — exit
+code 1 when the snapshot source is unreachable (no such file / nothing
+listening on the URL) instead of rendering an empty frame.
+``--interval`` tunes the redraw cadence.  Interrupt with Ctrl-C.
 """
 
 import argparse
+import collections
 import json
 import sys
 import time
@@ -41,6 +47,12 @@ sys.path.insert(0, str(REPO / "src"))
 
 from repro.obs.live import LiveAggregator  # noqa: E402
 
+#: Sparkline geometry: samples kept per worker == characters drawn.
+SPARK_WIDTH = 24
+#: Plain-ASCII intensity ramp (low -> high); no unicode so the frame
+#: survives dumb terminals and CI logs.
+SPARK_LEVELS = " .:-=+*#"
+
 
 def _fmt(value, width=9):
     if value is None:
@@ -50,7 +62,48 @@ def _fmt(value, width=9):
     return str(value).rjust(width)
 
 
-def render_frame(snapshot, violations):
+def _fmt_bytes(value):
+    if not isinstance(value, (int, float)):
+        return "-"
+    if value >= 1 << 20:
+        return f"{value / (1 << 20):.1f} MiB"
+    if value >= 1 << 10:
+        return f"{value / (1 << 10):.1f} KiB"
+    return f"{value:.0f} B"
+
+
+def _sparkline(values):
+    """``values`` as one ASCII intensity character each."""
+    values = [v for v in values if isinstance(v, (int, float))]
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high <= low:
+        return SPARK_LEVELS[-1] * len(values)
+    scale = (len(SPARK_LEVELS) - 1) / (high - low)
+    return "".join(
+        SPARK_LEVELS[int((v - low) * scale)] for v in values
+    )
+
+
+def update_rss_history(snapshot, history):
+    """Fold one snapshot's per-worker RSS into the sparkline history.
+
+    ``history`` maps pid -> deque of the last :data:`SPARK_WIDTH`
+    samples; snapshots only carry each worker's *current* RSS, so the
+    watcher keeps the time axis itself, across frames.
+    """
+    if history is None:
+        return
+    for pid, entry in (snapshot.get("workers") or {}).items():
+        rss = entry.get("rss") if isinstance(entry, dict) else None
+        if isinstance(rss, (int, float)):
+            history.setdefault(
+                pid, collections.deque(maxlen=SPARK_WIDTH)
+            ).append(rss)
+
+
+def render_frame(snapshot, violations, rss_history=None):
     """The snapshot dict as dashboard text (one string, no ANSI)."""
     lines = []
     ts = snapshot.get("ts")
@@ -121,6 +174,37 @@ def render_frame(snapshot, violations):
                 f"beat {_fmt(entry.get('age_s'), 7)}s ago"
             )
 
+    memory = snapshot.get("memory") or {}
+    alloc = memory.get("spans") or {}
+    peak = memory.get("rss_peak_bytes")
+    history = {
+        pid: hist for pid, hist in (rss_history or {}).items() if hist
+    }
+    if peak is not None or alloc or history:
+        lines.append("")
+        lines.append("-- memory --")
+        if peak is not None:
+            lines.append(
+                f"  peak rss {_fmt_bytes(peak)} (process + workers)"
+            )
+        for pid, hist in sorted(history.items()):
+            lines.append(
+                f"  pid {pid:<8} rss {_fmt_bytes(hist[-1]):>10}"
+                f"  [{_sparkline(hist):<{SPARK_WIDTH}}]"
+            )
+        if alloc:
+            lines.append("  top span allocators (by peak bytes):")
+            ranked = sorted(
+                alloc.items(),
+                key=lambda kv: -(kv[1].get("peak_bytes") or 0),
+            )[:5]
+            for path, entry in ranked:
+                lines.append(
+                    f"    {path or '(no span)':<38}"
+                    f" peak {_fmt_bytes(entry.get('peak_bytes')):>10}"
+                    f" net {_fmt_bytes(entry.get('net_bytes')):>10}"
+                )
+
     count = snapshot.get("violations", len(violations))
     lines.append("")
     if count:
@@ -145,13 +229,19 @@ class JsonlFollower:
         self.aggregator = LiveAggregator()
         self.snapshot_frame = None
         self.violations = []
+        self.rss_history = {}
+        #: Whether the stream file existed at the last poll; ``--once``
+        #: turns a False here into a non-zero exit.
+        self.reachable = False
 
     def poll(self):
         """Consume newly appended lines; True if anything arrived."""
         try:
             size = self.path.stat().st_size
         except OSError:
+            self.reachable = False
             return False
+        self.reachable = True
         if size < self.offset:  # truncated / rewritten: start over
             self.offset = 0
             self.aggregator = LiveAggregator()
@@ -188,21 +278,31 @@ class JsonlFollower:
         # state and counter rates measured in the producing process);
         # fall back to locally re-aggregated records.
         if self.snapshot_frame is not None:
-            return render_frame(self.snapshot_frame, self.violations)
-        return render_frame(
-            self.aggregator.snapshot(), self.aggregator.violations
-        )
+            snapshot, violations = self.snapshot_frame, self.violations
+        else:
+            snapshot = self.aggregator.snapshot()
+            violations = self.aggregator.violations
+        update_rss_history(snapshot, self.rss_history)
+        return render_frame(snapshot, violations, self.rss_history)
 
 
-def fetch_url_frame(base_url):
-    """One dashboard frame from a ``--live-port`` endpoint."""
+def fetch_url_frame(base_url, rss_history=None):
+    """One dashboard frame from a ``--live-port`` endpoint.
+
+    Raises :class:`urllib.error.URLError` / :class:`OSError` when
+    nothing answers on either path — the caller decides whether that is
+    fatal (``--once``) or just a frame to skip.
+    """
     base = base_url.rstrip("/")
     try:
         with urllib.request.urlopen(base + "/snapshot", timeout=5) as resp:
             snapshot = json.loads(resp.read().decode())
-        return render_frame(snapshot, [])
-    except (urllib.error.URLError, OSError, json.JSONDecodeError):
+        update_rss_history(snapshot, rss_history)
+        return render_frame(snapshot, [], rss_history)
+    except json.JSONDecodeError:
         pass
+    except urllib.error.HTTPError:
+        pass  # listening, but no aggregator: fall back to /metrics
     with urllib.request.urlopen(base + "/metrics", timeout=5) as resp:
         return resp.read().decode()
 
@@ -242,20 +342,38 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     follower = JsonlFollower(args.follow) if args.follow else None
+    url_history = {}
 
     def one_frame():
         if follower is not None:
             follower.poll()
             return follower.frame()
-        return fetch_url_frame(args.url)
+        return fetch_url_frame(args.url, url_history)
 
     if args.once:
-        print(one_frame())
+        try:
+            frame = one_frame()
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"error: snapshot source unreachable: {exc}", file=sys.stderr)
+            return 1
+        if follower is not None and not follower.reachable:
+            print(
+                f"error: snapshot source unreachable: no such stream "
+                f"{follower.path}",
+                file=sys.stderr,
+            )
+            return 1
+        print(frame)
         return 0
 
     try:
         while True:
-            frame = one_frame()
+            try:
+                frame = one_frame()
+            except (urllib.error.URLError, OSError) as exc:
+                # A watcher started before the run (or outliving it)
+                # keeps polling rather than dying mid-dashboard.
+                frame = f"(snapshot source unreachable: {exc})"
             if not args.no_clear:
                 sys.stdout.write("\x1b[2J\x1b[H")
             print(frame, flush=True)

@@ -11,6 +11,10 @@ cumulative metric totals (query charges, wire bits, sketch sizes, CSR
 kernel calls, ...).  The second also prints the other run's spans and a
 metric-by-metric diff — the quickest way to see how a parameter change
 moved the measured resources.
+
+When the telemetry holds ``memory`` events (``run_all --memory``), the
+report adds per-span allocation and structure-footprint tables;
+``--memory-top`` controls how many allocator rows are shown.
 """
 
 import argparse
@@ -32,8 +36,19 @@ def main() -> int:
         default=None,
         help="second telemetry file; also print its spans and a metric diff",
     )
+    parser.add_argument(
+        "--memory-top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="span-allocator rows in the memory table (default 10)",
+    )
     args = parser.parse_args()
-    print(render_report(args.telemetry, diff_path=args.diff))
+    print(
+        render_report(
+            args.telemetry, diff_path=args.diff, memory_top=args.memory_top
+        )
+    )
     return 0
 
 

@@ -24,6 +24,19 @@ exponents are fitted, and the results are printed and emitted as
 ``bound_check`` events.  ``--strict-bounds`` turns any violation into
 exit code 2.  ``--profile`` attaches the span-attributed profiler
 (:mod:`repro.obs.profile`) and records ``profile`` events.
+
+``--memory[=sample|trace]`` attaches the measured-space profiler
+(:mod:`repro.obs.memory`): a background thread samples peak RSS, every
+core-structure construction (CSR snapshots, sketches, the local-query
+oracle) records its measured resident bytes next to its theoretical
+``size_bits()``, and the Thm 1.1/1.2/1.3 *space* companions certify the
+measured bytes against the theorem envelopes alongside the bit bounds
+(so ``--memory --strict-bounds`` enforces them).  ``trace`` mode
+additionally attributes tracemalloc net/peak allocation deltas to span
+paths; ``memory`` events ride the normal telemetry flow, the live bus
+gains ``repro_memory_*`` gauges, and the ``mem:`` / ``rss:`` SLO rule
+kinds become meaningful.  All memory status output goes to stderr, so
+stdout digests are unaffected at any ``--jobs`` count.
 ``--capture-wire`` additionally records every protocol message (sketch
 ships, ledger charges, oracle queries) to ``--capture-path`` as a
 wire-level transcript; render it with ``scripts/wire_report.py`` or
@@ -88,6 +101,7 @@ from repro.obs import (
 from repro.obs import bounds as obs_bounds
 from repro.obs import capture as obs_capture
 from repro.obs import live as obs_live
+from repro.obs import memory as obs_memory
 from repro.obs import slo as obs_slo
 from repro.obs.exporters import JsonlExporter, MetricsServer
 
@@ -535,6 +549,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="attach the span-attributed profiler and emit profile events",
     )
     parser.add_argument(
+        "--memory",
+        nargs="?",
+        const=obs_memory.SAMPLE,
+        default=None,
+        metavar="{sample,trace}",
+        help="attach the measured-space profiler: 'sample' (the bare "
+        "flag) tracks peak RSS and structure footprints; 'trace' "
+        "additionally attributes tracemalloc deltas to span paths.  "
+        "Registers the Thm 1.1/1.2/1.3 space companions so measured "
+        "bytes are certified against the theorem envelopes (use the "
+        "'=' form when experiment ids follow)",
+    )
+    parser.add_argument(
         "--capture-wire",
         action="store_true",
         help="record every protocol message (sketch ships, ledger "
@@ -615,6 +642,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.flush_every is not None and args.flush_every <= 0:
         parser.error("--flush-every must be a positive record count")
 
+    if args.memory is not None and args.memory not in obs_memory.MODES:
+        parser.error(
+            f"--memory must be one of {obs_memory.MODES}, got {args.memory!r}"
+        )
+
     if args.commit_run is not None and args.no_telemetry:
         parser.error(
             "--commit-run needs the telemetry stream; "
@@ -668,7 +700,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         or args.strict_bounds
         or args.capture_wire
         or live_on
+        or args.memory is not None
     )
+    # Space-envelope companions must exist before the SLO spec parses:
+    # a bare --slo (and any bound:* wildcard) expands over the registry,
+    # and the memory specs belong in that expansion.
+    if args.memory is not None:
+        obs_memory.register_space_bounds()
     flush_every = args.flush_every
     if flush_every is None and live_on:
         flush_every = 1  # live tails must see events promptly
@@ -793,20 +831,56 @@ def main(argv: Optional[List[str]] = None) -> int:
     monitor = obs_bounds.BoundMonitor()
     obs_bounds.install(monitor)
     profiler = SpanProfiler() if args.profile else None
+    mem_profiler = (
+        obs_memory.MemoryProfiler(mode=args.memory)
+        if args.memory is not None
+        else None
+    )
     # Every sweep and game round below resolves its worker count through
     # this process-wide default (argument > default > $REPRO_JOBS > 1).
     set_default_jobs(args.jobs)
     try:
         if profiler is not None:
             profiler.start()
+        if mem_profiler is not None:
+            mem_profiler.start()
+            print(
+                f"memory profiler: mode={mem_profiler.mode}, rss sampler "
+                f"every {mem_profiler.interval}s",
+                file=sys.stderr,
+            )
         try:
             for key in chosen:
                 with obs_span(f"experiment.{key}"):
                     for table in REGISTRY[key]():
                         table.emit()
+                if mem_profiler is not None:
+                    # Main-thread RSS checkpoint between experiments:
+                    # fresh memory.rss_* gauges + one rss event for the
+                    # live bus / rss: rules while the run is still going.
+                    mem_profiler.checkpoint()
         finally:
             if profiler is not None:
                 profiler.stop()
+            if mem_profiler is not None:
+                mem_profiler.stop()
+        if mem_profiler is not None:
+            # Before engine.finish(): span-allocation records reach the
+            # aggregator through the bus tee, so mem: rules see them.
+            mem_profiler.emit_events()
+            if bus is not None:
+                # One closing clock pulse so the exporter serialises a
+                # live.snapshot frame that includes the memory records
+                # just published (worker ticks stopped with the pool).
+                obs_live.tick()
+            rss = mem_profiler.rss_record()
+            print(
+                f"memory: rss {rss['rss_bytes']} bytes, "
+                f"peak {rss['rss_peak_bytes']} bytes "
+                f"({rss['samples']} samples, {rss['source']}), "
+                f"{len(mem_profiler.footprints)} footprints",
+                file=sys.stderr,
+            )
         monitor.finish()
         if engine is not None:
             # Final whole-window evaluation while the sink is still
@@ -821,6 +895,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         set_default_jobs(None)
         _kernels.select_backend(previous_kernels)
         obs_bounds.uninstall(monitor)
+        if mem_profiler is not None:
+            mem_profiler.stop()  # idempotent; covers the crash path
+        if args.memory is not None:
+            # Restore the pre-run spec registry: later in-process runs
+            # without --memory must not inherit the space companions.
+            obs_memory.unregister_space_bounds()
         _live_teardown()
         if capture is not None:
             obs_capture.uninstall(capture)

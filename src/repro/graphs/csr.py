@@ -49,6 +49,7 @@ import numpy as np
 from repro.errors import GraphError
 from repro.obs import STATE as _OBS
 from repro.obs import count as _obs_count
+from repro.obs import memory as _obs_memory
 from repro.obs import observe as _obs_observe
 
 Node = Hashable
@@ -210,6 +211,11 @@ class CSRGraph:
         self._total_weight = float(self._weights.sum())
         self._dense: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._residual: Optional[ResidualNetwork] = None
+        if _OBS.enabled and _obs_memory.active() is not None:
+            # Measured resident bytes of the snapshot (arrays + label
+            # index), certified against the Thm 1.3 working-set envelope
+            # by the memory profiler's space companions.
+            _obs_memory.observe_footprint(self, metric="memory.graph_bytes")
 
     # ------------------------------------------------------------------
     # constructors

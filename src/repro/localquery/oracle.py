@@ -24,6 +24,7 @@ from repro.graphs.ugraph import Node, UGraph
 from repro.obs import STATE as _OBS
 from repro.obs import capture as _capture
 from repro.obs import count as _obs_count
+from repro.obs import memory as _obs_memory
 from repro.obs.metrics import Counter, MetricsRegistry
 
 #: The three query types of the Section 5 model, in namespace order.
@@ -161,6 +162,11 @@ class GraphOracle(LocalQueryOracle):
             v: sorted(graph.neighbors(v), key=repr)
             for v in graph.nodes()
         }
+        if _OBS.enabled and _obs_memory.active() is not None:
+            # The oracle's resident working set (graph copy + neighbor
+            # order) is what the Thm 1.3 space companion certifies
+            # against the O(m log n) edge-list envelope.
+            _obs_memory.observe_footprint(self, metric="memory.graph_bytes")
 
     @property
     def vertices(self) -> List[Node]:

@@ -30,10 +30,19 @@ round trips).  Three pieces:
   event flow, with sliding-window aggregation (rates, nearest-rank
   percentiles, bound slack margins, worker liveness) readable while
   the run is still going;
+* :mod:`repro.obs.memory` — measured-space observability: a
+  span-attributed tracemalloc profiler with a background peak-RSS
+  sampler, ``deep_footprint()`` resident-bytes walking of the core
+  structures (CSR snapshots, sketches alongside their theoretical
+  ``size_bits()``, the shared-memory result arena), and
+  measured-bytes-vs-theorem-envelope certification via
+  :class:`~repro.obs.bounds.SpaceBoundSpec` companions
+  (``run_all --memory``);
 * :mod:`repro.obs.slo` — declarative SLO rules (metric thresholds,
   span-latency ceilings, bound-slack floors, baseline-relative rules
-  resolved from a store commit, worker-stall alerts) evaluated live,
-  emitting ``slo.violation`` events (``run_all --slo`` exits 6);
+  resolved from a store commit, worker-stall alerts, measured-memory
+  ``mem:``/``rss:`` ceilings) evaluated live, emitting
+  ``slo.violation`` events (``run_all --slo`` exits 6);
 * :mod:`repro.obs.exporters` — Prometheus-text HTTP endpoint and
   streaming JSONL export feeding ``scripts/obs_watch.py``.
 
@@ -45,7 +54,7 @@ depends on the experiment harness).
 """
 
 from repro.obs import capture
-from repro.obs.bounds import BoundCheck, BoundMonitor, BoundSpec
+from repro.obs.bounds import BoundCheck, BoundMonitor, BoundSpec, SpaceBoundSpec
 from repro.obs.capture import (
     WireCapture,
     WireMessage,
@@ -70,6 +79,15 @@ from repro.obs.live import (
     SlidingWindow,
     bound_margin,
     publishing,
+)
+from repro.obs.memory import (
+    MemoryProfiler,
+    deep_footprint,
+    deep_sizeof,
+    observe_footprint,
+    read_rss,
+    register_space_bounds,
+    rss_bytes,
 )
 from repro.obs.metrics import (
     REGISTRY,
@@ -101,11 +119,13 @@ __all__ = [
     "ListSink",
     "LiveAggregator",
     "LiveBus",
+    "MemoryProfiler",
     "MetricsRegistry",
     "MetricsServer",
     "REGISTRY",
     "STATE",
     "SlidingWindow",
+    "SpaceBoundSpec",
     "SloEngine",
     "SloRule",
     "Span",
@@ -119,6 +139,8 @@ __all__ = [
     "collapsed_stacks",
     "count",
     "current_path",
+    "deep_footprint",
+    "deep_sizeof",
     "default_rules",
     "first_divergence",
     "parse_spec",
@@ -134,7 +156,11 @@ __all__ = [
     "event",
     "is_enabled",
     "observe",
+    "observe_footprint",
+    "read_rss",
+    "register_space_bounds",
     "reset_metrics",
+    "rss_bytes",
     "set_gauge",
     "snapshot",
     "span",

@@ -125,11 +125,37 @@ class BoundSpec:
         return predicted / self.slack <= measured <= predicted * self.slack
 
 
+@dataclass(frozen=True)
+class SpaceBoundSpec(BoundSpec):
+    """A bound over *measured* resident bytes, certified in bits.
+
+    The quantity arrives in bytes (:func:`repro.obs.memory.
+    deep_footprint` measures what the interpreter actually holds) while
+    the paper's envelopes price bits, so the measured value is
+    multiplied by ``scale`` (8 bits/byte) before the comparison —
+    ``measured`` / ``predicted`` / ``ratio`` on the emitted
+    ``bound_check`` stay unit-consistent, with the raw bytes preserved
+    in the event as ``measured_raw``.  Direction and ``slack``
+    semantics are exactly :class:`BoundSpec`'s.
+    """
+
+    #: Multiplier applied to the measured quantity before the check
+    #: (bytes -> bits).
+    scale: float = 8.0
+
+
 # ----------------------------------------------------------------------
 # The registry, pre-populated with the paper's envelopes.
 # ----------------------------------------------------------------------
 
 _REGISTRY: Dict[str, BoundSpec] = {}
+
+#: Companion links: checking a row against a base spec also checks the
+#: same row against each registered companion spec.  This is how the
+#: measured-space specs (:mod:`repro.obs.memory`) piggyback on the
+#: tables' existing ``bounds=`` references without the experiments
+#: knowing about them — no entries, no extra checks, no cost.
+_COMPANIONS: Dict[str, Tuple[str, ...]] = {}
 
 
 def register(spec: BoundSpec, replace: bool = False) -> BoundSpec:
@@ -138,6 +164,43 @@ def register(spec: BoundSpec, replace: bool = False) -> BoundSpec:
         raise ObsError(f"bound spec {spec.name!r} already registered")
     _REGISTRY[spec.name] = spec
     return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a spec (and any companion links involving it); absent is a no-op."""
+    _REGISTRY.pop(name, None)
+    _COMPANIONS.pop(name, None)
+    for base in list(_COMPANIONS):
+        unregister_companion(base, name)
+
+
+def register_companion(base: str, companion: str) -> None:
+    """Also check ``companion`` whenever a row references ``base``.
+
+    Both names must already be registered; duplicate links are a no-op.
+    """
+    get_spec(base)
+    get_spec(companion)
+    current = _COMPANIONS.get(base, ())
+    if companion not in current:
+        _COMPANIONS[base] = current + (companion,)
+
+
+def unregister_companion(base: str, companion: str) -> None:
+    """Drop one companion link (absent is a no-op)."""
+    current = _COMPANIONS.get(base)
+    if not current or companion not in current:
+        return
+    remaining = tuple(name for name in current if name != companion)
+    if remaining:
+        _COMPANIONS[base] = remaining
+    else:
+        del _COMPANIONS[base]
+
+
+def companions_of(base: str) -> Tuple[str, ...]:
+    """The companion spec names riding along with ``base`` (maybe empty)."""
+    return _COMPANIONS.get(base, ())
 
 
 def get_spec(name: str) -> BoundSpec:
@@ -355,7 +418,13 @@ class BoundMonitor:
         metrics: Optional[Mapping[str, float]] = None,
         table: Optional[str] = None,
     ) -> List[BoundCheck]:
-        """Check one experiment row against every referenced spec."""
+        """Check one experiment row against every referenced spec.
+
+        Each referenced spec's registered companions (see
+        :func:`register_companion`) are checked against the same row —
+        the hook that lets ``run_all --memory`` certify measured bytes
+        on rows whose tables only declare the bit-bound specs.
+        """
         results = []
         for ref in bounds:
             overrides: Mapping[str, Any] = {}
@@ -365,6 +434,12 @@ class BoundMonitor:
             results.append(
                 self._check_row(spec, params, metrics, table, overrides)
             )
+            # Companions run on their own spec config: table-level
+            # overrides (e.g. a sweep variable) belong to the base ref.
+            for name in companions_of(spec.name):
+                results.append(
+                    self._check_row(get_spec(name), params, metrics, table, {})
+                )
         return results
 
     def record(
@@ -423,6 +498,19 @@ class BoundMonitor:
             for key, value in params.items()
             if isinstance(value, (int, float)) and not isinstance(value, bool)
         }
+        detail = {
+            "direction": spec.direction,
+            "slack": spec.slack,
+            "formula": spec.formula,
+        }
+        # SpaceBoundSpec quantities arrive in bytes while the envelope
+        # prices bits: rescale before comparing so measured / predicted /
+        # ratio stay unit-consistent, keeping the raw value in the event.
+        scale = getattr(spec, "scale", 1.0)
+        if scale != 1.0:
+            detail["measured_raw"] = measured
+            detail["scale"] = scale
+            measured = measured * scale
         predicted = float(spec.predicted(numeric))
         status = "pass" if spec.check(measured, predicted) else "violation"
         sweep = overrides.get("sweep", spec.sweep)
@@ -436,11 +524,7 @@ class BoundMonitor:
             predicted=predicted,
             ratio=measured / predicted if predicted else math.inf,
             params=numeric,
-            detail={
-                "direction": spec.direction,
-                "slack": spec.slack,
-                "formula": spec.formula,
-            },
+            detail=detail,
         )
         self._push(check)
         if sweep is not None and sweep in numeric:

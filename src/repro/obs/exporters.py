@@ -134,6 +134,51 @@ def prometheus_text(
                 f'{metric}{{spec="{sanitize_metric_name(spec)}"}} '
                 f"{_format_value(margin)}"
             )
+        # Measured-space gauges (repro.obs.memory).  The main process's
+        # repro_memory_rss_bytes / repro_memory_rss_peak_bytes come from
+        # registry gauges above; these cover what only the aggregator
+        # knows: the cross-source peak, per-worker residency, per-span
+        # allocation, and per-structure footprints.
+        mem = f"{PROMETHEUS_PREFIX}_memory"
+        peak = aggregator.max_rss()
+        if peak is not None:
+            lines.append(f"# TYPE {mem}_max_rss_bytes gauge")
+            lines.append(f"{mem}_max_rss_bytes {_format_value(peak)}")
+        worker_lines = []
+        for pid, entry in sorted(aggregator.workers.items()):
+            rss = entry.get("rss")
+            if isinstance(rss, (int, float)):
+                worker_lines.append(
+                    f'{mem}_worker_rss_bytes{{pid="{pid}"}} '
+                    f"{_format_value(rss)}"
+                )
+        if worker_lines:
+            lines.append(f"# TYPE {mem}_worker_rss_bytes gauge")
+            lines.extend(worker_lines)
+        span_lines = []
+        for path, entry in sorted(aggregator.memory_spans.items()):
+            value = entry.get("peak_bytes")
+            if isinstance(value, (int, float)):
+                span_lines.append(
+                    f'{mem}_span_peak_bytes{{span="{sanitize_metric_name(path or "root")}"}} '
+                    f"{_format_value(value)}"
+                )
+        if span_lines:
+            lines.append(f"# TYPE {mem}_span_peak_bytes gauge")
+            lines.extend(span_lines)
+        footprint_lines = []
+        for _key, entry in sorted(aggregator.memory_footprints.items()):
+            value = entry.get("last_bytes")
+            if isinstance(value, (int, float)):
+                footprint_lines.append(
+                    f'{mem}_footprint_bytes'
+                    f'{{structure="{sanitize_metric_name(str(entry.get("structure")))}"'
+                    f',type="{sanitize_metric_name(str(entry.get("type")))}"}} '
+                    f"{_format_value(value)}"
+                )
+        if footprint_lines:
+            lines.append(f"# TYPE {mem}_footprint_bytes gauge")
+            lines.extend(footprint_lines)
 
     return "\n".join(lines) + "\n"
 

@@ -334,7 +334,11 @@ class LiveAggregator:
       (removed again when the worker's ``phase="end"`` beat arrives);
     * ``rates`` — counter movement per second between the last two
       ``live.tick`` registry snapshots;
-    * ``events`` — cumulative record count per event kind.
+    * ``events`` — cumulative record count per event kind;
+    * ``memory_rss`` / ``memory_spans`` / ``memory_footprints`` — the
+      measured-space state folded from ``memory`` events and heartbeat
+      ``rss`` fields (see :mod:`repro.obs.memory`), read by the
+      ``mem:`` / ``rss:`` SLO rules and the ``repro_memory_*`` gauges.
     """
 
     def __init__(self, window_s: float = DEFAULT_WINDOW_S):
@@ -345,6 +349,15 @@ class LiveAggregator:
         self.rates: Dict[str, float] = {}
         self.events: Dict[str, int] = {}
         self.violations: List[Dict[str, Any]] = []
+        #: Main-process RSS samples (``memory``/``kind=rss`` events).
+        self.memory_rss = SlidingWindow(self.window_s)
+        #: Peak RSS over every source seen: rss events and worker beats.
+        self.memory_rss_peak: Optional[float] = None
+        #: Per-span allocation aggregates (``memory``/``kind=span``;
+        #: cumulative over the run, so last write wins).
+        self.memory_spans: Dict[str, Dict[str, Any]] = {}
+        #: Per-structure footprint aggregates (``memory``/``kind=footprint``).
+        self.memory_footprints: Dict[str, Dict[str, Any]] = {}
         self.last_ts: Optional[float] = None
         self._last_snapshot: Optional[Dict[str, float]] = None
         self._last_snapshot_ts: Optional[float] = None
@@ -374,6 +387,8 @@ class LiveAggregator:
             self._on_bound_check(record, ts)
         elif kind == "heartbeat":
             self._on_heartbeat(record, ts)
+        elif kind == "memory":
+            self._on_memory(record, ts)
         elif kind == "live.tick":
             self._on_tick(ts)
         elif kind == "slo.violation":
@@ -405,12 +420,59 @@ class LiveAggregator:
         worker = record.get("worker")
         if not isinstance(worker, int):
             return
+        rss = record.get("rss")
+        if isinstance(rss, (int, float)) and (
+            self.memory_rss_peak is None or rss > self.memory_rss_peak
+        ):
+            self.memory_rss_peak = float(rss)
         if record.get("phase") == "end":
             self.workers.pop(worker, None)
             return
         entry = dict(record)
         entry["ts"] = ts
         self.workers[worker] = entry
+
+    def _on_memory(self, record: Dict[str, Any], ts: float) -> None:
+        mkind = record.get("kind")
+        if mkind == "rss":
+            rss = record.get("rss_bytes")
+            if isinstance(rss, (int, float)):
+                self.memory_rss.add(float(rss), ts)
+            peak = record.get("rss_peak_bytes", rss)
+            if isinstance(peak, (int, float)) and (
+                self.memory_rss_peak is None or peak > self.memory_rss_peak
+            ):
+                self.memory_rss_peak = float(peak)
+        elif mkind == "span":
+            path = record.get("span")
+            if isinstance(path, str):
+                self.memory_spans[path] = {
+                    "boundaries": record.get("boundaries"),
+                    "net_bytes": record.get("net_bytes"),
+                    "peak_bytes": record.get("peak_bytes"),
+                }
+        elif mkind == "footprint":
+            structure = record.get("structure")
+            if not isinstance(structure, str):
+                return
+            key = f"{structure}:{record.get('type')}"
+            entry = self.memory_footprints.get(key)
+            if entry is None:
+                entry = self.memory_footprints[key] = {
+                    "structure": structure,
+                    "type": record.get("type"),
+                    "count": 0,
+                    "total_bytes": 0,
+                    "last_bytes": 0,
+                }
+            measured = record.get("measured_bytes")
+            entry["count"] += 1
+            if isinstance(measured, (int, float)):
+                entry["total_bytes"] += measured
+                entry["last_bytes"] = measured
+            ratio = record.get("bytes_per_bit")
+            if ratio is not None:
+                entry["bytes_per_bit"] = ratio
 
     def _on_tick(self, ts: float) -> None:
         # Counter rates come from whole-registry snapshots, not from
@@ -468,6 +530,45 @@ class LiveAggregator:
         live = window.values(now)
         return min(live) if live else None
 
+    def max_rss(self, now: Optional[float] = None) -> Optional[float]:
+        """Peak RSS in bytes over every source seen so far.
+
+        Folds the main process (``memory``/``kind=rss`` events, which
+        carry the sampler thread's high-water mark) and every worker
+        heartbeat's ``rss`` field.  The ``rss:`` SLO rules read this —
+        ``None`` (nothing observed) never breaches.
+        """
+        peak = self.memory_rss_peak
+        live = self.memory_rss.values(now)
+        if live:
+            high = max(live)
+            if peak is None or high > peak:
+                peak = high
+        return peak
+
+    def span_alloc_peaks(
+        self, target: str
+    ) -> List[Tuple[str, float]]:
+        """``(span path, peak allocation bytes)`` for spans matching ``target``.
+
+        Matching follows :meth:`span_quantile`: exact path, leaf name,
+        ``/``-prefix — or ``*`` for every recorded span.  The ``mem:``
+        SLO rules read this (data exists only under trace-mode memory
+        profiling).
+        """
+        out: List[Tuple[str, float]] = []
+        for path, entry in sorted(self.memory_spans.items()):
+            if target != "*" and not (
+                path == target
+                or path.rsplit("/", 1)[-1] == target
+                or path.startswith(target + "/")
+            ):
+                continue
+            peak = entry.get("peak_bytes")
+            if isinstance(peak, (int, float)):
+                out.append((path, float(peak)))
+        return out
+
     def stalled_workers(
         self, threshold_s: float, now: Optional[float] = None
     ) -> List[Dict[str, Any]]:
@@ -506,8 +607,21 @@ class LiveAggregator:
                     "chunk": entry.get("chunk"),
                     "trial": entry.get("trial"),
                     "done": entry.get("done"),
+                    "rss": entry.get("rss"),
                 }
                 for pid, entry in sorted(self.workers.items())
+            },
+            "memory": {
+                "rss": self.memory_rss.summary(now),
+                "rss_peak_bytes": self.max_rss(now),
+                "spans": {
+                    path: dict(entry)
+                    for path, entry in sorted(self.memory_spans.items())
+                },
+                "footprints": {
+                    key: dict(entry)
+                    for key, entry in sorted(self.memory_footprints.items())
+                },
             },
             "violations": len(self.violations),
         }

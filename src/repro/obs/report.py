@@ -222,6 +222,113 @@ def profile_table(
     return table
 
 
+def aggregate_memory(
+    events: Iterable[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Fold ``memory`` events into span / footprint / RSS aggregates.
+
+    ``kind=span`` records are cumulative per emission (net bytes sum,
+    peak bytes max — robust to files holding several profiled runs);
+    ``kind=footprint`` records aggregate per ``(structure, type)`` with
+    the last observed measured-bytes/theoretical-bits ratio;
+    ``kind=rss`` keeps the final sample and the overall peak.
+    """
+    spans: Dict[str, Dict[str, Any]] = {}
+    footprints: Dict[tuple, Dict[str, Any]] = {}
+    rss: Optional[Dict[str, Any]] = None
+    for record in events:
+        if record.get("event") != "memory":
+            continue
+        kind = record.get("kind")
+        if kind == "span":
+            path = record.get("span", "")
+            cell = spans.setdefault(
+                path, {"boundaries": 0, "net_bytes": 0, "peak_bytes": 0}
+            )
+            cell["boundaries"] += int(record.get("boundaries", 0))
+            cell["net_bytes"] += int(record.get("net_bytes", 0))
+            cell["peak_bytes"] = max(
+                cell["peak_bytes"], int(record.get("peak_bytes", 0))
+            )
+        elif kind == "footprint":
+            key = (record.get("structure", "?"), record.get("type", "?"))
+            cell = footprints.setdefault(
+                key,
+                {
+                    "structure": key[0],
+                    "type": key[1],
+                    "count": 0,
+                    "total_bytes": 0,
+                },
+            )
+            cell["count"] += 1
+            cell["total_bytes"] += int(record.get("measured_bytes", 0))
+            if record.get("theoretical_bits") is not None:
+                cell["theoretical_bits"] = record["theoretical_bits"]
+            if record.get("bytes_per_bit") is not None:
+                cell["bytes_per_bit"] = record["bytes_per_bit"]
+        elif kind == "rss":
+            peak = max(
+                (rss or {}).get("rss_peak_bytes", 0),
+                int(record.get("rss_peak_bytes", 0)),
+            )
+            rss = dict(record)
+            rss["rss_peak_bytes"] = peak
+    return {"spans": spans, "footprints": footprints, "rss": rss}
+
+
+def memory_span_table(
+    spans: Dict[str, Dict[str, Any]],
+    title: str = "memory · span allocation",
+    top: int = 10,
+) -> Table:
+    """Per-span traced-allocation table, largest peak first."""
+    table = Table(
+        title=title,
+        columns=["span", "boundaries", "net_bytes", "peak_bytes"],
+    )
+    ordered = sorted(
+        spans.items(),
+        key=lambda item: (-item[1]["peak_bytes"], -item[1]["net_bytes"], item[0]),
+    )
+    for path, cell in ordered[:top]:
+        table.add_row(
+            span=path or "(no span)",
+            boundaries=cell["boundaries"],
+            net_bytes=cell["net_bytes"],
+            peak_bytes=cell["peak_bytes"],
+        )
+    return table
+
+
+def memory_footprint_table(
+    footprints: Dict[tuple, Dict[str, Any]],
+    title: str = "memory · measured footprints",
+) -> Table:
+    """Per-structure measured-bytes table with the bytes-per-bit ratio."""
+    table = Table(
+        title=title,
+        columns=[
+            "structure",
+            "type",
+            "count",
+            "mean_bytes",
+            "bytes_per_bit",
+        ],
+    )
+    for key in sorted(footprints):
+        cell = footprints[key]
+        mean = cell["total_bytes"] / cell["count"] if cell["count"] else 0
+        table.add_row(
+            structure=cell["structure"],
+            type=cell["type"],
+            count=cell["count"],
+            mean_bytes=mean,
+            bytes_per_bit=cell.get("bytes_per_bit", ""),
+        )
+    return table
+
+
 def bound_check_table(
     events: Iterable[Dict[str, Any]], title: str = "bound checks"
 ) -> Table:
@@ -261,13 +368,16 @@ def diff_table(
 
 
 def render_report(
-    path, diff_path=None
+    path, diff_path=None, memory_top: int = 10
 ) -> str:
     """Full textual report for one telemetry file (optionally a diff).
 
     A run that crashed before its ``summary`` event is flagged as
     **partial** and its metric totals are reconstructed from row/span
-    deltas (see :func:`metric_totals`).
+    deltas (see :func:`metric_totals`).  Runs profiled with
+    ``--memory`` gain memory sections: the ``memory_top`` largest span
+    allocators, the measured footprints with their bytes-per-bit
+    ratios, and the RSS peak.
     """
     events = load_events(path)
     metrics_title = f"metrics · {path}"
@@ -289,6 +399,38 @@ def render_report(
         pieces.append(
             profile_table(profile, title=f"profile · {path}").render()
         )
+    memory = aggregate_memory(events)
+    if memory["spans"]:
+        pieces.append(
+            memory_span_table(
+                memory["spans"],
+                title=f"memory · span allocation · {path}",
+                top=memory_top,
+            ).render()
+        )
+    if memory["footprints"]:
+        footprints = memory_footprint_table(
+            memory["footprints"], title=f"memory · measured footprints · {path}"
+        )
+        if memory["rss"] is not None:
+            footprints.add_note(
+                f"peak RSS {memory['rss'].get('rss_peak_bytes', '?')} bytes "
+                f"({memory['rss'].get('samples', '?')} samples, "
+                f"{memory['rss'].get('source', '?')})"
+            )
+        pieces.append(footprints.render())
+    elif memory["rss"] is not None:
+        rss_table = Table(
+            title=f"memory · rss · {path}",
+            columns=["rss_bytes", "rss_peak_bytes", "samples", "source"],
+        )
+        rss_table.add_row(
+            rss_bytes=memory["rss"].get("rss_bytes", ""),
+            rss_peak_bytes=memory["rss"].get("rss_peak_bytes", ""),
+            samples=memory["rss"].get("samples", ""),
+            source=memory["rss"].get("source", ""),
+        )
+        pieces.append(rss_table.render())
     checks = bound_check_table(events, title=f"bound checks · {path}")
     if checks.rows:
         pieces.append(checks.render())

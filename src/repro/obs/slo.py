@@ -32,6 +32,17 @@ Rule kinds:
     Worker-liveness: breaches when any parallel worker's heartbeat is
     older than the threshold — ``stall:5`` — firing *before* the pool's
     hung-worker retry path replaces the worker.
+``mem``
+    Ceiling (bytes) on the peak traced allocation attributed to a span
+    path by the memory profiler (:mod:`repro.obs.memory`, ``--memory=
+    trace``): ``mem:experiment.e3<=50e6``, or ``mem:*<=50e6`` for every
+    profiled span.  Matching follows span rules: leaf name, full path,
+    or path prefix.
+``rss``
+    Ceiling (bytes) on the peak resident-set size over every observed
+    source — the main process's RSS sampler and each worker heartbeat's
+    ``rss`` field: ``rss:<=2e9`` (the operator may be omitted:
+    ``rss:2e9``).
 
 Rules parse from a compact ``;``-separated spec string or from a JSON
 file (a list of rule objects with the same field names); see
@@ -54,7 +65,7 @@ from repro.obs import sink as _sink
 from repro.obs.live import LiveAggregator, LiveBus
 
 #: Recognised rule kinds.
-KINDS = ("metric", "span", "bound", "baseline", "stall")
+KINDS = ("metric", "span", "bound", "baseline", "stall", "mem", "rss")
 
 #: Comparison operators a rule may use.
 OPS = ("<=", ">=")
@@ -106,6 +117,16 @@ class SloRule:
         """One-line human rendering (run_all and obs_watch print these)."""
         if self.kind == "stall":
             return f"{self.name}: worker heartbeat age <= {self.threshold}s"
+        if self.kind == "rss":
+            return (
+                f"{self.name}: peak RSS (incl. workers) "
+                f"{self.op} {self.threshold:g} bytes"
+            )
+        if self.kind == "mem":
+            return (
+                f"{self.name}: span {self.target} peak allocation "
+                f"{self.op} {self.threshold:g} bytes"
+            )
         if self.kind == "span":
             return (
                 f"{self.name}: span {self.target} "
@@ -183,6 +204,33 @@ def _parse_clause(clause: str) -> SloRule:
             name=clause.strip(),
             kind="bound",
             target=target.strip(),
+            op=op,
+            threshold=_parse_threshold(rhs.strip(), clause),
+        )
+    if kind == "rss":
+        text = body.strip()
+        op = "<="
+        for candidate in OPS:
+            if text.startswith(candidate):
+                op, text = candidate, text[len(candidate):].strip()
+                break
+        return SloRule(
+            name=clause.strip(),
+            kind="rss",
+            target="*",
+            op=op,
+            threshold=_parse_threshold(text, clause),
+        )
+    if kind == "mem":
+        if any(op in body for op in OPS):
+            target, op, rhs = _split_op(body, clause)
+            target = target.strip() or "*"
+        else:  # bare bytes: ceiling over every profiled span
+            target, op, rhs = "*", "<=", body
+        return SloRule(
+            name=clause.strip(),
+            kind="mem",
+            target=target,
             op=op,
             threshold=_parse_threshold(rhs.strip(), clause),
         )
@@ -474,6 +522,30 @@ class SloEngine:
                 value=margin,
                 detail={"reason": "slack margin under floor"},
             )
+        if rule.kind == "rss":
+            value = self.aggregator.max_rss(now)
+            if value is None or _compare(value, rule.op, rule.threshold):
+                return []
+            return self._breach(
+                rule,
+                subject="process",
+                value=value,
+                detail={"reason": "peak resident set over ceiling"},
+            )
+        if rule.kind == "mem":
+            breaches = []
+            for span, peak in self.aggregator.span_alloc_peaks(rule.target):
+                if _compare(peak, rule.op, rule.threshold):
+                    continue
+                breaches.extend(
+                    self._breach(
+                        rule,
+                        subject=f"span:{span}",
+                        value=peak,
+                        detail={"reason": "span allocation over ceiling"},
+                    )
+                )
+            return breaches
         if rule.kind == "stall":
             breaches = []
             for entry in self.aggregator.stalled_workers(rule.threshold, now):

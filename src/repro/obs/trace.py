@@ -35,6 +35,21 @@ def reset_stack() -> None:
     _STACK.clear()
 
 
+#: Installed by a trace-mode :class:`repro.obs.memory.MemoryProfiler`:
+#: its ``boundary()`` is called at every span enter/exit *before* the
+#: stack changes, so the allocation interval ending at the boundary is
+#: charged to the span that was active while the memory moved (the
+#: profiler's self-time model).  ``None`` — the overwhelmingly common
+#: case — costs one global load per boundary.
+_MEM_HOOK = None
+
+
+def set_memory_hook(hook) -> None:
+    """Install (or, with ``None``, remove) the span-boundary memory hook."""
+    global _MEM_HOOK
+    _MEM_HOOK = hook
+
+
 def current_path() -> str:
     """``/``-joined names of the active spans (empty when outside any)."""
     return "/".join(s.name for s in _STACK)
@@ -87,6 +102,8 @@ class Span:
         return self
 
     def __enter__(self) -> "Span":
+        if _MEM_HOOK is not None:
+            _MEM_HOOK.boundary()  # charge the interval so far to the parent
         self.depth = len(_STACK)
         self.path = (
             f"{_STACK[-1].path}/{self.name}" if _STACK else self.name
@@ -98,6 +115,8 @@ class Span:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         wall = time.perf_counter() - self._start
+        if _MEM_HOOK is not None:
+            _MEM_HOOK.boundary()  # charge the closing interval to this span
         # Unwind defensively: an inner span abandoned by an exception
         # (e.g. a generator that never resumed) must not wedge the stack.
         while _STACK and _STACK[-1] is not self:

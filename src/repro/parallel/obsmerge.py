@@ -52,6 +52,7 @@ from typing import Any, Dict, Optional
 from repro.obs import bounds as _bounds
 from repro.obs import capture as _capture
 from repro.obs import live as _live
+from repro.obs import memory as _memory
 from repro.obs import sink as _sink
 from repro.obs.core import STATE
 from repro.obs.metrics import REGISTRY
@@ -183,6 +184,10 @@ class HeartbeatSender:
             "phase": phase,
             "trial": trial,
             "done": done,
+            # Per-worker resident set, bus-only like the beat itself:
+            # the live aggregator folds it into snapshot()["workers"]
+            # and the rss: SLO peak without touching the telemetry delta.
+            "rss": _memory.rss_bytes(),
             "metrics": delta,
         }
         try:

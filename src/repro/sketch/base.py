@@ -24,6 +24,7 @@ from typing import AbstractSet, List, Sequence
 from repro.graphs.digraph import Node
 from repro.obs import STATE as _OBS
 from repro.obs import count as _obs_count
+from repro.obs import memory as _obs_memory
 from repro.obs import observe as _obs_observe
 
 
@@ -85,10 +86,17 @@ class CutSketch(ABC):
         """Record one ``size_bits()`` observation; returns ``bits``.
 
         Histogram ``sketch.size_bits`` therefore reproduces exactly the
-        sizes the games sum into their reported totals.
+        sizes the games sum into their reported totals.  Under an active
+        memory profiler the sketch's *measured* resident bytes ride
+        along (once per instance) as a ``memory.sketch_bytes``
+        observation plus a footprint event carrying the
+        measured-bytes/theoretical-bits ratio — the quantity the
+        Thm 1.1/1.2 space companions certify (:mod:`repro.obs.memory`).
         """
         if _OBS.enabled:
             _obs_observe("sketch.size_bits", bits)
+            if _obs_memory.active() is not None:
+                _obs_memory.observe_footprint(self, theoretical_bits=bits)
         return bits
 
     def query_between(

@@ -11,6 +11,20 @@ explicit, documented costs rather than ``sys.getsizeof`` guesses:
 ``weight_bits`` defaults to 32; the constructions use weights drawn from
 a set of size ``O(1/eps)`` so this is generous but only affects constant
 factors, which the experiments never interpret.
+
+Measured bytes are a *separate*, complementary axis.  The bit costs
+here are the information-theoretic quantities the theorems bound; what
+a sketch actually occupies in process memory (Python object headers,
+dict load factors, numpy buffers) is measured — not guessed — by
+:func:`repro.obs.memory.deep_footprint`, which walks live objects and
+reports resident bytes next to the theoretical
+:meth:`~repro.sketch.base.Sketch.size_bits` so every footprint carries
+a measured-bytes/theoretical-bits ratio (``run_all --memory``).  The
+two never substitute for each other: bound certification against
+Thm 1.1/1.2 envelopes uses these bit costs; the
+:class:`repro.obs.bounds.SpaceBoundSpec` companions certify the
+measured bytes against the same envelopes with their own declared
+slack.
 """
 
 from __future__ import annotations

@@ -232,6 +232,19 @@ class TestSlidingWindow:
         with pytest.raises(ObsError):
             SlidingWindow(capacity=0)
 
+    def test_sample_exactly_at_cutoff_is_retained(self):
+        # cutoff = now - window_s; retention is ts >= cutoff, so a
+        # sample stamped exactly on the cutoff is still live and one
+        # epsilon older is not.  Pins the closed/open boundary choice
+        # the rss: SLO rules inherit.
+        window = SlidingWindow(window_s=5.0)
+        window.add(1.0, ts=95.0)
+        assert window.values(now=100.0) == [1.0]  # ts == cutoff exactly
+        assert window.count(now=100.0) == 1
+        window.add(2.0, ts=95.0 - 1e-9)
+        assert window.values(now=100.0) == [1.0]
+        assert window.summary(now=100.0)["count"] == 1
+
 
 class TestBoundMargin:
     def test_lower_bound_margin(self):
@@ -337,3 +350,96 @@ class TestLiveAggregator:
         bus.publish({"event": "span", "path": "p", "wall_s": 2.0,
                      "ts": 100.0})
         assert aggregator.spans["p"].count(now=100.0) == 1
+
+
+class TestLiveAggregatorMemoryEvents:
+    def test_rss_records_fold_into_window_and_peak(self):
+        aggregator = LiveAggregator()
+        aggregator.on_record(
+            {"event": "memory", "kind": "rss", "rss_bytes": 1_000.0,
+             "rss_peak_bytes": 4_000.0, "ts": 100.0}
+        )
+        aggregator.on_record(
+            {"event": "memory", "kind": "rss", "rss_bytes": 2_000.0,
+             "rss_peak_bytes": 2_000.0, "ts": 101.0}
+        )
+        assert aggregator.memory_rss.values(now=101.0) == [1_000.0, 2_000.0]
+        assert aggregator.max_rss(now=101.0) == pytest.approx(4_000.0)
+
+    def test_span_records_last_write_wins(self):
+        aggregator = LiveAggregator()
+        for peak in (100.0, 700.0):
+            aggregator.on_record(
+                {"event": "memory", "kind": "span", "span": "a/b",
+                 "boundaries": 1, "net_bytes": 5, "peak_bytes": peak,
+                 "ts": 100.0}
+            )
+        assert aggregator.memory_spans["a/b"]["peak_bytes"] == 700.0
+        assert aggregator.span_alloc_peaks("a/b") == [("a/b", 700.0)]
+        assert aggregator.span_alloc_peaks("b") == [("a/b", 700.0)]
+        assert aggregator.span_alloc_peaks("*") == [("a/b", 700.0)]
+        assert aggregator.span_alloc_peaks("missing") == []
+
+    def test_footprint_records_accumulate_per_structure(self):
+        aggregator = LiveAggregator()
+        for measured in (100.0, 300.0):
+            aggregator.on_record(
+                {"event": "memory", "kind": "footprint",
+                 "structure": "sketch", "type": "ExactCutSketch",
+                 "measured_bytes": measured, "bytes_per_bit": 3.0,
+                 "ts": 100.0}
+            )
+        entry = aggregator.memory_footprints["sketch:ExactCutSketch"]
+        assert entry["count"] == 2
+        assert entry["total_bytes"] == pytest.approx(400.0)
+        assert entry["last_bytes"] == pytest.approx(300.0)
+
+    def test_heartbeat_rss_feeds_peak_and_snapshot(self):
+        aggregator = LiveAggregator()
+        aggregator.on_record(
+            {"event": "heartbeat", "worker": 9, "phase": "chunk",
+             "rss": 8_192.0, "ts": 100.0}
+        )
+        assert aggregator.max_rss(now=100.0) == pytest.approx(8_192.0)
+        snapshot = aggregator.snapshot(now=100.0)
+        assert snapshot["workers"]["9"]["rss"] == pytest.approx(8_192.0)
+        assert snapshot["memory"]["rss_peak_bytes"] == pytest.approx(8_192.0)
+
+    def test_folding_identical_serial_vs_jobs(self, tmp_path):
+        # The aggregator's memory state is a pure fold of the event
+        # stream, and the stream itself is the serial == parallel
+        # telemetry contract: e1 at jobs 1 / 2 / 4 must fold to the
+        # same spans and footprints (rss samples are wall-clock-bound,
+        # so only their event kinds are compared).
+        import json
+
+        from repro.experiments.run_all import main as run_all_main
+        from repro.parallel import fork_available
+
+        if not fork_available():
+            pytest.skip("platform lacks the fork start method")
+
+        def folded(jobs):
+            path = tmp_path / f"mem-{jobs}.jsonl"
+            assert run_all_main(
+                ["e1", "--memory", "--jobs", str(jobs),
+                 "--telemetry", str(path)]
+            ) == 0
+            aggregator = LiveAggregator()
+            kinds = []
+            for line in path.read_text().splitlines():
+                record = json.loads(line)
+                if record.get("event") != "memory":
+                    continue
+                kinds.append(record.get("kind"))
+                record = dict(record, ts=100.0)  # fold wall-clock out
+                aggregator.on_record(record)
+            footprints = {
+                key: {k: v for k, v in entry.items() if k != "ts"}
+                for key, entry in aggregator.memory_footprints.items()
+            }
+            return aggregator.memory_spans, footprints, sorted(kinds)
+
+        serial = folded(1)
+        for jobs in (2, 4):
+            assert folded(jobs) == serial
