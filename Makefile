@@ -1,9 +1,9 @@
 # Convenience targets for the reproduction repository.
 
 .PHONY: install test bench bench-report bench-parallel bench-kernels \
-	bench-live bench-memory tables trace-report api all bounds-check \
-	dashboard wire-check obs-commit obs-diff obs-fsck obs-watch \
-	slo-check memory-check
+	bench-live bench-memory bench-serving tables trace-report api all \
+	bounds-check dashboard wire-check obs-commit obs-diff obs-fsck \
+	obs-watch slo-check memory-check serve
 
 install:
 	pip install -e . || python setup.py develop
@@ -28,6 +28,13 @@ bench-live:
 
 bench-memory:
 	PYTHONPATH=src python scripts/bench_report.py --pr9-only
+
+bench-serving:
+	PYTHONPATH=src python scripts/cut_bench.py
+
+serve:
+	PYTHONPATH=src python -m repro.serving.server --port 0 \
+		--metrics-port 0 --slo
 
 tables:
 	python -m repro.experiments.run_all

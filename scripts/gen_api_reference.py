@@ -335,6 +335,26 @@ transport returns value-identical lists; the last `map`'s split is on
 """,
 }
 
+_SERVING_EXTRA = """\
+### The serving daemon
+
+`python -m repro.serving.server --port 0` boots a long-lived asyncio
+daemon announcing its bound endpoint on stderr (`serving: tcp://...`,
+parsed race-free by `repro.obs.announce.read_announcement`).  It holds
+frozen `CSRGraph` snapshots content-addressed by their store oid in a
+measured-bytes LRU (`SnapshotCache`), coalesces concurrent
+`serve.cut_weight` requests into vectorized `cut_weights_stable` calls
+(`MicroBatcher`: max-batch, depth-stable probe, and window triggers),
+and answers for-all sketch queries and Theorem 5.7 shard ops.  Because
+the kernel is row-stable, batching never changes response bytes —
+`scripts/cut_bench.py` digest-checks this and writes `BENCH_PR10.json`
+(`make bench-serving`).  `--metrics-port`, `--slo`, and `--capture`
+wire the daemon into the live metrics/SLO/wire-capture stack; see
+EXPERIMENTS.md, "Serving tier".
+"""
+
+EXTRA_SECTIONS["repro.serving"] = _SERVING_EXTRA
+
 PACKAGES = [
     "repro.graphs",
     "repro.kernels",
@@ -348,6 +368,7 @@ PACKAGES = [
     "repro.forall_lb",
     "repro.localquery",
     "repro.distributed",
+    "repro.serving",
     "repro.experiments",
     "repro.parallel",
     "repro.utils",

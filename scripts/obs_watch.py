@@ -12,7 +12,14 @@ while the experiment is still going:
   so worker state and counter rates match the producing process);
 * ``--url http://127.0.0.1:PORT`` polls the ``--live-port`` HTTP
   endpoint instead (``/snapshot`` JSON; falls back to rendering the
-  raw ``/metrics`` Prometheus text when no aggregator is attached).
+  raw ``/metrics`` Prometheus text when no aggregator is attached);
+* ``--announce PATH`` resolves the poll URL from a stderr announcement
+  file (``label: url`` lines, :mod:`repro.obs.announce`) — the
+  ephemeral-port pattern: launch with ``--live-port 0`` (or the
+  serving daemon's ``--metrics-port 0``) redirecting stderr to PATH,
+  then watch without knowing the bound port.  ``--announce-label``
+  picks the line (default ``live metrics``; the serving daemon
+  announces ``serving metrics``).
 
 Usage::
 
@@ -45,6 +52,8 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.errors import ObsError  # noqa: E402
+from repro.obs.announce import read_announcement  # noqa: E402
 from repro.obs.live import LiveAggregator  # noqa: E402
 
 #: Sparkline geometry: samples kept per worker == characters drawn.
@@ -322,6 +331,29 @@ def main(argv=None):
         metavar="URL",
         help="poll a --live-port endpoint (e.g. http://127.0.0.1:9464)",
     )
+    source.add_argument(
+        "--announce",
+        metavar="PATH",
+        help="resolve the poll URL from an announcement file (a stderr "
+        "log written by run_all --live-port or the serving daemon's "
+        "--metrics-port); pairs with --announce-label",
+    )
+    parser.add_argument(
+        "--announce-label",
+        metavar="LABEL",
+        default="live metrics",
+        help="announcement label to look for in the --announce file "
+        "(default: %(default)r; the serving daemon uses "
+        "'serving metrics')",
+    )
+    parser.add_argument(
+        "--announce-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long to wait for the announcement line to appear "
+        "(default: %(default)s)",
+    )
     parser.add_argument(
         "--interval",
         type=float,
@@ -343,12 +375,34 @@ def main(argv=None):
 
     follower = JsonlFollower(args.follow) if args.follow else None
     url_history = {}
+    url = args.url
+
+    if args.announce:
+        try:
+            url = read_announcement(
+                args.announce,
+                args.announce_label,
+                timeout_s=args.announce_timeout,
+            )
+        except (ObsError, OSError) as exc:
+            print(
+                f"error: no {args.announce_label!r} announcement in "
+                f"{args.announce}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        # Announcements carry the scrape URL (.../metrics); the poller
+        # wants the base so it can try /snapshot first.
+        url = url.rstrip("/")
+        if url.endswith("/metrics"):
+            url = url[: -len("/metrics")]
+        print(f"announced endpoint: {url}", file=sys.stderr)
 
     def one_frame():
         if follower is not None:
             follower.poll()
             return follower.frame()
-        return fetch_url_frame(args.url, url_history)
+        return fetch_url_frame(url, url_history)
 
     if args.once:
         try:

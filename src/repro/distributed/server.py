@@ -12,6 +12,24 @@ subset and can
   [ACK+16]'s scheme (see DESIGN.md: the interactive phase preserves the
   qualitative separation — refinement queries avoid paying the for-all
   ``1/eps^2`` in shipped bits).
+
+**The ServerLike surface.**  The coordinator
+(:func:`repro.distributed.coordinator.distributed_min_cut`) is
+duck-typed over its servers; any object exposing
+
+* ``name`` — a string identity used in wire-capture sender fields,
+* ``forall_sketch(epsilon, rng=None, connectivity=..., sampling_constant=...)``
+  returning a :class:`ShardSketch` (``epsilon`` float + ``sparse``
+  graph; ``size_bits()`` prices the shipped message), and
+* ``cut_value_response(side, relative_precision)`` returning
+  ``(quantized_value, bits_charged)``
+
+participates in the protocol unchanged.  :class:`Server` is the
+in-process implementation; :class:`repro.serving.remote.RemoteShard`
+implements the same surface over a TCP connection to a serving daemon,
+which is how the Theorem 5.7 protocol runs across real processes with
+byte-identical transcripts (the rng state ships with the request, so a
+remote shard draws the same samples the local one would).
 """
 
 from __future__ import annotations

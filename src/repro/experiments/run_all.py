@@ -116,6 +116,9 @@ EXIT_KERNELS_UNAVAILABLE = 4
 EXIT_STORE_FAILURE = 5
 #: Exit code for an SLO breach under ``--slo``.
 EXIT_SLO_BREACH = 6
+#: Exit code for a ``--serve`` smoke whose served responses diverge
+#: from direct in-process evaluation.
+EXIT_SERVE_SMOKE_FAILURE = 7
 
 
 def _e1_foreach() -> List[Table]:
@@ -477,6 +480,76 @@ def _e9_distributed() -> List[Table]:
     return [table]
 
 
+def _serve_smoke() -> int:
+    """Boot an in-process sketch server and digest-check it.
+
+    Registers a small graph with a :class:`ServerThread` daemon on an
+    ephemeral port, then asserts the served ``cut_weight`` /
+    ``cut_weights`` values are byte-identical to direct
+    :meth:`~repro.graphs.csr.CSRGraph.cut_weights_stable` evaluation
+    (canonical-JSON sha256 over the value lists) and that the served
+    ``min_cut`` value matches :func:`~repro.graphs.mincut.stoer_wagner`.
+    """
+    import hashlib
+    import json
+
+    from repro.graphs.generators import random_regularish_ugraph
+    from repro.graphs.mincut import stoer_wagner
+    from repro.serving.client import ServingClient
+    from repro.serving.server import ServerThread
+    from repro.utils.rng import ensure_rng
+
+    def digest(values: List[float]) -> str:
+        body = json.dumps(
+            [float(v) for v in values], separators=(",", ":"),
+            allow_nan=False,
+        ).encode()
+        return hashlib.sha256(body).hexdigest()
+
+    graph = random_regularish_ugraph(96, 4, rng=11)
+    nodes = list(graph.nodes())
+    gen = ensure_rng(29)
+    sides = []
+    for _ in range(24):
+        size = int(gen.integers(1, len(nodes)))
+        picks = gen.choice(len(nodes), size=size, replace=False)
+        sides.append([nodes[i] for i in picks])
+
+    csr = graph.freeze()
+    member = csr.membership_matrix([frozenset(s) for s in sides])
+    direct = digest(list(csr.cut_weights_stable(member)))
+    direct_min, _ = stoer_wagner(graph)
+
+    with ServerThread(max_batch=16, batch_window_s=0.002) as thread:
+        print(
+            f"serve smoke: {thread.server.url} "
+            f"(n={len(nodes)}, {len(sides)} sides)",
+            file=sys.stderr,
+        )
+        with ServingClient("127.0.0.1", thread.port) as client:
+            oid = client.register_graph(graph)
+            single = digest([client.cut_weight(oid, s) for s in sides])
+            batch = digest(client.cut_weights(oid, sides))
+            served_min = client.min_cut(oid)["value"]
+
+    failures = []
+    if single != direct:
+        failures.append(f"cut_weight digest {single[:12]} != {direct[:12]}")
+    if batch != direct:
+        failures.append(f"cut_weights digest {batch[:12]} != {direct[:12]}")
+    if float(served_min) != float(direct_min):
+        failures.append(f"min_cut {served_min} != {direct_min}")
+    for failure in failures:
+        print(f"serve smoke: MISMATCH: {failure}", file=sys.stderr)
+    if failures:
+        return EXIT_SERVE_SMOKE_FAILURE
+    print(
+        f"serve smoke: ok (digest {direct[:12]}..., min_cut {direct_min})",
+        file=sys.stderr,
+    )
+    return 0
+
+
 REGISTRY: Dict[str, Callable[[], List[Table]]] = {
     "e1": _e1_foreach,
     "e2": _e2_forall,
@@ -503,6 +576,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="serving-tier smoke: boot an in-process sketch server on "
+        "an ephemeral port, register a small graph, and digest-check "
+        "served cut queries and min_cut against direct evaluation; "
+        f"exits {EXIT_SERVE_SMOKE_FAILURE} on divergence (no "
+        "experiments run)",
     )
     parser.add_argument(
         "--jobs",
@@ -658,6 +740,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(key)
         return 0
 
+    if args.serve:
+        return _serve_smoke()
+
     chosen = args.experiments or sorted(REGISTRY)
     unknown = [key for key in chosen if key not in REGISTRY]
     if unknown:
@@ -806,7 +891,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
                 _setup_abort()
                 return EXIT_TELEMETRY_FAILURE
-            print(f"live metrics: {server.url}", file=sys.stderr)
+            server.announce("live metrics")
 
     capture = None
     capture_sink = None

@@ -440,6 +440,34 @@ class CSRGraph:
                 out[start : start + chunk] = crossing @ self._weights
         return float(out[0]) if single else out
 
+    def cut_weights_stable(self, membership) -> np.ndarray:
+        """Batch-composition-independent directed cut values.
+
+        Same contract as :meth:`cut_weights`, but row ``k``'s float is a
+        function of row ``k`` alone: each row reduces through numpy's
+        per-row pairwise summation over the edge arrays, never through a
+        BLAS matmul whose blocking (and therefore last-ulp rounding) can
+        depend on how many rows share the call.  This is the serving
+        tier's evaluation path — a query coalesced into a width-64
+        micro-batch must return the same bytes it would have returned
+        alone, or batched responses stop being cacheable and replayable.
+
+        Costs one ``(rows, m)`` float intermediate per chunk instead of
+        the dense path's BLAS product, so prefer :meth:`cut_weights`
+        when bit-stability across batch shapes is not required.
+        """
+        member, single = self._as_membership(membership)
+        k = member.shape[0]
+        out = np.empty(k, dtype=np.float64)
+        if _OBS.enabled:
+            self._obs_kernel("cut_weights_stable", k, False)
+        chunk = self._chunk_rows(k)
+        for start in range(0, k, chunk):
+            block = member[start : start + chunk]
+            crossing = block[:, self._tails] & ~block[:, self._heads]
+            out[start : start + chunk] = (crossing * self._weights).sum(axis=1)
+        return float(out[0]) if single else out
+
     def cut_weights_both(self, membership) -> Tuple[np.ndarray, np.ndarray]:
         """``(w(S, V\\S), w(V\\S, S))`` per row, sharing one pass.
 

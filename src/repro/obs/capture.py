@@ -157,19 +157,46 @@ class WireCapture:
     a ``sink`` (duck-typed ``.write(dict)``) is supplied, the header is
     written immediately and every message streams as it is recorded, so
     a crashed run still leaves a diffable prefix on disk.
+
+    ``retain=N`` is the long-lived-server mode: only the most recent N
+    messages stay in :attr:`messages` (older ones are dropped from
+    memory after streaming to the sink), while ``seq`` numbering and
+    the :attr:`total_bits` / :meth:`recorded` totals keep counting
+    every message ever recorded.  Pair it with
+    :class:`repro.obs.sink.RotatingJsonlSink` so the on-disk transcript
+    is bounded too; ``retain=None`` (the default) keeps everything and
+    behaves exactly as before.
     """
 
     def __init__(
         self,
         meta: Optional[Dict[str, Any]] = None,
         sink=None,
+        retain: Optional[int] = None,
     ):
+        if retain is not None and retain < 1:
+            raise ObsError(f"retain must be positive or None, got {retain!r}")
         self.meta: Dict[str, Any] = dict(meta or {})
         self.meta.setdefault("capture_version", CAPTURE_VERSION)
         self.messages: List[WireMessage] = []
         self.sink = sink
+        self.retain = retain
+        self._next_seq = 0
+        self._dropped_count = 0
+        self._dropped_bits = 0
         if self.sink is not None:
             self.sink.write(self.header_record())
+
+    def _trim(self) -> None:
+        """Drop messages beyond the retention window (totals keep them)."""
+        if self.retain is None:
+            return
+        excess = len(self.messages) - self.retain
+        if excess > 0:
+            for message in self.messages[:excess]:
+                self._dropped_bits += message.bits
+            self._dropped_count += excess
+            del self.messages[:excess]
 
     # -- recording ------------------------------------------------------
 
@@ -187,7 +214,7 @@ class WireCapture:
         if bits < 0:
             raise ObsError("a wire message cannot carry negative bits")
         message = WireMessage(
-            seq=len(self.messages),
+            seq=self._next_seq,
             sender=sender,
             receiver=receiver,
             kind=kind,
@@ -196,7 +223,9 @@ class WireCapture:
             span=_trace.current_path(),
             meta=meta,
         )
+        self._next_seq += 1
         self.messages.append(message)
+        self._trim()
         if self.sink is not None:
             self.sink.write(message.as_record())
         # Mirror into the global registry (gated there) so trace reports
@@ -216,8 +245,10 @@ class WireCapture:
         merges separately; double counting would break the
         capture-bits == counter-meters reconciliation invariant.
         """
-        merged = _dc_replace(message, seq=len(self.messages))
+        merged = _dc_replace(message, seq=self._next_seq)
+        self._next_seq += 1
         self.messages.append(merged)
+        self._trim()
         if self.sink is not None:
             self.sink.write(merged.as_record())
         return merged
@@ -228,9 +259,18 @@ class WireCapture:
         return len(self.messages)
 
     @property
+    def recorded(self) -> int:
+        """Messages ever recorded, including those past ``retain``."""
+        return self._dropped_count + len(self.messages)
+
+    @property
     def total_bits(self) -> int:
-        """Sum of all message sizes — the transcript's theorem currency."""
-        return sum(m.bits for m in self.messages)
+        """Sum of all message sizes — the transcript's theorem currency.
+
+        Counts every recorded message: a retention window drops
+        messages from memory, never from the bit accounting.
+        """
+        return self._dropped_bits + sum(m.bits for m in self.messages)
 
     def parties(self) -> List[str]:
         """Every sender/receiver, in order of first appearance."""
@@ -296,6 +336,7 @@ class WireCapture:
                 # so a merged telemetry file still loads as a transcript.
         capture = cls(meta=meta)
         capture.messages = messages
+        capture._next_seq = len(messages)
         return capture
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -30,6 +30,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ObsError
+from repro.obs.announce import announce as _announce
 from repro.obs.live import LiveAggregator, LiveBus
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.sink import JsonlSink
@@ -223,6 +224,15 @@ class MetricsServer:
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}/metrics"
+
+    def announce(self, label: str = "live metrics", stream=None) -> str:
+        """Report the *bound* URL via :mod:`repro.obs.announce`.
+
+        With ``port=0`` the kernel picks the port at :meth:`start`;
+        this is how load generators and CI learn it without a race —
+        they tail the announcement instead of guessing a fixed port.
+        """
+        return _announce(label, self.url, stream=stream)
 
     def start(self) -> "MetricsServer":
         if self._httpd is not None:

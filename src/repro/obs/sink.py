@@ -12,7 +12,7 @@ import json
 import os
 import time
 from itertools import count as _itercount
-from typing import Any, Dict, List, Optional, TextIO, Union
+from typing import Any, Callable, Dict, List, Optional, TextIO, Union
 
 from repro.obs import live as _live
 from repro.obs.core import STATE
@@ -111,6 +111,105 @@ class JsonlSink:
     def __exit__(self, *exc_info) -> bool:
         self.close()
         return False
+
+
+class RotatingJsonlSink(JsonlSink):
+    """A :class:`JsonlSink` that rotates the file when it grows too big.
+
+    Long-lived processes (the serving daemon's wire capture, a live
+    export that runs for days) cannot stream into one ever-growing
+    file.  When appending the next record would push the current file
+    past ``max_bytes``, the file is closed and shifted down a numbered
+    chain — ``path`` → ``path.1`` → … → ``path.keep`` — with the
+    oldest segment dropped, and a fresh ``path`` is opened.
+
+    ``header_factory`` (when given) is called after every rotation and
+    its record written first, so each segment of a rotated wire capture
+    still starts with the ``wire_capture`` header that
+    :meth:`repro.obs.capture.WireCapture.load` expects.  Rotation is
+    size-triggered but never splits a record: a single record larger
+    than ``max_bytes`` still lands intact in its own segment.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        max_bytes: int = 8 << 20,
+        keep: int = 2,
+        flush_every: Optional[int] = 1,
+        header_factory: Optional[Callable[[], Dict[str, Any]]] = None,
+    ):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes!r}")
+        if keep < 1:
+            raise ValueError(f"keep must be at least 1, got {keep!r}")
+        self.max_bytes = int(max_bytes)
+        self.keep = int(keep)
+        self.header_factory = header_factory
+        #: Completed rotations (telemetry / tests).
+        self.rotations = 0
+        self._bytes = 0
+        super().__init__(path, mode="w", flush_every=flush_every)
+
+    def write(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            return
+        line = json.dumps(_jsonable(record)) + "\n"
+        if self._bytes and self._bytes + len(line) > self.max_bytes:
+            self._rotate()
+            if self._fh is None:  # rotation hit a disk error
+                return
+        try:
+            self._fh.write(line)
+            self._bytes += len(line)
+            if self.flush_every is not None:
+                self._unflushed += 1
+                if self._unflushed >= self.flush_every:
+                    self._fh.flush()
+                    self._unflushed = 0
+        except OSError as exc:
+            self._fail(exc)
+
+    def rotated_paths(self) -> List[str]:
+        """Existing rotated segments, oldest last (``path.1`` is newest)."""
+        return [
+            f"{self.path}.{i}"
+            for i in range(1, self.keep + 1)
+            if os.path.exists(f"{self.path}.{i}")
+        ]
+
+    def _rotate(self) -> None:
+        try:
+            self._fh.close()
+        except OSError as exc:
+            self._fh = None
+            self._fail(exc)
+            return
+        self._fh = None
+        try:
+            oldest = f"{self.path}.{self.keep}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for i in range(self.keep - 1, 0, -1):
+                src = f"{self.path}.{i}"
+                if os.path.exists(src):
+                    os.replace(src, f"{self.path}.{i + 1}")
+            os.replace(self.path, f"{self.path}.1")
+            self._fh = open(self.path, "w")
+        except OSError as exc:
+            self._fail(exc)
+            return
+        self._bytes = 0
+        self._unflushed = 0
+        self.rotations += 1
+        if self.header_factory is not None:
+            header = self.header_factory()
+            try:
+                line = json.dumps(_jsonable(header)) + "\n"
+                self._fh.write(line)
+                self._bytes += len(line)
+            except OSError as exc:
+                self._fail(exc)
 
 
 class ListSink:

@@ -1,0 +1,124 @@
+"""Theorem 5.7 across real processes: remote shard adapters.
+
+:func:`repro.distributed.coordinator.distributed_min_cut` duck-types
+its servers — anything with ``.name``, ``.forall_sketch(...)``, and
+``.cut_value_response(side, precision)`` participates in the protocol.
+:class:`RemoteShard` implements that surface over a
+:class:`~repro.serving.client.ServingClient` connection, so the
+coordinator's own code (sketch union, Karger sampling, rescoring loop,
+bit accounting) runs unmodified while every sketch shipment and every
+quantized cut response actually crosses a socket to a daemon that may
+live in another process or on another machine.
+
+Determinism is preserved by shipping *randomness state*, not random
+numbers: the coordinator's spawned per-shard generator is serialised
+via ``rng.bit_generator.state`` and reconstructed server-side, where
+the real :class:`repro.distributed.server.Server` consumes it exactly
+as the in-process simulation would.  The resulting min cut is
+therefore identical — value and side — between the simulated and the
+socket-served runs, which is what the bench's k-server parity gate
+checks.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.distributed.server import ShardSketch
+from repro.utils.rng import RngLike, ensure_rng
+from repro.serving.client import ServingClient
+from repro.serving.protocol import ServingError, graph_from_payload
+
+
+def rng_state_payload(rng: RngLike) -> Dict[str, Any]:
+    """A generator's full state as a JSON-able payload.
+
+    ``bit_generator.state`` is a dict of plain Python ints (arbitrary
+    precision — canonical JSON carries them exactly), so the server
+    reconstructs a generator that produces the identical stream.
+    """
+    gen = ensure_rng(rng)
+    return _jsonable(gen.bit_generator.state)
+
+
+def _jsonable(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    return obj
+
+
+class RemoteShard:
+    """A shard hosted by a serving daemon, speaking the Server surface.
+
+    Construct via :func:`host_shards` (which ships the shard graphs),
+    or directly with a client and the name of an already-hosted shard.
+    """
+
+    def __init__(self, client: ServingClient, name: str):
+        self.client = client
+        self.name = name
+
+    def forall_sketch(
+        self,
+        epsilon: float,
+        rng: RngLike = None,
+        connectivity: str = "mincut",
+        sampling_constant: Optional[float] = None,
+    ) -> ShardSketch:
+        """Remote counterpart of :meth:`repro.distributed.server.Server.
+        forall_sketch`: ships the generator state, gets the sample back."""
+        reply = self.client.shard_sketch(
+            self.name,
+            epsilon,
+            rng_state_payload(rng),
+            connectivity=connectivity,
+            sampling_constant=sampling_constant,
+        )
+        sparse = graph_from_payload(reply["graph"])
+        return ShardSketch(epsilon=float(reply["epsilon"]), sparse=sparse)
+
+    def cut_value_response(
+        self, side: AbstractSet[Any], relative_precision: float
+    ) -> Tuple[float, int]:
+        """Remote quantized cut response (value, bits) for one side."""
+        reply = self.client.shard_cut(self.name, side, relative_precision)
+        return float(reply["value"]), int(reply["bits"])
+
+
+def host_shards(
+    clients: List[ServingClient],
+    graph,
+    num_servers: Optional[int] = None,
+    rng: RngLike = None,
+) -> List[RemoteShard]:
+    """Partition ``graph``'s edges and host one shard per daemon.
+
+    Uses :func:`repro.distributed.server.partition_edges` — the same
+    sharding the in-process simulation uses — then ships shard ``i`` to
+    ``clients[i % len(clients)]``.  With ``num_servers=None`` there is
+    one shard per client.  Returns the :class:`RemoteShard` handles in
+    shard order, ready to hand to ``distributed_min_cut``.
+    """
+    from repro.distributed.server import partition_edges
+
+    if not clients:
+        raise ServingError("host_shards needs at least one connected client")
+    k = num_servers if num_servers is not None else len(clients)
+    local = partition_edges(graph, k, rng=rng)
+    shards: List[RemoteShard] = []
+    for i, server in enumerate(local):
+        client = clients[i % len(clients)]
+        client.host_shard(server.name, server.shard)
+        shards.append(RemoteShard(client, server.name))
+    return shards
+
+
+__all__ = ["RemoteShard", "host_shards", "rng_state_payload"]

@@ -41,6 +41,12 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Figures 3-6" in out
 
+    def test_serve_smoke_passes_and_reports(self, capsys):
+        assert main(["--serve"]) == 0
+        err = capsys.readouterr().err
+        assert "serve smoke: tcp://127.0.0.1:" in err
+        assert "serve smoke: ok" in err
+
     def test_unknown_experiment_errors(self):
         with pytest.raises(SystemExit):
             main(["e99"])

@@ -1,0 +1,75 @@
+"""Row stability of the serving tier's cut kernel.
+
+``cut_weights_stable`` promises each row's float is a function of that
+row alone — batch composition must never change the bytes.  The plain
+``cut_weights`` path makes no such promise (its BLAS blocking may), so
+these tests pin the stable variant's contract explicitly.
+"""
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_regularish_ugraph
+
+
+def _csr_and_member(n=64, k=48, rng=7):
+    graph = random_regularish_ugraph(n, 6, rng=rng)
+    csr = graph.freeze()
+    gen = np.random.default_rng(rng)
+    member = gen.random((k, n)) < 0.5
+    return csr, member
+
+
+class TestRowStability:
+    def test_single_row_equals_batched_row_bytewise(self):
+        csr, member = _csr_and_member()
+        batched = csr.cut_weights_stable(member)
+        for i in range(member.shape[0]):
+            single = csr.cut_weights_stable(member[i])
+            assert float(single) == float(batched[i])
+
+    def test_any_batch_partition_gives_identical_bytes(self):
+        csr, member = _csr_and_member()
+        whole = csr.cut_weights_stable(member)
+        for split in (1, 3, 7, 16):
+            parts = [
+                csr.cut_weights_stable(member[s : s + split])
+                for s in range(0, member.shape[0], split)
+            ]
+            stitched = np.concatenate([np.atleast_1d(p) for p in parts])
+            np.testing.assert_array_equal(stitched, whole)
+
+    def test_row_order_permutation_permutes_values_exactly(self):
+        csr, member = _csr_and_member()
+        perm = np.random.default_rng(3).permutation(member.shape[0])
+        base = csr.cut_weights_stable(member)
+        shuffled = csr.cut_weights_stable(member[perm])
+        np.testing.assert_array_equal(shuffled, base[perm])
+
+
+class TestAgreement:
+    def test_matches_cut_weights_within_float_tolerance(self):
+        # The two paths may differ in last-ulp rounding but must agree
+        # to float64 tolerance — they compute the same cut function.
+        csr, member = _csr_and_member()
+        np.testing.assert_allclose(
+            csr.cut_weights_stable(member),
+            csr.cut_weights(member),
+            rtol=1e-12,
+        )
+
+    def test_directed_semantics_only_counts_outgoing_crossings(self):
+        g = DiGraph()
+        g.add_edge("s", "t", 5.0)
+        g.add_edge("t", "s", 2.0)
+        csr = g.freeze()
+        row = csr.membership_matrix([frozenset(["s"])])
+        assert float(csr.cut_weights_stable(row)[0]) == 5.0
+
+    def test_empty_and_full_sides_cut_nothing(self):
+        csr, _ = _csr_and_member(n=16, k=1)
+        n = csr.num_nodes
+        member = np.stack([np.zeros(n, dtype=bool), np.ones(n, dtype=bool)])
+        np.testing.assert_array_equal(
+            csr.cut_weights_stable(member), np.zeros(2)
+        )

@@ -1,0 +1,94 @@
+"""Announcement lines: format, parse, and port-race-free discovery."""
+
+import io
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.announce import (
+    announce,
+    format_announcement,
+    parse_announcements,
+    read_announcement,
+)
+
+
+class TestFormat:
+    def test_canonical_line(self):
+        line = format_announcement("serving", "tcp://127.0.0.1:9000")
+        assert line == "serving: tcp://127.0.0.1:9000"
+
+    def test_label_may_not_contain_separator(self):
+        with pytest.raises(ObsError, match="label"):
+            format_announcement("bad: label", "tcp://h:1")
+
+    def test_url_must_carry_scheme(self):
+        with pytest.raises(ObsError, match="scheme"):
+            format_announcement("serving", "127.0.0.1:9000")
+
+    def test_announce_writes_flushed_line_to_stream(self):
+        stream = io.StringIO()
+        line = announce("live metrics", "http://127.0.0.1:8/metrics", stream)
+        assert stream.getvalue() == line + "\n"
+
+
+class TestParse:
+    def test_ignores_non_announcement_chatter(self):
+        text = (
+            "Traceback (most recent call last):\n"
+            "  note: something: odd but no scheme\n"
+            "serving: tcp://127.0.0.1:41000\n"
+            "progress 3/10\n"
+        )
+        assert parse_announcements(text) == {
+            "serving": "tcp://127.0.0.1:41000"
+        }
+
+    def test_multiple_labels(self):
+        text = (
+            "serving: tcp://127.0.0.1:41000\n"
+            "serving metrics: http://127.0.0.1:41001/metrics\n"
+        )
+        urls = parse_announcements(text)
+        assert urls["serving"] == "tcp://127.0.0.1:41000"
+        assert urls["serving metrics"] == "http://127.0.0.1:41001/metrics"
+
+    def test_relabelled_endpoint_keeps_last_url(self):
+        text = "serving: tcp://h:1\nserving: tcp://h:2\n"
+        assert parse_announcements(text)["serving"] == "tcp://h:2"
+
+
+class TestReadAnnouncement:
+    def test_reads_label_from_log_file(self, tmp_path):
+        log = tmp_path / "server.log"
+        log.write_text("boot...\nserving: tcp://127.0.0.1:5555\n")
+        assert (
+            read_announcement(log, "serving", timeout_s=2.0)
+            == "tcp://127.0.0.1:5555"
+        )
+
+    def test_timeout_message_carries_log_tail(self, tmp_path):
+        log = tmp_path / "server.log"
+        log.write_text("RuntimeError: bind failed\n")
+        with pytest.raises(ObsError, match="bind failed"):
+            read_announcement(log, "serving", timeout_s=0.2, poll_s=0.05)
+
+    def test_missing_file_times_out_cleanly(self, tmp_path):
+        with pytest.raises(ObsError, match="no 'serving' announcement"):
+            read_announcement(
+                tmp_path / "never.log", "serving", timeout_s=0.2, poll_s=0.05
+            )
+
+    def test_metrics_server_announces_bound_ephemeral_port(self):
+        from repro.obs.exporters import MetricsServer
+
+        stream = io.StringIO()
+        server = MetricsServer(port=0).start()
+        try:
+            bound_url = server.url
+            server.announce("live metrics", stream=stream)
+        finally:
+            server.stop()
+        urls = parse_announcements(stream.getvalue())
+        assert urls["live metrics"] == bound_url
+        assert ":0/" not in bound_url  # a real kernel-assigned port

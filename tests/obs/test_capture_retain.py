@@ -1,0 +1,50 @@
+"""WireCapture retain mode: bounded memory, unbounded accounting."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.capture import WireCapture
+
+
+def _record_n(cap, n, bits=8):
+    for i in range(n):
+        cap.record("a", "b", f"msg-{i}", bits)
+
+
+class TestRetain:
+    def test_retain_must_be_positive(self):
+        with pytest.raises(ObsError):
+            WireCapture(retain=0)
+
+    def test_default_keeps_everything(self):
+        cap = WireCapture()
+        _record_n(cap, 50)
+        assert len(cap.messages) == 50
+        assert cap.recorded == 50
+
+    def test_ring_bounds_memory_but_not_totals(self):
+        cap = WireCapture(retain=10)
+        _record_n(cap, 35, bits=16)
+        assert len(cap.messages) == 10
+        assert cap.recorded == 35
+        assert cap.total_bits == 35 * 16
+
+    def test_seq_numbering_survives_drops(self):
+        cap = WireCapture(retain=5)
+        _record_n(cap, 12)
+        seqs = [m.seq for m in cap.messages]
+        assert seqs == list(range(7, 12))  # oldest dropped, seq monotone
+
+    def test_dropped_messages_already_streamed_to_sink(self):
+        written = []
+
+        class Sink:
+            def write(self, record):
+                written.append(record)
+
+        cap = WireCapture(retain=3, sink=Sink())
+        _record_n(cap, 9)
+        # Header + every message, including the six dropped from memory.
+        kinds = [r.get("kind") for r in written if r.get("event") == "wire"]
+        assert len(kinds) == 9
+        assert len(cap.messages) == 3

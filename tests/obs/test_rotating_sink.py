@@ -1,0 +1,88 @@
+"""RotatingJsonlSink: size-triggered rotation with per-segment headers."""
+
+import json
+
+import pytest
+
+from repro.obs.sink import RotatingJsonlSink
+
+
+def _lines(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestValidation:
+    def test_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            RotatingJsonlSink(tmp_path / "t.jsonl", max_bytes=0)
+
+    def test_keep_must_be_at_least_one(self, tmp_path):
+        with pytest.raises(ValueError):
+            RotatingJsonlSink(tmp_path / "t.jsonl", keep=0)
+
+
+class TestRotation:
+    def test_no_rotation_under_budget(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with RotatingJsonlSink(path, max_bytes=1 << 20) as sink:
+            for i in range(10):
+                sink.write({"event": "x", "i": i})
+            assert sink.rotations == 0
+        assert len(_lines(path)) == 10
+        assert not (tmp_path / "t.jsonl.1").exists()
+
+    def test_rotation_shifts_chain_and_drops_oldest(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with RotatingJsonlSink(path, max_bytes=200, keep=2) as sink:
+            for i in range(40):
+                sink.write({"event": "x", "i": i})
+            assert sink.rotations > 2  # chain cycled at least once
+        # Current file plus exactly `keep` numbered segments.
+        assert path.exists()
+        assert (tmp_path / "t.jsonl.1").exists()
+        assert (tmp_path / "t.jsonl.2").exists()
+        assert not (tmp_path / "t.jsonl.3").exists()
+        # Newest rotated segment holds newer records than the oldest.
+        newest = [r["i"] for r in _lines(tmp_path / "t.jsonl.1") if "i" in r]
+        oldest = [r["i"] for r in _lines(tmp_path / "t.jsonl.2") if "i" in r]
+        assert min(newest) > max(oldest)
+
+    def test_never_splits_a_record(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        big = {"event": "blob", "data": "z" * 500}
+        with RotatingJsonlSink(path, max_bytes=200) as sink:
+            sink.write({"event": "small"})
+            sink.write(big)  # larger than max_bytes: own segment, intact
+        for candidate in (path, tmp_path / "t.jsonl.1"):
+            for record in _lines(candidate):
+                if record["event"] == "blob":
+                    assert record["data"] == big["data"]
+                    return
+        pytest.fail("big record not found intact in any segment")
+
+    def test_header_factory_reopens_every_segment(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        header = {"event": "wire_capture", "meta": {"kind": "serving"}}
+        with RotatingJsonlSink(
+            path, max_bytes=200, keep=2, header_factory=lambda: dict(header)
+        ) as sink:
+            sink.write(dict(header))  # caller writes the first header
+            for i in range(40):
+                sink.write({"event": "x", "i": i})
+        for candidate in (path, tmp_path / "t.jsonl.1", tmp_path / "t.jsonl.2"):
+            records = _lines(candidate)
+            assert records, f"{candidate} is empty"
+            assert records[0]["event"] == "wire_capture"
+
+    def test_rotated_paths_newest_first(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with RotatingJsonlSink(path, max_bytes=150, keep=3) as sink:
+            for i in range(60):
+                sink.write({"event": "x", "i": i})
+            rotated = sink.rotated_paths()
+        assert rotated[0].endswith(".1")
+        assert all(str(path) in p for p in rotated)

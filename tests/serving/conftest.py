@@ -1,0 +1,21 @@
+"""Shared serving-test hygiene: clean obs switch, capture, live bus."""
+
+import pytest
+
+from repro import obs
+from repro.obs import capture as obs_capture
+from repro.obs import live as obs_live
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.reset_metrics()
+    obs_capture._ACTIVE.clear()
+    obs_live.uninstall()
+    yield
+    obs.disable()
+    obs.STATE.sink = None
+    obs.reset_metrics()
+    obs_capture._ACTIVE.clear()
+    obs_live.uninstall()

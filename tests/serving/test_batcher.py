@@ -1,0 +1,197 @@
+"""Micro-batching triggers, fan-back, and row stability."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import random_regularish_ugraph
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import SnapshotEntry
+from repro.serving.protocol import ServingError, graph_oid, graph_payload
+
+
+def _entry(rng=1, n=24):
+    g = random_regularish_ugraph(n, 4, rng=rng)
+    return SnapshotEntry(graph_oid(graph_payload(g)), g, g.freeze())
+
+
+def _rows(entry, count, rng=7):
+    gen = np.random.default_rng(rng)
+    return [gen.random(entry.csr.num_nodes) < 0.5 for _ in range(count)]
+
+
+def _evaluate(entry, membership):
+    return entry.csr.cut_weights_stable(membership)
+
+
+class TestValidation:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ServingError):
+            MicroBatcher(_evaluate, window_s=-0.1)
+
+    def test_zero_max_batch_rejected(self):
+        with pytest.raises(ServingError):
+            MicroBatcher(_evaluate, max_batch=0)
+
+
+class TestTriggers:
+    def test_max_batch_flushes_immediately(self):
+        entry = _entry()
+        batcher = MicroBatcher(_evaluate, window_s=60.0, max_batch=4)
+
+        async def run():
+            return await asyncio.gather(
+                *[batcher.submit(entry, r) for r in _rows(entry, 4)]
+            )
+
+        values = asyncio.run(run())
+        assert len(values) == 4
+        # One flush of width 4, despite the huge window.
+        assert batcher.batches == 1 and batcher.max_width == 4
+
+    def test_adaptive_probe_flushes_without_waiting_for_window(self):
+        entry = _entry()
+        batcher = MicroBatcher(_evaluate, window_s=60.0, max_batch=1024)
+
+        async def run():
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    *[batcher.submit(entry, r) for r in _rows(entry, 3)]
+                ),
+                timeout=5.0,
+            )
+
+        values = asyncio.run(run())  # must not wait 60s
+        assert len(values) == 3
+        assert batcher.batches == 1 and batcher.max_width == 3
+
+    def test_window_timer_flushes_trickle_traffic(self):
+        entry = _entry()
+        flushed = []
+        batcher = MicroBatcher(
+            _evaluate, window_s=0.01, max_batch=1024,
+            on_flush=lambda: flushed.append(batcher.depth()),
+        )
+
+        async def run():
+            # Bypass submit's resolve path: enqueue directly, then keep
+            # the loop busy so only the timer can flush.
+            batcher.enqueue(entry, _rows(entry, 1)[0], lambda v, e: None)
+            # The probe fires first but sees a growing queue only once;
+            # feed a second row from a timer earlier than the window.
+            await asyncio.sleep(0.1)
+
+        asyncio.run(run())
+        assert batcher.batches >= 1
+
+    def test_unbatched_configuration_flushes_per_row(self):
+        entry = _entry()
+        batcher = MicroBatcher(_evaluate, window_s=0.0, max_batch=1)
+
+        async def run():
+            return [await batcher.submit(entry, r) for r in _rows(entry, 5)]
+
+        values = asyncio.run(run())
+        assert len(values) == 5
+        assert batcher.batches == 5 and batcher.max_width == 1
+
+
+class TestFanBack:
+    def test_values_match_direct_evaluation_row_for_row(self):
+        entry = _entry()
+        rows = _rows(entry, 8)
+        direct = entry.csr.cut_weights_stable(np.stack(rows))
+        batcher = MicroBatcher(_evaluate, window_s=0.05, max_batch=8)
+
+        async def run():
+            return await asyncio.gather(
+                *[batcher.submit(entry, r) for r in rows]
+            )
+
+        values = asyncio.run(run())
+        assert values == [float(v) for v in direct]
+
+    def test_batch_width_does_not_change_bytes(self):
+        entry = _entry()
+        rows = _rows(entry, 12)
+
+        def serve(max_batch):
+            batcher = MicroBatcher(_evaluate, window_s=0.05, max_batch=max_batch)
+
+            async def run():
+                return await asyncio.gather(
+                    *[batcher.submit(entry, r) for r in rows]
+                )
+
+            return asyncio.run(run())
+
+        assert serve(1) == serve(4) == serve(12)
+
+    def test_evaluation_failure_fans_back_to_every_caller(self):
+        entry = _entry()
+
+        def broken(entry, membership):
+            raise RuntimeError("kernel exploded")
+
+        batcher = MicroBatcher(broken, window_s=0.05, max_batch=3)
+
+        async def run():
+            return await asyncio.gather(
+                *[batcher.submit(entry, r) for r in _rows(entry, 3)],
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(run())
+        assert len(results) == 3
+        assert all(isinstance(r, ServingError) for r in results)
+        assert all("batch evaluation failed" in str(r) for r in results)
+
+    def test_on_flush_hook_fires_after_fanback(self):
+        entry = _entry()
+        seen = []
+        batcher = MicroBatcher(
+            _evaluate, window_s=0.05, max_batch=2,
+            on_flush=lambda: seen.append("flush"),
+        )
+
+        async def run():
+            await asyncio.gather(
+                *[batcher.submit(entry, r) for r in _rows(entry, 4)]
+            )
+
+        asyncio.run(run())
+        assert seen == ["flush", "flush"]
+
+
+class TestStats:
+    def test_stats_track_flushes_and_width(self):
+        entry = _entry()
+        batcher = MicroBatcher(_evaluate, window_s=0.05, max_batch=4)
+
+        async def run():
+            await asyncio.gather(
+                *[batcher.submit(entry, r) for r in _rows(entry, 8)]
+            )
+
+        asyncio.run(run())
+        stats = batcher.stats()
+        assert stats["rows"] == 8
+        assert stats["batches"] == 2
+        assert stats["mean_width"] == 4.0
+        assert stats["queued"] == 0
+
+    def test_flush_all_drains_pending(self):
+        entry = _entry()
+        batcher = MicroBatcher(_evaluate, window_s=60.0, max_batch=1024)
+        got = []
+
+        async def run():
+            batcher.enqueue(
+                entry, _rows(entry, 1)[0], lambda v, e: got.append(v)
+            )
+            batcher.flush_all()
+
+        asyncio.run(run())
+        assert len(got) == 1 and isinstance(got[0], float)
+        assert batcher.depth() == 0

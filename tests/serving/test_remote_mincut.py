@@ -1,0 +1,167 @@
+"""Theorem 5.7 k-server protocol over real sockets and processes."""
+
+import os
+import subprocess
+import sys
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.distributed.coordinator import distributed_min_cut
+from repro.distributed.server import partition_edges
+from repro.graphs.generators import random_regularish_ugraph
+from repro.obs.announce import read_announcement
+from repro.serving.client import ServingClient
+from repro.serving.remote import RemoteShard, host_shards, rng_state_payload
+from repro.serving.server import ServerThread
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+class TestRngShipping:
+    def test_state_payload_is_json_exact(self):
+        import json
+
+        import numpy as np
+
+        state = rng_state_payload(42)
+        rebuilt = json.loads(json.dumps(state))
+        rng = np.random.default_rng()
+        rng.bit_generator.state = rebuilt
+        assert (
+            rng.integers(1 << 30)
+            == np.random.default_rng(42).integers(1 << 30)
+        )
+
+
+class TestRemoteShards:
+    def test_remote_equals_in_process_min_cut(self):
+        graph = random_regularish_ugraph(40, 4, rng=3)
+        local = partition_edges(graph, 3, rng=123)
+        reference = distributed_min_cut(local, epsilon=0.3, rng=77)
+
+        threads = [ServerThread() for _ in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            clients = [
+                ServingClient("127.0.0.1", t.port, name=f"coord-{i}").connect()
+                for i, t in enumerate(threads)
+            ]
+            try:
+                shards = host_shards(clients, graph, num_servers=3, rng=123)
+                assert all(isinstance(s, RemoteShard) for s in shards)
+                served = distributed_min_cut(shards, epsilon=0.3, rng=77)
+            finally:
+                for c in clients:
+                    c.close()
+        finally:
+            for t in threads:
+                t.stop()
+
+        assert served.value == reference.value
+        assert set(served.side) == set(reference.side)
+        assert served.sketch_bits == reference.sketch_bits
+        assert served.query_bits == reference.query_bits
+
+    def test_shards_round_robin_across_clients(self):
+        graph = random_regularish_ugraph(24, 4, rng=5)
+        threads = [ServerThread() for _ in range(2)]
+        for t in threads:
+            t.start()
+        try:
+            clients = [
+                ServingClient("127.0.0.1", t.port).connect() for t in threads
+            ]
+            try:
+                shards = host_shards(clients, graph, num_servers=4, rng=9)
+                assert len(shards) == 4
+                # 4 shards over 2 daemons: each hosts exactly two.
+                for client in clients:
+                    assert len(client.stats()["shards"]) == 2
+            finally:
+                for c in clients:
+                    c.close()
+        finally:
+            for t in threads:
+                t.stop()
+
+
+class TestDaemonSubprocess:
+    def test_cli_daemon_announces_serves_and_exits_clean(self, tmp_path):
+        log = tmp_path / "daemon.log"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.serving.server",
+                "--port", "0", "--metrics-port", "0",
+            ],
+            stderr=log.open("w"),
+            env=env,
+        )
+        try:
+            url = read_announcement(log, "serving", timeout_s=30.0)
+            host, port = url.replace("tcp://", "").rsplit(":", 1)
+            metrics_url = read_announcement(log, "serving metrics", timeout_s=30.0)
+
+            graph = random_regularish_ugraph(24, 4, rng=7)
+            with ServingClient(host, int(port)) as client:
+                oid = client.register_graph(graph)
+                nodes = list(graph.nodes())
+                assert client.cut_weight(oid, nodes[:5]) > 0.0
+
+            with urllib.request.urlopen(metrics_url, timeout=10) as resp:
+                text = resp.read().decode()
+            assert "repro_serving_requests_total" in text
+
+            with ServingClient(host, int(port)) as client:
+                client.shutdown()
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    def test_tight_slo_breach_exits_6(self, tmp_path):
+        log = tmp_path / "daemon.log"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.serving.server",
+                "--port", "0",
+                "--slo", "span:serve.request:p99<=0.000000001",
+            ],
+            stderr=log.open("w"),
+            env=env,
+        )
+        try:
+            url = read_announcement(log, "serving", timeout_s=30.0)
+            host, port = url.replace("tcp://", "").rsplit(":", 1)
+            graph = random_regularish_ugraph(24, 4, rng=7)
+            with ServingClient(host, int(port)) as client:
+                oid = client.register_graph(graph)
+                nodes = list(graph.nodes())
+                for _ in range(5):
+                    client.cut_weight(oid, nodes[:5])
+                client.shutdown()
+            assert proc.wait(timeout=30) == 6
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+@pytest.mark.parametrize("op", ["shard_sketch", "shard_cut"])
+def test_shard_ops_without_hosting_fail_cleanly(op):
+    from repro.serving.protocol import ServingError
+
+    with ServerThread() as thread:
+        with ServingClient("127.0.0.1", thread.port) as client:
+            with pytest.raises(ServingError, match="no hosted shard"):
+                if op == "shard_sketch":
+                    client.shard_sketch("ghost", 0.3, rng_state_payload(1))
+                else:
+                    client.shard_cut("ghost", [0], 0.1)
